@@ -1,0 +1,86 @@
+// gateway runs a standalone NTCS gateway joining two or more TCP
+// networks — "the same Gateway module ... used for all networks and
+// machines" (paper §4.1). It registers itself with the Name Server so
+// other modules discover the topology through the naming service.
+//
+// Example:
+//
+//	gateway -bind backbone=127.0.0.1:4101,branch=127.0.0.1:4102 \
+//	        -ns backbone=127.0.0.1:4001 -prime
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"ntcs/internal/addr"
+	"ntcs/internal/cli"
+	"ntcs/internal/core"
+	"ntcs/internal/machine"
+)
+
+func main() {
+	var (
+		bind     = flag.String("bind", "", "network=host:port bindings (two or more), comma separated")
+		ns       = flag.String("ns", "", "Name Server endpoints: network=host:port, comma separated")
+		name     = flag.String("name", "gw", "logical gateway name")
+		machName = flag.String("machine", "apollo", "simulated machine type")
+		nsMach   = flag.String("ns-machine", "apollo", "the Name Server host's machine type")
+		prime    = flag.Bool("prime", true, "claim a well-known prime gateway UAdd (§3.4)")
+	)
+	flag.Parse()
+	if err := run(*bind, *ns, *name, *machName, *nsMach, *prime); err != nil {
+		fmt.Fprintln(os.Stderr, "gateway:", err)
+		os.Exit(1)
+	}
+}
+
+func run(bind, ns, name, machName, nsMach string, prime bool) error {
+	m, err := machine.ParseType(machName)
+	if err != nil {
+		return err
+	}
+	bindings, err := cli.ParseBindings(bind)
+	if err != nil {
+		return err
+	}
+	if len(bindings) < 2 {
+		return fmt.Errorf("a gateway must join at least two networks")
+	}
+	wk, err := cli.ParseWellKnown(ns, nsMach)
+	if err != nil {
+		return err
+	}
+	nets, hints := cli.OpenNetworks(bindings)
+
+	cfg := core.Config{
+		Name:          name,
+		Machine:       m,
+		Networks:      nets,
+		EndpointHints: hints,
+		WellKnown:     wk,
+		Kind:          core.KindGateway,
+	}
+	if prime {
+		cfg.FixedUAdd = addr.PrimeGatewayBase
+	}
+	mod, err := core.Attach(cfg)
+	if err != nil {
+		return err
+	}
+	defer mod.Detach()
+
+	fmt.Printf("gateway %q up as %v joining:\n", name, mod.UAdd())
+	for _, ep := range mod.Endpoints() {
+		fmt.Printf("  %s at %s\n", ep.Network, ep.Addr)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+	return nil
+}

@@ -1,0 +1,84 @@
+// nameserver runs a standalone NTCS Name Server over TCP, for
+// multi-process deployments. Other processes preload its address with
+// their -ns flag (the "well known" configuration of paper §3.4).
+//
+// Example:
+//
+//	nameserver -bind backbone=127.0.0.1:4001
+//	gateway    -bind backbone=127.0.0.1:4101,branch=127.0.0.1:4102 \
+//	           -ns backbone=127.0.0.1:4001
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"ntcs/internal/addr"
+	"ntcs/internal/cli"
+	"ntcs/internal/core"
+	"ntcs/internal/machine"
+)
+
+func main() {
+	var (
+		bind     = flag.String("bind", "backbone=127.0.0.1:4001", "network=host:port bindings, comma separated")
+		name     = flag.String("name", "ns", "logical module name")
+		machName = flag.String("machine", "apollo", "simulated machine type (vax, sun68k, apollo, pyramid)")
+	)
+	flag.Parse()
+	if err := run(*bind, *name, *machName); err != nil {
+		fmt.Fprintln(os.Stderr, "nameserver:", err)
+		os.Exit(1)
+	}
+}
+
+func run(bind, name, machName string) error {
+	m, err := machine.ParseType(machName)
+	if err != nil {
+		return err
+	}
+	bindings, err := cli.ParseBindings(bind)
+	if err != nil {
+		return err
+	}
+	nets, hints := cli.OpenNetworks(bindings)
+
+	mod, err := core.Attach(core.Config{
+		Name:          name,
+		Machine:       m,
+		Networks:      nets,
+		EndpointHints: hints,
+		Kind:          core.KindNameServer,
+		FixedUAdd:     addr.NameServer,
+		ServerID:      1,
+	})
+	if err != nil {
+		return err
+	}
+	defer mod.Detach()
+
+	for _, ep := range mod.Endpoints() {
+		fmt.Printf("name server %q serving %v on %s at %s\n", name, mod.UAdd(), ep.Network, ep.Addr)
+	}
+	fmt.Println("pass to other modules:  -ns", nsFlagValue(mod))
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+	return nil
+}
+
+func nsFlagValue(mod *core.Module) string {
+	out := ""
+	for i, ep := range mod.Endpoints() {
+		if i > 0 {
+			out += ","
+		}
+		out += ep.Network + "=" + ep.Addr
+	}
+	return out
+}

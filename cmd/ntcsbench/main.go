@@ -1,0 +1,66 @@
+// ntcsbench regenerates the repository's experiment tables: every
+// quantified claim of the paper's evaluation (see DESIGN.md §4 and
+// EXPERIMENTS.md), printed in one run.
+//
+// Usage:
+//
+//	ntcsbench            # run every experiment
+//	ntcsbench -list      # list experiment names
+//	ntcsbench -run NAME  # run one experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"ntcs/internal/experiments"
+)
+
+var registry = map[string]func(io.Writer) error{
+	"shift":       experiments.ShiftVsPackedHeaders,
+	"conv":        experiments.ConversionModes,
+	"conv-ablate": experiments.AdaptiveVsAlwaysPacked,
+	"hops":        experiments.GatewayHops,
+	"firstsend":   experiments.FirstSendVsWarm,
+	"reconf":      experiments.RelocationBlackout,
+	"nscache":     experiments.ResolutionCache,
+	"port":        experiments.PortabilityMatrix,
+	"route":       experiments.RouteComputation,
+	"ursa":        experiments.URSAThroughput,
+}
+
+func main() {
+	list := flag.Bool("list", false, "list experiment names")
+	run := flag.String("run", "", "run a single experiment by name")
+	flag.Parse()
+
+	if err := dispatch(*list, *run); err != nil {
+		fmt.Fprintln(os.Stderr, "ntcsbench:", err)
+		os.Exit(1)
+	}
+}
+
+func dispatch(list bool, run string) error {
+	if list {
+		names := make([]string, 0, len(registry))
+		for n := range registry {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Println(n)
+		}
+		return nil
+	}
+	if run != "" {
+		exp, ok := registry[run]
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (try -list)", run)
+		}
+		return exp(os.Stdout)
+	}
+	return experiments.RunAll(os.Stdout)
+}

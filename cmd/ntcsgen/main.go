@@ -1,0 +1,58 @@
+// ntcsgen generates NTCS pack/unpack routines directly from message
+// structure definitions — the automatic code generating mechanism of
+// paper §5.1 (Schlegel [22]). The generated functions produce byte
+// streams identical to the reflection-based pack.Marshal, without
+// reflection, and plug into the ComMod as application converters.
+//
+// Usage:
+//
+//	ntcsgen -file internal/ursa/ursa.go -pkg ursa \
+//	        -types Document,SearchRequest,SearchReply -out packgen.go
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/format"
+	"os"
+	"strings"
+
+	"ntcs/internal/gen"
+)
+
+func main() {
+	var (
+		file  = flag.String("file", "", "Go source file holding the message structs")
+		types = flag.String("types", "", "comma-separated struct type names")
+		pkg   = flag.String("pkg", "", "package name for the generated file")
+		out   = flag.String("out", "", "output path (default: stdout)")
+	)
+	flag.Parse()
+	if err := run(*file, *types, *pkg, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "ntcsgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(file, types, pkg, out string) error {
+	if file == "" || types == "" || pkg == "" {
+		return fmt.Errorf("-file, -types and -pkg are required")
+	}
+	src, err := os.ReadFile(file)
+	if err != nil {
+		return err
+	}
+	code, err := gen.Generate(src, pkg, strings.Split(types, ","))
+	if err != nil {
+		return err
+	}
+	formatted, err := format.Source(code)
+	if err != nil {
+		return fmt.Errorf("generated code does not format (generator bug): %w", err)
+	}
+	if out == "" {
+		_, err = os.Stdout.Write(formatted)
+		return err
+	}
+	return os.WriteFile(out, formatted, 0o644)
+}

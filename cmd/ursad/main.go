@@ -1,0 +1,122 @@
+// ursad boots the full URSA demonstration system — Name Server, gateway,
+// index/search/document backends on heterogeneous machines — and serves
+// interactive queries from stdin.
+//
+// Usage:
+//
+//	ursad [-docs 200] [-seed 1]
+//	> distributed system
+//	> information retrieval
+//	> :quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ntcs"
+	"ntcs/internal/drts/monitor"
+	"ntcs/internal/ipcs/memnet"
+	"ntcs/internal/ursa"
+	"ntcs/sim"
+)
+
+func main() {
+	var (
+		docs = flag.Int("docs", 0, "synthetic corpus size (0 = built-in corpus)")
+		seed = flag.Int64("seed", 1, "corpus generator seed")
+	)
+	flag.Parse()
+	if err := run(*docs, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "ursad:", err)
+		os.Exit(1)
+	}
+}
+
+func run(docCount int, seed int64) error {
+	world := sim.NewWorld()
+	world.AddNetwork("machine-room", memnet.Options{})
+	world.AddNetwork("office-ring", memnet.Options{})
+	defer world.Close()
+
+	nsHost := world.MustHost("apollo-ns", ntcs.Apollo, "machine-room")
+	if _, err := world.StartNameServer(nsHost, "ns"); err != nil {
+		return err
+	}
+	gwHost := world.MustHost("apollo-gw", ntcs.Apollo, "machine-room", "office-ring")
+	if _, err := world.StartGateway(gwHost, "gw"); err != nil {
+		return err
+	}
+
+	monHost := world.MustHost("apollo-mon", ntcs.Apollo, "machine-room")
+	monMod, err := world.Attach(monHost, "monitor", map[string]string{"role": "monitor"})
+	if err != nil {
+		return err
+	}
+	monSrv := monitor.NewServer(monMod)
+	go monSrv.Run()
+
+	idxHost := world.MustHost("apollo-1", ntcs.Apollo, "machine-room")
+	docHost := world.MustHost("vax-1", ntcs.VAX, "machine-room")
+	searchHost := world.MustHost("sun-1", ntcs.Sun68K, "machine-room")
+	dep, err := ursa.Deploy(world, idxHost, docHost, searchHost)
+	if err != nil {
+		return err
+	}
+
+	hostHost := world.MustHost("sun-desk", ntcs.Sun68K, "office-ring")
+	hostMod, err := world.Attach(hostHost, "host-1", nil)
+	if err != nil {
+		return err
+	}
+	// Monitoring on: every host send is recorded (§6.1 recursion, live).
+	hostMod.SetMonitor(monitor.NewClient(hostMod, "monitor", 8).Record)
+	client := ursa.NewClient(hostMod)
+
+	corpus := ursa.BuiltinCorpus()
+	if docCount > 0 {
+		corpus = ursa.GenerateCorpus(docCount, seed)
+	}
+	if err := client.Ingest(corpus); err != nil {
+		return err
+	}
+	fmt.Printf("URSA up: %d documents, %d terms; host on office-ring, backends in the machine room\n",
+		len(corpus), dep.Index.Terms())
+	fmt.Println(`type a query, ":stats" for monitor counters, ":quit" to exit`)
+
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("> ")
+		if !sc.Scan() {
+			break
+		}
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+			continue
+		case line == ":quit", line == ":q":
+			return nil
+		case line == ":stats":
+			stats := monSrv.Snapshot()
+			fmt.Printf("monitor: %d records, %d bytes; by kind %v\n",
+				stats.TotalRecords, stats.TotalBytes, stats.ByKind)
+			continue
+		}
+		reply, err := client.Search(line, 5)
+		if err != nil {
+			fmt.Println("error:", err)
+			continue
+		}
+		if len(reply.Hits) == 0 {
+			fmt.Println("no hits")
+			continue
+		}
+		for _, h := range reply.Hits {
+			fmt.Printf("  doc %-3d score %-6d %s\n", h.DocID, h.Score, h.Title)
+		}
+	}
+	return sc.Err()
+}

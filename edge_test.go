@@ -1,0 +1,274 @@
+package ntcs_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"ntcs"
+	"ntcs/internal/ipcs/memnet"
+	"ntcs/internal/lcm"
+	"ntcs/internal/machine"
+	"ntcs/internal/wire"
+	"ntcs/sim"
+)
+
+// TestReplyFallsBackToRoutedSend: the circuit a call arrived on dies
+// before the reply; the LCM falls back to a routed send to the caller's
+// UAdd.
+func TestReplyFallsBackToRoutedSend(t *testing.T) {
+	w, _ := oneNetWorld(t)
+	server, err := w.Attach(w.MustHost("vax-1", machine.VAX, "ring"), "server", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := w.AttachConfig(w.MustHost("vax-2", machine.VAX, "ring"),
+		ntcs.Config{Name: "client", CallTimeout: 3 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := client.Locate("server")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		d, err := server.Recv(5 * time.Second)
+		if err != nil {
+			done <- err
+			return
+		}
+		// Sever the arriving circuit before replying: the server's ND
+		// drops every LVC to the client.
+		for _, b := range server.Nucleus().Bindings {
+			b.Drop(d.Src())
+		}
+		done <- server.Reply(d, "r", "made it anyway")
+	}()
+
+	var reply string
+	if err := client.Call(u, "q", "x", &reply); err != nil {
+		t.Fatalf("call: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("server reply: %v", err)
+	}
+	if reply != "made it anyway" {
+		t.Errorf("reply = %q", reply)
+	}
+}
+
+// TestNDChurn opens and drops circuits from many goroutines while traffic
+// flows: the circuit tables stay consistent and the system ends healthy.
+func TestNDChurn(t *testing.T) {
+	w, _ := oneNetWorld(t)
+	server, err := w.AttachConfig(w.MustHost("vax-1", machine.VAX, "ring"),
+		ntcs.Config{Name: "server", InboxSize: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	echoServe(server)
+	client, err := w.Attach(w.MustHost("vax-2", machine.VAX, "ring"), "client", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := client.Locate("server")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Churner: keeps killing the client's circuits.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			client.Nucleus().IP.DropCircuits(u)
+			for _, b := range client.Nucleus().Bindings {
+				b.Drop(u)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+	// Callers.
+	var okCount, failCount int
+	var mu sync.Mutex
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 60; i++ {
+				var reply string
+				msg := fmt.Sprintf("g%d-%d", g, i)
+				err := client.Call(u, "q", msg, &reply)
+				mu.Lock()
+				if err != nil {
+					failCount++
+				} else {
+					okCount++
+					if reply != "echo:"+msg {
+						t.Errorf("wrong reply %q for %q", reply, msg)
+					}
+				}
+				mu.Unlock()
+			}
+		}(g)
+	}
+	time.Sleep(400 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if okCount == 0 {
+		t.Fatal("no call survived the churn")
+	}
+	t.Logf("churn: %d ok, %d failed", okCount, failCount)
+	// Healthy afterwards.
+	var reply string
+	if err := client.Call(u, "q", "final", &reply); err != nil {
+		t.Fatalf("post-churn call: %v", err)
+	}
+}
+
+// TestLargePayloadThroughGateway pushes a 1MB body across a chained
+// circuit.
+func TestLargePayloadThroughGateway(t *testing.T) {
+	w := sim.NewWorld()
+	w.AddNetwork("alpha", memnet.Options{})
+	w.AddNetwork("beta", memnet.Options{})
+	nsHost := w.MustHost("ns-host", machine.Apollo, "alpha")
+	if _, err := w.StartNameServer(nsHost, "ns"); err != nil {
+		t.Fatal(err)
+	}
+	gwHost := w.MustHost("gw-host", machine.Apollo, "alpha", "beta")
+	if _, err := w.StartGateway(gwHost, "gw"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(w.Close)
+	server, err := w.Attach(w.MustHost("beta-big", machine.VAX, "beta"), "big-server", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			d, err := server.Recv(time.Hour)
+			if err != nil {
+				return
+			}
+			if d.IsCall() {
+				var b []byte
+				if err := d.Decode(&b); err != nil {
+					_ = server.ReplyError(d, err.Error())
+					continue
+				}
+				_ = server.Reply(d, "r", b)
+			}
+		}
+	}()
+	client, err := w.Attach(w.MustHost("alpha-big", machine.VAX, "alpha"), "big-client", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := client.Locate("big-server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := make([]byte, 1<<20)
+	for i := range big {
+		big[i] = byte(i * 13)
+	}
+	var out []byte
+	if err := client.Call(u, "q", big, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(big) {
+		t.Fatalf("got %d bytes back", len(out))
+	}
+	for i := range big {
+		if out[i] != big[i] {
+			t.Fatalf("corruption at byte %d", i)
+		}
+	}
+}
+
+// TestServiceSendSuppressesHooks: DRTS traffic sent with ServiceSend is
+// flagged as service, is never monitored (the §6.1 recursion guard), and
+// is visible as such to the receiver.
+func TestServiceSendSuppressesHooks(t *testing.T) {
+	w, _ := oneNetWorld(t)
+	recv, err := w.Attach(w.MustHost("vax-1", machine.VAX, "ring"), "recv", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sender, err := w.Attach(w.MustHost("vax-2", machine.VAX, "ring"), "sender", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recorded := 0
+	sender.SetMonitor(func(lcm.Event) { recorded++ })
+	u, err := sender.Locate("recv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sender.ServiceSend(u, "svc", "internal"); err != nil {
+		t.Fatal(err)
+	}
+	d, err := recv.Recv(tick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s string
+	if err := d.Decode(&s); err != nil || s != "internal" {
+		t.Errorf("decode: %q %v", s, err)
+	}
+	if recorded != 0 {
+		t.Errorf("service send was monitored %d times", recorded)
+	}
+	// An ordinary send IS monitored.
+	if err := sender.Send(u, "app", "visible"); err != nil {
+		t.Fatal(err)
+	}
+	if recorded != 1 {
+		t.Errorf("ordinary send monitored %d times, want 1", recorded)
+	}
+}
+
+// TestModeByteVisibleToReceiver: the receiver can inspect the conversion
+// mode and source machine of every delivery (diagnostic surface of §5).
+func TestModeByteVisibleToReceiver(t *testing.T) {
+	w, _ := oneNetWorld(t)
+	recv, err := w.Attach(w.MustHost("sun-x", machine.Sun68K, "ring"), "recv", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sender, err := w.Attach(w.MustHost("vax-x", machine.VAX, "ring"), "sender", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := sender.Locate("recv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sender.Send(u, "m", "text"); err != nil {
+		t.Fatal(err)
+	}
+	d, err := recv.Recv(2 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.SrcMachine() != machine.VAX {
+		t.Errorf("SrcMachine = %v", d.SrcMachine())
+	}
+	if d.Mode() != wire.ModePacked {
+		t.Errorf("Mode = %v (string body across byte orders must be packed)", d.Mode())
+	}
+	if d.Type != "m" {
+		t.Errorf("Type = %q", d.Type)
+	}
+}

@@ -1,0 +1,84 @@
+// Quickstart: two modules on one simulated network exchange a synchronous
+// call through the full NTCS stack — logical naming, UAdd resolution,
+// automatic conversion-mode selection.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"ntcs"
+	"ntcs/internal/ipcs/memnet"
+	"ntcs/sim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// A world is a simulated testbed: networks, machines, and the
+	// well-known address configuration every module is born with.
+	world := sim.NewWorld()
+	world.AddNetwork("ring", memnet.Options{})
+	defer world.Close()
+
+	// The Name Server comes first: everything else registers with it.
+	nsHost := world.MustHost("apollo-ns", ntcs.Apollo, "ring")
+	if _, err := world.StartNameServer(nsHost, "ns"); err != nil {
+		return fmt.Errorf("start name server: %w", err)
+	}
+
+	// A Sun machine runs the greeter service...
+	sunHost := world.MustHost("sun-1", ntcs.Sun68K, "ring")
+	greeter, err := world.Attach(sunHost, "greeter", map[string]string{"role": "greeting"})
+	if err != nil {
+		return fmt.Errorf("attach greeter: %w", err)
+	}
+	go serveGreetings(greeter)
+
+	// ...and a VAX runs the client.
+	vaxHost := world.MustHost("vax-1", ntcs.VAX, "ring")
+	client, err := world.Attach(vaxHost, "client", nil)
+	if err != nil {
+		return fmt.Errorf("attach client: %w", err)
+	}
+
+	// Resource location: name → UAdd, once. Everything after this is
+	// transparent to relocation.
+	u, err := client.Locate("greeter")
+	if err != nil {
+		return fmt.Errorf("locate greeter: %w", err)
+	}
+	fmt.Printf("located %q at %v\n", "greeter", u)
+
+	// A synchronous send/receive/reply call. The body crosses from a
+	// little-endian VAX to a big-endian Sun: the NTCS selects packed mode
+	// automatically.
+	var reply string
+	if err := client.Call(u, "greet", "ICDCS 1986", &reply); err != nil {
+		return fmt.Errorf("call greeter: %w", err)
+	}
+	fmt.Printf("reply: %s\n", reply)
+	return nil
+}
+
+func serveGreetings(m *ntcs.Module) {
+	for {
+		d, err := m.Recv(time.Hour)
+		if err != nil {
+			return
+		}
+		var who string
+		if err := d.Decode(&who); err != nil {
+			_ = m.ReplyError(d, err.Error())
+			continue
+		}
+		_ = m.Reply(d, "greeting", fmt.Sprintf("hello, %s — from %s via %s mode", who, m.Name(), d.Mode()))
+	}
+}

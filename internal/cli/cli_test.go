@@ -1,0 +1,80 @@
+package cli
+
+import (
+	"testing"
+
+	"ntcs/internal/addr"
+	"ntcs/internal/machine"
+)
+
+func TestParseBindings(t *testing.T) {
+	got, err := ParseBindings("a=127.0.0.1:4001, b=127.0.0.1:4002,c=")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Binding{
+		{Network: "a", Addr: "127.0.0.1:4001"},
+		{Network: "b", Addr: "127.0.0.1:4002"},
+		{Network: "c", Addr: ""},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("binding %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	for _, bad := range []string{"", "noequals", "=addr", "a=x,,"} {
+		if _, err := ParseBindings(bad); err == nil {
+			t.Errorf("ParseBindings(%q) should fail", bad)
+		}
+	}
+}
+
+func TestOpenNetworks(t *testing.T) {
+	bindings := []Binding{
+		{Network: "a", Addr: "127.0.0.1:0"},
+		{Network: "b", Addr: ""},
+		{Network: "a", Addr: "127.0.0.1:9"}, // duplicate network: one Net
+	}
+	nets, hints := OpenNetworks(bindings)
+	if len(nets) != 2 {
+		t.Errorf("nets = %d, want 2 (deduplicated)", len(nets))
+	}
+	if hints["a"] != "127.0.0.1:9" || hints["b"] != "" {
+		t.Errorf("hints = %v", hints)
+	}
+}
+
+func TestParseWellKnown(t *testing.T) {
+	wk, err := ParseWellKnown("backbone=127.0.0.1:4001,branch=127.0.0.1:4002", "apollo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wk.NameServers) != 1 {
+		t.Fatalf("wk = %+v", wk)
+	}
+	entry := wk.NameServers[0]
+	if entry.UAdd != addr.NameServer || len(entry.Endpoints) != 2 {
+		t.Errorf("entry = %+v", entry)
+	}
+	if entry.Endpoints[0].Machine != machine.Apollo {
+		t.Errorf("machine = %v", entry.Endpoints[0].Machine)
+	}
+
+	// Empty spec: no preload (the nameserver binary itself).
+	wk, err = ParseWellKnown("", "apollo")
+	if err != nil || len(wk.NameServers) != 0 {
+		t.Errorf("empty spec: %+v, %v", wk, err)
+	}
+	if _, err := ParseWellKnown("a=127.0.0.1:1", "pdp11"); err == nil {
+		t.Error("bad machine should fail")
+	}
+	if _, err := ParseWellKnown("a=", "apollo"); err == nil {
+		t.Error("empty NS address should fail")
+	}
+	if _, err := ParseWellKnown("garbage", "apollo"); err == nil {
+		t.Error("malformed spec should fail")
+	}
+}

@@ -1,0 +1,717 @@
+// Package core implements the ComMod of paper §2.1 and §2.4: "Each
+// application process must bind with a passive communication module
+// (ComMod), which is the only aspect of the NTCS visible to the
+// application. To the application, the ComMod is the NTCS."
+//
+// A Module stacks the full Figure 2-4 ComMod: the ALI-Layer veneer
+// ("provides the application interface primitives from the Nucleus and
+// NSP-Layer services, tailors the error returns, and performs parameter
+// checking"), the NSP-Layer, and the Nucleus (LCM/IP/ND). Attach also
+// runs the module lifecycle of §3.2: create communication resources,
+// self-assign a TAdd, register with the naming service, adopt the
+// assigned UAdd, and announce it (purging the TAdds, §3.4).
+//
+// The ComMod owns the data-conversion decision of §5: image mode between
+// layout-compatible machines, packed mode otherwise, selected per
+// destination from cached machine types and adapting as modules relocate.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"ntcs/internal/addr"
+	"ntcs/internal/drts/errlog"
+	"ntcs/internal/ipcs"
+	"ntcs/internal/lcm"
+	"ntcs/internal/machine"
+	"ntcs/internal/nameserver"
+	"ntcs/internal/nsp"
+	"ntcs/internal/nucleus"
+	"ntcs/internal/pack"
+	"ntcs/internal/trace"
+	"ntcs/internal/wire"
+)
+
+// Kind selects the module's role in the system.
+type Kind int
+
+// Module kinds.
+const (
+	KindApplication Kind = iota + 1
+	KindGateway          // relays chained circuits (§4)
+	KindNameServer       // serves the naming database (§3)
+)
+
+// Errors tailored by the ALI-Layer.
+var (
+	ErrBadName      = errors.New("ntcs: module name must be non-empty")
+	ErrBadDest      = errors.New("ntcs: destination address is nil")
+	ErrBadType      = errors.New("ntcs: message type must be non-empty")
+	ErrDetached     = errors.New("ntcs: module is detached")
+	ErrNotConverter = errors.New("ntcs: no converter registered and body is not auto-packable")
+)
+
+// Converter supplies the application's pack/unpack functions of §5.1.
+// Either function may be nil, in which case the automatic derivation
+// (pack.Marshal/Unmarshal, reproducing [22]) applies.
+type Converter struct {
+	Pack   func(body any) ([]byte, error)
+	Unpack func(data []byte, out any) error
+}
+
+// Config assembles a Module.
+type Config struct {
+	// Name is the module's logical name (§2.3).
+	Name string
+	// Attrs carries the attribute-value naming extensions; "role" guides
+	// relocation matching (§3.5), "type" marks gateways and name servers.
+	Attrs map[string]string
+	// Machine is the simulated machine type of the module's host.
+	Machine machine.Type
+	// Networks attaches the module; one ND binding is created per entry.
+	Networks []ipcs.Network
+	// EndpointHints optionally fixes physical addresses per network ID.
+	EndpointHints map[string]string
+	// WellKnown preloads the address tables (§3.4).
+	WellKnown addr.WellKnown
+	// Kind selects application (default), gateway, or name server.
+	Kind Kind
+	// FixedUAdd assigns a well-known UAdd (prime gateways, name servers).
+	FixedUAdd addr.UAdd
+	// NoRegister skips naming-service registration (bootstrap and tests).
+	NoRegister bool
+	// ServerID stamps generated UAdds (name servers only; §3.2).
+	ServerID uint16
+	// Replicas lists peer name servers for write propagation (§7).
+	Replicas []addr.UAdd
+	// TraceCapacity sizes the causal trace ring (0 = default).
+	TraceCapacity int
+	// Timeouts; zero selects defaults.
+	CallTimeout time.Duration
+	OpenTimeout time.Duration
+	// DisableNSFaultPatch reproduces the §6.3 pathology (tests only).
+	DisableNSFaultPatch bool
+	// InboxSize bounds undelivered messages.
+	InboxSize int
+	// ForcePacked disables the §5 adaptive selection and always converts
+	// (the XDR-style baseline the paper implicitly argues against:
+	// "Messages between identical machines are simply byte-copied ...
+	// thus avoiding needless conversions"). Ablation experiments only.
+	ForcePacked bool
+}
+
+// identity is the mutable module identity: a TAdd until registration
+// completes, the assigned UAdd afterwards.
+type identity struct {
+	mu   sync.Mutex
+	u    addr.UAdd
+	m    machine.Type
+	name string
+}
+
+func (id *identity) UAdd() addr.UAdd {
+	id.mu.Lock()
+	defer id.mu.Unlock()
+	return id.u
+}
+
+func (id *identity) set(u addr.UAdd) {
+	id.mu.Lock()
+	defer id.mu.Unlock()
+	id.u = u
+}
+
+func (id *identity) Machine() machine.Type { return id.m }
+func (id *identity) Name() string          { return id.name }
+
+// Module is one attached NTCS module: the application's entire view of
+// the communication system.
+type Module struct {
+	cfg    Config
+	id     *identity
+	nuc    *nucleus.Nucleus
+	naming *nsp.Layer
+	tracer *trace.Tracer
+	errs   *errlog.Table
+
+	convMu sync.RWMutex
+	conv   map[string]Converter
+
+	hooksMu sync.Mutex
+	hooks   lcm.Hooks
+
+	// Name server role only.
+	db     *nameserver.DB
+	server *nameserver.Server
+
+	detachOnce sync.Once
+	detached   chan struct{}
+}
+
+// Attach binds a module to the NTCS: it creates the communication
+// resources, registers with the naming service, and returns the live
+// ComMod (§3.2).
+func Attach(cfg Config) (*Module, error) {
+	if cfg.Name == "" {
+		return nil, ErrBadName
+	}
+	if !cfg.Machine.Valid() {
+		return nil, fmt.Errorf("ntcs: invalid machine type %d", cfg.Machine)
+	}
+	if len(cfg.Networks) == 0 {
+		return nil, errors.New("ntcs: module must attach to at least one network")
+	}
+	if cfg.Kind == 0 {
+		cfg.Kind = KindApplication
+	}
+
+	m := &Module{
+		cfg:      cfg,
+		tracer:   trace.New(cfg.Name, cfg.TraceCapacity),
+		errs:     errlog.NewTable(cfg.Name, 0),
+		conv:     make(map[string]Converter),
+		detached: make(chan struct{}),
+	}
+
+	// §3.4: a module assigns itself a TAdd initially; well-known modules
+	// carry their preassigned UAdd from birth.
+	var src addr.TAddSource
+	startU := src.Next()
+	if cfg.FixedUAdd != addr.Nil {
+		startU = cfg.FixedUAdd
+	}
+	m.id = &identity{u: startU, m: cfg.Machine, name: cfg.Name}
+
+	nuc, err := nucleus.New(nucleus.Config{
+		Networks:            cfg.Networks,
+		EndpointHints:       cfg.EndpointHints,
+		Identity:            m.id,
+		WellKnown:           cfg.WellKnown,
+		RelayEnabled:        cfg.Kind == KindGateway,
+		Tracer:              m.tracer,
+		Errors:              m.errs,
+		CallTimeout:         cfg.CallTimeout,
+		OpenTimeout:         cfg.OpenTimeout,
+		DisableNSFaultPatch: cfg.DisableNSFaultPatch,
+		InboxSize:           cfg.InboxSize,
+	})
+	if err != nil {
+		return nil, err
+	}
+	m.nuc = nuc
+
+	if cfg.Kind == KindNameServer {
+		if err := m.attachNameServer(); err != nil {
+			nuc.Close()
+			return nil, err
+		}
+		return m, nil
+	}
+
+	// §3.1: the naming service is consulted through the NSP-Layer over
+	// the Nucleus itself.
+	naming, err := nsp.New(nsp.Config{LCM: nuc.LCM, WellKnown: cfg.WellKnown, Tracer: m.tracer})
+	if err != nil {
+		nuc.Close()
+		return nil, err
+	}
+	m.naming = naming
+	nuc.SetNaming(naming)
+
+	if !cfg.NoRegister {
+		if err := m.register(); err != nil {
+			nuc.Close()
+			return nil, fmt.Errorf("ntcs: register %q: %w", cfg.Name, err)
+		}
+	}
+	return m, nil
+}
+
+// register runs the §3.2 lifecycle against the naming service.
+func (m *Module) register() error {
+	attrs := m.registrationAttrs()
+	u, err := m.naming.Register(m.cfg.Name, attrs, m.nuc.Endpoints(), m.cfg.FixedUAdd)
+	if err != nil {
+		return err
+	}
+	if m.cfg.FixedUAdd == addr.Nil {
+		m.id.set(u)
+	}
+	// §3.4: the second communication carries the real UAdd and purges the
+	// module's TAdds from every table along the way.
+	return m.naming.Announce(m.id.UAdd())
+}
+
+func (m *Module) registrationAttrs() map[string]string {
+	attrs := make(map[string]string, len(m.cfg.Attrs)+2)
+	for k, v := range m.cfg.Attrs {
+		attrs[k] = v
+	}
+	if m.cfg.Kind == KindGateway {
+		attrs["type"] = "gateway"
+	}
+	attrs["machine"] = m.cfg.Machine.String()
+	return attrs
+}
+
+// attachNameServer turns this module into the Name Server of §3: its own
+// database is its naming service, closing the bootstrap loop.
+func (m *Module) attachNameServer() error {
+	serverID := m.cfg.ServerID
+	if serverID == 0 {
+		serverID = uint16(uint64(m.id.UAdd()))
+	}
+	m.db = nameserver.NewDB(serverID)
+	m.nuc.SetNaming(nameserver.Naming{DB: m.db})
+
+	attrs := map[string]string{"type": "nameserver", "machine": m.cfg.Machine.String()}
+	for k, v := range m.cfg.Attrs {
+		attrs[k] = v
+	}
+	m.db.RegisterFixed(m.cfg.Name, attrs, m.nuc.Endpoints(), m.id.UAdd())
+
+	server, err := nameserver.NewServer(nameserver.Config{
+		DB:       m.db,
+		LCM:      m.nuc.LCM,
+		Replicas: m.cfg.Replicas,
+		Tracer:   m.tracer,
+		Errors:   m.errs,
+	})
+	if err != nil {
+		return err
+	}
+	m.server = server
+	go server.Run()
+	return nil
+}
+
+// --- Accessors ----------------------------------------------------------
+
+// UAdd returns the module's current unique address.
+func (m *Module) UAdd() addr.UAdd { return m.id.UAdd() }
+
+// Name returns the module's logical name.
+func (m *Module) Name() string { return m.cfg.Name }
+
+// Machine returns the module's simulated machine type.
+func (m *Module) Machine() machine.Type { return m.cfg.Machine }
+
+// Endpoints returns the module's physical addresses, one per network.
+func (m *Module) Endpoints() []addr.Endpoint { return m.nuc.Endpoints() }
+
+// Nucleus exposes the layer stack (tests, DRTS services, diagnostics).
+func (m *Module) Nucleus() *nucleus.Nucleus { return m.nuc }
+
+// NSP exposes the naming protocol layer (nil for name servers).
+func (m *Module) NSP() *nsp.Layer { return m.naming }
+
+// Tracer exposes the module's causal trace.
+func (m *Module) Tracer() *trace.Tracer { return m.tracer }
+
+// Errors exposes the module's running error table (§6.3).
+func (m *Module) Errors() *errlog.Table { return m.errs }
+
+// DB exposes the naming database (name servers only; nil otherwise).
+func (m *Module) DB() *nameserver.DB { return m.db }
+
+// SetNameServerReplicas configures the peer servers this (name server)
+// module propagates writes to. No-op for other kinds.
+func (m *Module) SetNameServerReplicas(peers []addr.UAdd) {
+	if m.server != nil {
+		m.server.SetReplicas(peers)
+	}
+}
+
+// SetClock installs the DRTS corrected-time source used for monitor
+// timestamps (§6.1).
+func (m *Module) SetClock(now func() time.Time) {
+	m.hooksMu.Lock()
+	defer m.hooksMu.Unlock()
+	m.hooks.Now = now
+	m.nuc.LCM.SetHooks(m.hooks)
+}
+
+// SetMonitor installs the DRTS monitor-record sink (§6.1).
+func (m *Module) SetMonitor(record func(lcm.Event)) {
+	m.hooksMu.Lock()
+	defer m.hooksMu.Unlock()
+	m.hooks.Record = record
+	m.nuc.LCM.SetHooks(m.hooks)
+}
+
+// --- Resource location primitives (§1.3) --------------------------------
+
+// Locate maps a logical name to a UAdd, priming the endpoint cache with
+// the record's physical addresses and machine type. "An application
+// module need only obtain an address once; module relocation will then
+// occur as required, during all communication, transparent at this
+// interface."
+func (m *Module) Locate(name string) (addr.UAdd, error) {
+	exit := m.tracer.Enter(trace.LayerALI, "locate", "resolve "+name, "app")
+	u, err := m.locate(name)
+	exit(err)
+	return u, err
+}
+
+func (m *Module) locate(name string) (addr.UAdd, error) {
+	if name == "" {
+		return addr.Nil, ErrBadName
+	}
+	if m.naming == nil {
+		return addr.Nil, errors.New("ntcs: module has no naming service")
+	}
+	rec, err := m.naming.ResolveRecord(name)
+	if err != nil {
+		return addr.Nil, err
+	}
+	for _, ep := range rec.Endpoints {
+		m.nuc.Cache.Put(rec.UAdd, ep)
+	}
+	return rec.UAdd, nil
+}
+
+// LocateAttrs finds every module matching the attribute set (the §7
+// attribute-value naming).
+func (m *Module) LocateAttrs(attrs map[string]string) ([]nsp.Record, error) {
+	exit := m.tracer.Enter(trace.LayerALI, "locate-attrs", "attribute query", "app")
+	defer func() { exit(nil) }()
+	if m.naming == nil {
+		return nil, errors.New("ntcs: module has no naming service")
+	}
+	recs, err := m.naming.Query(attrs)
+	if err != nil {
+		return nil, err
+	}
+	for _, rec := range recs {
+		for _, ep := range rec.Endpoints {
+			m.nuc.Cache.Put(rec.UAdd, ep)
+		}
+	}
+	return recs, nil
+}
+
+// --- Conversion machinery (§5) -------------------------------------------
+
+// RegisterConverter installs the application's pack/unpack functions for
+// one message type. Unregistered types use the automatic derivation.
+func (m *Module) RegisterConverter(msgType string, c Converter) error {
+	if msgType == "" {
+		return ErrBadType
+	}
+	m.convMu.Lock()
+	defer m.convMu.Unlock()
+	m.conv[msgType] = c
+	return nil
+}
+
+func (m *Module) converter(msgType string) Converter {
+	m.convMu.RLock()
+	defer m.convMu.RUnlock()
+	return m.conv[msgType]
+}
+
+// destMachine determines the destination's machine type, from the cache
+// or (once) from the naming service. The forwarding table is consulted
+// first so the decision adapts to relocations (§5: "adapts dynamically to
+// the environment as modules are relocated").
+func (m *Module) destMachine(dst addr.UAdd) machine.Type {
+	dst, _ = m.nuc.LCM.ForwardTable().Resolve(dst)
+	if ep, ok := m.nuc.Cache.Any(dst); ok && ep.Machine.Valid() {
+		return ep.Machine
+	}
+	if m.naming == nil {
+		return machine.Unknown
+	}
+	rec, err := m.naming.Lookup(dst)
+	if err != nil {
+		return machine.Unknown
+	}
+	for _, ep := range rec.Endpoints {
+		m.nuc.Cache.Put(rec.UAdd, ep)
+	}
+	if len(rec.Endpoints) > 0 {
+		return rec.Endpoints[0].Machine
+	}
+	return machine.Unknown
+}
+
+// encode selects the conversion mode of §5: "Messages between identical
+// machines are simply byte-copied (image mode) while those between
+// incompatible machines are transmitted in a converted representation
+// (packed mode). The NTCS determines the correct mode based on the source
+// and destination machine types, thus avoiding needless conversions."
+func (m *Module) encode(dst addr.UAdd, msgType string, body any) (wire.Mode, []byte, error) {
+	var (
+		mode wire.Mode
+		data []byte
+		err  error
+	)
+	switch {
+	case body == nil:
+		mode = wire.ModeNone
+	case !m.cfg.ForcePacked && machine.Compatible(m.cfg.Machine, m.destMachine(dst)) && machine.Imageable(body):
+		mode = wire.ModeImage
+		data, err = machine.Image(body, m.cfg.Machine)
+	default:
+		mode = wire.ModePacked
+		c := m.converter(msgType)
+		if c.Pack != nil {
+			data, err = c.Pack(body)
+		} else {
+			data, err = pack.Marshal(body)
+			if err != nil {
+				err = fmt.Errorf("%w: %v", ErrNotConverter, err)
+			}
+		}
+	}
+	if err != nil {
+		return 0, nil, err
+	}
+	return mode, envelope(msgType, data), nil
+}
+
+// envelope frames the typed payload: the message "type" through which
+// structure is inferred (§5.1).
+func envelope(msgType string, body []byte) []byte {
+	var e pack.Encoder
+	e.String(msgType)
+	e.BytesField(body)
+	return e.Bytes()
+}
+
+func openEnvelope(payload []byte) (string, []byte, error) {
+	d := pack.NewDecoder(payload)
+	msgType, err := d.String()
+	if err != nil {
+		return "", nil, err
+	}
+	body, err := d.BytesField()
+	if err != nil {
+		return "", nil, err
+	}
+	return msgType, body, nil
+}
+
+// --- Communication primitives (§1.3) -------------------------------------
+
+// Send transmits body to dst asynchronously.
+func (m *Module) Send(dst addr.UAdd, msgType string, body any) error {
+	return m.send(dst, msgType, body, 0)
+}
+
+// ServiceSend is Send for DRTS traffic: the monitoring/time hooks stay
+// off (the §6.1 recursion guard).
+func (m *Module) ServiceSend(dst addr.UAdd, msgType string, body any) error {
+	return m.send(dst, msgType, body, wire.FlagService)
+}
+
+// SendCL transmits with the connectionless protocol: one attempt, no
+// relocation, no recovery.
+func (m *Module) SendCL(dst addr.UAdd, msgType string, body any) error {
+	return m.send(dst, msgType, body, wire.FlagConnless)
+}
+
+func (m *Module) send(dst addr.UAdd, msgType string, body any, flags uint16) error {
+	exit := m.tracer.Enter(trace.LayerALI, "send", msgType+" to "+dst.String(), "app")
+	err := m.sendChecked(dst, msgType, body, flags)
+	exit(err)
+	return err
+}
+
+func (m *Module) sendChecked(dst addr.UAdd, msgType string, body any, flags uint16) error {
+	if err := m.checkArgs(dst, msgType); err != nil {
+		return err
+	}
+	mode, payload, err := m.encode(dst, msgType, body)
+	if err != nil {
+		return err
+	}
+	return m.nuc.LCM.Send(dst, mode, flags, payload)
+}
+
+// Call transmits synchronously and decodes the reply into replyOut (which
+// may be nil to discard it): the send/receive/reply primitive.
+func (m *Module) Call(dst addr.UAdd, msgType string, body, replyOut any) error {
+	return m.call(dst, msgType, body, replyOut, 0)
+}
+
+// ServiceCall is Call with the hooks suppressed (DRTS traffic).
+func (m *Module) ServiceCall(dst addr.UAdd, msgType string, body, replyOut any) error {
+	return m.call(dst, msgType, body, replyOut, wire.FlagService)
+}
+
+func (m *Module) call(dst addr.UAdd, msgType string, body, replyOut any, flags uint16) error {
+	exit := m.tracer.Enter(trace.LayerALI, "call", msgType+" to "+dst.String(), "app")
+	err := m.callChecked(dst, msgType, body, replyOut, flags)
+	exit(err)
+	return err
+}
+
+func (m *Module) callChecked(dst addr.UAdd, msgType string, body, replyOut any, flags uint16) error {
+	if err := m.checkArgs(dst, msgType); err != nil {
+		return err
+	}
+	mode, payload, err := m.encode(dst, msgType, body)
+	if err != nil {
+		return err
+	}
+	d, err := m.nuc.LCM.Call(dst, mode, flags, payload)
+	if err != nil {
+		return err
+	}
+	if replyOut == nil {
+		return nil
+	}
+	del, err := m.wrap(d)
+	if err != nil {
+		return err
+	}
+	return del.Decode(replyOut)
+}
+
+func (m *Module) checkArgs(dst addr.UAdd, msgType string) error {
+	if dst == addr.Nil {
+		return ErrBadDest
+	}
+	if msgType == "" {
+		return ErrBadType
+	}
+	select {
+	case <-m.detached:
+		return ErrDetached
+	default:
+		return nil
+	}
+}
+
+// Delivery is one received message, ready to decode.
+type Delivery struct {
+	Type string
+	Body []byte
+
+	header wire.Header
+	module *Module
+	raw    *lcm.Delivery
+}
+
+// Src returns the sender's UAdd.
+func (d *Delivery) Src() addr.UAdd { return d.header.Src }
+
+// IsCall reports whether the sender is blocked in Call awaiting Reply.
+func (d *Delivery) IsCall() bool { return d.raw.IsCall() }
+
+// Mode returns the conversion mode the body arrived in.
+func (d *Delivery) Mode() wire.Mode { return d.header.Mode }
+
+// SrcMachine returns the sender's machine type.
+func (d *Delivery) SrcMachine() machine.Type { return d.header.SrcMachine }
+
+// Decode extracts the body into out, reversing whichever conversion the
+// sender applied (§5.1).
+//
+// Image mode is "a byte-copy of the memory image ... simply deposited at
+// the destination": it is read back with the receiver's own layout, which
+// is only correct between layout-compatible machines — exactly why the
+// sender selects packed mode otherwise. A mismatched image (possible
+// transiently during dynamic reconfiguration, when a cached machine type
+// is stale) is rejected rather than silently corrupted; the header carries
+// the sender's machine type, so the mismatch is detectable here.
+func (d *Delivery) Decode(out any) error {
+	switch d.header.Mode {
+	case wire.ModeNone:
+		return nil
+	case wire.ModeImage:
+		local := d.module.cfg.Machine
+		if !machine.Compatible(d.header.SrcMachine, local) {
+			return fmt.Errorf("ntcs: image from %v cannot be byte-copied onto %v (stale conversion decision)",
+				d.header.SrcMachine, local)
+		}
+		return machine.ImageDecode(d.Body, local, out)
+	case wire.ModePacked:
+		c := d.module.converter(d.Type)
+		if c.Unpack != nil {
+			return c.Unpack(d.Body, out)
+		}
+		return pack.Unmarshal(d.Body, out)
+	default:
+		return fmt.Errorf("ntcs: cannot decode mode %v", d.header.Mode)
+	}
+}
+
+// Recv waits for the next message.
+func (m *Module) Recv(timeout time.Duration) (*Delivery, error) {
+	exit := m.tracer.Enter(trace.LayerALI, "recv", "await message", "app")
+	d, err := m.recv(timeout)
+	exit(err)
+	return d, err
+}
+
+func (m *Module) recv(timeout time.Duration) (*Delivery, error) {
+	raw, err := m.nuc.LCM.Recv(timeout)
+	if err != nil {
+		return nil, err
+	}
+	return m.wrap(raw)
+}
+
+func (m *Module) wrap(raw *lcm.Delivery) (*Delivery, error) {
+	d := &Delivery{header: raw.Header, module: m, raw: raw}
+	if raw.Header.Mode == wire.ModeNone && len(raw.Payload) == 0 {
+		return d, nil
+	}
+	msgType, body, err := openEnvelope(raw.Payload)
+	if err != nil {
+		return nil, fmt.Errorf("ntcs: malformed message envelope from %v: %w", raw.Header.Src, err)
+	}
+	d.Type = msgType
+	d.Body = body
+	return d, nil
+}
+
+// Reply answers a Call.
+func (m *Module) Reply(d *Delivery, msgType string, body any) error {
+	exit := m.tracer.Enter(trace.LayerALI, "reply", msgType+" to "+d.Src().String(), "app")
+	err := m.replyChecked(d, msgType, body)
+	exit(err)
+	return err
+}
+
+func (m *Module) replyChecked(d *Delivery, msgType string, body any) error {
+	if msgType == "" {
+		return ErrBadType
+	}
+	mode, payload, err := m.encode(d.Src(), msgType, body)
+	if err != nil {
+		return err
+	}
+	flags := uint16(0)
+	if d.raw.IsService() {
+		flags |= wire.FlagService
+	}
+	return m.nuc.LCM.Reply(d.raw, mode, flags, payload)
+}
+
+// ReplyError answers a Call with an error the caller receives as
+// lcm.ErrRemote.
+func (m *Module) ReplyError(d *Delivery, msg string) error {
+	return m.nuc.LCM.ReplyError(d.raw, msg)
+}
+
+// Detach deregisters the module and shuts the ComMod down.
+func (m *Module) Detach() error {
+	var err error
+	m.detachOnce.Do(func() {
+		close(m.detached)
+		if m.naming != nil && !m.cfg.NoRegister && !m.UAdd().IsTemp() {
+			err = m.naming.Deregister(m.UAdd())
+		}
+		m.nuc.Close()
+		if m.server != nil {
+			m.server.Wait()
+		}
+	})
+	return err
+}

@@ -1,0 +1,172 @@
+// Package errlog implements the "running table of errors" paper §6.3
+// wishes for: "One negative side effect of recovering from these
+// conditions is that the better the system is at it, the less one may
+// know about how it is actually running. ... a running table of errors
+// could be maintained and monitored."
+//
+// Every NTCS layer reports the exceptional conditions it absorbs — most of
+// which "are not errors, but are simply due to the non-deterministic
+// nature of this type of system" — so that relentless exception handlers
+// no longer cover up what the system is doing. The table is per module;
+// the DRTS monitor service can ship aggregated counts off-module.
+package errlog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Code classifies an exceptional condition.
+type Code string
+
+// The conditions the NTCS layers absorb and recover from.
+const (
+	CodeOpenRetry      Code = "nd.open-retry"       // channel open failed, retrying (§2.2)
+	CodeCircuitDead    Code = "nd.circuit-dead"     // ND-Layer detected a failed channel
+	CodeAddressFault   Code = "lcm.address-fault"   // previously resolved address invalid (§3.5)
+	CodeForwarded      Code = "lcm.forwarded"       // forwarding UAdd applied
+	CodeRelocated      Code = "lcm.relocated"       // naming service supplied a replacement module
+	CodeNoReplacement  Code = "lcm.no-replacement"  // address fault with no newer module
+	CodeStillAlive     Code = "lcm.still-alive"     // fault on a module the NS believes alive
+	CodeNSFaultPatch   Code = "lcm.ns-fault-patch"  // §6.3 patch engaged for a dead Name Server circuit
+	CodeNSRecursion    Code = "lcm.ns-recursion"    // §6.3 pathology recursion detected
+	CodeIVCTorn        Code = "ip.ivc-torn"         // internet circuit torn down (§4.3)
+	CodeRouteStale     Code = "ip.route-stale"      // cached route failed, recomputed
+	CodeTAddReplaced   Code = "addr.tadd-replaced"  // §3.4 TAdd purged by a real UAdd
+	CodeDroppedMsg     Code = "lcm.dropped-message" // message lost to dynamic reconfiguration
+	CodeServiceDenied  Code = "drts.service-denied" // recursion guard suppressed a hook
+	CodeUnknowncontrol Code = "nucleus.unknown"     // unrecognized control message absorbed
+)
+
+// Entry is one absorbed exceptional condition.
+type Entry struct {
+	At     time.Time
+	Code   Code
+	Layer  string
+	Detail string
+}
+
+// Table is a module's running table of errors. The zero value is unusable;
+// use NewTable. A nil *Table is valid and no-ops, like a nil Tracer.
+type Table struct {
+	mu       sync.Mutex
+	module   string
+	capacity int
+	entries  []Entry
+	start    int
+	count    int
+	byCode   map[Code]int
+}
+
+// NewTable creates a table retaining up to capacity entries (default 1024).
+func NewTable(module string, capacity int) *Table {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &Table{
+		module:   module,
+		capacity: capacity,
+		entries:  make([]Entry, capacity),
+		byCode:   make(map[Code]int),
+	}
+}
+
+// Report records an absorbed condition.
+func (t *Table) Report(code Code, layer, format string, args ...any) {
+	if t == nil {
+		return
+	}
+	e := Entry{
+		At:     time.Now(),
+		Code:   code,
+		Layer:  layer,
+		Detail: fmt.Sprintf(format, args...),
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.count < t.capacity {
+		t.entries[(t.start+t.count)%t.capacity] = e
+		t.count++
+	} else {
+		t.entries[t.start] = e
+		t.start = (t.start + 1) % t.capacity
+	}
+	t.byCode[code]++
+}
+
+// Count returns how many times a condition has been reported (including
+// entries that have rotated out of the ring).
+func (t *Table) Count(code Code) int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.byCode[code]
+}
+
+// Total returns the number of conditions ever reported.
+func (t *Table) Total() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for _, c := range t.byCode {
+		n += c
+	}
+	return n
+}
+
+// Counts returns a copy of the per-code counters.
+func (t *Table) Counts() map[Code]int {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[Code]int, len(t.byCode))
+	for k, v := range t.byCode {
+		out[k] = v
+	}
+	return out
+}
+
+// Entries returns the retained entries in order.
+func (t *Table) Entries() []Entry {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Entry, 0, t.count)
+	for i := 0; i < t.count; i++ {
+		out = append(out, t.entries[(t.start+i)%t.capacity])
+	}
+	return out
+}
+
+// String renders the table for monitoring.
+func (t *Table) String() string {
+	if t == nil {
+		return ""
+	}
+	counts := t.Counts()
+	codes := make([]string, 0, len(counts))
+	for c := range counts {
+		codes = append(codes, string(c))
+	}
+	sort.Strings(codes)
+	var b strings.Builder
+	t.mu.Lock()
+	fmt.Fprintf(&b, "error table for %s:\n", t.module)
+	t.mu.Unlock()
+	for _, c := range codes {
+		fmt.Fprintf(&b, "  %-24s %d\n", c, counts[Code(c)])
+	}
+	return b.String()
+}

@@ -1,0 +1,101 @@
+package errlog
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilTableIsSafe(t *testing.T) {
+	var tb *Table
+	tb.Report(CodeAddressFault, "lcm", "x")
+	if tb.Count(CodeAddressFault) != 0 || tb.Total() != 0 {
+		t.Error("nil table must count nothing")
+	}
+	if tb.Counts() != nil || tb.Entries() != nil || tb.String() != "" {
+		t.Error("nil table must expose nothing")
+	}
+}
+
+func TestReportAndCount(t *testing.T) {
+	tb := NewTable("searcher", 0)
+	tb.Report(CodeAddressFault, "lcm", "fault on %s", "UAdd(9)")
+	tb.Report(CodeAddressFault, "lcm", "fault on %s", "UAdd(10)")
+	tb.Report(CodeTAddReplaced, "nd", "tadd gone")
+	if got := tb.Count(CodeAddressFault); got != 2 {
+		t.Errorf("Count = %d", got)
+	}
+	if got := tb.Total(); got != 3 {
+		t.Errorf("Total = %d", got)
+	}
+	entries := tb.Entries()
+	if len(entries) != 3 {
+		t.Fatalf("Entries = %d", len(entries))
+	}
+	if entries[0].Detail != "fault on UAdd(9)" {
+		t.Errorf("detail = %q", entries[0].Detail)
+	}
+	if entries[0].At.IsZero() {
+		t.Error("timestamp missing")
+	}
+}
+
+func TestRingRotationKeepsCounters(t *testing.T) {
+	tb := NewTable("m", 4)
+	for i := 0; i < 10; i++ {
+		tb.Report(CodeOpenRetry, "nd", "retry %d", i)
+	}
+	if got := len(tb.Entries()); got != 4 {
+		t.Errorf("retained %d entries, want 4", got)
+	}
+	if got := tb.Count(CodeOpenRetry); got != 10 {
+		t.Errorf("counter lost history: %d", got)
+	}
+	if got := tb.Entries()[0].Detail; got != "retry 6" {
+		t.Errorf("oldest retained = %q", got)
+	}
+}
+
+func TestCountsIsCopy(t *testing.T) {
+	tb := NewTable("m", 0)
+	tb.Report(CodeIVCTorn, "ip", "x")
+	c := tb.Counts()
+	c[CodeIVCTorn] = 99
+	if tb.Count(CodeIVCTorn) != 1 {
+		t.Error("Counts must not alias internals")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	tb := NewTable("gw-ab", 0)
+	tb.Report(CodeIVCTorn, "ip", "x")
+	tb.Report(CodeAddressFault, "lcm", "y")
+	s := tb.String()
+	for _, want := range []string{"gw-ab", "ip.ivc-torn", "lcm.address-fault"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String missing %q:\n%s", want, s)
+		}
+	}
+	// Sorted output: "ip.ivc-torn" precedes "lcm.address-fault".
+	if strings.Index(s, "ip.ivc-torn") > strings.Index(s, "lcm.address-fault") {
+		t.Error("codes not sorted")
+	}
+}
+
+func TestConcurrentReports(t *testing.T) {
+	tb := NewTable("m", 64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tb.Report(CodeDroppedMsg, "lcm", "d")
+			}
+		}()
+	}
+	wg.Wait()
+	if got := tb.Count(CodeDroppedMsg); got != 800 {
+		t.Errorf("Count = %d, want 800", got)
+	}
+}

@@ -1,0 +1,123 @@
+package errnet_test
+
+import (
+	"testing"
+	"time"
+
+	"ntcs/internal/drts/errlog"
+	"ntcs/internal/drts/errnet"
+	"ntcs/internal/ipcs/memnet"
+	"ntcs/internal/machine"
+	"ntcs/sim"
+)
+
+func world(t *testing.T) *sim.World {
+	t.Helper()
+	w := sim.NewWorld()
+	w.AddNetwork("ring", memnet.Options{})
+	nsHost := w.MustHost("ns-host", machine.Apollo, "ring")
+	if _, err := w.StartNameServer(nsHost, "ns"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(w.Close)
+	return w
+}
+
+func TestPublishAndQueryFleet(t *testing.T) {
+	w := world(t)
+	host := w.MustHost("vax-1", machine.VAX, "ring")
+
+	colMod, err := w.Attach(host, "errlog-collector", map[string]string{"role": "errlog"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	collector := errnet.NewCollector(colMod)
+	go collector.Run()
+
+	appMod, err := w.Attach(host, "app", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The app's real error table, with some absorbed conditions.
+	appMod.Errors().Report(errlog.CodeAddressFault, "lcm", "x")
+	appMod.Errors().Report(errlog.CodeAddressFault, "lcm", "y")
+	appMod.Errors().Report(errlog.CodeIVCTorn, "ip", "z")
+
+	pub := errnet.NewPublisher(appMod, appMod.Errors(), "errlog-collector", 20*time.Millisecond)
+	pub.Start()
+	defer pub.Stop()
+
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		fleet := collector.Fleet()
+		if fleet.Modules["app"]["lcm.address-fault"] == 2 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	fleet := collector.Fleet()
+	if fleet.Modules["app"]["lcm.address-fault"] != 2 || fleet.Modules["app"]["ip.ivc-torn"] != 1 {
+		t.Fatalf("fleet view = %+v", fleet)
+	}
+	if names := collector.ModuleNames(); len(names) != 1 || names[0] != "app" {
+		t.Errorf("module names = %v", names)
+	}
+
+	// A third module queries the fleet view over the NTCS.
+	askMod, err := w.Attach(host, "operator", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view, err := errnet.QueryFleet(askMod, "errlog-collector")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.Modules["app"]["lcm.address-fault"] != 2 {
+		t.Errorf("remote fleet view = %+v", view)
+	}
+}
+
+func TestPublisherSurvivesMissingCollector(t *testing.T) {
+	w := world(t)
+	host := w.MustHost("vax-1", machine.VAX, "ring")
+	appMod, err := w.Attach(host, "app", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appMod.Errors().Report(errlog.CodeDroppedMsg, "lcm", "x")
+	pub := errnet.NewPublisher(appMod, appMod.Errors(), "nowhere", 10*time.Millisecond)
+	pub.Start()
+	time.Sleep(60 * time.Millisecond)
+	pub.Stop() // must not wedge or panic
+}
+
+func TestLatestReportWins(t *testing.T) {
+	w := world(t)
+	host := w.MustHost("vax-1", machine.VAX, "ring")
+	colMod, err := w.Attach(host, "errlog-collector", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	collector := errnet.NewCollector(colMod)
+	go collector.Run()
+
+	appMod, err := w.Attach(host, "app", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub := errnet.NewPublisher(appMod, appMod.Errors(), "errlog-collector", time.Hour)
+	appMod.Errors().Report(errlog.CodeOpenRetry, "nd", "a")
+	pub.PublishOnce()
+	appMod.Errors().Report(errlog.CodeOpenRetry, "nd", "b")
+	appMod.Errors().Report(errlog.CodeOpenRetry, "nd", "c")
+	pub.PublishOnce()
+
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if collector.Fleet().Modules["app"]["nd.open-retry"] == 3 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("fleet view = %+v", collector.Fleet())
+}

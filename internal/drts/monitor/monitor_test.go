@@ -1,0 +1,145 @@
+package monitor_test
+
+import (
+	"testing"
+	"time"
+
+	"ntcs/internal/drts/monitor"
+	"ntcs/internal/ipcs/memnet"
+	"ntcs/internal/lcm"
+	"ntcs/internal/machine"
+	"ntcs/sim"
+)
+
+func world(t *testing.T) *sim.World {
+	t.Helper()
+	w := sim.NewWorld()
+	w.AddNetwork("ring", memnet.Options{})
+	nsHost := w.MustHost("ns-host", machine.Apollo, "ring")
+	if _, err := w.StartNameServer(nsHost, "ns"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(w.Close)
+	return w
+}
+
+func TestClientShipsBatches(t *testing.T) {
+	w := world(t)
+	host := w.MustHost("vax-1", machine.VAX, "ring")
+
+	monMod, err := w.Attach(host, "monitor", map[string]string{"role": "monitor"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := monitor.NewServer(monMod)
+	go server.Run()
+
+	appMod, err := w.Attach(host, "app", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := monitor.NewClient(appMod, "monitor", 2)
+	for i := 0; i < 4; i++ {
+		client.Record(lcm.Event{When: time.Now(), Kind: "send", Peer: 7777, Bytes: 10})
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) && server.Snapshot().TotalRecords < 4 {
+		time.Sleep(10 * time.Millisecond)
+	}
+	stats := server.Snapshot()
+	if stats.TotalRecords != 4 {
+		t.Fatalf("server absorbed %d records, want 4", stats.TotalRecords)
+	}
+	if stats.ByModule["app"] != 4 || stats.ByKind["send"] != 4 || stats.TotalBytes != 40 {
+		t.Errorf("stats = %+v", stats)
+	}
+	if client.Shipped() != 4 {
+		t.Errorf("shipped = %d", client.Shipped())
+	}
+	if got := server.Modules(); len(got) != 1 || got[0] != "app" {
+		t.Errorf("modules = %v", got)
+	}
+}
+
+func TestFlushPartialBatch(t *testing.T) {
+	w := world(t)
+	host := w.MustHost("vax-1", machine.VAX, "ring")
+	monMod, err := w.Attach(host, "monitor", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := monitor.NewServer(monMod)
+	go server.Run()
+
+	appMod, err := w.Attach(host, "app", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := monitor.NewClient(appMod, "monitor", 100)
+	client.Record(lcm.Event{When: time.Now(), Kind: "recv", Peer: 1, Bytes: 5})
+	client.Flush()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) && server.Snapshot().TotalRecords < 1 {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if server.Snapshot().TotalRecords != 1 {
+		t.Error("explicit flush did not ship")
+	}
+	// Double flush with empty buffer is a no-op.
+	client.Flush()
+}
+
+func TestDropWhenMonitorMissing(t *testing.T) {
+	w := world(t)
+	host := w.MustHost("vax-1", machine.VAX, "ring")
+	appMod, err := w.Attach(host, "app", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := monitor.NewClient(appMod, "no-monitor", 1)
+	client.Record(lcm.Event{When: time.Now(), Kind: "send", Peer: 1, Bytes: 1})
+	if client.Dropped() != 1 {
+		t.Errorf("dropped = %d, want 1 (monitoring must degrade, never fail the app)", client.Dropped())
+	}
+	if client.Shipped() != 0 {
+		t.Errorf("shipped = %d", client.Shipped())
+	}
+}
+
+func TestQueryStatsRemotely(t *testing.T) {
+	w := world(t)
+	host := w.MustHost("vax-1", machine.VAX, "ring")
+	monMod, err := w.Attach(host, "monitor", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := monitor.NewServer(monMod)
+	go server.Run()
+
+	appMod, err := w.Attach(host, "app", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := monitor.NewClient(appMod, "monitor", 1)
+	client.Record(lcm.Event{When: time.Now(), Kind: "send", Peer: 2, Bytes: 3})
+
+	askMod, err := w.Attach(host, "asker", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	var stats monitor.Stats
+	for time.Now().Before(deadline) {
+		stats, err = monitor.QueryStats(askMod, "monitor")
+		if err == nil && stats.TotalRecords >= 1 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TotalRecords != 1 || stats.ByKind["send"] != 1 {
+		t.Errorf("remote stats = %+v", stats)
+	}
+}

@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"ntcs/internal/machine"
+)
+
+func TestPairWithHopsEnv(t *testing.T) {
+	for _, hops := range []int{0, 1} {
+		env, err := PairWithHops(hops, machine.VAX, machine.Sun68K)
+		if err != nil {
+			t.Fatalf("hops=%d: %v", hops, err)
+		}
+		if err := env.RoundTrip(128); err != nil {
+			t.Errorf("hops=%d round trip: %v", hops, err)
+		}
+		if err := env.RoundTripImage(); err != nil {
+			t.Errorf("hops=%d image round trip: %v", hops, err)
+		}
+		env.Close()
+	}
+}
+
+func TestPairOverIPCSEnv(t *testing.T) {
+	for _, kind := range []string{"memnet", "mbx", "tcp"} {
+		env, err := PairOverIPCS(kind)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if err := env.RoundTrip(64); err != nil {
+			t.Errorf("%s round trip: %v", kind, err)
+		}
+		env.Close()
+	}
+	if _, err := PairOverIPCS("carrier-pigeon"); err == nil {
+		t.Error("unknown IPCS kind should fail")
+	}
+}
+
+func TestRouteComputationExperiment(t *testing.T) {
+	var b strings.Builder
+	if err := RouteComputation(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"E-ROUTE", "4 × 3", "256 × 255"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTimingsAndMedian(t *testing.T) {
+	ts, err := timings(5, func() error { return nil })
+	if err != nil || len(ts) != 5 {
+		t.Fatalf("timings: %v %v", ts, err)
+	}
+	for i := 1; i < len(ts); i++ {
+		if ts[i] < ts[i-1] {
+			t.Fatal("timings not sorted")
+		}
+	}
+	if median(nil) != 0 {
+		t.Error("median of empty should be 0")
+	}
+	if median(ts) != ts[2] {
+		t.Error("median index")
+	}
+	if _, err := timings(3, func() error { return io.EOF }); err == nil {
+		t.Error("timings should propagate errors")
+	}
+}
+
+// TestExperimentsSmoke runs the faster experiment bodies end to end when
+// not in -short mode (the full RunAll is the ntcsbench binary's job).
+func TestExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke skipped in -short mode")
+	}
+	var b strings.Builder
+	for _, exp := range []struct {
+		name string
+		f    func(io.Writer) error
+	}{
+		{"RelocationBlackout", RelocationBlackout},
+		{"ResolutionCache", ResolutionCache},
+	} {
+		if err := exp.f(&b); err != nil {
+			t.Errorf("%s: %v", exp.name, err)
+		}
+	}
+	if !strings.Contains(b.String(), "E-RECONF") || !strings.Contains(b.String(), "E-NSRM") {
+		t.Errorf("unexpected output:\n%s", b.String())
+	}
+}

@@ -1,0 +1,64 @@
+// Package ipcs defines the NTCS view of a native interprocess communication
+// system — "the most stable base we could find; the native IPCS of each
+// system" (paper §1.2).
+//
+// A Network is one IPCS on one logical network: it can create addressable
+// endpoints and open reliable, ordered, message-oriented connections to
+// endpoints on the same network. Destinations on other logical networks are
+// unreachable by construction; that is the disjointness the IP-Layer and
+// Gateways exist to bridge (§4).
+//
+// Three implementations mirror the 1986 testbed:
+//
+//   - memnet: an in-memory simulated network with configurable latency,
+//     loss, and partitions (the local-network substrate for tests and
+//     examples);
+//   - tcpnet: real TCP over loopback, the paper's "Unix TCP" port;
+//   - mbx: Apollo DOMAIN MBX-style named mailboxes, the paper's second
+//     port, with pathname addressing and bounded mailbox queues.
+package ipcs
+
+import "errors"
+
+// Errors shared by all IPCS implementations. Implementations wrap these so
+// the ND-Layer can classify failures without knowing the network type.
+var (
+	ErrNoSuchEndpoint = errors.New("ipcs: no such endpoint")
+	ErrClosed         = errors.New("ipcs: endpoint or connection closed")
+	ErrUnreachable    = errors.New("ipcs: destination unreachable")
+	ErrMailboxFull    = errors.New("ipcs: mailbox full")
+	ErrNetworkDown    = errors.New("ipcs: network shut down")
+)
+
+// Network is one native IPCS attached to one logical network.
+type Network interface {
+	// ID returns the logical network identifier (e.g. "ring-a").
+	ID() string
+	// Listen creates an endpoint. hint suggests an address (a mailbox
+	// pathname, a port); implementations may ignore it. The endpoint's
+	// actual physical address is Listener.Addr.
+	Listen(hint string) (Listener, error)
+	// Dial opens a connection to an endpoint on this network.
+	Dial(physAddr string) (Conn, error)
+}
+
+// Listener is an addressable endpoint accepting connections.
+type Listener interface {
+	// Addr returns the endpoint's physical address on this network.
+	Addr() string
+	// Accept blocks until an inbound connection arrives.
+	Accept() (Conn, error)
+	// Close destroys the endpoint; blocked Accepts return ErrClosed.
+	Close() error
+}
+
+// Conn is a reliable, ordered, message-oriented connection. Send and Recv
+// are safe for one concurrent sender and one concurrent receiver.
+type Conn interface {
+	// Send transmits one message.
+	Send(msg []byte) error
+	// Recv blocks for the next message.
+	Recv() ([]byte, error)
+	// Close tears the connection down; the peer's Recv returns ErrClosed.
+	Close() error
+}

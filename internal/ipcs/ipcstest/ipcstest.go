@@ -1,0 +1,377 @@
+// Package ipcstest provides a conformance suite run against every IPCS
+// implementation. The ND-Layer's portability (paper §2.2) rests on all
+// substrates honoring the same contract; this suite is that contract,
+// executable.
+package ipcstest
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"ntcs/internal/ipcs"
+)
+
+// Factory creates a fresh network for one subtest.
+type Factory func(t *testing.T) ipcs.Network
+
+// Run executes the conformance suite against the factory's networks.
+func Run(t *testing.T, newNet Factory) {
+	t.Run("ListenDialExchange", func(t *testing.T) { testExchange(t, newNet(t)) })
+	t.Run("MessageBoundaries", func(t *testing.T) { testBoundaries(t, newNet(t)) })
+	t.Run("Ordering", func(t *testing.T) { testOrdering(t, newNet(t)) })
+	t.Run("DialUnknownEndpoint", func(t *testing.T) { testDialUnknown(t, newNet(t)) })
+	t.Run("CloseUnblocksPeer", func(t *testing.T) { testCloseUnblocks(t, newNet(t)) })
+	t.Run("ListenerCloseUnblocksAccept", func(t *testing.T) { testListenerClose(t, newNet(t)) })
+	t.Run("ManyClients", func(t *testing.T) { testManyClients(t, newNet(t)) })
+	t.Run("LargeMessage", func(t *testing.T) { testLargeMessage(t, newNet(t)) })
+	t.Run("SenderBufferReuse", func(t *testing.T) { testBufferReuse(t, newNet(t)) })
+}
+
+// accept1 runs Accept in a goroutine and returns the connection.
+func accept1(t *testing.T, l ipcs.Listener) ipcs.Conn {
+	t.Helper()
+	type res struct {
+		c   ipcs.Conn
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		c, err := l.Accept()
+		ch <- res{c, err}
+	}()
+	select {
+	case r := <-ch:
+		if r.err != nil {
+			t.Fatalf("accept: %v", r.err)
+		}
+		return r.c
+	case <-time.After(5 * time.Second):
+		t.Fatal("accept timed out")
+		return nil
+	}
+}
+
+func testExchange(t *testing.T, n ipcs.Network) {
+	if n.ID() == "" {
+		t.Error("network must have a logical identifier")
+	}
+	l, err := n.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if l.Addr() == "" {
+		t.Fatal("listener must have a physical address")
+	}
+
+	client, err := n.Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	server := accept1(t, l)
+	defer server.Close()
+
+	if err := client.Send([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := server.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "ping" {
+		t.Fatalf("server got %q", got)
+	}
+	if err := server.Send([]byte("pong")); err != nil {
+		t.Fatal(err)
+	}
+	got, err = client.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "pong" {
+		t.Fatalf("client got %q", got)
+	}
+}
+
+func testBoundaries(t *testing.T, n ipcs.Network) {
+	l, err := n.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	client, err := n.Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	server := accept1(t, l)
+	defer server.Close()
+
+	// Three sends must arrive as three messages, including an empty one.
+	for _, m := range [][]byte{[]byte("a"), {}, []byte("ccc")} {
+		if err := client.Send(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, want := range []string{"a", "", "ccc"} {
+		got, err := server.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != want {
+			t.Fatalf("got %q, want %q", got, want)
+		}
+	}
+}
+
+func testOrdering(t *testing.T, n ipcs.Network) {
+	l, err := n.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	client, err := n.Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	server := accept1(t, l)
+	defer server.Close()
+
+	const count = 50
+	go func() {
+		for i := 0; i < count; i++ {
+			if err := client.Send([]byte(fmt.Sprintf("m%03d", i))); err != nil {
+				return
+			}
+		}
+	}()
+	for i := 0; i < count; i++ {
+		got, err := server.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := fmt.Sprintf("m%03d", i); string(got) != want {
+			t.Fatalf("message %d: got %q, want %q (reordered)", i, got, want)
+		}
+	}
+}
+
+func testDialUnknown(t *testing.T, n ipcs.Network) {
+	_, err := n.Dial("no-such-endpoint-anywhere")
+	if err == nil {
+		t.Fatal("dialing an unknown endpoint must fail")
+	}
+	if !errors.Is(err, ipcs.ErrNoSuchEndpoint) && !errors.Is(err, ipcs.ErrUnreachable) {
+		t.Errorf("error should wrap ErrNoSuchEndpoint or ErrUnreachable: %v", err)
+	}
+}
+
+func testCloseUnblocks(t *testing.T, n ipcs.Network) {
+	l, err := n.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	client, err := n.Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := accept1(t, l)
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := server.Recv()
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	if err := client.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("Recv after peer close should fail")
+		}
+		if !errors.Is(err, ipcs.ErrClosed) {
+			t.Errorf("error should wrap ErrClosed: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("peer Recv not unblocked by Close")
+	}
+	// Sending on a closed connection fails, immediately or after the
+	// substrate notices (TCP may buffer one send).
+	var sendErr error
+	for i := 0; i < 20 && sendErr == nil; i++ {
+		sendErr = client.Send([]byte("x"))
+		time.Sleep(2 * time.Millisecond)
+	}
+	if sendErr == nil {
+		t.Error("Send on closed connection should eventually fail")
+	}
+}
+
+func testListenerClose(t *testing.T, n ipcs.Network) {
+	l, err := n.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := l.Accept()
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if !errors.Is(err, ipcs.ErrClosed) {
+			t.Errorf("Accept after Close: %v, want ErrClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Accept not unblocked by listener Close")
+	}
+	// The address is gone: dialing it must fail (possibly after a
+	// connection-refused round trip on TCP).
+	if _, err := n.Dial(l.Addr()); err == nil {
+		t.Error("dialing a closed endpoint should fail")
+	}
+	// Closing twice is safe.
+	if err := l.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+}
+
+func testManyClients(t *testing.T, n ipcs.Network) {
+	l, err := n.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	const clients = 8
+	// Echo server.
+	var serverWG sync.WaitGroup
+	serverWG.Add(1)
+	go func() {
+		defer serverWG.Done()
+		for i := 0; i < clients; i++ {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func(c ipcs.Conn) {
+				for {
+					m, err := c.Recv()
+					if err != nil {
+						return
+					}
+					if err := c.Send(m); err != nil {
+						return
+					}
+				}
+			}(c)
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := n.Dial(l.Addr())
+			if err != nil {
+				t.Errorf("client %d dial: %v", i, err)
+				return
+			}
+			defer c.Close()
+			for j := 0; j < 20; j++ {
+				msg := []byte(fmt.Sprintf("c%d-%d", i, j))
+				if err := c.Send(msg); err != nil {
+					t.Errorf("client %d send: %v", i, err)
+					return
+				}
+				got, err := c.Recv()
+				if err != nil {
+					t.Errorf("client %d recv: %v", i, err)
+					return
+				}
+				if !bytes.Equal(got, msg) {
+					t.Errorf("client %d: got %q, want %q", i, got, msg)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	serverWG.Wait()
+}
+
+func testLargeMessage(t *testing.T, n ipcs.Network) {
+	l, err := n.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	client, err := n.Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	server := accept1(t, l)
+	defer server.Close()
+
+	big := make([]byte, 1<<20)
+	for i := range big {
+		big[i] = byte(i * 31)
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- client.Send(big) }()
+	got, err := server.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sendErr := <-errCh; sendErr != nil {
+		t.Fatal(sendErr)
+	}
+	if !bytes.Equal(got, big) {
+		t.Fatal("1MB message corrupted in transit")
+	}
+}
+
+func testBufferReuse(t *testing.T, n ipcs.Network) {
+	l, err := n.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	client, err := n.Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	server := accept1(t, l)
+	defer server.Close()
+
+	// The sender mutating its buffer after Send must not corrupt the
+	// delivered message.
+	buf := []byte("first")
+	if err := client.Send(buf); err != nil {
+		t.Fatal(err)
+	}
+	copy(buf, "XXXXX")
+	got, err := server.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "first" {
+		t.Fatalf("buffer aliasing: got %q", got)
+	}
+}

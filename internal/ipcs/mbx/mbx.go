@@ -1,0 +1,261 @@
+// Package mbx simulates the Apollo DOMAIN MBX communication support the
+// 1986 NTCS ran over: named server mailboxes opened by hierarchical
+// pathname (e.g. "/nodes/host7/ursa/ns"), with per-client channels and
+// bounded mailbox queues whose overflow is visible to the sender.
+//
+// Semantically it differs from memnet and tcpnet in exactly the ways the
+// ND-Layer must absorb: addressing is by pathname rather than host:port,
+// server mailboxes have fixed capacity (a full mailbox rejects the send),
+// and a client "open" is a rendezvous with the serving process rather than
+// a transport handshake. Porting the NTCS across this difference is the
+// paper's portability claim (E-PORT).
+package mbx
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"ntcs/internal/ipcs"
+)
+
+// DefaultCapacity is the per-channel mailbox depth when Options.Capacity
+// is zero (the Apollo default was small; overflow pushback is part of the
+// semantics being modeled).
+const DefaultCapacity = 64
+
+// Options configure the mailbox system.
+type Options struct {
+	// Capacity bounds each channel direction.
+	Capacity int
+}
+
+// Registry is one MBX namespace on one logical network: the set of server
+// mailboxes visible under a pathname root. It implements ipcs.Network.
+type Registry struct {
+	id   string
+	opts Options
+
+	mu     sync.Mutex
+	boxes  map[string]*serverBox
+	nextEP int
+	down   bool
+}
+
+var _ ipcs.Network = (*Registry)(nil)
+
+// New creates an MBX namespace with the given logical network identifier.
+func New(id string, opts Options) *Registry {
+	if opts.Capacity <= 0 {
+		opts.Capacity = DefaultCapacity
+	}
+	return &Registry{id: id, opts: opts, boxes: make(map[string]*serverBox)}
+}
+
+// ID returns the logical network identifier.
+func (r *Registry) ID() string { return r.id }
+
+// Listen creates a server mailbox. hint is its pathname; it must be
+// absolute ("/…"). An empty hint allocates "/mbx/ep-N".
+func (r *Registry) Listen(hint string) (ipcs.Listener, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.down {
+		return nil, fmt.Errorf("mbx %s: %w", r.id, ipcs.ErrNetworkDown)
+	}
+	path := hint
+	if path == "" {
+		r.nextEP++
+		path = fmt.Sprintf("/mbx/ep-%d", r.nextEP)
+	}
+	if !strings.HasPrefix(path, "/") {
+		return nil, fmt.Errorf("mbx %s: mailbox pathname %q must be absolute", r.id, path)
+	}
+	if _, exists := r.boxes[path]; exists {
+		return nil, fmt.Errorf("mbx %s: mailbox %q already exists", r.id, path)
+	}
+	b := &serverBox{
+		reg:     r,
+		path:    path,
+		pending: make(chan *channel, 16),
+		closed:  make(chan struct{}),
+	}
+	r.boxes[path] = b
+	return b, nil
+}
+
+// Dial opens a client channel to a server mailbox by pathname.
+func (r *Registry) Dial(physAddr string) (ipcs.Conn, error) {
+	r.mu.Lock()
+	if r.down {
+		r.mu.Unlock()
+		return nil, fmt.Errorf("mbx %s: %w", r.id, ipcs.ErrNetworkDown)
+	}
+	b, ok := r.boxes[physAddr]
+	r.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("mbx %s: open %q: %w", r.id, physAddr, ipcs.ErrNoSuchEndpoint)
+	}
+	ch := &channel{
+		toServer: make(chan []byte, r.opts.Capacity),
+		toClient: make(chan []byte, r.opts.Capacity),
+		done:     make(chan struct{}),
+	}
+	select {
+	case b.pending <- ch:
+	case <-b.closed:
+		return nil, fmt.Errorf("mbx %s: open %q: %w", r.id, physAddr, ipcs.ErrClosed)
+	}
+	return &end{ch: ch, send: ch.toServer, recv: ch.toClient}, nil
+}
+
+// Remove deletes a mailbox and severs its channels (module death).
+func (r *Registry) Remove(path string) {
+	r.mu.Lock()
+	b := r.boxes[path]
+	r.mu.Unlock()
+	if b != nil {
+		_ = b.Close()
+	}
+}
+
+// SetDown fails or restores the whole namespace.
+func (r *Registry) SetDown(down bool) {
+	r.mu.Lock()
+	r.down = down
+	var boxes []*serverBox
+	for _, b := range r.boxes {
+		boxes = append(boxes, b)
+	}
+	if down {
+		r.boxes = make(map[string]*serverBox)
+	}
+	r.mu.Unlock()
+	if down {
+		for _, b := range boxes {
+			_ = b.Close()
+		}
+	}
+}
+
+type serverBox struct {
+	reg     *Registry
+	path    string
+	pending chan *channel
+
+	mu       sync.Mutex
+	channels []*channel
+	closed   chan struct{}
+	isClosed bool
+}
+
+func (b *serverBox) Addr() string { return b.path }
+
+func (b *serverBox) Accept() (ipcs.Conn, error) {
+	select {
+	case ch := <-b.pending:
+		b.mu.Lock()
+		b.channels = append(b.channels, ch)
+		b.mu.Unlock()
+		return &end{ch: ch, send: ch.toClient, recv: ch.toServer}, nil
+	case <-b.closed:
+		return nil, fmt.Errorf("mbx %s: accept on %q: %w", b.reg.id, b.path, ipcs.ErrClosed)
+	}
+}
+
+func (b *serverBox) Close() error {
+	b.mu.Lock()
+	if b.isClosed {
+		b.mu.Unlock()
+		return nil
+	}
+	b.isClosed = true
+	close(b.closed)
+	chans := b.channels
+	b.channels = nil
+	b.mu.Unlock()
+
+	b.reg.mu.Lock()
+	if b.reg.boxes[b.path] == b {
+		delete(b.reg.boxes, b.path)
+	}
+	b.reg.mu.Unlock()
+
+	for _, ch := range chans {
+		ch.close()
+	}
+	for {
+		select {
+		case ch := <-b.pending:
+			ch.close()
+		default:
+			return nil
+		}
+	}
+}
+
+// channel is the bidirectional rendezvous an MBX open creates.
+type channel struct {
+	toServer chan []byte
+	toClient chan []byte
+
+	closeOnce sync.Once
+	done      chan struct{}
+}
+
+func (ch *channel) close() {
+	ch.closeOnce.Do(func() { close(ch.done) })
+}
+
+// end is one side's view of a channel.
+type end struct {
+	ch   *channel
+	send chan []byte
+	recv chan []byte
+}
+
+func (e *end) Send(msg []byte) error {
+	cp := make([]byte, len(msg))
+	copy(cp, msg)
+	select {
+	case <-e.ch.done:
+		return fmt.Errorf("mbx: send: %w", ipcs.ErrClosed)
+	default:
+	}
+	select {
+	case e.send <- cp:
+		return nil
+	case <-e.ch.done:
+		return fmt.Errorf("mbx: send: %w", ipcs.ErrClosed)
+	default:
+		// Mailbox full: Apollo MBX reports this to the sender rather than
+		// blocking forever.
+		return fmt.Errorf("mbx: send: %w", ipcs.ErrMailboxFull)
+	}
+}
+
+func (e *end) Recv() ([]byte, error) {
+	// Drain queued messages even after close, as the Apollo mailbox did.
+	select {
+	case msg := <-e.recv:
+		return msg, nil
+	default:
+	}
+	select {
+	case msg := <-e.recv:
+		return msg, nil
+	case <-e.ch.done:
+		// A racing sender may have queued between our two selects.
+		select {
+		case msg := <-e.recv:
+			return msg, nil
+		default:
+			return nil, fmt.Errorf("mbx: recv: %w", ipcs.ErrClosed)
+		}
+	}
+}
+
+func (e *end) Close() error {
+	e.ch.close()
+	return nil
+}

@@ -1,0 +1,155 @@
+package mbx
+
+import (
+	"errors"
+	"testing"
+
+	"ntcs/internal/ipcs"
+	"ntcs/internal/ipcs/ipcstest"
+)
+
+func TestConformance(t *testing.T) {
+	ipcstest.Run(t, func(t *testing.T) ipcs.Network {
+		return New("mbx-test", Options{Capacity: 256})
+	})
+}
+
+func TestPathnameAddressing(t *testing.T) {
+	r := New("node7", Options{})
+	l, err := r.Listen("/nodes/host7/ursa/ns")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Addr() != "/nodes/host7/ursa/ns" {
+		t.Errorf("Addr = %q", l.Addr())
+	}
+	if _, err := r.Listen("relative/path"); err == nil {
+		t.Error("relative pathname should be rejected")
+	}
+	if _, err := r.Listen("/nodes/host7/ursa/ns"); err == nil {
+		t.Error("duplicate mailbox pathname should be rejected")
+	}
+	// Auto-named mailboxes get an absolute path.
+	auto, err := r.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auto.Addr() == "" || auto.Addr()[0] != '/' {
+		t.Errorf("auto mailbox Addr = %q", auto.Addr())
+	}
+}
+
+func TestMailboxFullPushback(t *testing.T) {
+	r := New("node7", Options{Capacity: 2})
+	l, err := r.Listen("/svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	c, err := r.Dial("/svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nobody accepts/reads: the mailbox fills at its capacity.
+	var full error
+	for i := 0; i < 5; i++ {
+		if err := c.Send([]byte("x")); err != nil {
+			full = err
+			break
+		}
+	}
+	if !errors.Is(full, ipcs.ErrMailboxFull) {
+		t.Errorf("overflow error = %v, want ErrMailboxFull", full)
+	}
+}
+
+func TestRemoveSeversChannels(t *testing.T) {
+	r := New("node7", Options{})
+	l, err := r.Listen("/svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := r.Dial("/svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := make(chan ipcs.Conn, 1)
+	go func() {
+		conn, err := l.Accept()
+		if err != nil {
+			acc <- nil
+			return
+		}
+		acc <- conn
+	}()
+	server := <-acc
+	if server == nil {
+		t.Fatal("accept failed")
+	}
+
+	r.Remove("/svc")
+	if _, err := r.Dial("/svc"); !errors.Is(err, ipcs.ErrNoSuchEndpoint) {
+		t.Errorf("dial after Remove: %v", err)
+	}
+	if err := c.Send([]byte("x")); !errors.Is(err, ipcs.ErrClosed) {
+		t.Errorf("send after Remove: %v", err)
+	}
+}
+
+func TestDrainAfterClose(t *testing.T) {
+	// Apollo mailboxes deliver queued messages even after the writer goes
+	// away; only then does the reader see the close.
+	r := New("node7", Options{})
+	l, err := r.Listen("/svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	c, err := r.Dial("/svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := make(chan ipcs.Conn, 1)
+	go func() {
+		conn, _ := l.Accept()
+		acc <- conn
+	}()
+	server := <-acc
+
+	for i := 0; i < 3; i++ {
+		if err := c.Send([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Close()
+	for i := 0; i < 3; i++ {
+		got, err := server.Recv()
+		if err != nil {
+			t.Fatalf("message %d after close: %v", i, err)
+		}
+		if got[0] != byte(i) {
+			t.Fatalf("message %d = %d", i, got[0])
+		}
+	}
+	if _, err := server.Recv(); !errors.Is(err, ipcs.ErrClosed) {
+		t.Errorf("after drain: %v, want ErrClosed", err)
+	}
+}
+
+func TestSetDown(t *testing.T) {
+	r := New("node7", Options{})
+	if _, err := r.Listen("/svc"); err != nil {
+		t.Fatal(err)
+	}
+	r.SetDown(true)
+	if _, err := r.Listen("/other"); !errors.Is(err, ipcs.ErrNetworkDown) {
+		t.Errorf("Listen on down registry: %v", err)
+	}
+	if _, err := r.Dial("/svc"); err == nil {
+		t.Error("Dial on down registry should fail")
+	}
+	r.SetDown(false)
+	if _, err := r.Listen("/svc"); err != nil {
+		t.Errorf("Listen after restore: %v", err)
+	}
+}

@@ -1,0 +1,356 @@
+// Package memnet is an in-memory IPCS: a simulated local network with
+// configurable latency, jitter, message loss, and failure injection. It
+// stands in for the physical networks of the 1986 URSA testbed; two memnet
+// instances with different IDs are disjoint networks, reachable from one
+// another only through NTCS gateways, exactly as the paper's local and
+// long-haul networks were.
+package memnet
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"ntcs/internal/ipcs"
+)
+
+// Options tune the simulated network. The zero value is a perfect network:
+// no latency, no loss.
+type Options struct {
+	// Latency delays every message by this much.
+	Latency time.Duration
+	// Jitter adds a uniformly random extra delay in [0, Jitter).
+	Jitter time.Duration
+	// LossProb drops each message with this probability. Loss is silent, as
+	// on a real datagram substrate; memnet connections remain "reliable" in
+	// the sense the ND-Layer expects only when LossProb is zero, so loss is
+	// used to exercise failure paths, not normal operation.
+	LossProb float64
+	// Seed makes loss and jitter deterministic; 0 seeds from 1.
+	Seed int64
+	// QueueLen bounds each connection direction (default 1024).
+	QueueLen int
+}
+
+// Net is one simulated network. It implements ipcs.Network.
+type Net struct {
+	id   string
+	opts Options
+
+	mu        sync.Mutex
+	rng       *rand.Rand
+	listeners map[string]*listener
+	isolated  map[string]bool
+	nextEP    int
+	down      bool
+}
+
+var _ ipcs.Network = (*Net)(nil)
+
+// New creates a simulated network with the given logical identifier.
+func New(id string, opts Options) *Net {
+	if opts.QueueLen <= 0 {
+		opts.QueueLen = 1024
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &Net{
+		id:        id,
+		opts:      opts,
+		rng:       rand.New(rand.NewSource(seed)),
+		listeners: make(map[string]*listener),
+		isolated:  make(map[string]bool),
+	}
+}
+
+// ID returns the logical network identifier.
+func (n *Net) ID() string { return n.id }
+
+// Listen creates an endpoint named hint, or an automatic name when hint is
+// empty.
+func (n *Net) Listen(hint string) (ipcs.Listener, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.down {
+		return nil, fmt.Errorf("memnet %s: %w", n.id, ipcs.ErrNetworkDown)
+	}
+	name := hint
+	if name == "" {
+		n.nextEP++
+		name = fmt.Sprintf("ep-%d", n.nextEP)
+	}
+	if _, exists := n.listeners[name]; exists {
+		return nil, fmt.Errorf("memnet %s: endpoint %q already exists", n.id, name)
+	}
+	l := &listener{
+		net:     n,
+		addr:    name,
+		pending: make(chan *conn, 64),
+		closed:  make(chan struct{}),
+	}
+	n.listeners[name] = l
+	return l, nil
+}
+
+// Dial opens a connection to an endpoint on this network.
+func (n *Net) Dial(physAddr string) (ipcs.Conn, error) {
+	n.mu.Lock()
+	if n.down {
+		n.mu.Unlock()
+		return nil, fmt.Errorf("memnet %s: %w", n.id, ipcs.ErrNetworkDown)
+	}
+	l, ok := n.listeners[physAddr]
+	isolated := n.isolated[physAddr]
+	n.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("memnet %s: dial %q: %w", n.id, physAddr, ipcs.ErrNoSuchEndpoint)
+	}
+	if isolated {
+		return nil, fmt.Errorf("memnet %s: dial %q: %w", n.id, physAddr, ipcs.ErrUnreachable)
+	}
+
+	a2b := newPipe(n)
+	b2a := newPipe(n)
+	dialer := &conn{net: n, send: a2b, recv: b2a, remote: physAddr}
+	acceptee := &conn{net: n, send: b2a, recv: a2b, remote: "dialer"}
+
+	select {
+	case l.pending <- acceptee:
+		return dialer, nil
+	case <-l.closed:
+		return nil, fmt.Errorf("memnet %s: dial %q: %w", n.id, physAddr, ipcs.ErrClosed)
+	}
+}
+
+// Isolate makes an endpoint unreachable (new dials fail, existing
+// connections break) or restores it. It models pulling a machine off the
+// network without destroying the endpoint.
+func (n *Net) Isolate(physAddr string, isolated bool) {
+	n.mu.Lock()
+	l := n.listeners[physAddr]
+	n.isolated[physAddr] = isolated
+	n.mu.Unlock()
+	if isolated && l != nil {
+		l.breakConns()
+	}
+}
+
+// SetDown fails the entire network (or brings it back). Existing
+// connections break; new operations return ErrNetworkDown.
+func (n *Net) SetDown(down bool) {
+	n.mu.Lock()
+	n.down = down
+	var all []*listener
+	for _, l := range n.listeners {
+		all = append(all, l)
+	}
+	n.mu.Unlock()
+	if down {
+		for _, l := range all {
+			l.breakConns()
+		}
+	}
+}
+
+// Endpoints returns the addresses currently listening, for diagnostics.
+func (n *Net) Endpoints() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]string, 0, len(n.listeners))
+	for a := range n.listeners {
+		out = append(out, a)
+	}
+	return out
+}
+
+// SetLossProb adjusts the message-loss probability at run time (failure
+// injection while a system is live).
+func (n *Net) SetLossProb(p float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.opts.LossProb = p
+}
+
+// delay computes this message's delivery delay under the network options.
+func (n *Net) delay() time.Duration {
+	d := n.opts.Latency
+	if n.opts.Jitter > 0 {
+		n.mu.Lock()
+		d += time.Duration(n.rng.Int63n(int64(n.opts.Jitter)))
+		n.mu.Unlock()
+	}
+	return d
+}
+
+// drop decides whether to lose this message.
+func (n *Net) drop() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.opts.LossProb <= 0 {
+		return false
+	}
+	return n.rng.Float64() < n.opts.LossProb
+}
+
+type listener struct {
+	net     *Net
+	addr    string
+	pending chan *conn
+
+	mu       sync.Mutex
+	conns    []*conn
+	closed   chan struct{}
+	isClosed bool
+}
+
+func (l *listener) Addr() string { return l.addr }
+
+func (l *listener) Accept() (ipcs.Conn, error) {
+	select {
+	case c := <-l.pending:
+		l.mu.Lock()
+		l.conns = append(l.conns, c)
+		l.mu.Unlock()
+		return c, nil
+	case <-l.closed:
+		return nil, fmt.Errorf("memnet %s: accept on %q: %w", l.net.id, l.addr, ipcs.ErrClosed)
+	}
+}
+
+func (l *listener) Close() error {
+	l.mu.Lock()
+	if l.isClosed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.isClosed = true
+	close(l.closed)
+	l.mu.Unlock()
+
+	l.net.mu.Lock()
+	delete(l.net.listeners, l.addr)
+	l.net.mu.Unlock()
+
+	l.breakConns()
+	return nil
+}
+
+// breakConns severs every accepted connection, simulating endpoint death.
+func (l *listener) breakConns() {
+	l.mu.Lock()
+	conns := l.conns
+	l.conns = nil
+	l.mu.Unlock()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	// Pending, never-accepted dials break too.
+	for {
+		select {
+		case c := <-l.pending:
+			_ = c.Close()
+		default:
+			return
+		}
+	}
+}
+
+// pipe is one direction of a connection: a bounded queue of timestamped
+// messages protected by a condition variable, so latency preserves order.
+type pipe struct {
+	net *Net
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []item
+	closed bool
+	lastAt time.Time
+}
+
+type item struct {
+	data []byte
+	at   time.Time // earliest delivery time
+}
+
+func newPipe(n *Net) *pipe {
+	p := &pipe{net: n}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+func (p *pipe) write(data []byte) error {
+	if p.net.drop() {
+		return nil // silent loss
+	}
+	at := time.Now().Add(p.net.delay())
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return fmt.Errorf("memnet %s: send: %w", p.net.id, ipcs.ErrClosed)
+	}
+	if len(p.items) >= p.net.opts.QueueLen {
+		return fmt.Errorf("memnet %s: send: %w", p.net.id, ipcs.ErrMailboxFull)
+	}
+	if at.Before(p.lastAt) {
+		at = p.lastAt // jitter must not reorder
+	}
+	p.lastAt = at
+	msg := make([]byte, len(data))
+	copy(msg, data)
+	p.items = append(p.items, item{data: msg, at: at})
+	p.cond.Broadcast()
+	return nil
+}
+
+func (p *pipe) read() ([]byte, error) {
+	p.mu.Lock()
+	for {
+		if len(p.items) > 0 {
+			it := p.items[0]
+			if wait := time.Until(it.at); wait > 0 {
+				p.mu.Unlock()
+				time.Sleep(wait)
+				p.mu.Lock()
+				continue
+			}
+			p.items = p.items[1:]
+			p.mu.Unlock()
+			return it.data, nil
+		}
+		if p.closed {
+			p.mu.Unlock()
+			return nil, fmt.Errorf("memnet %s: recv: %w", p.net.id, ipcs.ErrClosed)
+		}
+		p.cond.Wait()
+	}
+}
+
+func (p *pipe) close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.closed = true
+	p.cond.Broadcast()
+}
+
+type conn struct {
+	net    *Net
+	send   *pipe
+	recv   *pipe
+	remote string
+
+	closeOnce sync.Once
+}
+
+func (c *conn) Send(msg []byte) error { return c.send.write(msg) }
+func (c *conn) Recv() ([]byte, error) { return c.recv.read() }
+
+func (c *conn) Close() error {
+	c.closeOnce.Do(func() {
+		c.send.close()
+		c.recv.close()
+	})
+	return nil
+}

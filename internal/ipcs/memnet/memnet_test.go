@@ -1,0 +1,220 @@
+package memnet
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"ntcs/internal/ipcs"
+	"ntcs/internal/ipcs/ipcstest"
+)
+
+func TestConformance(t *testing.T) {
+	ipcstest.Run(t, func(t *testing.T) ipcs.Network {
+		return New("mem-test", Options{})
+	})
+}
+
+func dialPair(t *testing.T, n *Net) (client, server ipcs.Conn) {
+	t.Helper()
+	l, err := n.Listen("svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	client, err = n.Dial("svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan ipcs.Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			done <- nil
+			return
+		}
+		done <- c
+	}()
+	server = <-done
+	if server == nil {
+		t.Fatal("accept failed")
+	}
+	return client, server
+}
+
+func TestNamedEndpoints(t *testing.T) {
+	n := New("alpha", Options{})
+	l, err := n.Listen("ns")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Addr() != "ns" {
+		t.Errorf("Addr = %q", l.Addr())
+	}
+	if _, err := n.Listen("ns"); err == nil {
+		t.Error("duplicate endpoint name should fail")
+	}
+	eps := n.Endpoints()
+	if len(eps) != 1 || eps[0] != "ns" {
+		t.Errorf("Endpoints = %v", eps)
+	}
+}
+
+func TestLatencyDelaysDelivery(t *testing.T) {
+	n := New("slow", Options{Latency: 30 * time.Millisecond})
+	client, server := dialPair(t, n)
+	start := time.Now()
+	if err := client.Send([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := server.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Errorf("delivery took %v, want >= ~30ms", elapsed)
+	}
+}
+
+func TestJitterPreservesOrder(t *testing.T) {
+	n := New("jittery", Options{Latency: time.Millisecond, Jitter: 5 * time.Millisecond, Seed: 42})
+	client, server := dialPair(t, n)
+	const count = 30
+	go func() {
+		for i := 0; i < count; i++ {
+			_ = client.Send([]byte{byte(i)})
+		}
+	}()
+	for i := 0; i < count; i++ {
+		got, err := server.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != byte(i) {
+			t.Fatalf("message %d arrived as %d: jitter reordered delivery", i, got[0])
+		}
+	}
+}
+
+func TestLossDropsSilently(t *testing.T) {
+	n := New("lossy", Options{LossProb: 0.5, Seed: 7})
+	client, server := dialPair(t, n)
+	const sent = 200
+	for i := 0; i < sent; i++ {
+		if err := client.Send([]byte{byte(i)}); err != nil {
+			t.Fatal(err) // loss is silent, never an error
+		}
+	}
+	client.Close()
+	received := 0
+	for {
+		if _, err := server.Recv(); err != nil {
+			break
+		}
+		received++
+	}
+	if received == 0 || received == sent {
+		t.Errorf("received %d of %d; loss probability 0.5 should drop some but not all", received, sent)
+	}
+}
+
+func TestIsolateBreaksEndpoint(t *testing.T) {
+	n := New("alpha", Options{})
+	client, server := dialPair(t, n)
+	n.Isolate("svc", true)
+
+	// Existing connections break.
+	if _, err := server.Recv(); !errors.Is(err, ipcs.ErrClosed) {
+		t.Errorf("Recv on isolated endpoint: %v", err)
+	}
+	_ = client
+	// New dials fail.
+	if _, err := n.Dial("svc"); !errors.Is(err, ipcs.ErrUnreachable) {
+		t.Errorf("Dial isolated endpoint: %v", err)
+	}
+	// Restoration allows dialing again.
+	n.Isolate("svc", false)
+	if _, err := n.Dial("svc"); err != nil {
+		t.Errorf("Dial after restore: %v", err)
+	}
+}
+
+func TestSetDownFailsEverything(t *testing.T) {
+	n := New("alpha", Options{})
+	client, server := dialPair(t, n)
+	n.SetDown(true)
+	if _, err := n.Listen("new"); !errors.Is(err, ipcs.ErrNetworkDown) {
+		t.Errorf("Listen on down network: %v", err)
+	}
+	if _, err := n.Dial("svc"); !errors.Is(err, ipcs.ErrNetworkDown) {
+		t.Errorf("Dial on down network: %v", err)
+	}
+	if _, err := server.Recv(); err == nil {
+		t.Error("existing connection should break")
+	}
+	_ = client
+	n.SetDown(false)
+	if _, err := n.Listen("new"); err != nil {
+		t.Errorf("Listen after restore: %v", err)
+	}
+}
+
+func TestQueueOverflow(t *testing.T) {
+	n := New("tiny", Options{QueueLen: 4})
+	client, _ := dialPair(t, n)
+	var overflow error
+	for i := 0; i < 10; i++ {
+		if err := client.Send([]byte("x")); err != nil {
+			overflow = err
+			break
+		}
+	}
+	if !errors.Is(overflow, ipcs.ErrMailboxFull) {
+		t.Errorf("overflow error = %v, want ErrMailboxFull", overflow)
+	}
+}
+
+func TestDisjointNetworksShareNothing(t *testing.T) {
+	a := New("alpha", Options{})
+	b := New("beta", Options{})
+	if _, err := a.Listen("shared-name"); err != nil {
+		t.Fatal(err)
+	}
+	// The same endpoint name on another network is a different endpoint —
+	// and an endpoint on alpha is invisible from beta.
+	if _, err := b.Dial("shared-name"); !errors.Is(err, ipcs.ErrNoSuchEndpoint) {
+		t.Errorf("cross-network dial: %v, want ErrNoSuchEndpoint", err)
+	}
+	if _, err := b.Listen("shared-name"); err != nil {
+		t.Errorf("same name on disjoint network should be fine: %v", err)
+	}
+}
+
+func TestDeterministicLossWithSeed(t *testing.T) {
+	run := func() []bool {
+		n := New("det", Options{LossProb: 0.3, Seed: 99})
+		client, server := dialPair(t, n)
+		for i := 0; i < 50; i++ {
+			_ = client.Send([]byte{byte(i)})
+		}
+		client.Close()
+		var pattern []bool
+		seen := make(map[byte]bool)
+		for {
+			m, err := server.Recv()
+			if err != nil {
+				break
+			}
+			seen[m[0]] = true
+		}
+		for i := 0; i < 50; i++ {
+			pattern = append(pattern, seen[byte(i)])
+		}
+		return pattern
+	}
+	p1, p2 := run(), run()
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatalf("loss pattern not deterministic at message %d", i)
+		}
+	}
+}

@@ -1,0 +1,193 @@
+// Package tcpnet is the TCP port of the NTCS ND-Layer substrate: the
+// paper's "Unix TCP communication support", realized with the Go net
+// package over loopback. Messages are framed with a four-byte length
+// prefix written by the same shift routines the header codec uses, so the
+// stream carries no host byte order.
+package tcpnet
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"ntcs/internal/ipcs"
+)
+
+// MaxMessage bounds one framed message (matches wire.MaxPayload plus
+// header slack).
+const MaxMessage = 17 << 20
+
+// Net is a TCP-based IPCS on one logical network. Multiple Nets with
+// distinct IDs model disjoint networks even though all sockets live on
+// loopback: Dial refuses addresses not registered on this Net, preserving
+// the disjointness the IP-Layer depends on.
+//
+// That registry is per-process; multi-process deployments (the cmd
+// binaries) use NewOpen, where disjointness is enforced by the operator's
+// network configuration, as on the 1986 testbed.
+type Net struct {
+	id     string
+	listIP string
+	open   bool
+
+	mu    sync.Mutex
+	known map[string]bool // endpoints on this logical network
+}
+
+var _ ipcs.Network = (*Net)(nil)
+
+// New creates a TCP IPCS with the given logical network identifier,
+// listening on 127.0.0.1.
+func New(id string) *Net {
+	return &Net{id: id, listIP: "127.0.0.1", known: make(map[string]bool)}
+}
+
+// NewOpen creates a TCP IPCS that will dial any address — the
+// multi-process deployment mode.
+func NewOpen(id string) *Net {
+	n := New(id)
+	n.open = true
+	return n
+}
+
+// ID returns the logical network identifier.
+func (n *Net) ID() string { return n.id }
+
+// Listen opens a TCP endpoint. hint may be "host:port"; empty or ":0"
+// picks an ephemeral port.
+func (n *Net) Listen(hint string) (ipcs.Listener, error) {
+	laddr := hint
+	if laddr == "" {
+		laddr = n.listIP + ":0"
+	}
+	tl, err := net.Listen("tcp", laddr)
+	if err != nil {
+		return nil, fmt.Errorf("tcpnet %s: listen: %w", n.id, err)
+	}
+	addrStr := tl.Addr().String()
+	n.mu.Lock()
+	n.known[addrStr] = true
+	n.mu.Unlock()
+	return &listener{net: n, tl: tl}, nil
+}
+
+// Dial connects to an endpoint previously created on this logical network.
+func (n *Net) Dial(physAddr string) (ipcs.Conn, error) {
+	n.mu.Lock()
+	ok := n.open || n.known[physAddr]
+	n.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("tcpnet %s: dial %q: %w", n.id, physAddr, ipcs.ErrNoSuchEndpoint)
+	}
+	c, err := net.Dial("tcp", physAddr)
+	if err != nil {
+		return nil, fmt.Errorf("tcpnet %s: dial %q: %w (%v)", n.id, physAddr, ipcs.ErrUnreachable, err)
+	}
+	return newConn(c), nil
+}
+
+// Forget removes an endpoint from the logical network's address registry
+// (used when simulating a module leaving the network).
+func (n *Net) Forget(physAddr string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.known, physAddr)
+}
+
+type listener struct {
+	net       *Net
+	tl        net.Listener
+	closeOnce sync.Once
+	closeErr  error
+}
+
+func (l *listener) Addr() string { return l.tl.Addr().String() }
+
+func (l *listener) Accept() (ipcs.Conn, error) {
+	c, err := l.tl.Accept()
+	if err != nil {
+		if errors.Is(err, net.ErrClosed) {
+			return nil, fmt.Errorf("tcpnet %s: accept: %w", l.net.id, ipcs.ErrClosed)
+		}
+		return nil, fmt.Errorf("tcpnet %s: accept: %w", l.net.id, err)
+	}
+	return newConn(c), nil
+}
+
+func (l *listener) Close() error {
+	l.closeOnce.Do(func() {
+		l.net.Forget(l.Addr())
+		l.closeErr = l.tl.Close()
+	})
+	return l.closeErr
+}
+
+type conn struct {
+	c net.Conn
+
+	sendMu sync.Mutex
+	w      *bufio.Writer
+
+	recvMu sync.Mutex
+	r      *bufio.Reader
+}
+
+func newConn(c net.Conn) *conn {
+	return &conn{c: c, w: bufio.NewWriter(c), r: bufio.NewReader(c)}
+}
+
+// putLen and getLen are the length-prefix shift routines: explicit shifts,
+// never host byte order.
+func putLen(b []byte, v uint32) {
+	b[0] = byte(v >> 24)
+	b[1] = byte(v >> 16)
+	b[2] = byte(v >> 8)
+	b[3] = byte(v)
+}
+
+func getLen(b []byte) uint32 {
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+}
+
+func (c *conn) Send(msg []byte) error {
+	if len(msg) > MaxMessage {
+		return fmt.Errorf("tcpnet: message of %d bytes exceeds limit", len(msg))
+	}
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	var hdr [4]byte
+	putLen(hdr[:], uint32(len(msg)))
+	if _, err := c.w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("tcpnet: send: %w (%v)", ipcs.ErrClosed, err)
+	}
+	if _, err := c.w.Write(msg); err != nil {
+		return fmt.Errorf("tcpnet: send: %w (%v)", ipcs.ErrClosed, err)
+	}
+	if err := c.w.Flush(); err != nil {
+		return fmt.Errorf("tcpnet: send: %w (%v)", ipcs.ErrClosed, err)
+	}
+	return nil
+}
+
+func (c *conn) Recv() ([]byte, error) {
+	c.recvMu.Lock()
+	defer c.recvMu.Unlock()
+	var hdr [4]byte
+	if _, err := io.ReadFull(c.r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("tcpnet: recv: %w (%v)", ipcs.ErrClosed, err)
+	}
+	n := getLen(hdr[:])
+	if n > MaxMessage {
+		return nil, fmt.Errorf("tcpnet: recv: frame of %d bytes exceeds limit", n)
+	}
+	msg := make([]byte, n)
+	if _, err := io.ReadFull(c.r, msg); err != nil {
+		return nil, fmt.Errorf("tcpnet: recv: %w (%v)", ipcs.ErrClosed, err)
+	}
+	return msg, nil
+}
+
+func (c *conn) Close() error { return c.c.Close() }

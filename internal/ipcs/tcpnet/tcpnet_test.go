@@ -1,0 +1,111 @@
+package tcpnet
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"ntcs/internal/ipcs"
+	"ntcs/internal/ipcs/ipcstest"
+)
+
+func TestConformance(t *testing.T) {
+	ipcstest.Run(t, func(t *testing.T) ipcs.Network {
+		return New("tcp-test")
+	})
+}
+
+func TestEphemeralPortAssigned(t *testing.T) {
+	n := New("tcp0")
+	l, err := n.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if !strings.HasPrefix(l.Addr(), "127.0.0.1:") {
+		t.Errorf("Addr = %q, want loopback", l.Addr())
+	}
+	if strings.HasSuffix(l.Addr(), ":0") {
+		t.Error("ephemeral port not resolved")
+	}
+}
+
+func TestLogicalDisjointness(t *testing.T) {
+	// Two tcpnet instances model disjoint networks: an endpoint on one is
+	// not dialable through the other even though both are loopback TCP.
+	a, b := New("tcp-a"), New("tcp-b")
+	l, err := a.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := b.Dial(l.Addr()); !errors.Is(err, ipcs.ErrNoSuchEndpoint) {
+		t.Errorf("cross-network dial: %v, want ErrNoSuchEndpoint", err)
+	}
+	if _, err := a.Dial(l.Addr()); err != nil {
+		t.Errorf("same-network dial: %v", err)
+	}
+}
+
+func TestForgetRemovesEndpoint(t *testing.T) {
+	n := New("tcp0")
+	l, err := n.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr()
+	n.Forget(addr)
+	if _, err := n.Dial(addr); !errors.Is(err, ipcs.ErrNoSuchEndpoint) {
+		t.Errorf("dial after Forget: %v", err)
+	}
+	l.Close()
+}
+
+func TestDialClosedEndpointRefused(t *testing.T) {
+	n := New("tcp0")
+	l, err := n.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr()
+	l.Close()
+	if _, err := n.Dial(addr); err == nil {
+		t.Error("dial after close should fail")
+	}
+}
+
+func TestOversizeSendRejected(t *testing.T) {
+	n := New("tcp0")
+	l, err := n.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	c, err := n.Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	go func() {
+		conn, err := l.Accept()
+		if err == nil {
+			defer conn.Close()
+			_, _ = conn.Recv()
+		}
+	}()
+	huge := make([]byte, MaxMessage+1)
+	if err := c.Send(huge); err == nil {
+		t.Error("oversize send should fail")
+	}
+}
+
+func TestLengthPrefixShiftRoutines(t *testing.T) {
+	var b [4]byte
+	putLen(b[:], 0xAABBCCDD)
+	if b != [4]byte{0xAA, 0xBB, 0xCC, 0xDD} {
+		t.Errorf("putLen = % x", b)
+	}
+	if getLen(b[:]) != 0xAABBCCDD {
+		t.Errorf("getLen = %#x", getLen(b[:]))
+	}
+}

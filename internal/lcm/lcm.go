@@ -1,0 +1,533 @@
+// Package lcm implements the Logical Connection Maintenance Layer of paper
+// §2.2 and §3.5: the topmost Nucleus layer. "Its primary function is to
+// relocate modules which may have moved, and to recover from broken
+// connections, though it also provides a connectionless protocol. No
+// explicit open or close primitives are provided at the Nucleus interface;
+// messages are simply sent/received directly to/from the desired
+// destinations, with the underlying IVCs being established as needed."
+//
+// An attempt to communicate with an invalid address "results in a simple
+// address fault in the ND-Layer ... The LCM-Layer will query a local
+// forwarding address (UAdd) table, to no avail since this just occurred,
+// followed by an address fault handler which calls the NSP-layer to obtain
+// a forwarding UAdd" — the exact sequence Send below implements.
+//
+// The layer also carries the recursion of §6: monitoring and time hooks
+// fire on ordinary sends, are suppressed on service traffic (FlagService),
+// and the §6.3 Name-Server-circuit-break pathology is reproduced together
+// with the patch the authors retrofitted into this very layer.
+package lcm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ntcs/internal/addr"
+	"ntcs/internal/drts/errlog"
+	"ntcs/internal/iplayer"
+	"ntcs/internal/ndlayer"
+	"ntcs/internal/trace"
+	"ntcs/internal/wire"
+)
+
+// Resolver is the slice of the NSP-Layer the address-fault handler needs:
+// mapping a dead UAdd to its replacement module.
+type Resolver interface {
+	// Forward returns the UAdd of the module replacing old. It returns
+	// ErrStillAlive when the naming service believes old is still up
+	// (the link, not the module, failed) and ErrNoReplacement when no
+	// newer module matches.
+	Forward(old addr.UAdd) (addr.UAdd, error)
+}
+
+// Sentinel errors for the §3.5 fault outcomes.
+var (
+	ErrStillAlive     = errors.New("lcm: module is still alive (link failure, not relocation)")
+	ErrNoReplacement  = errors.New("lcm: no replacement module located")
+	ErrNoResolver     = errors.New("lcm: no naming service attached")
+	ErrCallTimeout    = errors.New("lcm: synchronous call timed out")
+	ErrClosed         = errors.New("lcm: layer closed")
+	ErrFaultRecursion = errors.New("lcm: address-fault recursion overflow (the §6.3 stack overflow)")
+	ErrRemote         = errors.New("lcm: remote error reply")
+	ErrDeliveryTooOld = errors.New("lcm: reply arrived for a call no longer waiting")
+	ErrInboxOverflow  = errors.New("lcm: inbox overflow, message dropped")
+)
+
+// Event is one monitoring record emitted by the LCM hooks (§6.1: "the
+// LCM-layer ... generates a time stamp for monitor data" and "sends data
+// to the monitor by calling itself").
+type Event struct {
+	When  time.Time
+	Kind  string // "send", "call", "reply", "recv"
+	Peer  addr.UAdd
+	Bytes int
+}
+
+// Hooks are the recursive DRTS couplings: a corrected time source and a
+// monitor-record sink, both of which may themselves communicate through
+// this very layer (with FlagService set, which suppresses the hooks).
+type Hooks struct {
+	Now    func() time.Time
+	Record func(Event)
+}
+
+// Config assembles a Layer.
+type Config struct {
+	// IP is the layer below.
+	IP *iplayer.Layer
+	// Identity presents the local module.
+	Identity ndlayer.Identity
+	// WellKnown identifies the Name Server addresses the §6.3 patch
+	// special-cases.
+	WellKnown addr.WellKnown
+	// Tracer and Errors receive diagnostics; both may be nil.
+	Tracer *trace.Tracer
+	Errors *errlog.Table
+	// CallTimeout bounds synchronous calls; default 5s.
+	CallTimeout time.Duration
+	// InboxSize bounds undelivered inbound messages; default 256.
+	InboxSize int
+	// DisableNSFaultPatch removes the §6.3 patch from the address-fault
+	// handler, reproducing the paper's pathology (tests only).
+	DisableNSFaultPatch bool
+	// MaxFaultDepth is the recursion bound standing in for the 1986 stack
+	// (the paper observed genuine stack overflows); default 8.
+	MaxFaultDepth int32
+}
+
+// Delivery is one message handed to the module: the unit of Recv.
+type Delivery struct {
+	Header  wire.Header
+	Payload []byte
+
+	layer *Layer
+	via   *ndlayer.LVC
+}
+
+// Src returns the sender's UAdd (a local TAdd alias while the peer is
+// unregistered, per §3.4).
+func (d *Delivery) Src() addr.UAdd { return d.Header.Src }
+
+// IsCall reports whether the sender awaits a Reply.
+func (d *Delivery) IsCall() bool { return d.Header.Flags&wire.FlagCall != 0 }
+
+// IsService reports whether this is internal NTCS/DRTS traffic.
+func (d *Delivery) IsService() bool { return d.Header.Flags&wire.FlagService != 0 }
+
+// Layer is one module's LCM-Layer.
+type Layer struct {
+	cfg Config
+
+	seq atomic.Uint32
+
+	mu       sync.Mutex
+	resolver Resolver
+	hooks    Hooks
+	waiters  map[uint32]chan *Delivery
+	fwd      *addr.ForwardTable
+	closed   bool
+
+	faultDepth atomic.Int32
+
+	inbox chan *Delivery
+	done  chan struct{}
+}
+
+// New assembles the layer. The caller wires iplayer's Deliver to
+// (*Layer).HandleInbound.
+func New(cfg Config) (*Layer, error) {
+	if cfg.IP == nil || cfg.Identity == nil {
+		return nil, errors.New("lcm: IP and Identity are required")
+	}
+	if cfg.CallTimeout <= 0 {
+		cfg.CallTimeout = 5 * time.Second
+	}
+	if cfg.InboxSize <= 0 {
+		cfg.InboxSize = 256
+	}
+	if cfg.MaxFaultDepth <= 0 {
+		cfg.MaxFaultDepth = 8
+	}
+	return &Layer{
+		cfg:     cfg,
+		waiters: make(map[uint32]chan *Delivery),
+		fwd:     addr.NewForwardTable(),
+		inbox:   make(chan *Delivery, cfg.InboxSize),
+		done:    make(chan struct{}),
+	}, nil
+}
+
+// SetResolver installs the NSP-backed forwarding service.
+func (l *Layer) SetResolver(r Resolver) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.resolver = r
+}
+
+// SetHooks installs the monitoring/time couplings.
+func (l *Layer) SetHooks(h Hooks) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.hooks = h
+}
+
+// ForwardTable exposes the forwarding-address table for diagnostics and
+// the TAdd purge assertions.
+func (l *Layer) ForwardTable() *addr.ForwardTable { return l.fwd }
+
+// ReplaceAddr rewrites a purged TAdd throughout this layer's tables
+// (wired to the ND-Layer's OnTAddReplaced).
+func (l *Layer) ReplaceAddr(old, real addr.UAdd) {
+	l.fwd.Replace(old, real)
+}
+
+// nextSeq allocates a message sequence number.
+func (l *Layer) nextSeq() uint32 {
+	return l.seq.Add(1)
+}
+
+// header builds a data header for an outbound message.
+func (l *Layer) header(dst addr.UAdd, mode wire.Mode, flags uint16, seq uint32) wire.Header {
+	h := wire.Header{
+		Type:       wire.TData,
+		Src:        l.cfg.Identity.UAdd(),
+		Dst:        dst,
+		SrcMachine: l.cfg.Identity.Machine(),
+		Mode:       mode,
+		Flags:      flags,
+		Seq:        seq,
+	}
+	if h.Src.IsTemp() {
+		h.Flags |= wire.FlagSrcTAdd
+	}
+	return h
+}
+
+// Send transmits one message, establishing circuits and recovering from
+// relocations transparently (§3.5). Mode selects the payload conversion;
+// flags may include FlagService (suppresses hooks) and FlagConnless
+// (single attempt, no recovery).
+func (l *Layer) Send(dst addr.UAdd, mode wire.Mode, flags uint16, payload []byte) error {
+	exit := l.cfg.Tracer.Enter(trace.LayerLCM, "send", "message to "+dst.String(), "above")
+	err := l.sendInternal(dst, mode, flags, l.nextSeq(), payload)
+	exit(err)
+	return err
+}
+
+func (l *Layer) sendInternal(dst addr.UAdd, mode wire.Mode, flags uint16, seq uint32, payload []byte) error {
+	l.mu.Lock()
+	closed := l.closed
+	hooks := l.hooks
+	l.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+
+	service := flags&wire.FlagService != 0 || flags&wire.FlagConnless != 0
+
+	// §6.1: "As the application level Send is initiated, control passes to
+	// the LCM-layer, which generates a time stamp for monitor data."
+	var stamp time.Time
+	if !service && hooks.Now != nil {
+		stamp = hooks.Now()
+	}
+
+	err := l.sendResolved(dst, mode, flags, seq, payload)
+
+	if !service && err == nil && hooks.Record != nil {
+		if stamp.IsZero() {
+			stamp = time.Now()
+		}
+		hooks.Record(Event{When: stamp, Kind: "send", Peer: dst, Bytes: len(payload)})
+	}
+	return err
+}
+
+// sendResolved applies the forwarding table and the address-fault handler.
+func (l *Layer) sendResolved(dst addr.UAdd, mode wire.Mode, flags uint16, seq uint32, payload []byte) error {
+	target, _ := l.fwd.Resolve(dst)
+	h := l.header(target, mode, flags, seq)
+	err := l.cfg.IP.Send(target, h, payload)
+	if err == nil {
+		return nil
+	}
+	if flags&wire.FlagConnless != 0 {
+		// Connectionless protocol: no recovery, the loss is recorded.
+		l.cfg.Errors.Report(errlog.CodeDroppedMsg, "lcm", "connectionless to %v: %v", target, err)
+		return err
+	}
+	if !isAddressFault(err) {
+		return err
+	}
+
+	l.cfg.Errors.Report(errlog.CodeAddressFault, "lcm", "send to %v: %v", target, err)
+	newTarget, ferr := l.addressFault(target)
+	if ferr != nil {
+		if errors.Is(ferr, ErrStillAlive) {
+			// §3.5: "it will attempt to reestablish what appears to be a
+			// broken communication link."
+			l.cfg.IP.DropCircuits(target)
+			h = l.header(target, mode, flags, seq)
+			return l.cfg.IP.Send(target, h, payload)
+		}
+		return fmt.Errorf("%v (fault handling: %w)", err, ferr)
+	}
+
+	// §3.5: the forwarding UAdd is entered in the table and "control is
+	// returned to the calling routine. It will now find this forwarding
+	// UAdd ... and establish a connection in exactly the same manner as
+	// during an initial connection."
+	if newTarget != target {
+		l.fwd.Put(target, newTarget)
+		l.cfg.Errors.Report(errlog.CodeForwarded, "lcm", "%v -> %v", target, newTarget)
+	}
+	l.cfg.IP.DropCircuits(target)
+	l.cfg.IP.DropCircuits(newTarget)
+	h = l.header(newTarget, mode, flags, seq)
+	return l.cfg.IP.Send(newTarget, h, payload)
+}
+
+// isAddressFault classifies the errors the fault handler may recover from.
+func isAddressFault(err error) bool {
+	var fault *ndlayer.FaultError
+	return errors.As(err, &fault) || errors.Is(err, iplayer.ErrOpenFailed) || errors.Is(err, iplayer.ErrNoRoute)
+}
+
+// addressFault is the §3.5 handler, with the §6.3 patch: "This problem was
+// eventually patched in the LCM-Layer address fault handler, although it
+// also should not know of the Name Server."
+func (l *Layer) addressFault(target addr.UAdd) (addr.UAdd, error) {
+	depth := l.faultDepth.Add(1)
+	defer l.faultDepth.Add(-1)
+	if depth > l.cfg.MaxFaultDepth {
+		// The 1986 implementation "recursively ran through this whole
+		// thing until either the stack overflowed, or the connection could
+		// be reestablished". The depth bound is our stack.
+		l.cfg.Errors.Report(errlog.CodeNSRecursion, "lcm", "fault recursion depth %d on %v", depth, target)
+		return addr.Nil, ErrFaultRecursion
+	}
+
+	exit := l.cfg.Tracer.Enter(trace.LayerLCM, "address-fault", "locate replacement for "+target.String(), "lcm")
+	defer func() { exit(nil) }()
+
+	if target.IsNameServer() && !l.cfg.DisableNSFaultPatch {
+		// The patch: the one layer with a forwarding table must not ask
+		// the naming service about the naming service. Redial the
+		// well-known address instead.
+		l.cfg.Errors.Report(errlog.CodeNSFaultPatch, "lcm", "dead Name Server circuit; redialing well-known address")
+		l.cfg.IP.DropCircuits(target)
+		return target, ErrStillAlive
+	}
+
+	l.mu.Lock()
+	resolver := l.resolver
+	l.mu.Unlock()
+	if resolver == nil {
+		return addr.Nil, ErrNoResolver
+	}
+	newU, err := resolver.Forward(target)
+	if err != nil {
+		return addr.Nil, err
+	}
+	l.cfg.Errors.Report(errlog.CodeRelocated, "lcm", "%v relocated to %v", target, newU)
+	return newU, nil
+}
+
+// Call sends synchronously and waits for the Reply (the paper's
+// send/receive/reply primitives).
+func (l *Layer) Call(dst addr.UAdd, mode wire.Mode, flags uint16, payload []byte) (*Delivery, error) {
+	exit := l.cfg.Tracer.Enter(trace.LayerLCM, "call", "synchronous call to "+dst.String(), "above")
+	d, err := l.call(dst, mode, flags, payload)
+	exit(err)
+	return d, err
+}
+
+func (l *Layer) call(dst addr.UAdd, mode wire.Mode, flags uint16, payload []byte) (*Delivery, error) {
+	seq := l.nextSeq()
+	ch := make(chan *Delivery, 1)
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil, ErrClosed
+	}
+	l.waiters[seq] = ch
+	l.mu.Unlock()
+	defer func() {
+		l.mu.Lock()
+		delete(l.waiters, seq)
+		l.mu.Unlock()
+	}()
+
+	if err := l.sendInternal(dst, mode, flags|wire.FlagCall, seq, payload); err != nil {
+		return nil, err
+	}
+	select {
+	case d := <-ch:
+		if d.Header.Flags&wire.FlagError != 0 {
+			return d, fmt.Errorf("%w: %s", ErrRemote, string(d.Payload))
+		}
+		return d, nil
+	case <-time.After(l.cfg.CallTimeout):
+		return nil, fmt.Errorf("%w: %v seq %d", ErrCallTimeout, dst, seq)
+	}
+}
+
+// Reply answers a Call. It prefers the arriving circuit (the only path
+// back to a TAdd source behind gateways); if that circuit has died it
+// falls back to a routed send.
+func (l *Layer) Reply(d *Delivery, mode wire.Mode, flags uint16, payload []byte) error {
+	exit := l.cfg.Tracer.Enter(trace.LayerLCM, "reply", "reply to "+d.Src().String(), "above")
+	err := l.reply(d, mode, flags, payload)
+	exit(err)
+	return err
+}
+
+func (l *Layer) reply(d *Delivery, mode wire.Mode, flags uint16, payload []byte) error {
+	h := l.header(d.Header.Src, mode, flags|wire.FlagReply, d.Header.Seq)
+	if d.via != nil {
+		if err := l.cfg.IP.SendVia(d.via, d.Header.Circuit, h, payload); err == nil {
+			return nil
+		}
+	}
+	if d.Header.Src.IsTemp() {
+		return fmt.Errorf("lcm: reply circuit to TAdd source %v is gone", d.Header.Src)
+	}
+	return l.sendResolved(d.Header.Src, mode, flags|wire.FlagReply, d.Header.Seq, payload)
+}
+
+// ReplyError answers a Call with an error the caller sees as ErrRemote.
+func (l *Layer) ReplyError(d *Delivery, msg string) error {
+	return l.Reply(d, wire.ModePacked, wire.FlagError|wire.FlagService, []byte(msg))
+}
+
+// SendCL is the connectionless protocol: one attempt, no recovery, no
+// relocation, no hooks.
+func (l *Layer) SendCL(dst addr.UAdd, mode wire.Mode, flags uint16, payload []byte) error {
+	return l.Send(dst, mode, flags|wire.FlagConnless, payload)
+}
+
+// Ping probes a module's liveness (used by the Name Server's forwarding
+// intelligence to decide whether an old UAdd "is really inactive").
+func (l *Layer) Ping(dst addr.UAdd, timeout time.Duration) error {
+	seq := l.nextSeq()
+	ch := make(chan *Delivery, 1)
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	l.waiters[seq] = ch
+	l.mu.Unlock()
+	defer func() {
+		l.mu.Lock()
+		delete(l.waiters, seq)
+		l.mu.Unlock()
+	}()
+
+	h := l.header(dst, wire.ModeNone, wire.FlagService, seq)
+	h.Type = wire.TPing
+	if err := l.cfg.IP.Send(dst, h, nil); err != nil {
+		return err
+	}
+	select {
+	case <-ch:
+		return nil
+	case <-time.After(timeout):
+		return fmt.Errorf("%w: ping %v", ErrCallTimeout, dst)
+	}
+}
+
+// Recv waits for the next inbound message.
+func (l *Layer) Recv(timeout time.Duration) (*Delivery, error) {
+	select {
+	case d := <-l.inbox:
+		return d, nil
+	case <-l.done:
+		// Drain anything already queued before reporting closure.
+		select {
+		case d := <-l.inbox:
+			return d, nil
+		default:
+			return nil, ErrClosed
+		}
+	case <-time.After(timeout):
+		return nil, fmt.Errorf("lcm: recv timed out after %v", timeout)
+	}
+}
+
+// HandleInbound demultiplexes frames from the IP-Layer.
+func (l *Layer) HandleInbound(in ndlayer.Inbound) {
+	d := &Delivery{Header: in.Header, Payload: in.Payload, layer: l, via: in.Via}
+	switch in.Header.Type {
+	case wire.TData:
+		if in.Header.Flags&wire.FlagReply != 0 {
+			l.deliverReply(d)
+			return
+		}
+		l.deliverInbox(d)
+	case wire.TPing:
+		h := l.header(in.Header.Src, wire.ModeNone, wire.FlagService|wire.FlagReply, in.Header.Seq)
+		h.Type = wire.TPong
+		if in.Via != nil {
+			_ = l.cfg.IP.SendVia(in.Via, in.Header.Circuit, h, nil)
+		}
+	case wire.TPong:
+		l.deliverReply(d)
+	default:
+		l.cfg.Errors.Report(errlog.CodeUnknowncontrol, "lcm", "unexpected %v from %v", in.Header.Type, in.Header.Src)
+	}
+}
+
+func (l *Layer) deliverReply(d *Delivery) {
+	l.mu.Lock()
+	ch, ok := l.waiters[d.Header.Seq]
+	l.mu.Unlock()
+	if !ok {
+		// A reply for a call that timed out or was forgotten: absorbed,
+		// but visible in the error table (§6.3's point about relentless
+		// exception handling).
+		l.cfg.Errors.Report(errlog.CodeDroppedMsg, "lcm", "late reply seq %d from %v", d.Header.Seq, d.Header.Src)
+		return
+	}
+	select {
+	case ch <- d:
+	default:
+	}
+}
+
+func (l *Layer) deliverInbox(d *Delivery) {
+	l.mu.Lock()
+	hooks := l.hooks
+	closed := l.closed
+	l.mu.Unlock()
+	if closed {
+		return
+	}
+	if !d.IsService() && hooks.Record != nil {
+		hooks.Record(Event{When: time.Now(), Kind: "recv", Peer: d.Header.Src, Bytes: len(d.Payload)})
+	}
+	select {
+	case l.inbox <- d:
+	default:
+		l.cfg.Errors.Report(errlog.CodeDroppedMsg, "lcm", "inbox overflow; dropped message from %v", d.Header.Src)
+	}
+}
+
+// FaultDepth reports the current address-fault recursion depth (test
+// instrumentation for the §6.3 pathology).
+func (l *Layer) FaultDepth() int32 { return l.faultDepth.Load() }
+
+// Close shuts the layer down.
+func (l *Layer) Close() {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return
+	}
+	l.closed = true
+	l.mu.Unlock()
+	close(l.done)
+}

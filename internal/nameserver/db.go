@@ -1,0 +1,297 @@
+// Package nameserver implements the Name Server module of paper §3: "a
+// single dynamic naming service supporting all name and address
+// resolution within the NTCS, built entirely on top of the Nucleus."
+//
+// The server is, by design, "nothing more than an application built on
+// the Nucleus" — it receives packed requests over ordinary LCM calls and
+// replies in kind. It maintains the three-level mapping of §2.3: logical
+// name → UAdd → uninterpreted physical address information, generates
+// UAdds with the monotone counter of §3.2 (stamped with a server
+// identifier for the replicated configuration), and supplies the
+// forwarding intelligence of §3.5.
+//
+// Two §7 "currently being replaced" successors are included: the
+// attribute-value naming scheme (records carry attrs; queries match on
+// them; forwarding falls back to the "role" attribute), and replication
+// for failure resiliency (writes propagate to the peer servers; clients
+// fail over through the NSP-Layer).
+package nameserver
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"ntcs/internal/addr"
+)
+
+// Record is one naming database entry.
+type Record struct {
+	Name        string
+	Attrs       map[string]string
+	UAdd        addr.UAdd
+	Endpoints   []addr.Endpoint
+	Incarnation uint64 // per-name birth order; newer replaces older
+	Alive       bool
+	Registered  time.Time
+}
+
+// clone returns a deep copy safe to hand out.
+func (r *Record) clone() Record {
+	cp := *r
+	cp.Attrs = make(map[string]string, len(r.Attrs))
+	for k, v := range r.Attrs {
+		cp.Attrs[k] = v
+	}
+	cp.Endpoints = make([]addr.Endpoint, len(r.Endpoints))
+	copy(cp.Endpoints, r.Endpoints)
+	return cp
+}
+
+// Errors returned by the database.
+var (
+	ErrNotFound      = errors.New("nameserver: no such record")
+	ErrStillAlive    = errors.New("nameserver: module still alive")
+	ErrNoReplacement = errors.New("nameserver: no replacement module")
+)
+
+// DB is the name/address database: the centralized state of the naming
+// service and (via gateway records) of the internet topology (§4.2).
+type DB struct {
+	mu          sync.Mutex
+	gen         *addr.Gen
+	byUAdd      map[addr.UAdd]*Record
+	byName      map[string][]*Record // registration order, oldest first
+	incarnation uint64
+}
+
+// NewDB creates a database whose UAdds are stamped with serverID.
+func NewDB(serverID uint16) *DB {
+	return &DB{
+		gen:    addr.NewGen(serverID),
+		byUAdd: make(map[addr.UAdd]*Record),
+		byName: make(map[string][]*Record),
+	}
+}
+
+// Register creates a record, assigning a fresh UAdd (§3.2).
+func (db *DB) Register(name string, attrs map[string]string, endpoints []addr.Endpoint) Record {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.incarnation++
+	rec := &Record{
+		Name:        name,
+		Attrs:       copyAttrs(attrs),
+		UAdd:        db.gen.Next(),
+		Endpoints:   append([]addr.Endpoint(nil), endpoints...),
+		Incarnation: db.incarnation,
+		Alive:       true,
+		Registered:  time.Now(),
+	}
+	db.insertLocked(rec)
+	return rec.clone()
+}
+
+// RegisterFixed records a module under a preassigned well-known UAdd
+// (§3.4: the Name Server itself and the prime gateways). Any previous
+// record under that UAdd is superseded.
+func (db *DB) RegisterFixed(name string, attrs map[string]string, endpoints []addr.Endpoint, u addr.UAdd) Record {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.incarnation++
+	rec := &Record{
+		Name:        name,
+		Attrs:       copyAttrs(attrs),
+		UAdd:        u,
+		Endpoints:   append([]addr.Endpoint(nil), endpoints...),
+		Incarnation: db.incarnation,
+		Alive:       true,
+		Registered:  time.Now(),
+	}
+	if old, ok := db.byUAdd[u]; ok {
+		db.removeFromNameLocked(old)
+	}
+	db.insertLocked(rec)
+	return rec.clone()
+}
+
+// Insert adds a fully formed record (replication path). Existing records
+// with the same UAdd are overwritten.
+func (db *DB) Insert(rec Record) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if rec.Incarnation > db.incarnation {
+		db.incarnation = rec.Incarnation
+	}
+	cp := rec.clone()
+	if old, ok := db.byUAdd[rec.UAdd]; ok {
+		db.removeFromNameLocked(old)
+	}
+	db.insertLocked(&cp)
+}
+
+func (db *DB) insertLocked(rec *Record) {
+	db.byUAdd[rec.UAdd] = rec
+	db.byName[rec.Name] = append(db.byName[rec.Name], rec)
+}
+
+func (db *DB) removeFromNameLocked(rec *Record) {
+	list := db.byName[rec.Name]
+	for i, r := range list {
+		if r.UAdd == rec.UAdd {
+			db.byName[rec.Name] = append(list[:i], list[i+1:]...)
+			break
+		}
+	}
+}
+
+// Deregister marks a record dead. The history is retained: forwarding
+// needs the old name (§3.5).
+func (db *DB) Deregister(u addr.UAdd) bool {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	rec, ok := db.byUAdd[u]
+	if !ok {
+		return false
+	}
+	rec.Alive = false
+	return true
+}
+
+// MarkDead is Deregister under its §3.5 name: the naming service decided
+// a module is really inactive.
+func (db *DB) MarkDead(u addr.UAdd) bool { return db.Deregister(u) }
+
+// Resolve returns the newest alive record for a name.
+func (db *DB) Resolve(name string) (Record, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	list := db.byName[name]
+	for i := len(list) - 1; i >= 0; i-- {
+		if list[i].Alive {
+			return list[i].clone(), nil
+		}
+	}
+	return Record{}, fmt.Errorf("%w: name %q", ErrNotFound, name)
+}
+
+// Lookup returns the record for a UAdd, alive or not.
+func (db *DB) Lookup(u addr.UAdd) (Record, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	rec, ok := db.byUAdd[u]
+	if !ok {
+		return Record{}, fmt.Errorf("%w: %v", ErrNotFound, u)
+	}
+	return rec.clone(), nil
+}
+
+// Query returns every alive record whose attributes include all of attrs
+// (the attribute-value naming of §7). Empty attrs matches everything
+// alive. Results are sorted by UAdd for determinism.
+func (db *DB) Query(attrs map[string]string) []Record {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	var out []Record
+	for _, rec := range db.byUAdd {
+		if !rec.Alive {
+			continue
+		}
+		match := true
+		for k, v := range attrs {
+			if rec.Attrs[k] != v {
+				match = false
+				break
+			}
+		}
+		if match {
+			out = append(out, rec.clone())
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].UAdd < out[j].UAdd })
+	return out
+}
+
+// Forward is the §3.5 intelligence: "first determining whether the old
+// UAdd is really inactive, mapping the old UAdd to its name, and then
+// looking for a similar name in a newer module. With our new
+// attribute-based naming, this is more involved."
+//
+// stillAlive, if non-nil, probes the old module (the server pings it);
+// when it confirms liveness the caller is told the link — not the module —
+// failed.
+func (db *DB) Forward(old addr.UAdd, stillAlive func(Record) bool) (addr.UAdd, error) {
+	db.mu.Lock()
+	rec, ok := db.byUAdd[old]
+	if !ok {
+		db.mu.Unlock()
+		return addr.Nil, fmt.Errorf("%w: %v", ErrNotFound, old)
+	}
+	alive := rec.Alive
+	snapshot := rec.clone()
+	db.mu.Unlock()
+
+	if alive {
+		if stillAlive != nil && stillAlive(snapshot) {
+			return addr.Nil, ErrStillAlive
+		}
+		// The module did not answer: it is really inactive.
+		db.MarkDead(old)
+	}
+
+	// Similar name in a newer module: exact name first.
+	if rec, err := db.Resolve(snapshot.Name); err == nil && rec.UAdd != old {
+		return rec.UAdd, nil
+	}
+	// Attribute-based fallback: a newer module serving the same role.
+	if role, ok := snapshot.Attrs["role"]; ok && role != "" {
+		candidates := db.Query(map[string]string{"role": role})
+		var best *Record
+		for i := range candidates {
+			c := &candidates[i]
+			if c.UAdd == old {
+				continue
+			}
+			if c.Incarnation <= snapshot.Incarnation {
+				continue // §3.5: a *newer* module
+			}
+			if best == nil || c.Incarnation > best.Incarnation {
+				best = c
+			}
+		}
+		if best != nil {
+			return best.UAdd, nil
+		}
+	}
+	return addr.Nil, ErrNoReplacement
+}
+
+// Snapshot returns every record, sorted by UAdd (replication bootstrap,
+// diagnostics).
+func (db *DB) Snapshot() []Record {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	out := make([]Record, 0, len(db.byUAdd))
+	for _, rec := range db.byUAdd {
+		out = append(out, rec.clone())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].UAdd < out[j].UAdd })
+	return out
+}
+
+// Len returns the number of records (alive and dead).
+func (db *DB) Len() int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return len(db.byUAdd)
+}
+
+func copyAttrs(attrs map[string]string) map[string]string {
+	out := make(map[string]string, len(attrs))
+	for k, v := range attrs {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,287 @@
+package nameserver
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"ntcs/internal/addr"
+	"ntcs/internal/machine"
+)
+
+func ep(net, a string) addr.Endpoint {
+	return addr.Endpoint{Network: net, Addr: a, Machine: machine.VAX}
+}
+
+func TestRegisterAssignsFreshUAdds(t *testing.T) {
+	db := NewDB(1)
+	seen := make(map[addr.UAdd]bool)
+	for i := 0; i < 100; i++ {
+		rec := db.Register(fmt.Sprintf("m%d", i), nil, []addr.Endpoint{ep("a", "x")})
+		if seen[rec.UAdd] {
+			t.Fatalf("duplicate UAdd %v", rec.UAdd)
+		}
+		if rec.UAdd.IsTemp() || rec.UAdd.IsWellKnown() {
+			t.Fatalf("bad assigned UAdd %v", rec.UAdd)
+		}
+		if rec.UAdd.ServerID() != 1 {
+			t.Fatalf("server id = %d", rec.UAdd.ServerID())
+		}
+		seen[rec.UAdd] = true
+	}
+	if db.Len() != 100 {
+		t.Errorf("Len = %d", db.Len())
+	}
+}
+
+func TestResolveNewestAlive(t *testing.T) {
+	db := NewDB(1)
+	r1 := db.Register("searcher", nil, nil)
+	r2 := db.Register("searcher", nil, nil)
+	got, err := db.Resolve("searcher")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.UAdd != r2.UAdd {
+		t.Errorf("Resolve = %v, want newest %v", got.UAdd, r2.UAdd)
+	}
+	db.MarkDead(r2.UAdd)
+	got, err = db.Resolve("searcher")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.UAdd != r1.UAdd {
+		t.Errorf("Resolve after death = %v, want %v", got.UAdd, r1.UAdd)
+	}
+	db.MarkDead(r1.UAdd)
+	if _, err := db.Resolve("searcher"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Resolve with all dead: %v", err)
+	}
+	if _, err := db.Resolve("nobody"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Resolve unknown: %v", err)
+	}
+}
+
+func TestLookupRetainsDeadRecords(t *testing.T) {
+	// §3.5 forwarding needs the old record's name after death.
+	db := NewDB(1)
+	r := db.Register("m", nil, nil)
+	db.Deregister(r.UAdd)
+	got, err := db.Lookup(r.UAdd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Alive {
+		t.Error("record should be dead")
+	}
+	if got.Name != "m" {
+		t.Errorf("name lost: %q", got.Name)
+	}
+	if db.Deregister(9999) {
+		t.Error("deregister of unknown UAdd should report false")
+	}
+}
+
+func TestQueryByAttributes(t *testing.T) {
+	db := NewDB(1)
+	db.Register("s1", map[string]string{"role": "search", "shard": "0"}, nil)
+	db.Register("s2", map[string]string{"role": "search", "shard": "1"}, nil)
+	dead := db.Register("s3", map[string]string{"role": "search"}, nil)
+	db.MarkDead(dead.UAdd)
+	db.Register("i1", map[string]string{"role": "index"}, nil)
+
+	if got := db.Query(map[string]string{"role": "search"}); len(got) != 2 {
+		t.Errorf("search query = %d records", len(got))
+	}
+	if got := db.Query(map[string]string{"role": "search", "shard": "1"}); len(got) != 1 || got[0].Name != "s2" {
+		t.Errorf("shard query = %+v", got)
+	}
+	if got := db.Query(nil); len(got) != 3 {
+		t.Errorf("universal query = %d records (alive only)", len(got))
+	}
+	if got := db.Query(map[string]string{"role": "none"}); len(got) != 0 {
+		t.Errorf("empty query = %+v", got)
+	}
+	// Deterministic order.
+	q1 := db.Query(map[string]string{"role": "search"})
+	q2 := db.Query(map[string]string{"role": "search"})
+	for i := range q1 {
+		if q1[i].UAdd != q2[i].UAdd {
+			t.Fatal("query order not deterministic")
+		}
+	}
+}
+
+func TestForwardByName(t *testing.T) {
+	db := NewDB(1)
+	old := db.Register("searcher", nil, nil)
+	db.MarkDead(old.UAdd)
+	repl := db.Register("searcher", nil, nil)
+
+	got, err := db.Forward(old.UAdd, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != repl.UAdd {
+		t.Errorf("Forward = %v, want %v", got, repl.UAdd)
+	}
+}
+
+func TestForwardStillAliveProbe(t *testing.T) {
+	db := NewDB(1)
+	rec := db.Register("m", nil, nil)
+	// Probe says alive: the link, not the module, failed.
+	probed := false
+	_, err := db.Forward(rec.UAdd, func(r Record) bool {
+		probed = true
+		if r.UAdd != rec.UAdd {
+			t.Errorf("probe got %v", r.UAdd)
+		}
+		return true
+	})
+	if !errors.Is(err, ErrStillAlive) {
+		t.Errorf("got %v, want ErrStillAlive", err)
+	}
+	if !probed {
+		t.Error("probe not invoked")
+	}
+	// Probe fails: the module is really inactive; with no successor,
+	// no-replacement, and the record is marked dead.
+	_, err = db.Forward(rec.UAdd, func(Record) bool { return false })
+	if !errors.Is(err, ErrNoReplacement) {
+		t.Errorf("got %v, want ErrNoReplacement", err)
+	}
+	got, _ := db.Lookup(rec.UAdd)
+	if got.Alive {
+		t.Error("unresponsive module should be marked dead")
+	}
+}
+
+func TestForwardByRoleAttribute(t *testing.T) {
+	// The attribute-based naming makes forwarding "more involved" (§3.5):
+	// a successor under a different name but the same role qualifies.
+	db := NewDB(1)
+	old := db.Register("searcher-v1", map[string]string{"role": "search"}, nil)
+	db.MarkDead(old.UAdd)
+	repl := db.Register("searcher-v2", map[string]string{"role": "search"}, nil)
+
+	got, err := db.Forward(old.UAdd, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != repl.UAdd {
+		t.Errorf("Forward = %v, want role successor %v", got, repl.UAdd)
+	}
+}
+
+func TestForwardOnlyNewerModules(t *testing.T) {
+	// §3.5: the replacement must be a *newer* module.
+	db := NewDB(1)
+	older := db.Register("a", map[string]string{"role": "r"}, nil)
+	target := db.Register("b", map[string]string{"role": "r"}, nil)
+	db.MarkDead(target.UAdd)
+	_ = older
+
+	if _, err := db.Forward(target.UAdd, nil); !errors.Is(err, ErrNoReplacement) {
+		t.Errorf("older module accepted as replacement: %v", err)
+	}
+	if _, err := db.Forward(9999, nil); !errors.Is(err, ErrNotFound) {
+		t.Errorf("unknown UAdd: %v", err)
+	}
+}
+
+func TestRegisterFixedSupersedes(t *testing.T) {
+	db := NewDB(1)
+	r1 := db.RegisterFixed("gw", nil, []addr.Endpoint{ep("a", "1")}, addr.PrimeGatewayBase)
+	if r1.UAdd != addr.PrimeGatewayBase {
+		t.Fatalf("UAdd = %v", r1.UAdd)
+	}
+	r2 := db.RegisterFixed("gw", nil, []addr.Endpoint{ep("a", "2")}, addr.PrimeGatewayBase)
+	got, err := db.Lookup(addr.PrimeGatewayBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Endpoints[0].Addr != "2" || got.Incarnation != r2.Incarnation {
+		t.Errorf("superseded record = %+v", got)
+	}
+	// The name index holds one live entry, not two.
+	if recs := db.Query(nil); len(recs) != 1 {
+		t.Errorf("alive records = %d", len(recs))
+	}
+}
+
+func TestInsertReplication(t *testing.T) {
+	primary := NewDB(1)
+	backup := NewDB(2)
+	rec := primary.Register("m", map[string]string{"role": "r"}, []addr.Endpoint{ep("a", "x")})
+	backup.Insert(rec)
+	got, err := backup.Resolve("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.UAdd != rec.UAdd || got.Endpoints[0].Addr != "x" {
+		t.Errorf("replicated record = %+v", got)
+	}
+	// Death notice.
+	dead := rec
+	dead.Alive = false
+	backup.Insert(dead)
+	if _, err := backup.Resolve("m"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("death notice not applied: %v", err)
+	}
+	// Incarnation counter advanced so later local registrations are newer.
+	repl := backup.Register("m", nil, nil)
+	if repl.Incarnation <= rec.Incarnation {
+		t.Errorf("backup incarnation %d not newer than replicated %d", repl.Incarnation, rec.Incarnation)
+	}
+}
+
+func TestRecordIsolation(t *testing.T) {
+	db := NewDB(1)
+	rec := db.Register("m", map[string]string{"k": "v"}, []addr.Endpoint{ep("a", "x")})
+	rec.Attrs["k"] = "mutated"
+	rec.Endpoints[0].Addr = "mutated"
+	got, _ := db.Lookup(rec.UAdd)
+	if got.Attrs["k"] != "v" || got.Endpoints[0].Addr != "x" {
+		t.Error("returned records must not alias database state")
+	}
+}
+
+func TestSnapshotSorted(t *testing.T) {
+	db := NewDB(1)
+	for i := 0; i < 10; i++ {
+		db.Register(fmt.Sprintf("m%d", i), nil, nil)
+	}
+	snap := db.Snapshot()
+	for i := 1; i < len(snap); i++ {
+		if snap[i-1].UAdd >= snap[i].UAdd {
+			t.Fatal("snapshot not sorted")
+		}
+	}
+}
+
+// Property: after any sequence of register/kill operations on one name,
+// Resolve returns the newest alive registration or not-found.
+func TestQuickResolveNewest(t *testing.T) {
+	f := func(kills []bool) bool {
+		db := NewDB(1)
+		var live []addr.UAdd
+		for _, kill := range kills {
+			rec := db.Register("n", nil, nil)
+			if kill {
+				db.MarkDead(rec.UAdd)
+			} else {
+				live = append(live, rec.UAdd)
+			}
+		}
+		got, err := db.Resolve("n")
+		if len(live) == 0 {
+			return errors.Is(err, ErrNotFound)
+		}
+		return err == nil && got.UAdd == live[len(live)-1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,383 @@
+package nameserver
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"ntcs/internal/addr"
+	"ntcs/internal/drts/errlog"
+	"ntcs/internal/iplayer"
+	"ntcs/internal/lcm"
+	"ntcs/internal/ndlayer"
+	"ntcs/internal/nsp"
+	"ntcs/internal/pack"
+	"ntcs/internal/trace"
+	"ntcs/internal/wire"
+)
+
+// Config assembles a Server.
+type Config struct {
+	// DB holds the naming state.
+	DB *DB
+	// LCM is the server's own Nucleus access (§3.1: the naming service is
+	// an application built on the Nucleus it serves).
+	LCM *lcm.Layer
+	// Replicas are the peer Name Servers to propagate writes to (the §7
+	// replicated configuration); empty for a single server.
+	Replicas []addr.UAdd
+	// PingTimeout bounds the §3.5 liveness probe of a faulted module;
+	// default 300ms. Zero or negative disables probing (the old module is
+	// assumed dead, as the 1986 implementation did before the probe was
+	// added).
+	PingTimeout time.Duration
+	// Tracer and Errors receive diagnostics; both may be nil.
+	Tracer *trace.Tracer
+	Errors *errlog.Table
+}
+
+// Server is a running Name Server module.
+type Server struct {
+	cfg  Config
+	done chan struct{}
+
+	replMu   sync.Mutex
+	replicas []addr.UAdd
+}
+
+// NewServer assembles a server; call Run (usually in a goroutine) to
+// serve.
+func NewServer(cfg Config) (*Server, error) {
+	if cfg.DB == nil || cfg.LCM == nil {
+		return nil, fmt.Errorf("nameserver: DB and LCM are required")
+	}
+	if cfg.PingTimeout == 0 {
+		cfg.PingTimeout = 300 * time.Millisecond
+	}
+	return &Server{cfg: cfg, done: make(chan struct{}), replicas: cfg.Replicas}, nil
+}
+
+// SetReplicas changes the peer set writes propagate to (the replicated
+// configuration is assembled after all servers are up).
+func (s *Server) SetReplicas(peers []addr.UAdd) {
+	s.replMu.Lock()
+	defer s.replMu.Unlock()
+	s.replicas = append([]addr.UAdd(nil), peers...)
+}
+
+func (s *Server) replicaPeers() []addr.UAdd {
+	s.replMu.Lock()
+	defer s.replMu.Unlock()
+	return append([]addr.UAdd(nil), s.replicas...)
+}
+
+// Run serves naming requests until the LCM layer closes.
+//
+// Each request is handled on its own goroutine: the forwarding
+// intelligence of §3.5 communicates through the very system it serves
+// (liveness pings may traverse gateways whose circuit establishment
+// consults this Name Server), so a single-threaded server deadlocks on
+// its own recursion — the distributed flavour of the §6 problem.
+func (s *Server) Run() {
+	defer close(s.done)
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		d, err := s.cfg.LCM.Recv(time.Hour)
+		if err != nil {
+			if err == lcm.ErrClosed {
+				return
+			}
+			continue
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.handle(d)
+		}()
+	}
+}
+
+// Wait blocks until Run returns.
+func (s *Server) Wait() { <-s.done }
+
+// handle dispatches one request and replies.
+func (s *Server) handle(d *lcm.Delivery) {
+	exit := s.cfg.Tracer.Enter(trace.LayerNS, "handle", "naming request", d.Src().String())
+	var req nsp.Request
+	if err := pack.Unmarshal(d.Payload, &req); err != nil {
+		s.reply(d, nsp.Response{Code: nsp.CodeBadRequest, Detail: err.Error()})
+		exit(err)
+		return
+	}
+	resp := s.dispatch(req)
+	s.reply(d, resp)
+	exit(nil)
+}
+
+func (s *Server) dispatch(req nsp.Request) nsp.Response {
+	switch req.Op {
+	case nsp.OpRegister:
+		return s.register(req)
+	case nsp.OpAnnounce:
+		// The announce itself did the work: its arrival from the module's
+		// real UAdd purged the TAdds in every layer (§3.4).
+		return nsp.Response{Code: nsp.CodeOK}
+	case nsp.OpDeregister:
+		if !s.cfg.DB.Deregister(addr.UAdd(req.UAdd)) {
+			return nsp.Response{Code: nsp.CodeNotFound}
+		}
+		s.replicateDead(addr.UAdd(req.UAdd))
+		return nsp.Response{Code: nsp.CodeOK}
+	case nsp.OpResolve:
+		rec, err := s.cfg.DB.Resolve(req.Name)
+		if err != nil {
+			return nsp.Response{Code: nsp.CodeNotFound, Detail: err.Error()}
+		}
+		return nsp.Response{Code: nsp.CodeOK, UAdd: uint64(rec.UAdd), Records: []nsp.RecordRec{toRec(rec)}}
+	case nsp.OpLookup:
+		rec, err := s.cfg.DB.Lookup(addr.UAdd(req.UAdd))
+		if err != nil {
+			return nsp.Response{Code: nsp.CodeNotFound, Detail: err.Error()}
+		}
+		return nsp.Response{Code: nsp.CodeOK, UAdd: uint64(rec.UAdd), Records: []nsp.RecordRec{toRec(rec)}}
+	case nsp.OpQuery:
+		recs := s.cfg.DB.Query(req.Attrs)
+		out := make([]nsp.RecordRec, 0, len(recs))
+		for _, r := range recs {
+			out = append(out, toRec(r))
+		}
+		return nsp.Response{Code: nsp.CodeOK, Records: out}
+	case nsp.OpForward:
+		return s.forward(addr.UAdd(req.UAdd))
+	case nsp.OpReplicate:
+		return s.applyReplica(req)
+	default:
+		return nsp.Response{Code: nsp.CodeBadRequest, Detail: "unknown op " + req.Op}
+	}
+}
+
+func (s *Server) register(req nsp.Request) nsp.Response {
+	if req.Name == "" {
+		return nsp.Response{Code: nsp.CodeBadRequest, Detail: "empty name"}
+	}
+	eps := make([]addr.Endpoint, 0, len(req.Endpoints))
+	for _, e := range req.Endpoints {
+		eps = append(eps, e.ToEndpoint())
+	}
+	var rec Record
+	if requested := addr.UAdd(req.UAdd); requested.IsWellKnown() {
+		// Prime gateways and Name Servers carry preassigned well-known
+		// UAdds (§3.4); the naming service records them as presented.
+		rec = s.cfg.DB.RegisterFixed(req.Name, req.Attrs, eps, requested)
+	} else {
+		rec = s.cfg.DB.Register(req.Name, req.Attrs, eps)
+	}
+	s.replicate(rec)
+	return nsp.Response{Code: nsp.CodeOK, UAdd: uint64(rec.UAdd), Records: []nsp.RecordRec{toRec(rec)}}
+}
+
+// forward runs the §3.5 intelligence, probing liveness over the server's
+// own Nucleus (more recursion: the naming service pings through the very
+// layers that consult it).
+//
+// The probe only declares a module dead on CONCLUSIVE evidence — its own
+// endpoint refused (a direct address fault or a final-hop failure behind
+// gateways), or it held a circuit open but never answered. A mid-chain or
+// no-route failure means the naming service cannot see the module's
+// neighborhood at all: declaring death there would poison the database
+// whenever a gateway hiccups, so the answer is "still alive" and the
+// caller reconnects when the path returns.
+func (s *Server) forward(old addr.UAdd) nsp.Response {
+	var probe func(Record) bool
+	if s.cfg.PingTimeout > 0 {
+		probe = func(rec Record) bool {
+			err := s.cfg.LCM.Ping(rec.UAdd, s.cfg.PingTimeout)
+			if err == nil {
+				return true
+			}
+			return !conclusivelyDead(err, rec.UAdd)
+		}
+	}
+	newU, err := s.cfg.DB.Forward(old, probe)
+	switch {
+	case err == nil:
+		s.cfg.Errors.Report(errlog.CodeForwarded, "ns", "%v -> %v", old, newU)
+		s.replicateDead(old)
+		return nsp.Response{Code: nsp.CodeOK, UAdd: uint64(newU)}
+	case err == ErrStillAlive:
+		s.cfg.Errors.Report(errlog.CodeStillAlive, "ns", "%v alive; link failure", old)
+		return nsp.Response{Code: nsp.CodeStillAlive}
+	case err == ErrNoReplacement:
+		s.cfg.Errors.Report(errlog.CodeNoReplacement, "ns", "%v has no successor", old)
+		return nsp.Response{Code: nsp.CodeNoReplacement}
+	default:
+		return nsp.Response{Code: nsp.CodeNotFound, Detail: err.Error()}
+	}
+}
+
+// conclusivelyDead classifies a failed liveness probe: true only when the
+// module's own endpoint was reached and refused, or it timed out while
+// reachable.
+func conclusivelyDead(err error, u addr.UAdd) bool {
+	if errors.Is(err, iplayer.ErrDestinationDown) {
+		return true
+	}
+	if errors.Is(err, lcm.ErrCallTimeout) {
+		return true // circuit up, module mute: really inactive
+	}
+	var fault *ndlayer.FaultError
+	if errors.As(err, &fault) && fault.Peer == u {
+		return true
+	}
+	return false
+}
+
+// applyReplica installs a record (or death notice) pushed by a peer.
+func (s *Server) applyReplica(req nsp.Request) nsp.Response {
+	if req.Record.UAdd == 0 {
+		return nsp.Response{Code: nsp.CodeBadRequest, Detail: "replicate without record"}
+	}
+	rec := Record{
+		Name:        req.Record.Name,
+		Attrs:       req.Record.Attrs,
+		UAdd:        addr.UAdd(req.Record.UAdd),
+		Incarnation: req.Record.Incarnation,
+		Alive:       req.Record.Alive,
+		Registered:  time.Now(),
+	}
+	if rec.Attrs == nil {
+		rec.Attrs = map[string]string{}
+	}
+	for _, e := range req.Record.Endpoints {
+		rec.Endpoints = append(rec.Endpoints, e.ToEndpoint())
+	}
+	s.cfg.DB.Insert(rec)
+	return nsp.Response{Code: nsp.CodeOK}
+}
+
+// replicate pushes a new record to the peer servers, best effort.
+func (s *Server) replicate(rec Record) {
+	peers := s.replicaPeers()
+	if len(peers) == 0 {
+		return
+	}
+	req := nsp.Request{Op: nsp.OpReplicate, Record: toRec(rec)}
+	payload, err := pack.Marshal(req)
+	if err != nil {
+		return
+	}
+	for _, peer := range peers {
+		if err := s.cfg.LCM.SendCL(peer, wire.ModePacked, wire.FlagService, payload); err != nil {
+			s.cfg.Errors.Report(errlog.CodeDroppedMsg, "ns", "replicate to %v: %v", peer, err)
+		}
+	}
+}
+
+// replicateDead propagates a death notice.
+func (s *Server) replicateDead(u addr.UAdd) {
+	if len(s.replicaPeers()) == 0 {
+		return
+	}
+	rec, err := s.cfg.DB.Lookup(u)
+	if err != nil {
+		return
+	}
+	rec.Alive = false
+	s.replicate(rec)
+}
+
+// reply answers a request; replication pushes (connectionless) carry no
+// call flag and are not answered.
+func (s *Server) reply(d *lcm.Delivery, resp nsp.Response) {
+	if !d.IsCall() {
+		return
+	}
+	payload, err := pack.Marshal(resp)
+	if err != nil {
+		_ = s.cfg.LCM.ReplyError(d, "nameserver: marshal response: "+err.Error())
+		return
+	}
+	_ = s.cfg.LCM.Reply(d, wire.ModePacked, wire.FlagService, payload)
+}
+
+func toRec(r Record) nsp.RecordRec {
+	out := nsp.RecordRec{
+		Name:        r.Name,
+		Attrs:       r.Attrs,
+		UAdd:        uint64(r.UAdd),
+		Incarnation: r.Incarnation,
+		Alive:       r.Alive,
+	}
+	if out.Attrs == nil {
+		out.Attrs = map[string]string{}
+	}
+	for _, ep := range r.Endpoints {
+		out.Endpoints = append(out.Endpoints, nsp.FromEndpoint(ep))
+	}
+	return out
+}
+
+// Naming adapts the server's own database as a nucleus.NamingService: the
+// Name Server module resolves against itself directly, closing the §3.4
+// bootstrap loop ("it obviously can not provide its own [address], prior
+// to connection").
+type Naming struct {
+	DB *DB
+}
+
+// LookupEndpoint implements ndlayer.Resolver against the local database.
+func (n Naming) LookupEndpoint(u addr.UAdd, network string) (addr.Endpoint, error) {
+	rec, err := n.DB.Lookup(u)
+	if err != nil {
+		return addr.Endpoint{}, err
+	}
+	for _, ep := range rec.Endpoints {
+		if ep.Network == network {
+			return ep, nil
+		}
+	}
+	return addr.Endpoint{}, fmt.Errorf("%w: %v on %s", ErrNotFound, u, network)
+}
+
+// NetworkOf implements iplayer.Directory against the local database.
+func (n Naming) NetworkOf(u addr.UAdd) (string, error) {
+	rec, err := n.DB.Lookup(u)
+	if err != nil {
+		return "", err
+	}
+	if len(rec.Endpoints) == 0 {
+		return "", fmt.Errorf("%w: %v has no endpoints", ErrNotFound, u)
+	}
+	return rec.Endpoints[0].Network, nil
+}
+
+// Gateways implements iplayer.Directory against the local database.
+func (n Naming) Gateways() ([]iplayer.GatewayInfo, error) {
+	recs := n.DB.Query(map[string]string{"type": "gateway"})
+	out := make([]iplayer.GatewayInfo, 0, len(recs))
+	for _, r := range recs {
+		gi := iplayer.GatewayInfo{UAdd: r.UAdd, Name: r.Name}
+		for _, ep := range r.Endpoints {
+			gi.Networks = append(gi.Networks, ep.Network)
+		}
+		out = append(out, gi)
+	}
+	return out, nil
+}
+
+// Forward implements lcm.Resolver against the local database. The server
+// module's own sends (replication pushes, liveness pings) recover through
+// the same intelligence clients get, without a network round trip.
+func (n Naming) Forward(old addr.UAdd) (addr.UAdd, error) {
+	newU, err := n.DB.Forward(old, nil)
+	switch err {
+	case nil:
+		return newU, nil
+	case ErrStillAlive:
+		return addr.Nil, lcm.ErrStillAlive
+	default:
+		return addr.Nil, lcm.ErrNoReplacement
+	}
+}

@@ -1,0 +1,687 @@
+// Package ndlayer implements the Network Dependent Layer of paper §2.2:
+// the lowest Nucleus layer, localizing all machine and network
+// communication dependencies behind a uniform virtual-circuit interface
+// (the STD-IF) so that everything above it is portable.
+//
+// The ND-Layer provides local virtual circuits (LVCs) to destinations
+// reachable through the local IPCS only. It maps UAdds to physical
+// addresses "either through the NSP-layer services, or by information
+// exchanged between modules during the channel open protocol", caching
+// the results locally (§3.3). There is no automatic relocation or
+// recovery from failed channels — except for retry on open — and failure
+// notification is simply passed upward as a FaultError.
+//
+// Incoming connections from a TAdd source receive a locally assigned TAdd
+// alias (§3.4), replaced throughout the tables as soon as a message from
+// the peer's real UAdd arrives.
+package ndlayer
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"ntcs/internal/addr"
+	"ntcs/internal/drts/errlog"
+	"ntcs/internal/ipcs"
+	"ntcs/internal/machine"
+	"ntcs/internal/pack"
+	"ntcs/internal/trace"
+	"ntcs/internal/wire"
+)
+
+// Resolver resolves a UAdd to its physical endpoint on a given network —
+// in the assembled system, the NSP-Layer (the recursion of §3.1).
+type Resolver interface {
+	LookupEndpoint(u addr.UAdd, network string) (addr.Endpoint, error)
+}
+
+// Identity presents the local module during channel opens. UAdd may change
+// from a TAdd to the real UAdd after registration.
+type Identity interface {
+	UAdd() addr.UAdd
+	Machine() machine.Type
+	Name() string
+}
+
+// Inbound is one frame passed upward from an LVC.
+type Inbound struct {
+	Header  wire.Header
+	Payload []byte
+	Via     *LVC
+}
+
+// FaultError is the address fault of §3.5: an attempt to communicate with
+// a previously resolved address failed. The ND-Layer closes the channel
+// and passes this upward; recovery is the LCM-Layer's business.
+type FaultError struct {
+	Peer addr.UAdd
+	Err  error
+}
+
+func (e *FaultError) Error() string {
+	return fmt.Sprintf("ndlayer: address fault on %v: %v", e.Peer, e.Err)
+}
+
+func (e *FaultError) Unwrap() error { return e.Err }
+
+// Errors returned by the ND-Layer.
+var (
+	ErrNoEndpoint   = errors.New("ndlayer: no endpoint known for destination on this network")
+	ErrClosed       = errors.New("ndlayer: binding closed")
+	ErrWrongModule  = errors.New("ndlayer: endpoint answered with an unexpected UAdd")
+	ErrOpenRejected = errors.New("ndlayer: open rejected by peer")
+)
+
+// Config assembles a Binding.
+type Config struct {
+	// Network is the IPCS this binding drives.
+	Network ipcs.Network
+	// EndpointHint suggests the listener address (mailbox pathname, port).
+	EndpointHint string
+	// Identity presents the local module.
+	Identity Identity
+	// Cache is the module-wide UAdd→endpoint cache (shared across
+	// bindings; preloaded with the well-known addresses).
+	Cache *addr.EndpointCache
+	// Deliver receives every inbound frame. It runs on the LVC reader
+	// goroutine; blocking it backpressures the circuit.
+	Deliver func(Inbound)
+	// OnCircuitDown, if non-nil, is told when an LVC dies (gateways use
+	// this for the §4.3 teardown propagation).
+	OnCircuitDown func(peer addr.UAdd, v *LVC, err error)
+	// OnTAddReplaced, if non-nil, is told when a TAdd alias is replaced by
+	// a real UAdd so higher-layer tables can rewrite too.
+	OnTAddReplaced func(old, real addr.UAdd)
+	// Tracer and Errors receive diagnostics; both may be nil.
+	Tracer *trace.Tracer
+	Errors *errlog.Table
+	// OpenRetries and OpenRetryDelay tune "retry on open" (§2.2); defaults
+	// 3 and 2ms.
+	OpenRetries    int
+	OpenRetryDelay time.Duration
+	// OpenTimeout bounds the open handshake; default 5s.
+	OpenTimeout time.Duration
+}
+
+// Binding is one module's ND-Layer attachment to one network.
+type Binding struct {
+	cfg      Config
+	network  string
+	listener ipcs.Listener
+	resolver Resolver // settable post-construction (bootstrap order)
+
+	mu       sync.Mutex
+	circuits map[addr.UAdd]*LVC
+	opening  map[addr.UAdd]chan struct{}
+	aliases  addr.TAddSource
+	closed   bool
+
+	wg sync.WaitGroup
+}
+
+// New creates a binding: it opens the endpoint and starts accepting LVCs.
+func New(cfg Config) (*Binding, error) {
+	if cfg.Network == nil || cfg.Identity == nil || cfg.Cache == nil || cfg.Deliver == nil {
+		return nil, errors.New("ndlayer: Network, Identity, Cache and Deliver are required")
+	}
+	if cfg.OpenRetries <= 0 {
+		cfg.OpenRetries = 3
+	}
+	if cfg.OpenRetryDelay <= 0 {
+		cfg.OpenRetryDelay = 2 * time.Millisecond
+	}
+	if cfg.OpenTimeout <= 0 {
+		cfg.OpenTimeout = 5 * time.Second
+	}
+	l, err := cfg.Network.Listen(cfg.EndpointHint)
+	if err != nil {
+		return nil, fmt.Errorf("ndlayer: listen: %w", err)
+	}
+	b := &Binding{
+		cfg:      cfg,
+		network:  cfg.Network.ID(),
+		listener: l,
+		circuits: make(map[addr.UAdd]*LVC),
+		opening:  make(map[addr.UAdd]chan struct{}),
+	}
+	b.wg.Add(1)
+	go b.acceptLoop()
+	return b, nil
+}
+
+// SetResolver installs the NSP-backed resolver. Before this (during
+// bootstrap) only cached well-known addresses resolve.
+func (b *Binding) SetResolver(r Resolver) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.resolver = r
+}
+
+// Network returns the logical network identifier.
+func (b *Binding) Network() string { return b.network }
+
+// Endpoint returns this binding's own physical address record.
+func (b *Binding) Endpoint() addr.Endpoint {
+	return addr.Endpoint{
+		Network: b.network,
+		Addr:    b.listener.Addr(),
+		Machine: b.cfg.Identity.Machine(),
+	}
+}
+
+// openInfo is the packed control payload of TOpen/TOpenAck: the identity
+// exchange that fills endpoint caches without consulting the Name Server.
+type openInfo struct {
+	Name     string
+	Endpoint string
+}
+
+// Open returns the LVC to dst, establishing one if necessary.
+func (b *Binding) Open(dst addr.UAdd) (*LVC, error) {
+	exit := b.cfg.Tracer.Enter(trace.LayerND, "open", "establish LVC", "above")
+	v, err := b.open(dst)
+	exit(err)
+	return v, err
+}
+
+func (b *Binding) open(dst addr.UAdd) (*LVC, error) {
+	for {
+		b.mu.Lock()
+		if b.closed {
+			b.mu.Unlock()
+			return nil, ErrClosed
+		}
+		if v, ok := b.circuits[dst]; ok {
+			b.mu.Unlock()
+			return v, nil
+		}
+		if wait, inFlight := b.opening[dst]; inFlight {
+			b.mu.Unlock()
+			<-wait
+			continue // re-check the table
+		}
+		done := make(chan struct{})
+		b.opening[dst] = done
+		b.mu.Unlock()
+
+		v, err := b.dial(dst)
+
+		b.mu.Lock()
+		delete(b.opening, dst)
+		close(done)
+		if err == nil {
+			b.circuits[dst] = v
+			b.wg.Add(1)
+			go b.readLoop(v)
+		}
+		b.mu.Unlock()
+		return v, err
+	}
+}
+
+// Lookup returns an existing LVC without opening one.
+func (b *Binding) Lookup(dst addr.UAdd) (*LVC, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	v, ok := b.circuits[dst]
+	return v, ok
+}
+
+// dial resolves, connects (with retry on open), and runs the open
+// handshake.
+func (b *Binding) dial(dst addr.UAdd) (*LVC, error) {
+	ep, ok := b.cfg.Cache.Find(dst, b.network)
+	if !ok {
+		b.mu.Lock()
+		r := b.resolver
+		b.mu.Unlock()
+		if r == nil {
+			return nil, &FaultError{Peer: dst, Err: ErrNoEndpoint}
+		}
+		resolved, err := r.LookupEndpoint(dst, b.network)
+		if err != nil {
+			return nil, &FaultError{Peer: dst, Err: fmt.Errorf("resolve: %w", err)}
+		}
+		ep = resolved
+		b.cfg.Cache.Put(dst, ep)
+	}
+
+	var (
+		conn ipcs.Conn
+		err  error
+	)
+	for attempt := 0; attempt < b.cfg.OpenRetries; attempt++ {
+		conn, err = b.cfg.Network.Dial(ep.Addr)
+		if err == nil {
+			break
+		}
+		b.cfg.Errors.Report(errlog.CodeOpenRetry, "nd", "dial %v via %s attempt %d: %v", dst, ep.Addr, attempt+1, err)
+		time.Sleep(b.cfg.OpenRetryDelay)
+	}
+	if err != nil {
+		// The cached endpoint is wrong or the module is gone: drop it so a
+		// relocation can supply fresh information. Well-known addresses
+		// (§3.4) are static configuration and are kept — the LCM-Layer's
+		// Name-Server fault patch depends on being able to redial them.
+		if !dst.IsWellKnown() {
+			b.cfg.Cache.Delete(dst)
+		}
+		return nil, &FaultError{Peer: dst, Err: err}
+	}
+
+	self := b.cfg.Identity
+	info, err := pack.Marshal(openInfo{Name: self.Name(), Endpoint: b.listener.Addr()})
+	if err != nil {
+		_ = conn.Close()
+		return nil, fmt.Errorf("ndlayer: marshal open info: %w", err)
+	}
+	h := wire.Header{
+		Type:       wire.TOpen,
+		Src:        self.UAdd(),
+		Dst:        dst,
+		SrcMachine: self.Machine(),
+		Mode:       wire.ModePacked,
+	}
+	if h.Src.IsTemp() {
+		h.Flags |= wire.FlagSrcTAdd
+	}
+	frame, err := wire.Marshal(h, info)
+	if err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	if err := conn.Send(frame); err != nil {
+		_ = conn.Close()
+		return nil, &FaultError{Peer: dst, Err: err}
+	}
+
+	ackH, ackPayload, err := recvFrame(conn, b.cfg.OpenTimeout)
+	if err != nil {
+		_ = conn.Close()
+		return nil, &FaultError{Peer: dst, Err: fmt.Errorf("open handshake: %w", err)}
+	}
+	if ackH.Type != wire.TOpenAck {
+		_ = conn.Close()
+		return nil, &FaultError{Peer: dst, Err: fmt.Errorf("%w: got %v", ErrOpenRejected, ackH.Type)}
+	}
+	if ackH.Src != dst {
+		// The endpoint is occupied by a different module (the address was
+		// reused after a relocation): an address fault.
+		_ = conn.Close()
+		b.cfg.Cache.Delete(dst)
+		return nil, &FaultError{Peer: dst, Err: fmt.Errorf("%w: %v", ErrWrongModule, ackH.Src)}
+	}
+	var ackInfo openInfo
+	if err := pack.Unmarshal(ackPayload, &ackInfo); err == nil && ackInfo.Endpoint != "" {
+		b.cfg.Cache.Put(dst, addr.Endpoint{
+			Network: b.network,
+			Addr:    ackInfo.Endpoint,
+			Machine: ackH.SrcMachine,
+		})
+	}
+
+	return &LVC{
+		b:           b,
+		conn:        conn,
+		peer:        dst,
+		peerMachine: ackH.SrcMachine,
+		peerName:    ackInfo.Name,
+	}, nil
+}
+
+// recvFrame reads one frame with a deadline.
+func recvFrame(conn ipcs.Conn, timeout time.Duration) (wire.Header, []byte, error) {
+	type res struct {
+		h       wire.Header
+		payload []byte
+		err     error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		data, err := conn.Recv()
+		if err != nil {
+			ch <- res{err: err}
+			return
+		}
+		h, payload, err := wire.Unmarshal(data)
+		ch <- res{h: h, payload: payload, err: err}
+	}()
+	select {
+	case r := <-ch:
+		return r.h, r.payload, r.err
+	case <-time.After(timeout):
+		_ = conn.Close()
+		return wire.Header{}, nil, errors.New("ndlayer: open handshake timed out")
+	}
+}
+
+// acceptLoop services inbound LVC opens.
+func (b *Binding) acceptLoop() {
+	defer b.wg.Done()
+	for {
+		conn, err := b.listener.Accept()
+		if err != nil {
+			return
+		}
+		b.wg.Add(1)
+		go b.handleInbound(conn)
+	}
+}
+
+// handleInbound runs the responder side of the open protocol.
+func (b *Binding) handleInbound(conn ipcs.Conn) {
+	defer b.wg.Done()
+	h, payload, err := recvFrame(conn, b.cfg.OpenTimeout)
+	if err != nil || h.Type != wire.TOpen {
+		_ = conn.Close()
+		return
+	}
+	exit := b.cfg.Tracer.Enter(trace.LayerND, "accept", "inbound LVC", "peer "+h.Src.String())
+
+	var info openInfo
+	_ = pack.Unmarshal(payload, &info)
+
+	peer := h.Src
+	var remoteTAdd addr.UAdd
+	if h.Flags&wire.FlagSrcTAdd != 0 {
+		// §3.4: the source TAdd is not unique to us; assign our own.
+		remoteTAdd = h.Src
+		peer = b.aliases.Next()
+		if info.Endpoint != "" {
+			// Cache under the alias so routed sends to it work until the
+			// real UAdd replaces it.
+			b.cfg.Cache.Put(peer, addr.Endpoint{
+				Network: b.network,
+				Addr:    info.Endpoint,
+				Machine: h.SrcMachine,
+			})
+		}
+	} else if info.Endpoint != "" {
+		b.cfg.Cache.Put(peer, addr.Endpoint{
+			Network: b.network,
+			Addr:    info.Endpoint,
+			Machine: h.SrcMachine,
+		})
+	}
+
+	v := &LVC{
+		b:           b,
+		conn:        conn,
+		peer:        peer,
+		peerMachine: h.SrcMachine,
+		peerName:    info.Name,
+		remoteTAdd:  remoteTAdd,
+	}
+
+	self := b.cfg.Identity
+	ackInfo, err := pack.Marshal(openInfo{Name: self.Name(), Endpoint: b.listener.Addr()})
+	if err != nil {
+		_ = conn.Close()
+		exit(err)
+		return
+	}
+	ack := wire.Header{
+		Type:       wire.TOpenAck,
+		Src:        self.UAdd(),
+		Dst:        h.Src,
+		SrcMachine: self.Machine(),
+		Mode:       wire.ModePacked,
+	}
+	frame, err := wire.Marshal(ack, ackInfo)
+	if err != nil {
+		_ = conn.Close()
+		exit(err)
+		return
+	}
+	if err := conn.Send(frame); err != nil {
+		_ = conn.Close()
+		exit(err)
+		return
+	}
+
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		_ = conn.Close()
+		exit(ErrClosed)
+		return
+	}
+	b.circuits[peer] = v
+	b.wg.Add(1)
+	b.mu.Unlock()
+	go b.readLoop(v)
+	exit(nil)
+}
+
+// readLoop pumps frames from an LVC upward until the circuit dies.
+func (b *Binding) readLoop(v *LVC) {
+	defer b.wg.Done()
+	for {
+		data, err := v.conn.Recv()
+		if err != nil {
+			b.circuitDown(v, err)
+			return
+		}
+		h, payload, err := wire.Unmarshal(data)
+		if err != nil {
+			b.cfg.Errors.Report(errlog.CodeUnknowncontrol, "nd", "bad frame from %v: %v", v.Peer(), err)
+			continue
+		}
+		b.noteFrame(v, &h)
+		b.cfg.Deliver(Inbound{Header: h, Payload: payload, Via: v})
+	}
+}
+
+// noteFrame applies the §3.4 replacement rule and the alias rewrite for
+// TAdd peers.
+func (b *Binding) noteFrame(v *LVC, h *wire.Header) {
+	v.mu.Lock()
+	alias := v.peer
+	remote := v.remoteTAdd
+	v.mu.Unlock()
+	if remote == addr.Nil || !alias.IsTemp() {
+		return
+	}
+	if h.Flags&wire.FlagSrcTAdd != 0 {
+		if h.Src == remote {
+			// Present the peer under our local alias.
+			h.Src = alias
+		}
+		return
+	}
+	// First message from the peer's real UAdd: purge the alias everywhere.
+	real := h.Src
+	if real == addr.Nil || real.IsTemp() {
+		return
+	}
+	v.mu.Lock()
+	v.peer = real
+	v.remoteTAdd = addr.Nil
+	v.mu.Unlock()
+
+	b.mu.Lock()
+	if b.circuits[alias] == v {
+		delete(b.circuits, alias)
+		b.circuits[real] = v
+	}
+	b.mu.Unlock()
+	b.cfg.Cache.Replace(alias, real)
+	b.cfg.Errors.Report(errlog.CodeTAddReplaced, "nd", "%v replaced by %v", alias, real)
+	if b.cfg.OnTAddReplaced != nil {
+		b.cfg.OnTAddReplaced(alias, real)
+	}
+}
+
+// circuitDown removes a dead LVC and notifies upward.
+func (b *Binding) circuitDown(v *LVC, err error) {
+	v.markClosed()
+	peer := v.Peer()
+	b.mu.Lock()
+	if b.circuits[peer] == v {
+		delete(b.circuits, peer)
+	}
+	closed := b.closed
+	b.mu.Unlock()
+	if closed {
+		return
+	}
+	b.cfg.Errors.Report(errlog.CodeCircuitDead, "nd", "circuit to %v: %v", peer, err)
+	if b.cfg.OnCircuitDown != nil {
+		b.cfg.OnCircuitDown(peer, v, err)
+	}
+}
+
+// Send opens (if needed) the LVC to dst and transmits one frame.
+func (b *Binding) Send(dst addr.UAdd, h wire.Header, payload []byte) error {
+	v, err := b.Open(dst)
+	if err != nil {
+		return err
+	}
+	return v.Send(h, payload)
+}
+
+// Drop closes and forgets the LVC to dst, if any (used when upper layers
+// decide an address is stale).
+func (b *Binding) Drop(dst addr.UAdd) {
+	b.mu.Lock()
+	v := b.circuits[dst]
+	delete(b.circuits, dst)
+	b.mu.Unlock()
+	if v != nil {
+		_ = v.Close()
+	}
+}
+
+// Circuits returns the peers with live LVCs.
+func (b *Binding) Circuits() []addr.UAdd {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]addr.UAdd, 0, len(b.circuits))
+	for u := range b.circuits {
+		out = append(out, u)
+	}
+	return out
+}
+
+// TAddAliasCount reports how many circuit-table keys are still TAdd
+// aliases — the §3.4 purge assertion.
+func (b *Binding) TAddAliasCount() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := 0
+	for u := range b.circuits {
+		if u.IsTemp() {
+			n++
+		}
+	}
+	return n
+}
+
+// Close shuts the binding down: the endpoint closes and every LVC breaks.
+func (b *Binding) Close() error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil
+	}
+	b.closed = true
+	circuits := make([]*LVC, 0, len(b.circuits))
+	for _, v := range b.circuits {
+		circuits = append(circuits, v)
+	}
+	b.circuits = make(map[addr.UAdd]*LVC)
+	b.mu.Unlock()
+
+	err := b.listener.Close()
+	for _, v := range circuits {
+		_ = v.Close()
+	}
+	b.wg.Wait()
+	return err
+}
+
+// LVC is one local virtual circuit.
+type LVC struct {
+	b    *Binding
+	conn ipcs.Conn
+
+	mu          sync.Mutex
+	peer        addr.UAdd
+	remoteTAdd  addr.UAdd
+	peerMachine machine.Type
+	peerName    string
+	closed      bool
+}
+
+// Peer returns the circuit's current peer UAdd (a local alias while the
+// peer is still on a TAdd).
+func (v *LVC) Peer() addr.UAdd {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.peer
+}
+
+// PeerMachine returns the peer's machine type (learned at open).
+func (v *LVC) PeerMachine() machine.Type {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.peerMachine
+}
+
+// PeerName returns the peer's logical name as presented at open.
+func (v *LVC) PeerName() string {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.peerName
+}
+
+// Network returns the network this circuit runs over.
+func (v *LVC) Network() string { return v.b.network }
+
+// Send transmits one frame on the circuit. A failure closes the circuit
+// and surfaces as a FaultError.
+func (v *LVC) Send(h wire.Header, payload []byte) error {
+	frame, err := wire.Marshal(h, payload)
+	if err != nil {
+		return err
+	}
+	v.mu.Lock()
+	if v.closed {
+		v.mu.Unlock()
+		return &FaultError{Peer: v.peer, Err: ipcs.ErrClosed}
+	}
+	conn := v.conn
+	peer := v.peer
+	v.mu.Unlock()
+	if err := conn.Send(frame); err != nil {
+		_ = v.Close()
+		v.b.mu.Lock()
+		if v.b.circuits[peer] == v {
+			delete(v.b.circuits, peer)
+		}
+		v.b.mu.Unlock()
+		return &FaultError{Peer: peer, Err: err}
+	}
+	return nil
+}
+
+func (v *LVC) markClosed() {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.closed = true
+}
+
+// Close tears the circuit down and forgets it immediately, so a
+// subsequent Open dials afresh rather than finding the corpse.
+func (v *LVC) Close() error {
+	v.markClosed()
+	peer := v.Peer()
+	v.b.mu.Lock()
+	if v.b.circuits[peer] == v {
+		delete(v.b.circuits, peer)
+	}
+	v.b.mu.Unlock()
+	return v.conn.Close()
+}

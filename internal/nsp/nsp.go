@@ -1,0 +1,386 @@
+// Package nsp implements the Name Service Protocol Layer of paper §2.4:
+// "the single naming service access point for all layers within the
+// ComMod. Its purpose is to fully isolate the ComMod from the naming
+// service implementation."
+//
+// The NSP-Layer is a client of the Name Server module over the Nucleus
+// itself — the recursion of §3.1: "The NSP-layers talk across multiple
+// networks in the identical manner as application modules do." Every
+// request is an ordinary synchronous call carrying FlagService (so the
+// monitoring/time hooks of §6.1 do not recurse through it) in packed mode
+// (control data travels packed, §5.2).
+//
+// It implements all three narrow views the Nucleus layers need —
+// ndlayer.Resolver, iplayer.Directory and lcm.Resolver — so a single
+// SetNaming call wires the recursion.
+package nsp
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"ntcs/internal/addr"
+	"ntcs/internal/iplayer"
+	"ntcs/internal/lcm"
+	"ntcs/internal/machine"
+	"ntcs/internal/pack"
+	"ntcs/internal/trace"
+	"ntcs/internal/wire"
+)
+
+// Op codes of the naming service protocol.
+const (
+	OpRegister   = "register"
+	OpAnnounce   = "announce" // post-registration confirmation (purges TAdds, §3.4)
+	OpDeregister = "deregister"
+	OpResolve    = "resolve"
+	OpLookup     = "lookup"
+	OpForward    = "forward"
+	OpQuery      = "query"
+	OpReplicate  = "replicate" // server-to-server write propagation
+)
+
+// Result codes carried in responses.
+const (
+	CodeOK            = ""
+	CodeNotFound      = "not-found"
+	CodeStillAlive    = "still-alive"
+	CodeNoReplacement = "no-replacement"
+	CodeBadRequest    = "bad-request"
+)
+
+// EndpointRec is the wire form of a physical endpoint, kept
+// "uninterpreted" by the naming service (§3.2).
+type EndpointRec struct {
+	Network string
+	Addr    string
+	Machine uint8
+}
+
+// RecordRec is the wire form of a naming record.
+type RecordRec struct {
+	Name        string
+	Attrs       map[string]string
+	UAdd        uint64
+	Endpoints   []EndpointRec
+	Incarnation uint64
+	Alive       bool
+}
+
+// Request is a naming service request.
+type Request struct {
+	Op        string
+	Name      string
+	Attrs     map[string]string
+	UAdd      uint64
+	Endpoints []EndpointRec
+	Record    RecordRec // replication payload
+}
+
+// Response is a naming service response.
+type Response struct {
+	Code    string
+	Detail  string
+	UAdd    uint64
+	Records []RecordRec
+}
+
+// ToEndpoint converts the wire form back to an addr.Endpoint.
+func (e EndpointRec) ToEndpoint() addr.Endpoint {
+	return addr.Endpoint{Network: e.Network, Addr: e.Addr, Machine: machine.Type(e.Machine)}
+}
+
+// FromEndpoint converts an addr.Endpoint to wire form.
+func FromEndpoint(ep addr.Endpoint) EndpointRec {
+	return EndpointRec{Network: ep.Network, Addr: ep.Addr, Machine: uint8(ep.Machine)}
+}
+
+// Record is the NSP-visible naming record.
+type Record struct {
+	Name        string
+	Attrs       map[string]string
+	UAdd        addr.UAdd
+	Endpoints   []addr.Endpoint
+	Incarnation uint64
+	Alive       bool
+}
+
+func fromRec(r RecordRec) Record {
+	out := Record{
+		Name:        r.Name,
+		Attrs:       r.Attrs,
+		UAdd:        addr.UAdd(r.UAdd),
+		Incarnation: r.Incarnation,
+		Alive:       r.Alive,
+	}
+	for _, e := range r.Endpoints {
+		out.Endpoints = append(out.Endpoints, e.ToEndpoint())
+	}
+	return out
+}
+
+// Errors returned by the NSP-Layer.
+var (
+	ErrNotFound    = errors.New("nsp: no such name or address")
+	ErrUnavailable = errors.New("nsp: naming service unreachable")
+	ErrProtocol    = errors.New("nsp: malformed naming service response")
+)
+
+// Config assembles a Layer.
+type Config struct {
+	// LCM carries the protocol (the §3.1 recursion).
+	LCM *lcm.Layer
+	// WellKnown lists the Name Server addresses in preference order.
+	WellKnown addr.WellKnown
+	// Tracer receives diagnostics; may be nil.
+	Tracer *trace.Tracer
+	// GatewayTTL caches the gateway topology this long (default 2s; the
+	// paper's argument: "locally cached values will likely be correct
+	// since reconfiguration is infrequent").
+	GatewayTTL time.Duration
+}
+
+// Layer is the NSP-Layer: one per ComMod.
+type Layer struct {
+	cfg Config
+
+	mu        sync.Mutex
+	gwCache   []iplayer.GatewayInfo
+	gwFetched time.Time
+}
+
+// New assembles the layer.
+func New(cfg Config) (*Layer, error) {
+	if cfg.LCM == nil {
+		return nil, errors.New("nsp: LCM is required")
+	}
+	if cfg.GatewayTTL <= 0 {
+		cfg.GatewayTTL = 2 * time.Second
+	}
+	return &Layer{cfg: cfg}, nil
+}
+
+// call performs one naming service exchange, failing over across the
+// configured Name Server replicas.
+func (l *Layer) call(req Request) (Response, error) {
+	exit := l.cfg.Tracer.Enter(trace.LayerNSP, req.Op, "naming service request", "below/above")
+	resp, err := l.callServers(req)
+	exit(err)
+	return resp, err
+}
+
+func (l *Layer) callServers(req Request) (Response, error) {
+	payload, err := pack.Marshal(req)
+	if err != nil {
+		return Response{}, fmt.Errorf("nsp: marshal request: %w", err)
+	}
+	var lastErr error
+	for _, server := range l.cfg.WellKnown.NameServerUAdds() {
+		d, err := l.cfg.LCM.Call(server, wire.ModePacked, wire.FlagService, payload)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		var resp Response
+		if err := pack.Unmarshal(d.Payload, &resp); err != nil {
+			return Response{}, fmt.Errorf("%w: %v", ErrProtocol, err)
+		}
+		return resp, nil
+	}
+	if lastErr == nil {
+		lastErr = errors.New("no name servers configured")
+	}
+	return Response{}, fmt.Errorf("%w: %v", ErrUnavailable, lastErr)
+}
+
+// Register records the module with the naming service and returns its
+// assigned UAdd (§3.2). Modules with a preassigned well-known UAdd (§3.4:
+// prime gateways, name servers) pass it as requested; everyone else
+// passes addr.Nil and receives a fresh one.
+func (l *Layer) Register(name string, attrs map[string]string, endpoints []addr.Endpoint, requested addr.UAdd) (addr.UAdd, error) {
+	req := Request{Op: OpRegister, Name: name, Attrs: attrs, UAdd: uint64(requested)}
+	for _, ep := range endpoints {
+		req.Endpoints = append(req.Endpoints, FromEndpoint(ep))
+	}
+	resp, err := l.call(req)
+	if err != nil {
+		return addr.Nil, err
+	}
+	if resp.Code != CodeOK {
+		return addr.Nil, fmt.Errorf("nsp: register %q: %s (%s)", name, resp.Code, resp.Detail)
+	}
+	return addr.UAdd(resp.UAdd), nil
+}
+
+// Announce confirms a completed registration from the module's real UAdd.
+// Its arrival is the second communication of §3.4, after which no TAdd for
+// this module survives in any table.
+func (l *Layer) Announce(u addr.UAdd) error {
+	resp, err := l.call(Request{Op: OpAnnounce, UAdd: uint64(u)})
+	if err != nil {
+		return err
+	}
+	if resp.Code != CodeOK {
+		return fmt.Errorf("nsp: announce: %s (%s)", resp.Code, resp.Detail)
+	}
+	return nil
+}
+
+// Deregister marks the module's record dead (clean shutdown).
+func (l *Layer) Deregister(u addr.UAdd) error {
+	resp, err := l.call(Request{Op: OpDeregister, UAdd: uint64(u)})
+	if err != nil {
+		return err
+	}
+	if resp.Code != CodeOK && resp.Code != CodeNotFound {
+		return fmt.Errorf("nsp: deregister: %s (%s)", resp.Code, resp.Detail)
+	}
+	return nil
+}
+
+// Resolve maps a logical name to the UAdd of its newest alive module.
+func (l *Layer) Resolve(name string) (addr.UAdd, error) {
+	resp, err := l.call(Request{Op: OpResolve, Name: name})
+	if err != nil {
+		return addr.Nil, err
+	}
+	if resp.Code == CodeNotFound {
+		return addr.Nil, fmt.Errorf("%w: name %q", ErrNotFound, name)
+	}
+	if resp.Code != CodeOK {
+		return addr.Nil, fmt.Errorf("nsp: resolve %q: %s (%s)", name, resp.Code, resp.Detail)
+	}
+	return addr.UAdd(resp.UAdd), nil
+}
+
+// ResolveRecord is Resolve returning the full record, so the caller can
+// prime its endpoint cache in the same exchange.
+func (l *Layer) ResolveRecord(name string) (Record, error) {
+	resp, err := l.call(Request{Op: OpResolve, Name: name})
+	if err != nil {
+		return Record{}, err
+	}
+	if resp.Code == CodeNotFound || len(resp.Records) == 0 {
+		return Record{}, fmt.Errorf("%w: name %q", ErrNotFound, name)
+	}
+	if resp.Code != CodeOK {
+		return Record{}, fmt.Errorf("nsp: resolve %q: %s (%s)", name, resp.Code, resp.Detail)
+	}
+	return fromRec(resp.Records[0]), nil
+}
+
+// Lookup returns the full record for a UAdd.
+func (l *Layer) Lookup(u addr.UAdd) (Record, error) {
+	resp, err := l.call(Request{Op: OpLookup, UAdd: uint64(u)})
+	if err != nil {
+		return Record{}, err
+	}
+	if resp.Code == CodeNotFound || len(resp.Records) == 0 {
+		return Record{}, fmt.Errorf("%w: %v", ErrNotFound, u)
+	}
+	return fromRec(resp.Records[0]), nil
+}
+
+// Query returns every alive record matching all given attributes.
+func (l *Layer) Query(attrs map[string]string) ([]Record, error) {
+	resp, err := l.call(Request{Op: OpQuery, Attrs: attrs})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Code != CodeOK {
+		return nil, fmt.Errorf("nsp: query: %s (%s)", resp.Code, resp.Detail)
+	}
+	out := make([]Record, 0, len(resp.Records))
+	for _, r := range resp.Records {
+		out = append(out, fromRec(r))
+	}
+	return out, nil
+}
+
+// Forward implements lcm.Resolver: the §3.5 fault path. "This requires
+// some intelligence in the naming service, first determining whether the
+// old UAdd is really inactive, mapping the old UAdd to its name, and then
+// looking for a similar name in a newer module."
+func (l *Layer) Forward(old addr.UAdd) (addr.UAdd, error) {
+	resp, err := l.call(Request{Op: OpForward, UAdd: uint64(old)})
+	if err != nil {
+		return addr.Nil, err
+	}
+	switch resp.Code {
+	case CodeOK:
+		return addr.UAdd(resp.UAdd), nil
+	case CodeStillAlive:
+		return addr.Nil, lcm.ErrStillAlive
+	case CodeNoReplacement, CodeNotFound:
+		return addr.Nil, lcm.ErrNoReplacement
+	default:
+		return addr.Nil, fmt.Errorf("nsp: forward: %s (%s)", resp.Code, resp.Detail)
+	}
+}
+
+// LookupEndpoint implements ndlayer.Resolver.
+func (l *Layer) LookupEndpoint(u addr.UAdd, network string) (addr.Endpoint, error) {
+	rec, err := l.Lookup(u)
+	if err != nil {
+		return addr.Endpoint{}, err
+	}
+	for _, ep := range rec.Endpoints {
+		if ep.Network == network {
+			return ep, nil
+		}
+	}
+	return addr.Endpoint{}, fmt.Errorf("%w: %v has no endpoint on %s", ErrNotFound, u, network)
+}
+
+// NetworkOf implements iplayer.Directory.
+func (l *Layer) NetworkOf(u addr.UAdd) (string, error) {
+	rec, err := l.Lookup(u)
+	if err != nil {
+		return "", err
+	}
+	if len(rec.Endpoints) == 0 {
+		return "", fmt.Errorf("%w: %v has no endpoints", ErrNotFound, u)
+	}
+	return rec.Endpoints[0].Network, nil
+}
+
+// Gateways implements iplayer.Directory: the centralized topology of
+// §4.2, cached briefly.
+func (l *Layer) Gateways() ([]iplayer.GatewayInfo, error) {
+	l.mu.Lock()
+	if time.Since(l.gwFetched) < l.cfg.GatewayTTL && l.gwCache != nil {
+		cached := l.gwCache
+		l.mu.Unlock()
+		return cached, nil
+	}
+	l.mu.Unlock()
+
+	recs, err := l.Query(map[string]string{"type": "gateway"})
+	if err != nil {
+		return nil, err
+	}
+	gws := make([]iplayer.GatewayInfo, 0, len(recs))
+	for _, r := range recs {
+		gi := iplayer.GatewayInfo{UAdd: r.UAdd, Name: r.Name}
+		for _, ep := range r.Endpoints {
+			gi.Networks = append(gi.Networks, ep.Network)
+		}
+		gws = append(gws, gi)
+	}
+	l.mu.Lock()
+	l.gwCache = gws
+	l.gwFetched = time.Now()
+	l.mu.Unlock()
+	return gws, nil
+}
+
+// InvalidateGatewayCache drops the cached topology (tests, topology
+// changes).
+func (l *Layer) InvalidateGatewayCache() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.gwCache = nil
+	l.gwFetched = time.Time{}
+}

@@ -1,0 +1,225 @@
+package nsp_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"ntcs/internal/addr"
+	"ntcs/internal/core"
+	"ntcs/internal/ipcs/memnet"
+	"ntcs/internal/machine"
+	"ntcs/internal/nsp"
+	"ntcs/sim"
+)
+
+// fixture boots a world and returns the NSP layer of a registered module.
+type fixture struct {
+	w     *sim.World
+	layer *nsp.Layer
+	self  addr.UAdd
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	w := sim.NewWorld()
+	w.AddNetwork("ring", memnet.Options{})
+	nsHost := w.MustHost("ns-host", machine.Apollo, "ring")
+	if _, err := w.StartNameServer(nsHost, "ns"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(w.Close)
+	host := w.MustHost("vax-1", machine.VAX, "ring")
+	m, err := w.Attach(host, "subject", map[string]string{"role": "test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{w: w, layer: m.NSP(), self: m.UAdd()}
+}
+
+func TestResolveAndLookup(t *testing.T) {
+	f := newFixture(t)
+	u, err := f.layer.Resolve("subject")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u != f.self {
+		t.Errorf("Resolve = %v, want %v", u, f.self)
+	}
+	rec, err := f.layer.Lookup(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Name != "subject" || !rec.Alive || rec.Attrs["role"] != "test" {
+		t.Errorf("Lookup = %+v", rec)
+	}
+	if len(rec.Endpoints) != 1 || rec.Endpoints[0].Network != "ring" {
+		t.Errorf("endpoints = %v", rec.Endpoints)
+	}
+	if rec.Endpoints[0].Machine != machine.VAX {
+		t.Errorf("machine = %v", rec.Endpoints[0].Machine)
+	}
+	if _, err := f.layer.Resolve("nobody"); !errors.Is(err, nsp.ErrNotFound) {
+		t.Errorf("Resolve unknown: %v", err)
+	}
+	if _, err := f.layer.Lookup(99999); !errors.Is(err, nsp.ErrNotFound) {
+		t.Errorf("Lookup unknown: %v", err)
+	}
+}
+
+func TestResolveRecordPrimesEverything(t *testing.T) {
+	f := newFixture(t)
+	rec, err := f.layer.ResolveRecord("subject")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.UAdd != f.self || len(rec.Endpoints) == 0 {
+		t.Errorf("ResolveRecord = %+v", rec)
+	}
+	if _, err := f.layer.ResolveRecord("nobody"); !errors.Is(err, nsp.ErrNotFound) {
+		t.Errorf("unknown: %v", err)
+	}
+}
+
+func TestLookupEndpointAndNetworkOf(t *testing.T) {
+	f := newFixture(t)
+	ep, err := f.layer.LookupEndpoint(f.self, "ring")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ep.Network != "ring" || ep.Addr == "" {
+		t.Errorf("endpoint = %v", ep)
+	}
+	if _, err := f.layer.LookupEndpoint(f.self, "mars"); !errors.Is(err, nsp.ErrNotFound) {
+		t.Errorf("wrong network: %v", err)
+	}
+	net, err := f.layer.NetworkOf(f.self)
+	if err != nil || net != "ring" {
+		t.Errorf("NetworkOf = %q, %v", net, err)
+	}
+}
+
+func TestQueryAndGatewayCache(t *testing.T) {
+	f := newFixture(t)
+	recs, err := f.layer.Query(map[string]string{"role": "test"})
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("Query = %v, %v", recs, err)
+	}
+	// No gateways registered: empty, and the result is cached.
+	gws, err := f.layer.Gateways()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gws) != 0 {
+		t.Errorf("gateways = %v", gws)
+	}
+	// Register a gateway; the cached topology hides it until invalidated
+	// (or the TTL passes).
+	gwHost := f.w.MustHost("gw-host", machine.Apollo, "ring")
+	_ = gwHost
+	m, err := f.w.Attach(gwHost, "fake-gw", map[string]string{"type": "gateway"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = m
+	gws, err = f.layer.Gateways()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gws) != 0 {
+		t.Errorf("TTL cache should still be empty, got %v", gws)
+	}
+	f.layer.InvalidateGatewayCache()
+	gws, err = f.layer.Gateways()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gws) != 1 || gws[0].Name != "fake-gw" {
+		t.Errorf("after invalidation: %v", gws)
+	}
+}
+
+func TestForwardOutcomes(t *testing.T) {
+	f := newFixture(t)
+	// Unknown UAdd → no replacement.
+	if _, err := f.layer.Forward(424242); err == nil {
+		t.Error("forward of unknown UAdd should fail")
+	}
+	// Alive module (it answers pings) → still-alive.
+	host := f.w.MustHost("vax-2", machine.VAX, "ring")
+	alive, err := f.w.Attach(host, "alive", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.layer.Forward(alive.UAdd()); err == nil || err.Error() == "" {
+		t.Errorf("forward of alive module: %v", err)
+	}
+	// Dead module with a successor → the successor.
+	old := alive.UAdd()
+	if err := alive.Detach(); err != nil {
+		t.Fatal(err)
+	}
+	repl, err := f.w.Attach(host, "alive", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.layer.Forward(old)
+	if err != nil {
+		t.Fatalf("forward after replacement: %v", err)
+	}
+	if got != repl.UAdd() {
+		t.Errorf("Forward = %v, want %v", got, repl.UAdd())
+	}
+}
+
+func TestDeregisterIdempotent(t *testing.T) {
+	f := newFixture(t)
+	if err := f.layer.Deregister(f.self); err != nil {
+		t.Fatal(err)
+	}
+	// Second deregister: not-found is fine.
+	if err := f.layer.Deregister(99999); err != nil {
+		t.Errorf("deregister unknown: %v", err)
+	}
+	if _, err := f.layer.Resolve("subject"); !errors.Is(err, nsp.ErrNotFound) {
+		t.Errorf("resolve after deregister: %v", err)
+	}
+}
+
+func TestEndpointConversionRoundTrip(t *testing.T) {
+	in := addr.Endpoint{Network: "n", Addr: "a", Machine: machine.Sun68K}
+	out := nsp.FromEndpoint(in).ToEndpoint()
+	if out != in {
+		t.Errorf("round trip: %v", out)
+	}
+}
+
+func TestUnavailableNamingService(t *testing.T) {
+	w := sim.NewWorld()
+	w.AddNetwork("ring", memnet.Options{})
+	nsHost := w.MustHost("ns-host", machine.Apollo, "ring")
+	nsMod, err := w.StartNameServer(nsHost, "ns")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(w.Close)
+	host := w.MustHost("vax-1", machine.VAX, "ring")
+	m, err := w.AttachConfig(host, core.Config{Name: "m", CallTimeout: 300 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nsMod.Detach(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	var resolveErr error
+	for time.Now().Before(deadline) {
+		_, resolveErr = m.NSP().Resolve("anything")
+		if resolveErr != nil {
+			break
+		}
+	}
+	if !errors.Is(resolveErr, nsp.ErrUnavailable) && !errors.Is(resolveErr, nsp.ErrNotFound) {
+		t.Errorf("resolve with NS down: %v", resolveErr)
+	}
+}

@@ -1,0 +1,576 @@
+// Package pack implements the NTCS packed conversion mode of paper §5.1.
+//
+// "In packed mode, the NTCS applies conversion functions at each end,
+// while transporting the message as a simple byte stream. ... A character
+// representation transport format was chosen for the current
+// implementation, purely for simplicity." The Encoder/Decoder pair below
+// is that format: every value is rendered as characters (built with
+// machine-representation-independent constructs, the Go equivalent of
+// sprintf/sscanf), so byte ordering problems cannot arise.
+//
+// Marshal and Unmarshal reproduce the URSA project's automatic pack/unpack
+// generation "directly from the message structure definitions"
+// (Schlegel [22]): they derive the conversion functions from a struct's
+// shape rather than requiring hand-written ones.
+package pack
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Errors returned by the codec.
+var (
+	ErrSyntax      = errors.New("pack: malformed packed data")
+	ErrTypeTag     = errors.New("pack: packed value has a different type tag")
+	ErrUnsupported = errors.New("pack: unsupported type")
+	ErrBadTarget   = errors.New("pack: decode target must be a non-nil pointer")
+	ErrTrailing    = errors.New("pack: trailing bytes after value")
+	ErrOverflow    = errors.New("pack: value overflows target field")
+)
+
+// Encoder builds a packed byte stream. The zero value is ready to use.
+//
+// Token syntax (all ASCII):
+//
+//	i<decimal>;        signed integer
+//	u<decimal>;        unsigned integer
+//	f<strconv %g>;     floating point (shortest round-trip form)
+//	b0; | b1;          boolean
+//	s<len>:<bytes>     string (length-prefixed raw bytes)
+//	x<len>:<bytes>     byte slice
+//	l<len>;            list header, followed by <len> values
+//	m<len>;            map header, followed by sorted key/value pairs
+//	( ... )            struct grouping
+//	n;                 nil (empty slice/map)
+type Encoder struct {
+	buf []byte
+}
+
+// Bytes returns the encoded stream.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Len returns the number of encoded bytes so far.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+// Reset discards the encoded stream, retaining the buffer.
+func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+
+// Int encodes a signed integer.
+func (e *Encoder) Int(v int64) {
+	e.buf = append(e.buf, 'i')
+	e.buf = strconv.AppendInt(e.buf, v, 10)
+	e.buf = append(e.buf, ';')
+}
+
+// Uint encodes an unsigned integer.
+func (e *Encoder) Uint(v uint64) {
+	e.buf = append(e.buf, 'u')
+	e.buf = strconv.AppendUint(e.buf, v, 10)
+	e.buf = append(e.buf, ';')
+}
+
+// Float encodes a floating-point value in shortest round-trip form.
+func (e *Encoder) Float(v float64) {
+	e.buf = append(e.buf, 'f')
+	e.buf = strconv.AppendFloat(e.buf, v, 'g', -1, 64)
+	e.buf = append(e.buf, ';')
+}
+
+// Bool encodes a boolean.
+func (e *Encoder) Bool(v bool) {
+	if v {
+		e.buf = append(e.buf, 'b', '1', ';')
+	} else {
+		e.buf = append(e.buf, 'b', '0', ';')
+	}
+}
+
+// String encodes a string as length-prefixed raw bytes.
+func (e *Encoder) String(v string) {
+	e.buf = append(e.buf, 's')
+	e.buf = strconv.AppendInt(e.buf, int64(len(v)), 10)
+	e.buf = append(e.buf, ':')
+	e.buf = append(e.buf, v...)
+}
+
+// Bytes appends a byte slice as length-prefixed raw bytes.
+func (e *Encoder) BytesField(v []byte) {
+	e.buf = append(e.buf, 'x')
+	e.buf = strconv.AppendInt(e.buf, int64(len(v)), 10)
+	e.buf = append(e.buf, ':')
+	e.buf = append(e.buf, v...)
+}
+
+// List writes a list header for n following values.
+func (e *Encoder) List(n int) {
+	e.buf = append(e.buf, 'l')
+	e.buf = strconv.AppendInt(e.buf, int64(n), 10)
+	e.buf = append(e.buf, ';')
+}
+
+// Map writes a map header for n following key/value pairs.
+func (e *Encoder) Map(n int) {
+	e.buf = append(e.buf, 'm')
+	e.buf = strconv.AppendInt(e.buf, int64(n), 10)
+	e.buf = append(e.buf, ';')
+}
+
+// Begin opens a struct group.
+func (e *Encoder) Begin() { e.buf = append(e.buf, '(') }
+
+// End closes a struct group.
+func (e *Encoder) End() { e.buf = append(e.buf, ')') }
+
+// Nil encodes an absent slice or map.
+func (e *Encoder) Nil() { e.buf = append(e.buf, 'n', ';') }
+
+// Decoder consumes a packed byte stream.
+type Decoder struct {
+	data []byte
+	pos  int
+}
+
+// NewDecoder returns a decoder over data.
+func NewDecoder(data []byte) *Decoder {
+	return &Decoder{data: data}
+}
+
+// Remaining returns the number of unconsumed bytes.
+func (d *Decoder) Remaining() int { return len(d.data) - d.pos }
+
+func (d *Decoder) peek() (byte, error) {
+	if d.pos >= len(d.data) {
+		return 0, fmt.Errorf("%w: unexpected end of data at %d", ErrSyntax, d.pos)
+	}
+	return d.data[d.pos], nil
+}
+
+// tag consumes the expected tag byte.
+func (d *Decoder) tag(want byte) error {
+	c, err := d.peek()
+	if err != nil {
+		return err
+	}
+	if c != want {
+		return fmt.Errorf("%w: want %q, got %q at %d", ErrTypeTag, want, c, d.pos)
+	}
+	d.pos++
+	return nil
+}
+
+// number reads decimal characters up to the delimiter.
+func (d *Decoder) number(delim byte) (string, error) {
+	start := d.pos
+	for d.pos < len(d.data) && d.data[d.pos] != delim {
+		d.pos++
+	}
+	if d.pos >= len(d.data) {
+		return "", fmt.Errorf("%w: missing %q delimiter after %d", ErrSyntax, delim, start)
+	}
+	s := string(d.data[start:d.pos])
+	d.pos++ // consume delimiter
+	if s == "" {
+		return "", fmt.Errorf("%w: empty number at %d", ErrSyntax, start)
+	}
+	return s, nil
+}
+
+// Int decodes a signed integer.
+func (d *Decoder) Int() (int64, error) {
+	if err := d.tag('i'); err != nil {
+		return 0, err
+	}
+	s, err := d.number(';')
+	if err != nil {
+		return 0, err
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %q", ErrSyntax, s)
+	}
+	return v, nil
+}
+
+// Uint decodes an unsigned integer.
+func (d *Decoder) Uint() (uint64, error) {
+	if err := d.tag('u'); err != nil {
+		return 0, err
+	}
+	s, err := d.number(';')
+	if err != nil {
+		return 0, err
+	}
+	v, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %q", ErrSyntax, s)
+	}
+	return v, nil
+}
+
+// Float decodes a floating-point value.
+func (d *Decoder) Float() (float64, error) {
+	if err := d.tag('f'); err != nil {
+		return 0, err
+	}
+	s, err := d.number(';')
+	if err != nil {
+		return 0, err
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %q", ErrSyntax, s)
+	}
+	return v, nil
+}
+
+// Bool decodes a boolean.
+func (d *Decoder) Bool() (bool, error) {
+	if err := d.tag('b'); err != nil {
+		return false, err
+	}
+	s, err := d.number(';')
+	if err != nil {
+		return false, err
+	}
+	switch s {
+	case "0":
+		return false, nil
+	case "1":
+		return true, nil
+	}
+	return false, fmt.Errorf("%w: bool %q", ErrSyntax, s)
+}
+
+func (d *Decoder) counted(tagByte byte) ([]byte, error) {
+	if err := d.tag(tagByte); err != nil {
+		return nil, err
+	}
+	s, err := d.number(':')
+	if err != nil {
+		return nil, err
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 0 {
+		return nil, fmt.Errorf("%w: length %q", ErrSyntax, s)
+	}
+	if d.pos+n > len(d.data) {
+		return nil, fmt.Errorf("%w: counted field of %d bytes exceeds data", ErrSyntax, n)
+	}
+	v := d.data[d.pos : d.pos+n]
+	d.pos += n
+	return v, nil
+}
+
+// String decodes a string.
+func (d *Decoder) String() (string, error) {
+	v, err := d.counted('s')
+	return string(v), err
+}
+
+// BytesField decodes a byte slice (copied out of the stream).
+func (d *Decoder) BytesField() ([]byte, error) {
+	v, err := d.counted('x')
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, len(v))
+	copy(out, v)
+	return out, nil
+}
+
+// List decodes a list header and returns the element count.
+func (d *Decoder) List() (int, error) { return d.header('l') }
+
+// Map decodes a map header and returns the pair count.
+func (d *Decoder) Map() (int, error) { return d.header('m') }
+
+func (d *Decoder) header(tagByte byte) (int, error) {
+	if err := d.tag(tagByte); err != nil {
+		return 0, err
+	}
+	s, err := d.number(';')
+	if err != nil {
+		return 0, err
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("%w: count %q", ErrSyntax, s)
+	}
+	return n, nil
+}
+
+// Begin consumes a struct-group opener.
+func (d *Decoder) Begin() error { return d.tag('(') }
+
+// End consumes a struct-group closer.
+func (d *Decoder) End() error { return d.tag(')') }
+
+// IsNil reports (and consumes) a nil marker if one is next.
+func (d *Decoder) IsNil() bool {
+	if d.pos+1 < len(d.data) && d.data[d.pos] == 'n' && d.data[d.pos+1] == ';' {
+		d.pos += 2
+		return true
+	}
+	return false
+}
+
+// Marshal derives pack functions from v's structure and returns the packed
+// byte stream. Supported shapes: fixed and variable integers, floats,
+// bools, strings, []byte, slices, arrays, maps with string or integer
+// keys, and nested structs of the same (exported fields only; unexported
+// fields are rejected, as they could not be reconstructed at the far end).
+func Marshal(v any) ([]byte, error) {
+	var e Encoder
+	rv := reflect.ValueOf(v)
+	if err := marshalValue(&e, rv); err != nil {
+		return nil, err
+	}
+	return e.Bytes(), nil
+}
+
+func marshalValue(e *Encoder, rv reflect.Value) error {
+	if !rv.IsValid() {
+		return fmt.Errorf("%w: untyped nil", ErrUnsupported)
+	}
+	t := rv.Type()
+	switch t.Kind() {
+	case reflect.Pointer:
+		if rv.IsNil() {
+			return fmt.Errorf("%w: nil pointer", ErrUnsupported)
+		}
+		return marshalValue(e, rv.Elem())
+	case reflect.Bool:
+		e.Bool(rv.Bool())
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		e.Int(rv.Int())
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		e.Uint(rv.Uint())
+	case reflect.Float32, reflect.Float64:
+		e.Float(rv.Float())
+	case reflect.String:
+		e.String(rv.String())
+	case reflect.Slice:
+		if t.Elem().Kind() == reflect.Uint8 {
+			e.BytesField(rv.Bytes())
+			return nil
+		}
+		if rv.IsNil() {
+			e.Nil()
+			return nil
+		}
+		e.List(rv.Len())
+		for i := 0; i < rv.Len(); i++ {
+			if err := marshalValue(e, rv.Index(i)); err != nil {
+				return err
+			}
+		}
+	case reflect.Array:
+		e.List(rv.Len())
+		for i := 0; i < rv.Len(); i++ {
+			if err := marshalValue(e, rv.Index(i)); err != nil {
+				return err
+			}
+		}
+	case reflect.Map:
+		if rv.IsNil() {
+			e.Nil()
+			return nil
+		}
+		keys := rv.MapKeys()
+		switch t.Key().Kind() {
+		case reflect.String:
+			sort.Slice(keys, func(i, j int) bool { return keys[i].String() < keys[j].String() })
+		case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+			sort.Slice(keys, func(i, j int) bool { return keys[i].Int() < keys[j].Int() })
+		case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+			sort.Slice(keys, func(i, j int) bool { return keys[i].Uint() < keys[j].Uint() })
+		default:
+			return fmt.Errorf("%w: map key kind %s", ErrUnsupported, t.Key().Kind())
+		}
+		e.Map(len(keys))
+		for _, k := range keys {
+			if err := marshalValue(e, k); err != nil {
+				return err
+			}
+			if err := marshalValue(e, rv.MapIndex(k)); err != nil {
+				return err
+			}
+		}
+	case reflect.Struct:
+		e.Begin()
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			if !f.IsExported() {
+				return fmt.Errorf("%w: unexported field %s.%s", ErrUnsupported, t.Name(), f.Name)
+			}
+			if err := marshalValue(e, rv.Field(i)); err != nil {
+				return fmt.Errorf("field %s: %w", f.Name, err)
+			}
+		}
+		e.End()
+	default:
+		return fmt.Errorf("%w: kind %s", ErrUnsupported, t.Kind())
+	}
+	return nil
+}
+
+// Unmarshal reverses Marshal into out, which must be a non-nil pointer.
+func Unmarshal(data []byte, out any) error {
+	rv := reflect.ValueOf(out)
+	if rv.Kind() != reflect.Pointer || rv.IsNil() {
+		return ErrBadTarget
+	}
+	d := NewDecoder(data)
+	if err := unmarshalValue(d, rv.Elem()); err != nil {
+		return err
+	}
+	if d.Remaining() != 0 {
+		return fmt.Errorf("%w: %d bytes", ErrTrailing, d.Remaining())
+	}
+	return nil
+}
+
+func unmarshalValue(d *Decoder, rv reflect.Value) error {
+	t := rv.Type()
+	switch t.Kind() {
+	case reflect.Bool:
+		v, err := d.Bool()
+		if err != nil {
+			return err
+		}
+		rv.SetBool(v)
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		v, err := d.Int()
+		if err != nil {
+			return err
+		}
+		if rv.OverflowInt(v) {
+			return fmt.Errorf("%w: %d into %s", ErrOverflow, v, t)
+		}
+		rv.SetInt(v)
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		v, err := d.Uint()
+		if err != nil {
+			return err
+		}
+		if rv.OverflowUint(v) {
+			return fmt.Errorf("%w: %d into %s", ErrOverflow, v, t)
+		}
+		rv.SetUint(v)
+	case reflect.Float32, reflect.Float64:
+		v, err := d.Float()
+		if err != nil {
+			return err
+		}
+		rv.SetFloat(v)
+	case reflect.String:
+		v, err := d.String()
+		if err != nil {
+			return err
+		}
+		rv.SetString(v)
+	case reflect.Slice:
+		if t.Elem().Kind() == reflect.Uint8 {
+			v, err := d.BytesField()
+			if err != nil {
+				return err
+			}
+			rv.SetBytes(v)
+			return nil
+		}
+		if d.IsNil() {
+			rv.Set(reflect.Zero(t))
+			return nil
+		}
+		n, err := d.List()
+		if err != nil {
+			return err
+		}
+		s := reflect.MakeSlice(t, n, n)
+		for i := 0; i < n; i++ {
+			if err := unmarshalValue(d, s.Index(i)); err != nil {
+				return err
+			}
+		}
+		rv.Set(s)
+	case reflect.Array:
+		n, err := d.List()
+		if err != nil {
+			return err
+		}
+		if n != rv.Len() {
+			return fmt.Errorf("%w: array length %d != %d", ErrSyntax, n, rv.Len())
+		}
+		for i := 0; i < n; i++ {
+			if err := unmarshalValue(d, rv.Index(i)); err != nil {
+				return err
+			}
+		}
+	case reflect.Map:
+		if d.IsNil() {
+			rv.Set(reflect.Zero(t))
+			return nil
+		}
+		n, err := d.Map()
+		if err != nil {
+			return err
+		}
+		m := reflect.MakeMapWithSize(t, n)
+		for i := 0; i < n; i++ {
+			k := reflect.New(t.Key()).Elem()
+			if err := unmarshalValue(d, k); err != nil {
+				return err
+			}
+			v := reflect.New(t.Elem()).Elem()
+			if err := unmarshalValue(d, v); err != nil {
+				return err
+			}
+			m.SetMapIndex(k, v)
+		}
+		rv.Set(m)
+	case reflect.Struct:
+		if err := d.Begin(); err != nil {
+			return err
+		}
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			if !f.IsExported() {
+				return fmt.Errorf("%w: unexported field %s.%s", ErrUnsupported, t.Name(), f.Name)
+			}
+			if err := unmarshalValue(d, rv.Field(i)); err != nil {
+				return fmt.Errorf("field %s: %w", f.Name, err)
+			}
+		}
+		return d.End()
+	case reflect.Pointer:
+		if rv.IsNil() {
+			rv.Set(reflect.New(t.Elem()))
+		}
+		return unmarshalValue(d, rv.Elem())
+	default:
+		return fmt.Errorf("%w: kind %s", ErrUnsupported, t.Kind())
+	}
+	return nil
+}
+
+// Dump renders packed data in human-readable form for diagnostics.
+func Dump(data []byte) string {
+	var b strings.Builder
+	for i, c := range data {
+		if c >= 0x20 && c < 0x7F {
+			b.WriteByte(c)
+		} else {
+			fmt.Fprintf(&b, "\\x%02x", c)
+		}
+		if i > 512 {
+			b.WriteString("…")
+			break
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,92 @@
+package ursa
+
+import (
+	"fmt"
+
+	"ntcs/internal/core"
+)
+
+// RegisterGeneratedConverters installs the ntcsgen-generated pack/unpack
+// routines (packgen.go) for every URSA message type on a module: the
+// application-supplied conversion functions of §5.1, built "directly from
+// the message structure definitions" rather than derived by reflection at
+// run time.
+func RegisterGeneratedConverters(m *core.Module) error {
+	type conv struct {
+		msgType string
+		c       core.Converter
+	}
+	convs := []conv{
+		{MsgIngest, converterFor(
+			func(v *IngestRequest) []byte { return MarshalIngestRequest(v) },
+			UnmarshalIngestRequest,
+			func(v *IngestReply) []byte { return MarshalIngestReply(v) },
+			UnmarshalIngestReply,
+		)},
+		{MsgIndexLookup, converterFor(
+			func(v *IndexLookupRequest) []byte { return MarshalIndexLookupRequest(v) },
+			UnmarshalIndexLookupRequest,
+			func(v *IndexLookupReply) []byte { return MarshalIndexLookupReply(v) },
+			UnmarshalIndexLookupReply,
+		)},
+		{MsgSearch, converterFor(
+			func(v *SearchRequest) []byte { return MarshalSearchRequest(v) },
+			UnmarshalSearchRequest,
+			func(v *SearchReply) []byte { return MarshalSearchReply(v) },
+			UnmarshalSearchReply,
+		)},
+		{MsgFetch, converterFor(
+			func(v *FetchRequest) []byte { return MarshalFetchRequest(v) },
+			UnmarshalFetchRequest,
+			func(v *Document) []byte { return MarshalDocument(v) },
+			UnmarshalDocument,
+		)},
+		{MsgStats, converterFor(
+			func(v *StatsRequest) []byte { return MarshalStatsRequest(v) },
+			UnmarshalStatsRequest,
+			func(v *StatsReply) []byte { return MarshalStatsReply(v) },
+			UnmarshalStatsReply,
+		)},
+	}
+	for _, cv := range convs {
+		if err := m.RegisterConverter(cv.msgType, cv.c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// converterFor builds a bidirectional converter: each URSA message type
+// carries either the request or the reply shape, so the converter
+// dispatches on the concrete Go type.
+func converterFor[Req, Rep any](
+	packReq func(*Req) []byte, unpackReq func([]byte, *Req) error,
+	packRep func(*Rep) []byte, unpackRep func([]byte, *Rep) error,
+) core.Converter {
+	return core.Converter{
+		Pack: func(body any) ([]byte, error) {
+			switch v := body.(type) {
+			case Req:
+				return packReq(&v), nil
+			case *Req:
+				return packReq(v), nil
+			case Rep:
+				return packRep(&v), nil
+			case *Rep:
+				return packRep(v), nil
+			default:
+				return nil, fmt.Errorf("ursa: converter cannot pack %T", body)
+			}
+		},
+		Unpack: func(data []byte, out any) error {
+			switch v := out.(type) {
+			case *Req:
+				return unpackReq(data, v)
+			case *Rep:
+				return unpackRep(data, v)
+			default:
+				return fmt.Errorf("ursa: converter cannot unpack into %T", out)
+			}
+		},
+	}
+}

@@ -1,0 +1,82 @@
+package ursa
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// BuiltinCorpus is a small paper-themed document set for examples and
+// smoke tests.
+func BuiltinCorpus() []Document {
+	return []Document{
+		{ID: 1, Title: "A Portable Network-Transparent Communication System",
+			Text: "The NTCS supports message passing for distributed applications while isolating them from physical location and internetting."},
+		{ID: 2, Title: "The Utah Retrieval System Architecture",
+			Text: "URSA is a testbed for information retrieval research with backend servers for index lookup, searching, and retrieval of documents."},
+		{ID: 3, Title: "UIDs as Internal Names in a Distributed File System",
+			Text: "Unique identifiers provide location independence and simplify passing references among machines."},
+		{ID: 4, Title: "Grapevine: An Exercise in Distributed Computing",
+			Text: "A registration service provides naming, authentication, and resource location for a large distributed environment."},
+		{ID: 5, Title: "The Clearinghouse",
+			Text: "A decentralized agent for locating named objects in a distributed environment using a three level naming convention."},
+		{ID: 6, Title: "End-To-End Arguments in System Design",
+			Text: "Functions placed at low levels of a system may be redundant when compared with the cost of providing them at that low level."},
+		{ID: 7, Title: "Routing and Flow Control in TYMNET",
+			Text: "A centralized supervisor establishes virtual circuits while the network nodes forward data autonomously."},
+		{ID: 8, Title: "The V Kernel: a Software Base for Distributed Systems",
+			Text: "A message passing kernel supporting uniform interprocess communication among workstation clusters."},
+		{ID: 9, Title: "LOCUS: A Network Transparent High Reliability Distributed System",
+			Text: "Network transparency extends to the operating system level with a distributed file system and process migration."},
+		{ID: 10, Title: "Support for Distributed Transactions in the TABS Prototype",
+			Text: "Transaction management provides recovery from failures that communication systems alone cannot handle, such as roll back of incomplete transactions."},
+	}
+}
+
+// corpusVocabulary feeds the synthetic generator: retrieval-flavoured
+// terms so queries hit multiple documents with varying frequencies.
+var corpusVocabulary = []string{
+	"message", "passing", "distributed", "system", "network", "transparent",
+	"portable", "naming", "service", "gateway", "circuit", "virtual",
+	"address", "resolution", "module", "relocation", "recovery", "index",
+	"search", "retrieval", "document", "server", "backend", "testbed",
+	"protocol", "layer", "nucleus", "recursion", "monitor", "time",
+	"conversion", "image", "packed", "shift", "byte", "stream",
+}
+
+// GenerateCorpus builds n synthetic documents deterministically from seed.
+func GenerateCorpus(n int, seed int64) []Document {
+	rng := rand.New(rand.NewSource(seed))
+	docs := make([]Document, 0, n)
+	for i := 0; i < n; i++ {
+		titleLen := 3 + rng.Intn(4)
+		textLen := 20 + rng.Intn(60)
+		docs = append(docs, Document{
+			ID:    int64(i + 1),
+			Title: fmt.Sprintf("doc-%d %s", i+1, randomWords(rng, titleLen)),
+			Text:  randomWords(rng, textLen),
+		})
+	}
+	return docs
+}
+
+// Queries returns deterministic multi-term queries over the generator's
+// vocabulary.
+func Queries(n int, seed int64) []string {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, randomWords(rng, 2+rng.Intn(3)))
+	}
+	return out
+}
+
+func randomWords(rng *rand.Rand, n int) string {
+	buf := make([]byte, 0, n*8)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			buf = append(buf, ' ')
+		}
+		buf = append(buf, corpusVocabulary[rng.Intn(len(corpusVocabulary))]...)
+	}
+	return string(buf)
+}

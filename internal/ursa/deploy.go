@@ -1,0 +1,58 @@
+package ursa
+
+import (
+	"fmt"
+
+	"ntcs/internal/core"
+	"ntcs/sim"
+)
+
+// Deployment is a running set of URSA backends.
+type Deployment struct {
+	Index  *IndexServer
+	Docs   *DocServer
+	Search *SearchServer
+
+	IndexModule  *core.Module
+	DocsModule   *core.Module
+	SearchModule *core.Module
+}
+
+// Deploy starts the three backend servers on the given hosts (which may
+// coincide). The world must already have a running Name Server, and
+// gateways for any network crossings. Every backend uses the
+// ntcsgen-generated converters — no reflection on the message path.
+func Deploy(w *sim.World, indexHost, docHost, searchHost *sim.Host) (*Deployment, error) {
+	dep := &Deployment{}
+
+	m, err := w.Attach(indexHost, IndexServerName, map[string]string{"role": "index"})
+	if err != nil {
+		return nil, fmt.Errorf("deploy index server: %w", err)
+	}
+	if err := RegisterGeneratedConverters(m); err != nil {
+		return nil, err
+	}
+	dep.IndexModule = m
+	dep.Index = NewIndexServer(m)
+
+	m, err = w.Attach(docHost, DocServerName, map[string]string{"role": "docs"})
+	if err != nil {
+		return nil, fmt.Errorf("deploy document server: %w", err)
+	}
+	if err := RegisterGeneratedConverters(m); err != nil {
+		return nil, err
+	}
+	dep.DocsModule = m
+	dep.Docs = NewDocServer(m)
+
+	m, err = w.Attach(searchHost, SearchServerName, map[string]string{"role": "search"})
+	if err != nil {
+		return nil, fmt.Errorf("deploy search server: %w", err)
+	}
+	if err := RegisterGeneratedConverters(m); err != nil {
+		return nil, err
+	}
+	dep.SearchModule = m
+	dep.Search = NewSearchServer(m)
+	return dep, nil
+}

@@ -1,0 +1,262 @@
+package ursa
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"ntcs/internal/addr"
+	"ntcs/internal/core"
+)
+
+// IndexServer is the index-lookup backend: an inverted index.
+type IndexServer struct {
+	m *core.Module
+
+	mu       sync.RWMutex
+	postings map[string][]Posting
+	docs     int64
+	requests atomic.Int64
+}
+
+// NewIndexServer wraps an attached module as an index backend and starts
+// serving.
+func NewIndexServer(m *core.Module) *IndexServer {
+	s := &IndexServer{m: m, postings: make(map[string][]Posting)}
+	go recvLoop(m, s.handle)
+	return s
+}
+
+func (s *IndexServer) handle(d *core.Delivery) {
+	s.requests.Add(1)
+	switch d.Type {
+	case MsgIngest:
+		var req IngestRequest
+		if err := d.Decode(&req); err != nil {
+			_ = s.m.ReplyError(d, err.Error())
+			return
+		}
+		s.index(req.Docs)
+		_ = s.m.Reply(d, MsgIngest, IngestReply{Count: int64(len(req.Docs))})
+	case MsgIndexLookup:
+		var req IndexLookupRequest
+		if err := d.Decode(&req); err != nil {
+			_ = s.m.ReplyError(d, err.Error())
+			return
+		}
+		_ = s.m.Reply(d, MsgIndexLookup, IndexLookupReply{
+			Term:     req.Term,
+			Postings: s.Lookup(req.Term),
+		})
+	case MsgStats:
+		s.mu.RLock()
+		items := s.docs
+		s.mu.RUnlock()
+		_ = s.m.Reply(d, MsgStats, StatsReply{Requests: s.requests.Load(), Items: items})
+	default:
+		if d.IsCall() {
+			_ = s.m.ReplyError(d, "ursa-index: unknown request "+d.Type)
+		}
+	}
+}
+
+// index merges documents into the inverted index.
+func (s *IndexServer) index(docs []Document) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, doc := range docs {
+		freqs := make(map[string]int64)
+		for _, term := range Tokenize(doc.Title + " " + doc.Text) {
+			freqs[term]++
+		}
+		for term, f := range freqs {
+			s.postings[term] = append(s.postings[term], Posting{DocID: doc.ID, Freq: f})
+		}
+		s.docs++
+	}
+}
+
+// Lookup returns a copy of a term's postings list.
+func (s *IndexServer) Lookup(term string) []Posting {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	src := s.postings[term]
+	if len(src) == 0 {
+		return nil
+	}
+	out := make([]Posting, len(src))
+	copy(out, src)
+	return out
+}
+
+// Terms returns the vocabulary size.
+func (s *IndexServer) Terms() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.postings)
+}
+
+// DocServer is the document-retrieval backend.
+type DocServer struct {
+	m *core.Module
+
+	mu       sync.RWMutex
+	docs     map[int64]Document
+	requests atomic.Int64
+}
+
+// NewDocServer wraps an attached module as a document backend and starts
+// serving.
+func NewDocServer(m *core.Module) *DocServer {
+	s := &DocServer{m: m, docs: make(map[int64]Document)}
+	go recvLoop(m, s.handle)
+	return s
+}
+
+func (s *DocServer) handle(d *core.Delivery) {
+	s.requests.Add(1)
+	switch d.Type {
+	case MsgIngest:
+		var req IngestRequest
+		if err := d.Decode(&req); err != nil {
+			_ = s.m.ReplyError(d, err.Error())
+			return
+		}
+		s.mu.Lock()
+		for _, doc := range req.Docs {
+			s.docs[doc.ID] = doc
+		}
+		s.mu.Unlock()
+		_ = s.m.Reply(d, MsgIngest, IngestReply{Count: int64(len(req.Docs))})
+	case MsgFetch:
+		var req FetchRequest
+		if err := d.Decode(&req); err != nil {
+			_ = s.m.ReplyError(d, err.Error())
+			return
+		}
+		s.mu.RLock()
+		doc, ok := s.docs[req.DocID]
+		s.mu.RUnlock()
+		if !ok {
+			_ = s.m.ReplyError(d, fmt.Sprintf("ursa-docs: no document %d", req.DocID))
+			return
+		}
+		_ = s.m.Reply(d, MsgFetch, doc)
+	case MsgStats:
+		s.mu.RLock()
+		items := int64(len(s.docs))
+		s.mu.RUnlock()
+		_ = s.m.Reply(d, MsgStats, StatsReply{Requests: s.requests.Load(), Items: items})
+	default:
+		if d.IsCall() {
+			_ = s.m.ReplyError(d, "ursa-docs: unknown request "+d.Type)
+		}
+	}
+}
+
+// SearchServer orchestrates queries across the other backends.
+type SearchServer struct {
+	m *core.Module
+
+	mu     sync.Mutex
+	indexU addr.UAdd
+	docsU  addr.UAdd
+
+	requests atomic.Int64
+}
+
+// NewSearchServer wraps an attached module as the search backend and
+// starts serving.
+func NewSearchServer(m *core.Module) *SearchServer {
+	s := &SearchServer{m: m}
+	go recvLoop(m, s.handle)
+	return s
+}
+
+func (s *SearchServer) handle(d *core.Delivery) {
+	s.requests.Add(1)
+	switch d.Type {
+	case MsgSearch:
+		var req SearchRequest
+		if err := d.Decode(&req); err != nil {
+			_ = s.m.ReplyError(d, err.Error())
+			return
+		}
+		reply, err := s.search(req)
+		if err != nil {
+			_ = s.m.ReplyError(d, err.Error())
+			return
+		}
+		_ = s.m.Reply(d, MsgSearch, reply)
+	case MsgStats:
+		_ = s.m.Reply(d, MsgStats, StatsReply{Requests: s.requests.Load()})
+	default:
+		if d.IsCall() {
+			_ = s.m.ReplyError(d, "ursa-search: unknown request "+d.Type)
+		}
+	}
+}
+
+// locate resolves a backend once, caching the UAdd; relocation thereafter
+// is the NTCS's problem, not ours (§3.3).
+func (s *SearchServer) locate(name string, slot *addr.UAdd) (addr.UAdd, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if *slot == addr.Nil {
+		u, err := s.m.Locate(name)
+		if err != nil {
+			return addr.Nil, err
+		}
+		*slot = u
+	}
+	return *slot, nil
+}
+
+// search decomposes the query, gathers postings from the index server,
+// scores by summed term frequency, and titles the top hits from the
+// document server.
+func (s *SearchServer) search(req SearchRequest) (SearchReply, error) {
+	terms := Tokenize(req.Query)
+	if len(terms) == 0 {
+		return SearchReply{}, nil
+	}
+	indexU, err := s.locate(IndexServerName, &s.indexU)
+	if err != nil {
+		return SearchReply{}, fmt.Errorf("search: %w", err)
+	}
+
+	scores := make(map[int64]int64)
+	for _, term := range terms {
+		var postings IndexLookupReply
+		if err := s.m.Call(indexU, MsgIndexLookup, IndexLookupRequest{Term: term}, &postings); err != nil {
+			return SearchReply{}, fmt.Errorf("index lookup %q: %w", term, err)
+		}
+		for _, p := range postings.Postings {
+			scores[p.DocID] += p.Freq * 1000
+		}
+	}
+
+	hits := make([]Hit, 0, len(scores))
+	for id, score := range scores {
+		hits = append(hits, Hit{DocID: id, Score: score})
+	}
+	limit := req.Limit
+	if limit <= 0 {
+		limit = 10
+	}
+	hits = rankHits(hits, limit)
+
+	docsU, err := s.locate(DocServerName, &s.docsU)
+	if err != nil {
+		return SearchReply{}, fmt.Errorf("search: %w", err)
+	}
+	for i := range hits {
+		var doc Document
+		if err := s.m.Call(docsU, MsgFetch, FetchRequest{DocID: hits[i].DocID}, &doc); err != nil {
+			// A missing title degrades the hit, not the query.
+			continue
+		}
+		hits[i].Title = doc.Title
+	}
+	return SearchReply{Hits: hits}, nil
+}

@@ -1,0 +1,247 @@
+// Package wire implements the NTCS internal message format.
+//
+// Message headers use the paper's shift mode (§5.2): "all message headers
+// are built with structures of four byte integers ... transferred by byte
+// shifting each header integer sequentially into the final message, using
+// standard high level shift and mask routines. ... Byte ordering problems
+// are hidden by the high level shift/mask routines, and by transmitting
+// the values as a byte stream." PutWord and Word are those routines; the
+// codec never consults host byte order.
+//
+// The remainder of a message — the payload — travels as an opaque byte
+// stream in whatever conversion mode (§5.1) the sending ComMod selected:
+// image, packed, or shift (for internal control data).
+package wire
+
+import (
+	"errors"
+	"fmt"
+
+	"ntcs/internal/addr"
+	"ntcs/internal/machine"
+)
+
+// Frame layout: HeaderWords four-byte integers followed by the payload.
+const (
+	Magic       = 0x4E54 // "NT"
+	Version     = 1
+	HeaderWords = 12
+	HeaderSize  = HeaderWords * 4
+
+	// MaxPayload bounds a single message; conversations needing more split
+	// at the application level, as on the 1986 testbed.
+	MaxPayload = 16 << 20
+)
+
+// Type enumerates NTCS internal message types.
+type Type uint8
+
+// Message types. Data carries application (or naming service / DRTS)
+// payloads; the rest are Nucleus control messages.
+const (
+	TData       Type = iota + 1 // application-level message
+	TOpen                       // ND-Layer channel open
+	TOpenAck                    // ND-Layer channel open acknowledgment
+	TIVCOpen                    // IP-Layer internet circuit establishment
+	TIVCOpenAck                 // IP-Layer circuit establishment result
+	TIVCClose                   // IP-Layer circuit teardown (§4.3)
+	TPing                       // liveness probe
+	TPong                       // liveness reply
+	TAddrUpdate                 // §3.4: source's TAdd has been replaced by a real UAdd
+
+	numTypes
+)
+
+func (t Type) String() string {
+	switch t {
+	case TData:
+		return "data"
+	case TOpen:
+		return "open"
+	case TOpenAck:
+		return "open-ack"
+	case TIVCOpen:
+		return "ivc-open"
+	case TIVCOpenAck:
+		return "ivc-open-ack"
+	case TIVCClose:
+		return "ivc-close"
+	case TPing:
+		return "ping"
+	case TPong:
+		return "pong"
+	case TAddrUpdate:
+		return "addr-update"
+	default:
+		return fmt.Sprintf("type(%d)", uint8(t))
+	}
+}
+
+// Valid reports whether t is a known message type.
+func (t Type) Valid() bool { return t >= TData && t < numTypes }
+
+// Mode identifies the payload conversion mode of §5.1/§5.2.
+type Mode uint8
+
+// Conversion modes.
+const (
+	ModeNone   Mode = iota // no payload, or raw control bytes
+	ModeShift              // internal header data (shift mode)
+	ModeImage              // byte copy of the source machine's memory image
+	ModePacked             // application/character packed transport format
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeNone:
+		return "none"
+	case ModeShift:
+		return "shift"
+	case ModeImage:
+		return "image"
+	case ModePacked:
+		return "packed"
+	default:
+		return fmt.Sprintf("mode(%d)", uint8(m))
+	}
+}
+
+// Header flags.
+const (
+	FlagSrcTAdd  uint16 = 1 << iota // the source address is a TAdd (§3.4)
+	FlagReply                       // payload answers an earlier FlagCall message
+	FlagCall                        // sender blocks awaiting a reply (synchronous send/receive/reply)
+	FlagConnless                    // LCM connectionless protocol: no recovery, no relocation
+	FlagService                     // internal NTCS/DRTS traffic: monitoring and time hooks stay off
+	FlagError                       // reply carries an error string instead of a result
+)
+
+// Header is the fixed-size shift-mode message header.
+type Header struct {
+	Type       Type
+	Flags      uint16
+	SrcMachine machine.Type
+	Mode       Mode
+	Src        addr.UAdd
+	Dst        addr.UAdd
+	Circuit    uint32 // IVC circuit identifier (0 on direct LVCs)
+	Seq        uint32 // per-module send sequence; echoed in replies
+	PayloadLen uint32
+	Hops       uint8 // gateway hops traversed so far
+}
+
+// Errors returned by the codec.
+var (
+	ErrShortHeader = errors.New("wire: buffer shorter than a header")
+	ErrBadMagic    = errors.New("wire: bad magic (not an NTCS frame)")
+	ErrBadVersion  = errors.New("wire: protocol version mismatch")
+	ErrBadChecksum = errors.New("wire: header checksum mismatch")
+	ErrBadType     = errors.New("wire: unknown message type")
+	ErrHugePayload = errors.New("wire: payload exceeds MaxPayload")
+	ErrTruncated   = errors.New("wire: frame truncated (payload shorter than header claims)")
+)
+
+// PutWord deposits a four-byte integer into b using explicit shifts — the
+// "high level shift and mask routines" of §5.2. The result is a byte
+// stream, so host byte order never matters.
+func PutWord(b []byte, v uint32) {
+	_ = b[3]
+	b[0] = byte(v >> 24)
+	b[1] = byte(v >> 16)
+	b[2] = byte(v >> 8)
+	b[3] = byte(v)
+}
+
+// Word reassembles a four-byte integer from the byte stream.
+func Word(b []byte) uint32 {
+	_ = b[3]
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+}
+
+// EncodeHeader shift-encodes h into a fresh HeaderSize buffer.
+func (h Header) encode(buf []byte) {
+	w := func(i int, v uint32) { PutWord(buf[i*4:], v) }
+	w(0, uint32(Magic)<<16|uint32(Version)<<8|uint32(h.Type))
+	w(1, uint32(h.Flags)<<16|uint32(h.SrcMachine)<<8|uint32(h.Mode))
+	w(2, uint32(uint64(h.Src)>>32))
+	w(3, uint32(uint64(h.Src)))
+	w(4, uint32(uint64(h.Dst)>>32))
+	w(5, uint32(uint64(h.Dst)))
+	w(6, h.Circuit)
+	w(7, h.Seq)
+	w(8, h.PayloadLen)
+	w(9, uint32(h.Hops)<<24)
+	w(10, h.checksum(buf))
+	w(11, 0)
+}
+
+// checksum folds header words 0..9 into a single word.
+func (h Header) checksum(buf []byte) uint32 {
+	var sum uint32
+	for i := 0; i < 10; i++ {
+		sum = sum<<1 | sum>>31 // rotate so word order matters
+		sum ^= Word(buf[i*4:])
+	}
+	return sum
+}
+
+// Marshal produces the wire form of a frame: shift-mode header followed by
+// the payload byte stream.
+func Marshal(h Header, payload []byte) ([]byte, error) {
+	if !h.Type.Valid() {
+		return nil, fmt.Errorf("%w: %d", ErrBadType, h.Type)
+	}
+	if len(payload) > MaxPayload {
+		return nil, fmt.Errorf("%w: %d bytes", ErrHugePayload, len(payload))
+	}
+	h.PayloadLen = uint32(len(payload))
+	buf := make([]byte, HeaderSize+len(payload))
+	h.encode(buf)
+	copy(buf[HeaderSize:], payload)
+	return buf, nil
+}
+
+// Unmarshal parses a frame. The returned payload aliases data.
+func Unmarshal(data []byte) (Header, []byte, error) {
+	var h Header
+	if len(data) < HeaderSize {
+		return h, nil, fmt.Errorf("%w: %d bytes", ErrShortHeader, len(data))
+	}
+	w := func(i int) uint32 { return Word(data[i*4:]) }
+	w0 := w(0)
+	if w0>>16 != Magic {
+		return h, nil, ErrBadMagic
+	}
+	if byte(w0>>8) != Version {
+		return h, nil, fmt.Errorf("%w: got %d, want %d", ErrBadVersion, byte(w0>>8), Version)
+	}
+	h.Type = Type(w0)
+	if !h.Type.Valid() {
+		return h, nil, fmt.Errorf("%w: %d", ErrBadType, uint8(h.Type))
+	}
+	w1 := w(1)
+	h.Flags = uint16(w1 >> 16)
+	h.SrcMachine = machine.Type(w1 >> 8)
+	h.Mode = Mode(w1)
+	h.Src = addr.UAdd(uint64(w(2))<<32 | uint64(w(3)))
+	h.Dst = addr.UAdd(uint64(w(4))<<32 | uint64(w(5)))
+	h.Circuit = w(6)
+	h.Seq = w(7)
+	h.PayloadLen = w(8)
+	h.Hops = uint8(w(9) >> 24)
+	if h.checksum(data) != w(10) {
+		return h, nil, ErrBadChecksum
+	}
+	if h.PayloadLen > MaxPayload {
+		return h, nil, fmt.Errorf("%w: header claims %d bytes", ErrHugePayload, h.PayloadLen)
+	}
+	if uint32(len(data)-HeaderSize) < h.PayloadLen {
+		return h, nil, fmt.Errorf("%w: have %d, want %d", ErrTruncated, len(data)-HeaderSize, h.PayloadLen)
+	}
+	return h, data[HeaderSize : HeaderSize+int(h.PayloadLen)], nil
+}
+
+func (h Header) String() string {
+	return fmt.Sprintf("%s %v→%v circ=%d seq=%d mode=%s flags=%#x len=%d hops=%d",
+		h.Type, h.Src, h.Dst, h.Circuit, h.Seq, h.Mode, h.Flags, h.PayloadLen, h.Hops)
+}

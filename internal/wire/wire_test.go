@@ -1,0 +1,288 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"ntcs/internal/addr"
+	"ntcs/internal/machine"
+)
+
+func sampleHeader() Header {
+	return Header{
+		Type:       TData,
+		Flags:      FlagCall | FlagService,
+		SrcMachine: machine.Sun68K,
+		Mode:       ModePacked,
+		Src:        addr.UAdd(0x1234_5678_9ABC),
+		Dst:        addr.NameServer,
+		Circuit:    77,
+		Seq:        42,
+		Hops:       3,
+	}
+}
+
+func TestMarshalUnmarshalRoundTrip(t *testing.T) {
+	payload := []byte("the quick brown fox")
+	h := sampleHeader()
+	frame, err := Marshal(h, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frame) != HeaderSize+len(payload) {
+		t.Fatalf("frame length = %d", len(frame))
+	}
+	got, gotPayload, err := Unmarshal(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := h
+	want.PayloadLen = uint32(len(payload))
+	if got != want {
+		t.Errorf("header round trip:\n got  %+v\n want %+v", got, want)
+	}
+	if !bytes.Equal(gotPayload, payload) {
+		t.Errorf("payload round trip: %q", gotPayload)
+	}
+}
+
+func TestMarshalEmptyPayload(t *testing.T) {
+	frame, err := Marshal(Header{Type: TPing, Src: 1, Dst: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, payload, err := Unmarshal(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(payload) != 0 || h.PayloadLen != 0 {
+		t.Errorf("empty payload round trip: %d bytes", len(payload))
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	good, err := Marshal(sampleHeader(), []byte("payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("short header", func(t *testing.T) {
+		if _, _, err := Unmarshal(good[:HeaderSize-1]); !errors.Is(err, ErrShortHeader) {
+			t.Errorf("got %v", err)
+		}
+	})
+	t.Run("bad magic", func(t *testing.T) {
+		bad := bytes.Clone(good)
+		bad[0] ^= 0xFF
+		if _, _, err := Unmarshal(bad); !errors.Is(err, ErrBadMagic) {
+			t.Errorf("got %v", err)
+		}
+	})
+	t.Run("bad version", func(t *testing.T) {
+		bad := bytes.Clone(good)
+		bad[2] = Version + 1
+		// Version byte change also breaks the checksum ordering; version is
+		// checked first.
+		if _, _, err := Unmarshal(bad); !errors.Is(err, ErrBadVersion) {
+			t.Errorf("got %v", err)
+		}
+	})
+	t.Run("bad type", func(t *testing.T) {
+		bad := bytes.Clone(good)
+		bad[3] = 200
+		if _, _, err := Unmarshal(bad); !errors.Is(err, ErrBadType) {
+			t.Errorf("got %v", err)
+		}
+	})
+	t.Run("corrupt body word", func(t *testing.T) {
+		bad := bytes.Clone(good)
+		bad[9] ^= 0x40 // inside Src
+		if _, _, err := Unmarshal(bad); !errors.Is(err, ErrBadChecksum) {
+			t.Errorf("got %v", err)
+		}
+	})
+	t.Run("truncated payload", func(t *testing.T) {
+		if _, _, err := Unmarshal(good[:len(good)-3]); !errors.Is(err, ErrTruncated) {
+			t.Errorf("got %v", err)
+		}
+	})
+	t.Run("marshal invalid type", func(t *testing.T) {
+		if _, err := Marshal(Header{Type: 0}, nil); !errors.Is(err, ErrBadType) {
+			t.Errorf("got %v", err)
+		}
+	})
+	t.Run("marshal huge payload", func(t *testing.T) {
+		h := Header{Type: TData}
+		// Don't allocate 16MB: fake via PayloadLen path by calling Marshal
+		// with a too-big slice header is unavoidable; use a 1-byte backing
+		// array trick is not possible, so just check the constant gate.
+		big := make([]byte, MaxPayload+1)
+		if _, err := Marshal(h, big); !errors.Is(err, ErrHugePayload) {
+			t.Errorf("got %v", err)
+		}
+	})
+}
+
+func TestChecksumDetectsWordSwap(t *testing.T) {
+	// The rotating checksum must catch two swapped header words (a plain
+	// XOR sum would not).
+	h := Header{Type: TData, Src: 5, Dst: 6, Circuit: 1, Seq: 2}
+	frame, err := Marshal(h, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	swapped := bytes.Clone(frame)
+	copy(swapped[6*4:7*4], frame[7*4:8*4]) // circuit <-> seq
+	copy(swapped[7*4:8*4], frame[6*4:7*4])
+	if _, _, err := Unmarshal(swapped); !errors.Is(err, ErrBadChecksum) {
+		t.Errorf("swapped words not detected: %v", err)
+	}
+}
+
+func TestPutWordIsByteOrderIndependent(t *testing.T) {
+	var b [4]byte
+	PutWord(b[:], 0x01020304)
+	if b != [4]byte{1, 2, 3, 4} {
+		t.Errorf("PutWord = % x, want 01 02 03 04", b)
+	}
+	if Word(b[:]) != 0x01020304 {
+		t.Errorf("Word = %#x", Word(b[:]))
+	}
+}
+
+func TestTypeAndModeStrings(t *testing.T) {
+	for ty := TData; ty < numTypes; ty++ {
+		if strings.HasPrefix(ty.String(), "type(") {
+			t.Errorf("missing name for type %d", ty)
+		}
+		if !ty.Valid() {
+			t.Errorf("type %d should be valid", ty)
+		}
+	}
+	if Type(0).Valid() || Type(99).Valid() {
+		t.Error("invalid types reported valid")
+	}
+	for _, m := range []Mode{ModeNone, ModeShift, ModeImage, ModePacked} {
+		if strings.HasPrefix(m.String(), "mode(") {
+			t.Errorf("missing name for mode %d", m)
+		}
+	}
+	if Mode(99).String() != "mode(99)" {
+		t.Error("unknown mode formatting")
+	}
+	if got := sampleHeader().String(); !strings.Contains(got, "data") {
+		t.Errorf("Header.String() = %q", got)
+	}
+}
+
+// Property: Marshal/Unmarshal is the identity for any header field values
+// and payload.
+func TestQuickFrameRoundTrip(t *testing.T) {
+	f := func(ty uint8, flags uint16, mach, mode uint8, src, dst uint64, circ, seq uint32, hops uint8, payload []byte) bool {
+		h := Header{
+			Type:       TData + Type(ty%uint8(numTypes-1)),
+			Flags:      flags,
+			SrcMachine: machine.Type(mach),
+			Mode:       Mode(mode),
+			Src:        addr.UAdd(src),
+			Dst:        addr.UAdd(dst),
+			Circuit:    circ,
+			Seq:        seq,
+			Hops:       hops,
+		}
+		frame, err := Marshal(h, payload)
+		if err != nil {
+			return false
+		}
+		got, gotPayload, err := Unmarshal(frame)
+		if err != nil {
+			return false
+		}
+		h.PayloadLen = uint32(len(payload))
+		return got == h && bytes.Equal(gotPayload, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: flipping any single header byte is detected (magic, version,
+// type or checksum error), never silently accepted with changed fields.
+func TestQuickSingleByteCorruptionDetected(t *testing.T) {
+	orig := sampleHeader()
+	frame, err := Marshal(orig, []byte("xyz"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < HeaderSize; i++ {
+		for _, bit := range []byte{0x01, 0x80} {
+			bad := bytes.Clone(frame)
+			bad[i] ^= bit
+			got, _, err := Unmarshal(bad)
+			if err != nil {
+				continue // detected: good
+			}
+			// Word 11 is reserved padding; undetected changes there are
+			// harmless as long as the parsed header is unchanged.
+			want := orig
+			want.PayloadLen = 3
+			if got != want {
+				t.Errorf("byte %d bit %#x: corruption accepted, header %+v", i, bit, got)
+			}
+		}
+	}
+}
+
+// Property: Unmarshal never panics and never fabricates a valid header
+// from random bytes that were not produced by Marshal (unless they happen
+// to be a perfectly formed frame, which the checksum makes astronomically
+// unlikely for random input).
+func TestQuickUnmarshalRobustAgainstGarbage(t *testing.T) {
+	f := func(data []byte) bool {
+		h, payload, err := Unmarshal(data)
+		if err != nil {
+			return true // rejected: fine
+		}
+		// Accepted: must be self-consistent.
+		return h.Type.Valid() && len(payload) == int(h.PayloadLen)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+	// And a real frame with random tails is parsed by prefix.
+	frame, err := Marshal(sampleHeader(), []byte("abc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, payload, err := Unmarshal(append(frame, 0xDE, 0xAD))
+	if err != nil || string(payload) != "abc" || h.PayloadLen != 3 {
+		t.Errorf("frame with trailing noise: %v %q", err, payload)
+	}
+}
+
+func BenchmarkHeaderMarshal(b *testing.B) {
+	h := sampleHeader()
+	payload := make([]byte, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Marshal(h, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHeaderUnmarshal(b *testing.B) {
+	frame, err := Marshal(sampleHeader(), make([]byte, 64))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Unmarshal(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

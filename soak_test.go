@@ -1,0 +1,267 @@
+package ntcs_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ntcs"
+	"ntcs/internal/ipcs/memnet"
+	"ntcs/internal/machine"
+	"ntcs/sim"
+)
+
+// TestRelocationAcrossGateway relocates a module that lives behind a
+// gateway: the naming service's liveness probe must traverse the chain,
+// observe the final-hop failure (conclusive death), and forward to the
+// replacement — all across networks.
+func TestRelocationAcrossGateway(t *testing.T) {
+	w := sim.NewWorld()
+	w.AddNetwork("alpha", memnet.Options{})
+	w.AddNetwork("beta", memnet.Options{})
+	nsHost := w.MustHost("ns-host", machine.Apollo, "alpha")
+	if _, err := w.StartNameServer(nsHost, "ns"); err != nil {
+		t.Fatal(err)
+	}
+	gwHost := w.MustHost("gw-host", machine.Apollo, "alpha", "beta")
+	if _, err := w.StartGateway(gwHost, "gw"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(w.Close)
+
+	beta1 := w.MustHost("beta-1", machine.VAX, "beta")
+	beta2 := w.MustHost("beta-2", machine.Sun68K, "beta")
+	gen1, err := w.Attach(beta1, "worker", map[string]string{"role": "work"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	echoServe(gen1)
+
+	client, err := w.Attach(w.MustHost("alpha-1", machine.VAX, "alpha"), "client", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := client.Locate("worker")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reply string
+	if err := client.Call(u, "q", "one", &reply); err != nil {
+		t.Fatal(err)
+	}
+
+	// Relocate within beta; the client (on alpha) keeps the old address.
+	if err := gen1.Detach(); err != nil {
+		t.Fatal(err)
+	}
+	gen2, err := w.Attach(beta2, "worker", map[string]string{"role": "work"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	echoServe(gen2)
+
+	deadline := time.Now().Add(5 * time.Second)
+	var callErr error
+	for time.Now().Before(deadline) {
+		callErr = client.Call(u, "q", "two", &reply)
+		if callErr == nil {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if callErr != nil {
+		t.Fatalf("call after cross-gateway relocation: %v", callErr)
+	}
+	if reply != "echo:two" {
+		t.Errorf("reply = %q", reply)
+	}
+}
+
+// TestSoakMixedTraffic runs a small URSA-flavoured world under
+// concurrent mixed traffic — calls, async sends, relocations — and
+// verifies nothing wedges and the overwhelming majority of operations
+// succeed.
+func TestSoakMixedTraffic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	w := sim.NewWorld()
+	w.AddNetwork("alpha", memnet.Options{})
+	w.AddNetwork("beta", memnet.Options{})
+	nsHost := w.MustHost("ns-host", machine.Apollo, "alpha")
+	if _, err := w.StartNameServer(nsHost, "ns"); err != nil {
+		t.Fatal(err)
+	}
+	gwHost := w.MustHost("gw-host", machine.Apollo, "alpha", "beta")
+	if _, err := w.StartGateway(gwHost, "gw"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(w.Close)
+
+	// Six echo servers spread over both networks and machine types.
+	machines := []machine.Type{machine.VAX, machine.Sun68K, machine.Apollo}
+	nets := []string{"alpha", "beta"}
+	serverNames := make([]string, 6)
+	for i := range serverNames {
+		name := fmt.Sprintf("server-%d", i)
+		serverNames[i] = name
+		host := w.MustHost(fmt.Sprintf("shost-%d", i), machines[i%3], nets[i%2])
+		m, err := w.AttachConfig(host, ntcs.Config{
+			Name: name, Attrs: map[string]string{"role": "echo"}, InboxSize: 2048,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		echoServe(m)
+	}
+
+	// One of them will be relocated mid-soak.
+	relocHost := w.MustHost("reloc-host", machine.Pyramid, "beta")
+
+	var (
+		calls, callErrs atomic.Int64
+		stop            = make(chan struct{})
+		wg              sync.WaitGroup
+	)
+	for c := 0; c < 6; c++ {
+		host := w.MustHost(fmt.Sprintf("chost-%d", c), machines[c%3], nets[c%2])
+		mod, err := w.Attach(host, fmt.Sprintf("soaker-%d", c), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(int64(c)))
+		targets := make([]ntcs.UAdd, len(serverNames))
+		for i, name := range serverNames {
+			u, err := mod.Locate(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			targets[i] = u
+		}
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				u := targets[rng.Intn(len(targets))]
+				msg := fmt.Sprintf("s%d-%d", c, i)
+				var reply string
+				calls.Add(1)
+				if err := mod.Call(u, "q", msg, &reply); err != nil {
+					callErrs.Add(1)
+					continue
+				}
+				if reply != "echo:"+msg {
+					t.Errorf("soaker %d: reply %q", c, reply)
+					return
+				}
+			}
+		}(c)
+	}
+
+	// Mid-soak: a newer incarnation of server-3 comes up on another
+	// machine (the "module replacement and upgrade" of §1.3). The old one
+	// keeps serving its existing circuits; fresh resolutions find the new
+	// one — both generations answer correctly throughout.
+	time.Sleep(300 * time.Millisecond)
+	repl, err := w.AttachConfig(relocHost, ntcs.Config{
+		Name: serverNames[3], Attrs: map[string]string{"role": "echo"}, InboxSize: 2048,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	echoServe(repl)
+
+	time.Sleep(700 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	total, failed := calls.Load(), callErrs.Load()
+	if total < 500 {
+		t.Errorf("soak made only %d calls", total)
+	}
+	if failed*10 > total {
+		t.Errorf("soak failure rate too high: %d of %d", failed, total)
+	}
+	t.Logf("soak: %d calls, %d failed (%.2f%%)", total, failed, 100*float64(failed)/float64(total))
+}
+
+// TestSoakRelocationChurn repeatedly relocates one module while a client
+// hammers it: every relocation is eventually absorbed.
+func TestSoakRelocationChurn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	w, _ := oneNetWorld(t)
+	hosts := []*sim.Host{
+		w.MustHost("h0", machine.VAX, "ring"),
+		w.MustHost("h1", machine.Sun68K, "ring"),
+		w.MustHost("h2", machine.Apollo, "ring"),
+	}
+	cur, err := w.Attach(hosts[0], "churner", map[string]string{"role": "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	echoServe(cur)
+	client, err := w.Attach(w.MustHost("ch", machine.VAX, "ring"), "client", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := client.Locate("churner")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var ok, failed int
+	for round := 0; round < 5; round++ {
+		// Burst against the current incarnation.
+		for i := 0; i < 20; i++ {
+			var reply string
+			if err := client.Call(u, "q", "x", &reply); err != nil {
+				failed++
+			} else {
+				ok++
+			}
+		}
+		// Relocate.
+		if err := cur.Detach(); err != nil {
+			t.Fatal(err)
+		}
+		next, err := w.Attach(hosts[(round+1)%3], "churner", map[string]string{"role": "c"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		echoServe(next)
+		cur = next
+
+		// The old address must recover.
+		deadline := time.Now().Add(3 * time.Second)
+		recovered := false
+		for time.Now().Before(deadline) {
+			var reply string
+			if err := client.Call(u, "q", "probe", &reply); err == nil {
+				recovered = true
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		if !recovered {
+			t.Fatalf("round %d: relocation never absorbed", round)
+		}
+	}
+	if ok == 0 {
+		t.Fatal("no successful calls at all")
+	}
+	t.Logf("churn: %d ok, %d transient failures over 5 relocations", ok, failed)
+	// The forwarding chain grew but stays bounded and functional.
+	if n := client.Nucleus().LCM.ForwardTable().Len(); n > 10 {
+		t.Errorf("forwarding table grew to %d entries", n)
+	}
+}
