@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build test race vet verify bench
+
+all: verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# verify is the pre-merge gate: static checks, a full build, and the
+# complete suite under the race detector.
+verify:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test -race ./...
+
+# bench reruns the warm-path series recorded in BENCH_PR1.json.
+bench:
+	$(GO) test . -run XXX -bench 'FirstSendVsWarmSend|WarmSendParallel|ResolutionCache' -benchmem

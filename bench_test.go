@@ -250,8 +250,56 @@ func BenchmarkFirstSendVsWarmSend(b *testing.B) {
 		if err := sender.Send(u, "m", "warmup"); err != nil {
 			b.Fatal(err)
 		}
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
+			if err := sender.Send(u, "m", "warm"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkWarmSendParallel hammers one module's warm path from many
+// goroutines at once: the measure of the lock-striping and pooling work
+// (a coarse global mutex would serialize here; striped waiters, the
+// destination cache, and sync.Map circuits let sends proceed in
+// parallel).
+func BenchmarkWarmSendParallel(b *testing.B) {
+	w := sim.NewWorld()
+	w.AddNetwork("net", memnet.Options{})
+	defer w.Close()
+	nsHost := w.MustHost("ns-host", machine.Apollo, "net")
+	if _, err := w.StartNameServer(nsHost, "ns"); err != nil {
+		b.Fatal(err)
+	}
+	host := w.MustHost("vax-1", machine.VAX, "net")
+	recv, err := w.Attach(host, "receiver", nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	go func() {
+		for {
+			if _, err := recv.Recv(time.Hour); err != nil {
+				return
+			}
+		}
+	}()
+	sender, err := w.Attach(host, "sender", nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	u, err := sender.Locate("receiver")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := sender.Send(u, "m", "warmup"); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
 			if err := sender.Send(u, "m", "warm"); err != nil {
 				b.Fatal(err)
 			}

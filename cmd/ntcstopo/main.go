@@ -78,6 +78,7 @@ func boot() (*world, error) {
 	// Drive one call so the traces and circuit tables are populated —
 	// from a clean trace, so the figures show application operations, not
 	// the Attach-time registration.
+	host.Tracer().SetEnabled(true)
 	host.Tracer().Clear()
 	u, err := host.Locate("searcher")
 	if err != nil {

@@ -1,11 +1,14 @@
 // Quickstart: two modules on one simulated network exchange a synchronous
 // call through the full NTCS stack — logical naming, UAdd resolution,
-// automatic conversion-mode selection.
+// automatic conversion-mode selection, context-aware deadlines, and
+// inspectable errors.
 //
 // Run with: go run ./examples/quickstart
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 	"time"
@@ -57,14 +60,33 @@ func run() error {
 	}
 	fmt.Printf("located %q at %v\n", "greeter", u)
 
-	// A synchronous send/receive/reply call. The body crosses from a
-	// little-endian VAX to a big-endian Sun: the NTCS selects packed mode
-	// automatically.
+	// A synchronous send/receive/reply call, bounded by a context
+	// deadline. The body crosses from a little-endian VAX to a big-endian
+	// Sun: the NTCS selects packed mode automatically.
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
 	var reply string
-	if err := client.Call(u, "greet", "ICDCS 1986", &reply); err != nil {
+	if err := client.CallContext(ctx, u, "greet", "ICDCS 1986", &reply); err != nil {
 		return fmt.Errorf("call greeter: %w", err)
 	}
 	fmt.Printf("reply: %s\n", reply)
+
+	// Errors are inspectable. A callee's error reply surfaces as a
+	// structured *ntcs.RemoteError carrying who failed and why...
+	err = client.Call(u, "greet", struct{ Bad int }{42}, &reply)
+	var remote *ntcs.RemoteError
+	if errors.As(err, &remote) {
+		fmt.Printf("remote error from %v: %s\n", remote.Src, remote.Msg)
+	}
+
+	// ...and an expired deadline matches context.DeadlineExceeded,
+	// whether the context or the NTCS call timer fired first.
+	expired, cancel2 := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel2()
+	<-expired.Done()
+	if err := client.CallContext(expired, u, "greet", "too late", &reply); errors.Is(err, context.DeadlineExceeded) {
+		fmt.Println("deadline exceeded, as expected")
+	}
 	return nil
 }
 

@@ -76,6 +76,7 @@ func run() error {
 	}
 
 	fmt.Println("=== first send (monitoring and time correction enabled) ===")
+	sender.Tracer().SetEnabled(true)
 	sender.Tracer().Clear()
 	if err := sender.Send(u, "greeting", "first contact"); err != nil {
 		return err

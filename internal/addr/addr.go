@@ -265,18 +265,43 @@ func (c *EndpointCache) Snapshot() map[UAdd][]Endpoint {
 	return out
 }
 
-// ForwardTable is the LCM-Layer's forwarding-address table (§3.5): when an
-// address fault reveals a module has moved, the replacement's UAdd is
-// recorded here so subsequent traffic is redirected without consulting the
-// naming service again.
-type ForwardTable struct {
+// fwdShards stripes the forwarding table. Sixteen shards keep concurrent
+// senders off one another's locks; the power of two makes shard selection
+// a mask.
+const fwdShards = 16
+
+type fwdShard struct {
 	mu sync.RWMutex
 	m  map[UAdd]UAdd
 }
 
+// ForwardTable is the LCM-Layer's forwarding-address table (§3.5): when an
+// address fault reveals a module has moved, the replacement's UAdd is
+// recorded here so subsequent traffic is redirected without consulting the
+// naming service again.
+//
+// The table sits on every send's critical path yet is empty except after
+// relocations, so it is striped and counts its entries atomically: the
+// common case (no forwarding anywhere) resolves with one atomic load and
+// no lock at all.
+type ForwardTable struct {
+	size   atomic.Int64
+	shards [fwdShards]fwdShard
+}
+
 // NewForwardTable returns an empty forwarding table.
 func NewForwardTable() *ForwardTable {
-	return &ForwardTable{m: make(map[UAdd]UAdd)}
+	t := &ForwardTable{}
+	for i := range t.shards {
+		t.shards[i].m = make(map[UAdd]UAdd)
+	}
+	return t
+}
+
+func (t *ForwardTable) shard(u UAdd) *fwdShard {
+	h := uint64(u)
+	h ^= h >> 32
+	return &t.shards[h&(fwdShards-1)]
 }
 
 // Put records that traffic for old should be sent to new.
@@ -284,20 +309,28 @@ func (t *ForwardTable) Put(old, new UAdd) {
 	if old == Nil || new == Nil || old == new {
 		return
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.m[old] = new
+	s := t.shard(old)
+	s.mu.Lock()
+	if _, exists := s.m[old]; !exists {
+		t.size.Add(1)
+	}
+	s.m[old] = new
+	s.mu.Unlock()
 }
 
 // Resolve follows the forwarding chain from u (bounded, in case a stale
 // cycle ever forms) and returns the final destination and whether any
 // forwarding applied.
 func (t *ForwardTable) Resolve(u UAdd) (UAdd, bool) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
+	if t.size.Load() == 0 {
+		return u, false
+	}
 	cur, hopped := u, false
 	for i := 0; i < 16; i++ {
-		next, ok := t.m[cur]
+		s := t.shard(cur)
+		s.mu.RLock()
+		next, ok := s.m[cur]
+		s.mu.RUnlock()
 		if !ok {
 			return cur, hopped
 		}
@@ -308,9 +341,13 @@ func (t *ForwardTable) Resolve(u UAdd) (UAdd, bool) {
 
 // Delete removes the entry for old.
 func (t *ForwardTable) Delete(old UAdd) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	delete(t.m, old)
+	s := t.shard(old)
+	s.mu.Lock()
+	if _, exists := s.m[old]; exists {
+		delete(s.m, old)
+		t.size.Add(-1)
+	}
+	s.mu.Unlock()
 }
 
 // Replace rewrites TAdd keys and values, as for EndpointCache.Replace.
@@ -318,35 +355,46 @@ func (t *ForwardTable) Replace(old, real UAdd) {
 	if old == real || old == Nil || real == Nil {
 		return
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if v, ok := t.m[old]; ok {
-		delete(t.m, old)
-		t.m[real] = v
+	s := t.shard(old)
+	s.mu.Lock()
+	v, ok := s.m[old]
+	if ok {
+		delete(s.m, old)
+		t.size.Add(-1)
 	}
-	for k, v := range t.m {
-		if v == old {
-			t.m[k] = real
+	s.mu.Unlock()
+	if ok {
+		t.Put(real, v)
+	}
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		for k, v := range sh.m {
+			if v == old {
+				sh.m[k] = real
+			}
 		}
+		sh.mu.Unlock()
 	}
 }
 
 // Len returns the number of forwarding entries.
 func (t *ForwardTable) Len() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return len(t.m)
+	return int(t.size.Load())
 }
 
 // TAddCount returns how many entries still mention a TAdd.
 func (t *ForwardTable) TAddCount() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
 	n := 0
-	for k, v := range t.m {
-		if k.IsTemp() || v.IsTemp() {
-			n++
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.RLock()
+		for k, v := range s.m {
+			if k.IsTemp() || v.IsTemp() {
+				n++
+			}
 		}
+		s.mu.RUnlock()
 	}
 	return n
 }

@@ -17,6 +17,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -350,20 +351,26 @@ func (m *Module) SetMonitor(record func(lcm.Event)) {
 // occur as required, during all communication, transparent at this
 // interface."
 func (m *Module) Locate(name string) (addr.UAdd, error) {
+	return m.LocateContext(context.Background(), name)
+}
+
+// LocateContext is Locate honoring ctx: the deadline or cancellation
+// propagates into the NSP resolution, including replica failover.
+func (m *Module) LocateContext(ctx context.Context, name string) (addr.UAdd, error) {
 	exit := m.tracer.Enter(trace.LayerALI, "locate", "resolve "+name, "app")
-	u, err := m.locate(name)
+	u, err := m.locate(ctx, name)
 	exit(err)
 	return u, err
 }
 
-func (m *Module) locate(name string) (addr.UAdd, error) {
+func (m *Module) locate(ctx context.Context, name string) (addr.UAdd, error) {
 	if name == "" {
 		return addr.Nil, ErrBadName
 	}
 	if m.naming == nil {
 		return addr.Nil, errors.New("ntcs: module has no naming service")
 	}
-	rec, err := m.naming.ResolveRecord(name)
+	rec, err := m.naming.ResolveRecordContext(ctx, name)
 	if err != nil {
 		return addr.Nil, err
 	}
@@ -413,12 +420,43 @@ func (m *Module) converter(msgType string) Converter {
 	return m.conv[msgType]
 }
 
-// destMachine determines the destination's machine type, from the cache
-// or (once) from the naming service. The forwarding table is consulted
-// first so the decision adapts to relocations (§5: "adapts dynamically to
-// the environment as modules are relocated").
-func (m *Module) destMachine(dst addr.UAdd) machine.Type {
-	dst, _ = m.nuc.LCM.ForwardTable().Resolve(dst)
+// errUnknownDest marks a destination whose machine type could not be
+// determined; the DestCache never caches it, so the next send re-resolves
+// (matching the seed's behavior of retrying until the peer is known).
+var errUnknownDest = errors.New("ntcs: destination machine type unknown")
+
+// destInfo returns the memoized destination facts: forwarding-chain end,
+// machine type, and the conversion mode chosen for it. The first send to a
+// destination resolves once (single-flight under concurrency) and caches
+// in the LCM-owned DestCache; the §3.5 relocation handler invalidates the
+// entry when the destination moves, so the decision "adapts dynamically to
+// the environment as modules are relocated" (§5).
+func (m *Module) destInfo(dst addr.UAdd) (lcm.DestInfo, bool) {
+	dc := m.nuc.LCM.DestCache()
+	if info, ok := dc.Get(dst); ok {
+		return info, true
+	}
+	info, err := dc.Do(dst, func() (lcm.DestInfo, error) {
+		target, _ := m.nuc.LCM.ForwardTable().Resolve(dst)
+		mt := m.lookupMachine(target)
+		if mt == machine.Unknown {
+			return lcm.DestInfo{}, errUnknownDest
+		}
+		mode := wire.ModePacked
+		if !m.cfg.ForcePacked && machine.Compatible(m.cfg.Machine, mt) {
+			mode = wire.ModeImage
+		}
+		return lcm.DestInfo{Target: target, Machine: mt, Mode: mode}, nil
+	})
+	if err != nil {
+		return lcm.DestInfo{}, false
+	}
+	return info, true
+}
+
+// lookupMachine determines a destination's machine type, from the cache
+// or (once) from the naming service.
+func (m *Module) lookupMachine(dst addr.UAdd) machine.Type {
 	if ep, ok := m.nuc.Cache.Any(dst); ok && ep.Machine.Valid() {
 		return ep.Machine
 	}
@@ -438,21 +476,35 @@ func (m *Module) destMachine(dst addr.UAdd) machine.Type {
 	return machine.Unknown
 }
 
+// destMachine reports the destination's (possibly memoized) machine type.
+func (m *Module) destMachine(dst addr.UAdd) machine.Type {
+	if info, ok := m.destInfo(dst); ok {
+		return info.Machine
+	}
+	return machine.Unknown
+}
+
 // encode selects the conversion mode of §5: "Messages between identical
 // machines are simply byte-copied (image mode) while those between
 // incompatible machines are transmitted in a converted representation
 // (packed mode). The NTCS determines the correct mode based on the source
 // and destination machine types, thus avoiding needless conversions."
-func (m *Module) encode(dst addr.UAdd, msgType string, body any) (wire.Mode, []byte, error) {
+func (m *Module) encode(dst addr.UAdd, msgType string, body any) (wire.Mode, []byte, *pack.Encoder, error) {
 	var (
 		mode wire.Mode
 		data []byte
 		err  error
 	)
+	imageOK := false
+	if !m.cfg.ForcePacked && body != nil {
+		if info, ok := m.destInfo(dst); ok {
+			imageOK = info.Mode == wire.ModeImage
+		}
+	}
 	switch {
 	case body == nil:
 		mode = wire.ModeNone
-	case !m.cfg.ForcePacked && machine.Compatible(m.cfg.Machine, m.destMachine(dst)) && machine.Imageable(body):
+	case imageOK && machine.Imageable(body):
 		mode = wire.ModeImage
 		data, err = machine.Image(body, m.cfg.Machine)
 	default:
@@ -468,18 +520,22 @@ func (m *Module) encode(dst addr.UAdd, msgType string, body any) (wire.Mode, []b
 		}
 	}
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, nil, err
 	}
-	return mode, envelope(msgType, data), nil
+	enc, payload := envelope(msgType, data)
+	return mode, payload, enc, nil
 }
 
 // envelope frames the typed payload: the message "type" through which
-// structure is inferred (§5.1).
-func envelope(msgType string, body []byte) []byte {
-	var e pack.Encoder
+// structure is inferred (§5.1). The returned payload aliases the pooled
+// encoder's buffer; the caller returns the encoder with pack.PutEncoder
+// once the layers below have consumed the payload (they all do so
+// synchronously).
+func envelope(msgType string, body []byte) (*pack.Encoder, []byte) {
+	e := pack.GetEncoder()
 	e.String(msgType)
 	e.BytesField(body)
-	return e.Bytes()
+	return e, e.Bytes()
 }
 
 func openEnvelope(payload []byte) (string, []byte, error) {
@@ -499,66 +555,89 @@ func openEnvelope(payload []byte) (string, []byte, error) {
 
 // Send transmits body to dst asynchronously.
 func (m *Module) Send(dst addr.UAdd, msgType string, body any) error {
-	return m.send(dst, msgType, body, 0)
+	return m.send(context.Background(), dst, msgType, body, 0)
+}
+
+// SendContext is Send honoring ctx: a canceled or expired context fails
+// fast before transmission.
+func (m *Module) SendContext(ctx context.Context, dst addr.UAdd, msgType string, body any) error {
+	return m.send(ctx, dst, msgType, body, 0)
 }
 
 // ServiceSend is Send for DRTS traffic: the monitoring/time hooks stay
 // off (the §6.1 recursion guard).
 func (m *Module) ServiceSend(dst addr.UAdd, msgType string, body any) error {
-	return m.send(dst, msgType, body, wire.FlagService)
+	return m.send(context.Background(), dst, msgType, body, wire.FlagService)
 }
 
 // SendCL transmits with the connectionless protocol: one attempt, no
 // relocation, no recovery.
 func (m *Module) SendCL(dst addr.UAdd, msgType string, body any) error {
-	return m.send(dst, msgType, body, wire.FlagConnless)
+	return m.send(context.Background(), dst, msgType, body, wire.FlagConnless)
 }
 
-func (m *Module) send(dst addr.UAdd, msgType string, body any, flags uint16) error {
-	exit := m.tracer.Enter(trace.LayerALI, "send", msgType+" to "+dst.String(), "app")
-	err := m.sendChecked(dst, msgType, body, flags)
+func (m *Module) send(ctx context.Context, dst addr.UAdd, msgType string, body any, flags uint16) error {
+	exit := trace.NopExit
+	if m.tracer.On() {
+		exit = m.tracer.Enter(trace.LayerALI, "send", msgType+" to "+dst.String(), "app")
+	}
+	err := m.sendChecked(ctx, dst, msgType, body, flags)
 	exit(err)
 	return err
 }
 
-func (m *Module) sendChecked(dst addr.UAdd, msgType string, body any, flags uint16) error {
+func (m *Module) sendChecked(ctx context.Context, dst addr.UAdd, msgType string, body any, flags uint16) error {
 	if err := m.checkArgs(dst, msgType); err != nil {
 		return err
 	}
-	mode, payload, err := m.encode(dst, msgType, body)
+	mode, payload, enc, err := m.encode(dst, msgType, body)
 	if err != nil {
 		return err
 	}
-	return m.nuc.LCM.Send(dst, mode, flags, payload)
+	err = m.nuc.LCM.SendContext(ctx, dst, mode, flags, payload)
+	pack.PutEncoder(enc)
+	return err
 }
 
 // Call transmits synchronously and decodes the reply into replyOut (which
 // may be nil to discard it): the send/receive/reply primitive.
 func (m *Module) Call(dst addr.UAdd, msgType string, body, replyOut any) error {
-	return m.call(dst, msgType, body, replyOut, 0)
+	return m.call(context.Background(), dst, msgType, body, replyOut, 0)
+}
+
+// CallContext is Call honoring ctx: cancellation or an expiring deadline
+// ends the reply wait early with ctx.Err() (which errors.Is-matches
+// context.Canceled or context.DeadlineExceeded). The module's fixed
+// CallTimeout still applies as an upper bound.
+func (m *Module) CallContext(ctx context.Context, dst addr.UAdd, msgType string, body, replyOut any) error {
+	return m.call(ctx, dst, msgType, body, replyOut, 0)
 }
 
 // ServiceCall is Call with the hooks suppressed (DRTS traffic).
 func (m *Module) ServiceCall(dst addr.UAdd, msgType string, body, replyOut any) error {
-	return m.call(dst, msgType, body, replyOut, wire.FlagService)
+	return m.call(context.Background(), dst, msgType, body, replyOut, wire.FlagService)
 }
 
-func (m *Module) call(dst addr.UAdd, msgType string, body, replyOut any, flags uint16) error {
-	exit := m.tracer.Enter(trace.LayerALI, "call", msgType+" to "+dst.String(), "app")
-	err := m.callChecked(dst, msgType, body, replyOut, flags)
+func (m *Module) call(ctx context.Context, dst addr.UAdd, msgType string, body, replyOut any, flags uint16) error {
+	exit := trace.NopExit
+	if m.tracer.On() {
+		exit = m.tracer.Enter(trace.LayerALI, "call", msgType+" to "+dst.String(), "app")
+	}
+	err := m.callChecked(ctx, dst, msgType, body, replyOut, flags)
 	exit(err)
 	return err
 }
 
-func (m *Module) callChecked(dst addr.UAdd, msgType string, body, replyOut any, flags uint16) error {
+func (m *Module) callChecked(ctx context.Context, dst addr.UAdd, msgType string, body, replyOut any, flags uint16) error {
 	if err := m.checkArgs(dst, msgType); err != nil {
 		return err
 	}
-	mode, payload, err := m.encode(dst, msgType, body)
+	mode, payload, enc, err := m.encode(dst, msgType, body)
 	if err != nil {
 		return err
 	}
-	d, err := m.nuc.LCM.Call(dst, mode, flags, payload)
+	d, err := m.nuc.LCM.CallContext(ctx, dst, mode, flags, payload)
+	pack.PutEncoder(enc)
 	if err != nil {
 		return err
 	}
@@ -643,7 +722,10 @@ func (d *Delivery) Decode(out any) error {
 
 // Recv waits for the next message.
 func (m *Module) Recv(timeout time.Duration) (*Delivery, error) {
-	exit := m.tracer.Enter(trace.LayerALI, "recv", "await message", "app")
+	exit := trace.NopExit
+	if m.tracer.On() {
+		exit = m.tracer.Enter(trace.LayerALI, "recv", "await message", "app")
+	}
 	d, err := m.recv(timeout)
 	exit(err)
 	return d, err
@@ -673,7 +755,10 @@ func (m *Module) wrap(raw *lcm.Delivery) (*Delivery, error) {
 
 // Reply answers a Call.
 func (m *Module) Reply(d *Delivery, msgType string, body any) error {
-	exit := m.tracer.Enter(trace.LayerALI, "reply", msgType+" to "+d.Src().String(), "app")
+	exit := trace.NopExit
+	if m.tracer.On() {
+		exit = m.tracer.Enter(trace.LayerALI, "reply", msgType+" to "+d.Src().String(), "app")
+	}
 	err := m.replyChecked(d, msgType, body)
 	exit(err)
 	return err
@@ -683,7 +768,7 @@ func (m *Module) replyChecked(d *Delivery, msgType string, body any) error {
 	if msgType == "" {
 		return ErrBadType
 	}
-	mode, payload, err := m.encode(d.Src(), msgType, body)
+	mode, payload, enc, err := m.encode(d.Src(), msgType, body)
 	if err != nil {
 		return err
 	}
@@ -691,7 +776,9 @@ func (m *Module) replyChecked(d *Delivery, msgType string, body any) error {
 	if d.raw.IsService() {
 		flags |= wire.FlagService
 	}
-	return m.nuc.LCM.Reply(d.raw, mode, flags, payload)
+	err = m.nuc.LCM.Reply(d.raw, mode, flags, payload)
+	pack.PutEncoder(enc)
+	return err
 }
 
 // ReplyError answers a Call with an error the caller receives as

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ntcs/internal/addr"
@@ -125,14 +126,19 @@ type Layer struct {
 	cfg      Config
 	bindings map[string]*ndlayer.Binding
 
+	// ivcs maps destination → established circuit. It is consulted on
+	// every send, so it is a sync.Map: the warm path pays one lock-free
+	// Load instead of the layer mutex. nextCID and closed are atomic for
+	// the same reason.
+	ivcs    sync.Map // addr.UAdd → *IVC
+	nextCID atomic.Uint32
+	closed  atomic.Bool
+
 	mu         sync.Mutex
 	dir        Directory
-	ivcs       map[addr.UAdd]*IVC
-	nextCID    uint32
 	pending    map[uint32]*pendingOpen // by local (outbound) circuit id
 	relay      map[*ndlayer.LVC]map[uint32]relayDest
 	routeCache map[string][]hop
-	closed     bool
 }
 
 // New assembles the layer. The caller wires each binding's Deliver to
@@ -147,8 +153,6 @@ func New(cfg Config) (*Layer, error) {
 	l := &Layer{
 		cfg:        cfg,
 		bindings:   make(map[string]*ndlayer.Binding, len(cfg.Bindings)),
-		ivcs:       make(map[addr.UAdd]*IVC),
-		nextCID:    1,
 		pending:    make(map[uint32]*pendingOpen),
 		relay:      make(map[*ndlayer.LVC]map[uint32]relayDest),
 		routeCache: make(map[string][]hop),
@@ -223,16 +227,12 @@ func (l *Layer) SendVia(via *ndlayer.LVC, circuit uint32, h wire.Header, payload
 
 // Open returns the IVC to dst, establishing one if necessary.
 func (l *Layer) Open(dst addr.UAdd) (*IVC, error) {
-	l.mu.Lock()
-	if l.closed {
-		l.mu.Unlock()
+	if l.closed.Load() {
 		return nil, ErrClosed
 	}
-	if ivc, ok := l.ivcs[dst]; ok {
-		l.mu.Unlock()
-		return ivc, nil
+	if v, ok := l.ivcs.Load(dst); ok {
+		return v.(*IVC), nil
 	}
-	l.mu.Unlock()
 
 	exit := l.cfg.Tracer.Enter(trace.LayerIP, "open", "establish IVC", "lcm")
 	ivc, err := l.establish(dst)
@@ -240,13 +240,9 @@ func (l *Layer) Open(dst addr.UAdd) (*IVC, error) {
 	if err != nil {
 		return nil, err
 	}
-	l.mu.Lock()
-	if existing, ok := l.ivcs[dst]; ok {
-		l.mu.Unlock()
-		return existing, nil
+	if existing, loaded := l.ivcs.LoadOrStore(dst, ivc); loaded {
+		return existing.(*IVC), nil
 	}
-	l.ivcs[dst] = ivc
-	l.mu.Unlock()
 	return ivc, nil
 }
 
@@ -510,10 +506,9 @@ func (l *Layer) openChain(dst addr.UAdd, route []hop) (*IVC, error) {
 		return nil, err
 	}
 
-	l.mu.Lock()
-	cid := l.nextCID
-	l.nextCID++
+	cid := l.nextCID.Add(1)
 	p := &pendingOpen{done: make(chan error, 1)}
+	l.mu.Lock()
 	l.pending[cid] = p
 	l.mu.Unlock()
 
@@ -553,20 +548,16 @@ func (l *Layer) forgetPending(cid uint32) {
 
 // dropIVC forgets a failed circuit so the next send re-establishes.
 func (l *Layer) dropIVC(dst addr.UAdd, ivc *IVC) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if l.ivcs[dst] == ivc {
-		delete(l.ivcs, dst)
-	}
+	l.ivcs.CompareAndDelete(dst, ivc)
 }
 
 // DropCircuits forgets every IVC whose destination is dst (after an
 // address fault the stale circuit must not be reused).
 func (l *Layer) DropCircuits(dst addr.UAdd) {
-	l.mu.Lock()
-	ivc := l.ivcs[dst]
-	delete(l.ivcs, dst)
-	l.mu.Unlock()
+	var ivc *IVC
+	if v, ok := l.ivcs.LoadAndDelete(dst); ok {
+		ivc = v.(*IVC)
+	}
 	if ivc != nil && ivc.direct {
 		// Also drop the underlying LVC so reopening re-resolves.
 		if b, ok := l.bindings[ivc.first.Network()]; ok {
@@ -672,9 +663,8 @@ func (l *Layer) handleIVCOpen(in ndlayer.Inbound) {
 		return
 	}
 
+	outCID = l.nextCID.Add(1)
 	l.mu.Lock()
-	outCID = l.nextCID
-	l.nextCID++
 	l.installRelayLocked(in.Via, in.Header.Circuit, out, outCID)
 	l.mu.Unlock()
 
@@ -795,15 +785,21 @@ func (l *Layer) handleIVCClose(in ndlayer.Inbound) {
 	cid := in.Header.Circuit
 	// Originator: the circuit is gone; the next send re-establishes (or
 	// faults up to the LCM-Layer).
-	l.mu.Lock()
-	for dst, ivc := range l.ivcs {
+	closedAsOriginator := false
+	l.ivcs.Range(func(k, v any) bool {
+		ivc := v.(*IVC)
 		if ivc.id == cid && ivc.first == in.Via {
-			delete(l.ivcs, dst)
-			l.mu.Unlock()
-			l.cfg.Errors.Report(errlog.CodeIVCTorn, "ip", "circuit %d to %v closed by network", cid, dst)
-			return
+			l.ivcs.Delete(k)
+			l.cfg.Errors.Report(errlog.CodeIVCTorn, "ip", "circuit %d to %v closed by network", cid, k.(addr.UAdd))
+			closedAsOriginator = true
+			return false
 		}
+		return true
+	})
+	if closedAsOriginator {
+		return
 	}
+	l.mu.Lock()
 	dest, isRelay := l.relay[in.Via][cid]
 	l.mu.Unlock()
 	if isRelay {
@@ -817,12 +813,13 @@ func (l *Layer) handleIVCClose(in ndlayer.Inbound) {
 // their other side (§4.3).
 func (l *Layer) HandleCircuitDown(peer addr.UAdd, v *ndlayer.LVC, cause error) {
 	// Any IVC using this LVC as first hop is gone.
-	l.mu.Lock()
-	for dst, ivc := range l.ivcs {
-		if ivc.first == v {
-			delete(l.ivcs, dst)
+	l.ivcs.Range(func(k, val any) bool {
+		if val.(*IVC).first == v {
+			l.ivcs.Delete(k)
 		}
-	}
+		return true
+	})
+	l.mu.Lock()
 	entries := l.relay[v]
 	delete(l.relay, v)
 	l.mu.Unlock()
@@ -890,12 +887,11 @@ func (l *Layer) RelayCount() int {
 
 // OpenCircuits reports the destinations with established IVCs.
 func (l *Layer) OpenCircuits() []addr.UAdd {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	out := make([]addr.UAdd, 0, len(l.ivcs))
-	for u := range l.ivcs {
-		out = append(out, u)
-	}
+	var out []addr.UAdd
+	l.ivcs.Range(func(k, _ any) bool {
+		out = append(out, k.(addr.UAdd))
+		return true
+	})
 	return out
 }
 
@@ -909,10 +905,13 @@ func (l *Layer) InvalidateRoutes() {
 // Close shuts the layer down. The ND bindings are owned by the caller and
 // closed separately.
 func (l *Layer) Close() {
+	l.closed.Store(true)
+	l.ivcs.Range(func(k, _ any) bool {
+		l.ivcs.Delete(k)
+		return true
+	})
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	l.closed = true
-	l.ivcs = make(map[addr.UAdd]*IVC)
 	l.relay = make(map[*ndlayer.LVC]map[uint32]relayDest)
 	for _, p := range l.pending {
 		if p.done != nil {

@@ -19,6 +19,7 @@
 package lcm
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -48,13 +49,39 @@ var (
 	ErrStillAlive     = errors.New("lcm: module is still alive (link failure, not relocation)")
 	ErrNoReplacement  = errors.New("lcm: no replacement module located")
 	ErrNoResolver     = errors.New("lcm: no naming service attached")
-	ErrCallTimeout    = errors.New("lcm: synchronous call timed out")
 	ErrClosed         = errors.New("lcm: layer closed")
 	ErrFaultRecursion = errors.New("lcm: address-fault recursion overflow (the §6.3 stack overflow)")
 	ErrRemote         = errors.New("lcm: remote error reply")
 	ErrDeliveryTooOld = errors.New("lcm: reply arrived for a call no longer waiting")
 	ErrInboxOverflow  = errors.New("lcm: inbox overflow, message dropped")
 )
+
+// ErrCallTimeout marks a synchronous call that exhausted CallTimeout. It is
+// a comparable sentinel like the others, but errors.Is also matches it
+// against context.DeadlineExceeded so context-aware callers need only one
+// check.
+var ErrCallTimeout error = callTimeoutError{}
+
+type callTimeoutError struct{}
+
+func (callTimeoutError) Error() string { return "lcm: synchronous call timed out" }
+
+func (callTimeoutError) Is(target error) bool { return target == context.DeadlineExceeded }
+
+// RemoteError is an error reply from the callee: the remote handler
+// answered a Call with ReplyError. errors.Is(err, ErrRemote) matches it;
+// errors.As exposes the callee's message and address.
+type RemoteError struct {
+	Src addr.UAdd // the callee that produced the error
+	Msg string    // the callee's error string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("lcm: remote error reply: %s", e.Msg)
+}
+
+// Is keeps existing errors.Is(err, ErrRemote) checks working.
+func (e *RemoteError) Is(target error) bool { return target == ErrRemote }
 
 // Event is one monitoring record emitted by the LCM hooks (§6.1: "the
 // LCM-layer ... generates a time stamp for monitor data" and "sends data
@@ -117,18 +144,35 @@ func (d *Delivery) IsCall() bool { return d.Header.Flags&wire.FlagCall != 0 }
 // IsService reports whether this is internal NTCS/DRTS traffic.
 func (d *Delivery) IsService() bool { return d.Header.Flags&wire.FlagService != 0 }
 
+// waiterShards stripes the reply-waiter table so concurrent calls on
+// different sequence numbers never contend on one mutex.
+const waiterShards = 16
+
+type waiterShard struct {
+	mu sync.Mutex
+	m  map[uint32]chan *Delivery
+}
+
 // Layer is one module's LCM-Layer.
 type Layer struct {
 	cfg Config
 
 	seq atomic.Uint32
 
-	mu       sync.Mutex
+	// hooks and closed are read on every send; both are lock-free.
+	hooks  atomic.Pointer[Hooks]
+	closed atomic.Bool
+
+	// overflowed marks an in-progress inbox-overflow episode so the drop
+	// storm is reported once, not per frame.
+	overflowed atomic.Bool
+
+	mu       sync.Mutex // guards resolver (cold: fault handling only)
 	resolver Resolver
-	hooks    Hooks
-	waiters  map[uint32]chan *Delivery
-	fwd      *addr.ForwardTable
-	closed   bool
+
+	waiters [waiterShards]waiterShard
+	fwd     *addr.ForwardTable
+	dest    *DestCache
 
 	faultDepth atomic.Int32
 
@@ -151,13 +195,17 @@ func New(cfg Config) (*Layer, error) {
 	if cfg.MaxFaultDepth <= 0 {
 		cfg.MaxFaultDepth = 8
 	}
-	return &Layer{
-		cfg:     cfg,
-		waiters: make(map[uint32]chan *Delivery),
-		fwd:     addr.NewForwardTable(),
-		inbox:   make(chan *Delivery, cfg.InboxSize),
-		done:    make(chan struct{}),
-	}, nil
+	l := &Layer{
+		cfg:   cfg,
+		fwd:   addr.NewForwardTable(),
+		dest:  NewDestCache(),
+		inbox: make(chan *Delivery, cfg.InboxSize),
+		done:  make(chan struct{}),
+	}
+	for i := range l.waiters {
+		l.waiters[i].m = make(map[uint32]chan *Delivery)
+	}
+	return l, nil
 }
 
 // SetResolver installs the NSP-backed forwarding service.
@@ -169,19 +217,54 @@ func (l *Layer) SetResolver(r Resolver) {
 
 // SetHooks installs the monitoring/time couplings.
 func (l *Layer) SetHooks(h Hooks) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	l.hooks = h
+	l.hooks.Store(&h)
+}
+
+// getHooks returns the installed hooks, or the zero Hooks.
+func (l *Layer) getHooks() Hooks {
+	if h := l.hooks.Load(); h != nil {
+		return *h
+	}
+	return Hooks{}
 }
 
 // ForwardTable exposes the forwarding-address table for diagnostics and
 // the TAdd purge assertions.
 func (l *Layer) ForwardTable() *addr.ForwardTable { return l.fwd }
 
+// DestCache exposes the per-destination fast-path cache. The ALI layer
+// memoizes resolved destination facts here; this layer owns it so the
+// §3.5 relocation handler can invalidate stale entries.
+func (l *Layer) DestCache() *DestCache { return l.dest }
+
 // ReplaceAddr rewrites a purged TAdd throughout this layer's tables
 // (wired to the ND-Layer's OnTAddReplaced).
 func (l *Layer) ReplaceAddr(old, real addr.UAdd) {
 	l.fwd.Replace(old, real)
+	// Any memoized fast path naming the purged TAdd — as key or resolved
+	// target — is stale now.
+	l.dest.InvalidateTarget(old)
+}
+
+// waiterFor returns the shard holding seq's reply waiter.
+func (l *Layer) waiterFor(seq uint32) *waiterShard {
+	return &l.waiters[seq%waiterShards]
+}
+
+// addWaiter registers a reply channel for seq.
+func (l *Layer) addWaiter(seq uint32, ch chan *Delivery) {
+	sh := l.waiterFor(seq)
+	sh.mu.Lock()
+	sh.m[seq] = ch
+	sh.mu.Unlock()
+}
+
+// dropWaiter forgets the reply channel for seq.
+func (l *Layer) dropWaiter(seq uint32) {
+	sh := l.waiterFor(seq)
+	sh.mu.Lock()
+	delete(sh.m, seq)
+	sh.mu.Unlock()
 }
 
 // nextSeq allocates a message sequence number.
@@ -211,20 +294,30 @@ func (l *Layer) header(dst addr.UAdd, mode wire.Mode, flags uint16, seq uint32) 
 // flags may include FlagService (suppresses hooks) and FlagConnless
 // (single attempt, no recovery).
 func (l *Layer) Send(dst addr.UAdd, mode wire.Mode, flags uint16, payload []byte) error {
-	exit := l.cfg.Tracer.Enter(trace.LayerLCM, "send", "message to "+dst.String(), "above")
+	exit := trace.NopExit
+	if l.cfg.Tracer.On() {
+		exit = l.cfg.Tracer.Enter(trace.LayerLCM, "send", "message to "+dst.String(), "above")
+	}
 	err := l.sendInternal(dst, mode, flags, l.nextSeq(), payload)
 	exit(err)
 	return err
 }
 
+// SendContext is Send honoring ctx: a canceled or expired context fails
+// fast before any transmission is attempted (a datagram already handed to
+// the layers below is not recalled).
+func (l *Layer) SendContext(ctx context.Context, dst addr.UAdd, mode wire.Mode, flags uint16, payload []byte) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return l.Send(dst, mode, flags, payload)
+}
+
 func (l *Layer) sendInternal(dst addr.UAdd, mode wire.Mode, flags uint16, seq uint32, payload []byte) error {
-	l.mu.Lock()
-	closed := l.closed
-	hooks := l.hooks
-	l.mu.Unlock()
-	if closed {
+	if l.closed.Load() {
 		return ErrClosed
 	}
+	hooks := l.getHooks()
 
 	service := flags&wire.FlagService != 0 || flags&wire.FlagConnless != 0
 
@@ -282,6 +375,9 @@ func (l *Layer) sendResolved(dst addr.UAdd, mode wire.Mode, flags uint16, seq ui
 	// during an initial connection."
 	if newTarget != target {
 		l.fwd.Put(target, newTarget)
+		// The fast-path cache may hold entries resolved to the old target;
+		// drop them so the next send re-resolves through the table.
+		l.dest.InvalidateTarget(target)
 		l.cfg.Errors.Report(errlog.CodeForwarded, "lcm", "%v -> %v", target, newTarget)
 	}
 	l.cfg.IP.DropCircuits(target)
@@ -339,38 +435,48 @@ func (l *Layer) addressFault(target addr.UAdd) (addr.UAdd, error) {
 // Call sends synchronously and waits for the Reply (the paper's
 // send/receive/reply primitives).
 func (l *Layer) Call(dst addr.UAdd, mode wire.Mode, flags uint16, payload []byte) (*Delivery, error) {
-	exit := l.cfg.Tracer.Enter(trace.LayerLCM, "call", "synchronous call to "+dst.String(), "above")
-	d, err := l.call(dst, mode, flags, payload)
+	return l.CallContext(context.Background(), dst, mode, flags, payload)
+}
+
+// CallContext is Call honoring ctx: cancellation or an expiring deadline
+// ends the reply wait early with ctx.Err(). The fixed CallTimeout still
+// applies as an upper bound.
+func (l *Layer) CallContext(ctx context.Context, dst addr.UAdd, mode wire.Mode, flags uint16, payload []byte) (*Delivery, error) {
+	exit := trace.NopExit
+	if l.cfg.Tracer.On() {
+		exit = l.cfg.Tracer.Enter(trace.LayerLCM, "call", "synchronous call to "+dst.String(), "above")
+	}
+	d, err := l.call(ctx, dst, mode, flags, payload)
 	exit(err)
 	return d, err
 }
 
-func (l *Layer) call(dst addr.UAdd, mode wire.Mode, flags uint16, payload []byte) (*Delivery, error) {
+func (l *Layer) call(ctx context.Context, dst addr.UAdd, mode wire.Mode, flags uint16, payload []byte) (*Delivery, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	seq := l.nextSeq()
 	ch := make(chan *Delivery, 1)
-	l.mu.Lock()
-	if l.closed {
-		l.mu.Unlock()
+	if l.closed.Load() {
 		return nil, ErrClosed
 	}
-	l.waiters[seq] = ch
-	l.mu.Unlock()
-	defer func() {
-		l.mu.Lock()
-		delete(l.waiters, seq)
-		l.mu.Unlock()
-	}()
+	l.addWaiter(seq, ch)
+	defer l.dropWaiter(seq)
 
 	if err := l.sendInternal(dst, mode, flags|wire.FlagCall, seq, payload); err != nil {
 		return nil, err
 	}
+	timer := getTimer(l.cfg.CallTimeout)
+	defer putTimer(timer)
 	select {
 	case d := <-ch:
 		if d.Header.Flags&wire.FlagError != 0 {
-			return d, fmt.Errorf("%w: %s", ErrRemote, string(d.Payload))
+			return d, &RemoteError{Src: d.Header.Src, Msg: string(d.Payload)}
 		}
 		return d, nil
-	case <-time.After(l.cfg.CallTimeout):
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-timer.C:
 		return nil, fmt.Errorf("%w: %v seq %d", ErrCallTimeout, dst, seq)
 	}
 }
@@ -379,7 +485,10 @@ func (l *Layer) call(dst addr.UAdd, mode wire.Mode, flags uint16, payload []byte
 // back to a TAdd source behind gateways); if that circuit has died it
 // falls back to a routed send.
 func (l *Layer) Reply(d *Delivery, mode wire.Mode, flags uint16, payload []byte) error {
-	exit := l.cfg.Tracer.Enter(trace.LayerLCM, "reply", "reply to "+d.Src().String(), "above")
+	exit := trace.NopExit
+	if l.cfg.Tracer.On() {
+		exit = l.cfg.Tracer.Enter(trace.LayerLCM, "reply", "reply to "+d.Src().String(), "above")
+	}
 	err := l.reply(d, mode, flags, payload)
 	exit(err)
 	return err
@@ -414,18 +523,11 @@ func (l *Layer) SendCL(dst addr.UAdd, mode wire.Mode, flags uint16, payload []by
 func (l *Layer) Ping(dst addr.UAdd, timeout time.Duration) error {
 	seq := l.nextSeq()
 	ch := make(chan *Delivery, 1)
-	l.mu.Lock()
-	if l.closed {
-		l.mu.Unlock()
+	if l.closed.Load() {
 		return ErrClosed
 	}
-	l.waiters[seq] = ch
-	l.mu.Unlock()
-	defer func() {
-		l.mu.Lock()
-		delete(l.waiters, seq)
-		l.mu.Unlock()
-	}()
+	l.addWaiter(seq, ch)
+	defer l.dropWaiter(seq)
 
 	h := l.header(dst, wire.ModeNone, wire.FlagService, seq)
 	h.Type = wire.TPing
@@ -440,8 +542,36 @@ func (l *Layer) Ping(dst addr.UAdd, timeout time.Duration) error {
 	}
 }
 
+// timerPool recycles the timeout timers of Recv and call: the warm
+// round trip would otherwise allocate a fresh timer per operation.
+// Requires the go1.23+ timer semantics (Reset/Stop without draining).
+var timerPool = sync.Pool{New: func() any {
+	t := time.NewTimer(time.Hour)
+	t.Stop()
+	return t
+}}
+
+func getTimer(d time.Duration) *time.Timer {
+	t := timerPool.Get().(*time.Timer)
+	t.Reset(d)
+	return t
+}
+
+func putTimer(t *time.Timer) {
+	t.Stop()
+	timerPool.Put(t)
+}
+
 // Recv waits for the next inbound message.
 func (l *Layer) Recv(timeout time.Duration) (*Delivery, error) {
+	// Fast path: a queued message needs no timer at all.
+	select {
+	case d := <-l.inbox:
+		return d, nil
+	default:
+	}
+	timer := getTimer(timeout)
+	defer putTimer(timer)
 	select {
 	case d := <-l.inbox:
 		return d, nil
@@ -453,7 +583,7 @@ func (l *Layer) Recv(timeout time.Duration) (*Delivery, error) {
 		default:
 			return nil, ErrClosed
 		}
-	case <-time.After(timeout):
+	case <-timer.C:
 		return nil, fmt.Errorf("lcm: recv timed out after %v", timeout)
 	}
 }
@@ -482,9 +612,10 @@ func (l *Layer) HandleInbound(in ndlayer.Inbound) {
 }
 
 func (l *Layer) deliverReply(d *Delivery) {
-	l.mu.Lock()
-	ch, ok := l.waiters[d.Header.Seq]
-	l.mu.Unlock()
+	sh := l.waiterFor(d.Header.Seq)
+	sh.mu.Lock()
+	ch, ok := sh.m[d.Header.Seq]
+	sh.mu.Unlock()
 	if !ok {
 		// A reply for a call that timed out or was forgotten: absorbed,
 		// but visible in the error table (§6.3's point about relentless
@@ -499,20 +630,25 @@ func (l *Layer) deliverReply(d *Delivery) {
 }
 
 func (l *Layer) deliverInbox(d *Delivery) {
-	l.mu.Lock()
-	hooks := l.hooks
-	closed := l.closed
-	l.mu.Unlock()
-	if closed {
+	if l.closed.Load() {
 		return
 	}
+	hooks := l.getHooks()
 	if !d.IsService() && hooks.Record != nil {
 		hooks.Record(Event{When: time.Now(), Kind: "recv", Peer: d.Header.Src, Bytes: len(d.Payload)})
 	}
 	select {
 	case l.inbox <- d:
+		if l.overflowed.Load() {
+			l.overflowed.Store(false)
+		}
 	default:
-		l.cfg.Errors.Report(errlog.CodeDroppedMsg, "lcm", "inbox overflow; dropped message from %v", d.Header.Src)
+		// Report once per overflow episode, not once per dropped frame: a
+		// datagram storm would otherwise spend more on error formatting
+		// than on delivery.
+		if l.overflowed.CompareAndSwap(false, true) {
+			l.cfg.Errors.Report(errlog.CodeDroppedMsg, "lcm", "inbox overflow; dropping messages (first from %v)", d.Header.Src)
+		}
 	}
 }
 
@@ -522,12 +658,8 @@ func (l *Layer) FaultDepth() int32 { return l.faultDepth.Load() }
 
 // Close shuts the layer down.
 func (l *Layer) Close() {
-	l.mu.Lock()
-	if l.closed {
-		l.mu.Unlock()
+	if !l.closed.CompareAndSwap(false, true) {
 		return
 	}
-	l.closed = true
-	l.mu.Unlock()
 	close(l.done)
 }

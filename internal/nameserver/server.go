@@ -37,6 +37,15 @@ type Config struct {
 	Errors *errlog.Table
 }
 
+// replFlushWindow is how long the replication flusher waits for more
+// writes to coalesce after the first one arrives. Registration bursts
+// (a cluster of modules attaching together) fold into one replica round
+// instead of one per record.
+const replFlushWindow = 2 * time.Millisecond
+
+// replMaxBatch bounds one replication round.
+const replMaxBatch = 128
+
 // Server is a running Name Server module.
 type Server struct {
 	cfg  Config
@@ -44,6 +53,8 @@ type Server struct {
 
 	replMu   sync.Mutex
 	replicas []addr.UAdd
+
+	replCh chan nsp.RecordRec
 }
 
 // NewServer assembles a server; call Run (usually in a goroutine) to
@@ -55,7 +66,12 @@ func NewServer(cfg Config) (*Server, error) {
 	if cfg.PingTimeout == 0 {
 		cfg.PingTimeout = 300 * time.Millisecond
 	}
-	return &Server{cfg: cfg, done: make(chan struct{}), replicas: cfg.Replicas}, nil
+	return &Server{
+		cfg:      cfg,
+		done:     make(chan struct{}),
+		replicas: cfg.Replicas,
+		replCh:   make(chan nsp.RecordRec, 4*replMaxBatch),
+	}, nil
 }
 
 // SetReplicas changes the peer set writes propagate to (the replicated
@@ -81,6 +97,15 @@ func (s *Server) replicaPeers() []addr.UAdd {
 // its own recursion — the distributed flavour of the §6 problem.
 func (s *Server) Run() {
 	defer close(s.done)
+	stopFlush := make(chan struct{})
+	var flushWG sync.WaitGroup
+	flushWG.Add(1)
+	go func() {
+		defer flushWG.Done()
+		s.flushLoop(stopFlush)
+	}()
+	defer flushWG.Wait()
+	defer close(stopFlush)
 	var wg sync.WaitGroup
 	defer wg.Wait()
 	for {
@@ -104,7 +129,10 @@ func (s *Server) Wait() { <-s.done }
 
 // handle dispatches one request and replies.
 func (s *Server) handle(d *lcm.Delivery) {
-	exit := s.cfg.Tracer.Enter(trace.LayerNS, "handle", "naming request", d.Src().String())
+	exit := trace.NopExit
+	if s.cfg.Tracer.On() {
+		exit = s.cfg.Tracer.Enter(trace.LayerNS, "handle", "naming request", d.Src().String())
+	}
 	var req nsp.Request
 	if err := pack.Unmarshal(d.Payload, &req); err != nil {
 		s.reply(d, nsp.Response{Code: nsp.CodeBadRequest, Detail: err.Error()})
@@ -234,36 +262,134 @@ func conclusivelyDead(err error, u addr.UAdd) bool {
 	return false
 }
 
-// applyReplica installs a record (or death notice) pushed by a peer.
+// applyReplica installs the records (or death notices) pushed by a
+// peer. A push carries either a single Record (the pre-batching wire
+// form, still accepted) or a coalesced Records batch.
 func (s *Server) applyReplica(req nsp.Request) nsp.Response {
-	if req.Record.UAdd == 0 {
+	recs := req.Records
+	if req.Record.UAdd != 0 {
+		recs = append([]nsp.RecordRec{req.Record}, recs...)
+	}
+	if len(recs) == 0 {
 		return nsp.Response{Code: nsp.CodeBadRequest, Detail: "replicate without record"}
 	}
-	rec := Record{
-		Name:        req.Record.Name,
-		Attrs:       req.Record.Attrs,
-		UAdd:        addr.UAdd(req.Record.UAdd),
-		Incarnation: req.Record.Incarnation,
-		Alive:       req.Record.Alive,
-		Registered:  time.Now(),
+	for _, rr := range recs {
+		if rr.UAdd == 0 {
+			continue
+		}
+		rec := Record{
+			Name:        rr.Name,
+			Attrs:       rr.Attrs,
+			UAdd:        addr.UAdd(rr.UAdd),
+			Incarnation: rr.Incarnation,
+			Alive:       rr.Alive,
+			Registered:  time.Now(),
+		}
+		if rec.Attrs == nil {
+			rec.Attrs = map[string]string{}
+		}
+		for _, e := range rr.Endpoints {
+			rec.Endpoints = append(rec.Endpoints, e.ToEndpoint())
+		}
+		s.cfg.DB.Insert(rec)
 	}
-	if rec.Attrs == nil {
-		rec.Attrs = map[string]string{}
-	}
-	for _, e := range req.Record.Endpoints {
-		rec.Endpoints = append(rec.Endpoints, e.ToEndpoint())
-	}
-	s.cfg.DB.Insert(rec)
 	return nsp.Response{Code: nsp.CodeOK}
 }
 
-// replicate pushes a new record to the peer servers, best effort.
+// replicate queues a record for propagation to the peer servers. The
+// flusher coalesces a burst of writes into one replica round; if the
+// queue is saturated (or the flusher is not running yet) the record is
+// pushed inline so nothing is lost.
 func (s *Server) replicate(rec Record) {
+	if len(s.replicaPeers()) == 0 {
+		return
+	}
+	select {
+	case s.replCh <- toRec(rec):
+	default:
+		s.sendReplicaBatch([]nsp.RecordRec{toRec(rec)})
+	}
+}
+
+// flushLoop drains the replication queue: it blocks for the first
+// queued write, collects everything that arrives within the flush
+// window, dedups to the latest version of each UAdd, and propagates the
+// batch in one round. On stop it flushes whatever remains.
+func (s *Server) flushLoop(stop <-chan struct{}) {
+	for {
+		var batch []nsp.RecordRec
+		select {
+		case first := <-s.replCh:
+			batch = append(batch, first)
+		case <-stop:
+			s.sendReplicaBatch(dedupReplicas(s.drainQueued(nil)))
+			return
+		}
+		timer := time.NewTimer(replFlushWindow)
+	collect:
+		for len(batch) < replMaxBatch {
+			select {
+			case r := <-s.replCh:
+				batch = append(batch, r)
+			case <-timer.C:
+				break collect
+			case <-stop:
+				break collect
+			}
+		}
+		timer.Stop()
+		s.sendReplicaBatch(dedupReplicas(batch))
+	}
+}
+
+// drainQueued appends whatever is queued right now without blocking.
+func (s *Server) drainQueued(batch []nsp.RecordRec) []nsp.RecordRec {
+	for {
+		select {
+		case r := <-s.replCh:
+			batch = append(batch, r)
+		default:
+			return batch
+		}
+	}
+}
+
+// dedupReplicas keeps only the latest queued version of each UAdd: a
+// register-then-die burst for one module collapses to the death notice.
+func dedupReplicas(batch []nsp.RecordRec) []nsp.RecordRec {
+	if len(batch) < 2 {
+		return batch
+	}
+	latest := make(map[uint64]int, len(batch))
+	out := batch[:0]
+	for _, r := range batch {
+		if i, ok := latest[r.UAdd]; ok {
+			out[i] = r
+			continue
+		}
+		latest[r.UAdd] = len(out)
+		out = append(out, r)
+	}
+	return out
+}
+
+// sendReplicaBatch pushes one replication round to every peer, best
+// effort. A single record travels in the Record field so pre-batching
+// peers still understand the push.
+func (s *Server) sendReplicaBatch(batch []nsp.RecordRec) {
+	if len(batch) == 0 {
+		return
+	}
 	peers := s.replicaPeers()
 	if len(peers) == 0 {
 		return
 	}
-	req := nsp.Request{Op: nsp.OpReplicate, Record: toRec(rec)}
+	req := nsp.Request{Op: nsp.OpReplicate}
+	if len(batch) == 1 {
+		req.Record = batch[0]
+	} else {
+		req.Records = batch
+	}
 	payload, err := pack.Marshal(req)
 	if err != nil {
 		return

@@ -112,11 +112,16 @@ type Binding struct {
 	listener ipcs.Listener
 	resolver Resolver // settable post-construction (bootstrap order)
 
-	mu       sync.Mutex
-	circuits map[addr.UAdd]*LVC
-	opening  map[addr.UAdd]chan struct{}
-	aliases  addr.TAddSource
-	closed   bool
+	// circuits maps peer UAdd → *LVC. It is read on every send, so it is
+	// a sync.Map: the warm path does one lock-free Load instead of taking
+	// the binding mutex. Mutations still happen under mu so the closed
+	// flag and the open/close sweeps stay coherent.
+	circuits sync.Map
+
+	mu      sync.Mutex
+	opening map[addr.UAdd]chan struct{}
+	aliases addr.TAddSource
+	closed  bool
 
 	wg sync.WaitGroup
 }
@@ -143,7 +148,6 @@ func New(cfg Config) (*Binding, error) {
 		cfg:      cfg,
 		network:  cfg.Network.ID(),
 		listener: l,
-		circuits: make(map[addr.UAdd]*LVC),
 		opening:  make(map[addr.UAdd]chan struct{}),
 	}
 	b.wg.Add(1)
@@ -187,15 +191,19 @@ func (b *Binding) Open(dst addr.UAdd) (*LVC, error) {
 }
 
 func (b *Binding) open(dst addr.UAdd) (*LVC, error) {
+	// Warm path: the circuit already exists — one lock-free map load.
+	if v, ok := b.circuits.Load(dst); ok {
+		return v.(*LVC), nil
+	}
 	for {
 		b.mu.Lock()
 		if b.closed {
 			b.mu.Unlock()
 			return nil, ErrClosed
 		}
-		if v, ok := b.circuits[dst]; ok {
+		if v, ok := b.circuits.Load(dst); ok {
 			b.mu.Unlock()
-			return v, nil
+			return v.(*LVC), nil
 		}
 		if wait, inFlight := b.opening[dst]; inFlight {
 			b.mu.Unlock()
@@ -212,7 +220,7 @@ func (b *Binding) open(dst addr.UAdd) (*LVC, error) {
 		delete(b.opening, dst)
 		close(done)
 		if err == nil {
-			b.circuits[dst] = v
+			b.circuits.Store(dst, v)
 			b.wg.Add(1)
 			go b.readLoop(v)
 		}
@@ -223,10 +231,11 @@ func (b *Binding) open(dst addr.UAdd) (*LVC, error) {
 
 // Lookup returns an existing LVC without opening one.
 func (b *Binding) Lookup(dst addr.UAdd) (*LVC, bool) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	v, ok := b.circuits[dst]
-	return v, ok
+	v, ok := b.circuits.Load(dst)
+	if !ok {
+		return nil, false
+	}
+	return v.(*LVC), true
 }
 
 // dial resolves, connects (with retry on open), and runs the open
@@ -448,7 +457,7 @@ func (b *Binding) handleInbound(conn ipcs.Conn) {
 		exit(ErrClosed)
 		return
 	}
-	b.circuits[peer] = v
+	b.circuits.Store(peer, v)
 	b.wg.Add(1)
 	b.mu.Unlock()
 	go b.readLoop(v)
@@ -501,12 +510,9 @@ func (b *Binding) noteFrame(v *LVC, h *wire.Header) {
 	v.remoteTAdd = addr.Nil
 	v.mu.Unlock()
 
-	b.mu.Lock()
-	if b.circuits[alias] == v {
-		delete(b.circuits, alias)
-		b.circuits[real] = v
+	if b.circuits.CompareAndDelete(alias, v) {
+		b.circuits.Store(real, v)
 	}
-	b.mu.Unlock()
 	b.cfg.Cache.Replace(alias, real)
 	b.cfg.Errors.Report(errlog.CodeTAddReplaced, "nd", "%v replaced by %v", alias, real)
 	if b.cfg.OnTAddReplaced != nil {
@@ -518,10 +524,8 @@ func (b *Binding) noteFrame(v *LVC, h *wire.Header) {
 func (b *Binding) circuitDown(v *LVC, err error) {
 	v.markClosed()
 	peer := v.Peer()
+	b.circuits.CompareAndDelete(peer, v)
 	b.mu.Lock()
-	if b.circuits[peer] == v {
-		delete(b.circuits, peer)
-	}
 	closed := b.closed
 	b.mu.Unlock()
 	if closed {
@@ -545,37 +549,31 @@ func (b *Binding) Send(dst addr.UAdd, h wire.Header, payload []byte) error {
 // Drop closes and forgets the LVC to dst, if any (used when upper layers
 // decide an address is stale).
 func (b *Binding) Drop(dst addr.UAdd) {
-	b.mu.Lock()
-	v := b.circuits[dst]
-	delete(b.circuits, dst)
-	b.mu.Unlock()
-	if v != nil {
-		_ = v.Close()
+	if v, ok := b.circuits.LoadAndDelete(dst); ok {
+		_ = v.(*LVC).Close()
 	}
 }
 
 // Circuits returns the peers with live LVCs.
 func (b *Binding) Circuits() []addr.UAdd {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	out := make([]addr.UAdd, 0, len(b.circuits))
-	for u := range b.circuits {
-		out = append(out, u)
-	}
+	var out []addr.UAdd
+	b.circuits.Range(func(k, _ any) bool {
+		out = append(out, k.(addr.UAdd))
+		return true
+	})
 	return out
 }
 
 // TAddAliasCount reports how many circuit-table keys are still TAdd
 // aliases — the §3.4 purge assertion.
 func (b *Binding) TAddAliasCount() int {
-	b.mu.Lock()
-	defer b.mu.Unlock()
 	n := 0
-	for u := range b.circuits {
-		if u.IsTemp() {
+	b.circuits.Range(func(k, _ any) bool {
+		if k.(addr.UAdd).IsTemp() {
 			n++
 		}
-	}
+		return true
+	})
 	return n
 }
 
@@ -587,11 +585,12 @@ func (b *Binding) Close() error {
 		return nil
 	}
 	b.closed = true
-	circuits := make([]*LVC, 0, len(b.circuits))
-	for _, v := range b.circuits {
-		circuits = append(circuits, v)
-	}
-	b.circuits = make(map[addr.UAdd]*LVC)
+	var circuits []*LVC
+	b.circuits.Range(func(k, v any) bool {
+		circuits = append(circuits, v.(*LVC))
+		b.circuits.Delete(k)
+		return true
+	})
 	b.mu.Unlock()
 
 	err := b.listener.Close()
@@ -643,25 +642,27 @@ func (v *LVC) Network() string { return v.b.network }
 // Send transmits one frame on the circuit. A failure closes the circuit
 // and surfaces as a FaultError.
 func (v *LVC) Send(h wire.Header, payload []byte) error {
-	frame, err := wire.Marshal(h, payload)
+	// The frame lives in a pooled buffer; every ipcs.Conn.Send either
+	// copies it or writes it out synchronously, so it is released as soon
+	// as Send returns.
+	frame, err := wire.MarshalBuf(h, payload)
 	if err != nil {
 		return err
 	}
 	v.mu.Lock()
 	if v.closed {
 		v.mu.Unlock()
+		frame.Release()
 		return &FaultError{Peer: v.peer, Err: ipcs.ErrClosed}
 	}
 	conn := v.conn
 	peer := v.peer
 	v.mu.Unlock()
-	if err := conn.Send(frame); err != nil {
+	err = conn.Send(frame.Bytes())
+	frame.Release()
+	if err != nil {
 		_ = v.Close()
-		v.b.mu.Lock()
-		if v.b.circuits[peer] == v {
-			delete(v.b.circuits, peer)
-		}
-		v.b.mu.Unlock()
+		v.b.circuits.CompareAndDelete(peer, v)
 		return &FaultError{Peer: peer, Err: err}
 	}
 	return nil
@@ -677,11 +678,6 @@ func (v *LVC) markClosed() {
 // subsequent Open dials afresh rather than finding the corpse.
 func (v *LVC) Close() error {
 	v.markClosed()
-	peer := v.Peer()
-	v.b.mu.Lock()
-	if v.b.circuits[peer] == v {
-		delete(v.b.circuits, peer)
-	}
-	v.b.mu.Unlock()
+	v.b.circuits.CompareAndDelete(v.Peer(), v)
 	return v.conn.Close()
 }

@@ -16,6 +16,7 @@
 package nsp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -76,7 +77,8 @@ type Request struct {
 	Attrs     map[string]string
 	UAdd      uint64
 	Endpoints []EndpointRec
-	Record    RecordRec // replication payload
+	Record    RecordRec   // replication payload (single record)
+	Records   []RecordRec // batched replication payload (coalesced writes)
 }
 
 // Response is a naming service response.
@@ -165,20 +167,30 @@ func New(cfg Config) (*Layer, error) {
 // call performs one naming service exchange, failing over across the
 // configured Name Server replicas.
 func (l *Layer) call(req Request) (Response, error) {
+	return l.callContext(context.Background(), req)
+}
+
+// callContext is call honoring ctx: the deadline/cancellation propagates
+// into each underlying LCM call, and replica failover stops once the
+// context is done.
+func (l *Layer) callContext(ctx context.Context, req Request) (Response, error) {
 	exit := l.cfg.Tracer.Enter(trace.LayerNSP, req.Op, "naming service request", "below/above")
-	resp, err := l.callServers(req)
+	resp, err := l.callServers(ctx, req)
 	exit(err)
 	return resp, err
 }
 
-func (l *Layer) callServers(req Request) (Response, error) {
+func (l *Layer) callServers(ctx context.Context, req Request) (Response, error) {
 	payload, err := pack.Marshal(req)
 	if err != nil {
 		return Response{}, fmt.Errorf("nsp: marshal request: %w", err)
 	}
 	var lastErr error
 	for _, server := range l.cfg.WellKnown.NameServerUAdds() {
-		d, err := l.cfg.LCM.Call(server, wire.ModePacked, wire.FlagService, payload)
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return Response{}, ctxErr
+		}
+		d, err := l.cfg.LCM.CallContext(ctx, server, wire.ModePacked, wire.FlagService, payload)
 		if err != nil {
 			lastErr = err
 			continue
@@ -258,7 +270,13 @@ func (l *Layer) Resolve(name string) (addr.UAdd, error) {
 // ResolveRecord is Resolve returning the full record, so the caller can
 // prime its endpoint cache in the same exchange.
 func (l *Layer) ResolveRecord(name string) (Record, error) {
-	resp, err := l.call(Request{Op: OpResolve, Name: name})
+	return l.ResolveRecordContext(context.Background(), name)
+}
+
+// ResolveRecordContext is ResolveRecord honoring ctx: the deadline or
+// cancellation bounds the naming exchange, including replica failover.
+func (l *Layer) ResolveRecordContext(ctx context.Context, name string) (Record, error) {
+	resp, err := l.callContext(ctx, Request{Op: OpResolve, Name: name})
 	if err != nil {
 		return Record{}, err
 	}

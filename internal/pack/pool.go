@@ -1,0 +1,30 @@
+// Encoder pooling for the warm send path: envelope and header assembly
+// reuse encoder buffers instead of growing a fresh one per message.
+package pack
+
+import "sync"
+
+var encoderPool = sync.Pool{
+	New: func() any { return new(Encoder) },
+}
+
+// GetEncoder borrows a reset Encoder from the pool.
+func GetEncoder() *Encoder {
+	e := encoderPool.Get().(*Encoder)
+	e.Reset()
+	return e
+}
+
+// PutEncoder returns an Encoder to the pool. The caller must not touch the
+// encoder — or any slice obtained from its Bytes — afterwards; copy the
+// encoded stream out first if it needs to outlive the encoder.
+func PutEncoder(e *Encoder) {
+	if e == nil {
+		return
+	}
+	// One huge message must not pin its buffer in the pool forever.
+	if cap(e.buf) > 64<<10 {
+		e.buf = nil
+	}
+	encoderPool.Put(e)
+}

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -57,7 +58,7 @@ type Event struct {
 type Tracer struct {
 	mu       sync.Mutex
 	module   string
-	enabled  bool
+	enabled  atomic.Bool
 	capacity int
 	events   []Event
 	start    int // ring start index
@@ -69,14 +70,15 @@ type Tracer struct {
 }
 
 // New creates a tracer for the named module, retaining up to capacity
-// events (default 4096).
+// events (default 4096). Recording starts DISABLED — §6.2 is about
+// *selectivity*, so tracing costs nothing until an observer turns it on
+// with SetEnabled(true).
 func New(module string, capacity int) *Tracer {
 	if capacity <= 0 {
 		capacity = 4096
 	}
 	return &Tracer{
 		module:   module,
-		enabled:  true,
 		capacity: capacity,
 		events:   make([]Event, capacity),
 	}
@@ -87,10 +89,19 @@ func (t *Tracer) SetEnabled(on bool) {
 	if t == nil {
 		return
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.enabled = on
+	t.enabled.Store(on)
 }
+
+// On reports whether recording is active; nil-safe and lock-free. Hot
+// paths use it to skip building reason/who strings entirely when nobody
+// is watching.
+func (t *Tracer) On() bool {
+	return t != nil && t.enabled.Load()
+}
+
+// NopExit is the exit function Enter hands back when recording is off —
+// shared, so the disabled path allocates nothing.
+var NopExit = func(error) {}
 
 // SetFilter installs a selective filter: only calls for which keep returns
 // true are recorded (depth accounting still covers everything, so the
@@ -107,13 +118,13 @@ func (t *Tracer) SetFilter(keep func(layer Layer, op string) bool) {
 // Enter records a layer entry and returns the exit function, which must be
 // called (usually deferred) with the operation's error.
 func (t *Tracer) Enter(layer Layer, op, reason, who string) func(err error) {
-	if t == nil {
-		return func(error) {}
+	if !t.On() {
+		return NopExit
 	}
 	t.mu.Lock()
-	if !t.enabled {
+	if !t.enabled.Load() {
 		t.mu.Unlock()
-		return func(error) {}
+		return NopExit
 	}
 	depth := t.depth
 	t.depth++

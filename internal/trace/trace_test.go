@@ -23,6 +23,7 @@ func TestNilTracerIsSafe(t *testing.T) {
 
 func TestEnterExitDepth(t *testing.T) {
 	tr := New("m1", 0)
+	tr.SetEnabled(true)
 	exitA := tr.Enter(LayerALI, "send", "app send", "app")
 	exitB := tr.Enter(LayerLCM, "send", "forwarding", "ali")
 	exitC := tr.Enter(LayerND, "open", "no circuit", "lcm")
@@ -53,6 +54,7 @@ func TestEnterExitDepth(t *testing.T) {
 
 func TestSequentialCallsShareNoDepth(t *testing.T) {
 	tr := New("m1", 0)
+	tr.SetEnabled(true)
 	exit := tr.Enter(LayerLCM, "send", "", "")
 	exit(nil)
 	exit = tr.Enter(LayerLCM, "send", "", "")
@@ -85,6 +87,7 @@ func TestDisabledRecordsNothing(t *testing.T) {
 
 func TestSelectiveFilter(t *testing.T) {
 	tr := New("m1", 0)
+	tr.SetEnabled(true)
 	tr.SetFilter(func(l Layer, op string) bool { return l == LayerND })
 	tr.Enter(LayerALI, "send", "", "")(nil)
 	tr.Enter(LayerND, "open", "", "")(nil)
@@ -97,6 +100,7 @@ func TestSelectiveFilter(t *testing.T) {
 
 func TestRingOverflowKeepsNewest(t *testing.T) {
 	tr := New("m1", 4)
+	tr.SetEnabled(true)
 	for i := 0; i < 10; i++ {
 		tr.Enter(LayerND, "op", "", "")(nil)
 	}
@@ -111,6 +115,7 @@ func TestRingOverflowKeepsNewest(t *testing.T) {
 
 func TestCountsAndSequence(t *testing.T) {
 	tr := New("m1", 0)
+	tr.SetEnabled(true)
 	tr.Enter(LayerALI, "send", "", "")(nil)
 	tr.Enter(LayerLCM, "send", "", "")(nil)
 	tr.Enter(LayerLCM, "recv", "", "")(nil)
@@ -135,6 +140,7 @@ func TestCountsAndSequence(t *testing.T) {
 
 func TestTreeRendering(t *testing.T) {
 	tr := New("host-a/searcher", 0)
+	tr.SetEnabled(true)
 	exitA := tr.Enter(LayerALI, "send", "app message", "app")
 	exitB := tr.Enter(LayerNSP, "resolve", "first send to name", "ali")
 	exitB(errors.New("ns unreachable"))
@@ -164,6 +170,7 @@ func TestTreeRendering(t *testing.T) {
 
 func TestClear(t *testing.T) {
 	tr := New("m1", 0)
+	tr.SetEnabled(true)
 	tr.Enter(LayerND, "op", "", "")(nil)
 	tr.Clear()
 	if len(tr.Events()) != 0 || tr.MaxDepth() != 0 {
@@ -173,6 +180,7 @@ func TestClear(t *testing.T) {
 
 func TestConcurrentUse(t *testing.T) {
 	tr := New("m1", 128)
+	tr.SetEnabled(true)
 	done := make(chan struct{})
 	for g := 0; g < 4; g++ {
 		go func() {

@@ -1,0 +1,79 @@
+// Buffer arena for the warm send path.
+//
+// The 1986 implementation rebuilt every outgoing frame in freshly
+// allocated storage; at production message rates that garbage dominates
+// the send cost. Frames instead borrow from a sync.Pool-backed arena and
+// are released explicitly once the native IPCS has consumed them (every
+// ipcs.Conn.Send either copies the frame or writes it synchronously, so
+// release-after-Send is safe).
+package wire
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Buf is a pooled frame buffer. Obtain one with GetBuf or MarshalBuf,
+// read the frame via Bytes, and return it with Release exactly once.
+// Release poisons the buffer: further Bytes calls panic, as does a second
+// Release — use-after-release bugs fail loudly instead of corrupting a
+// frame another goroutine has since borrowed.
+type Buf struct {
+	b        []byte
+	released atomic.Bool
+}
+
+// bufPool recycles Bufs. A single pool suffices: frames on the warm path
+// cluster around header+small payload, and the backing array grows to the
+// high-water mark of whatever traffic the module carries.
+var bufPool = sync.Pool{
+	New: func() any { return &Buf{b: make([]byte, 0, 512)} },
+}
+
+// GetBuf borrows an empty buffer from the arena.
+func GetBuf() *Buf {
+	bf := bufPool.Get().(*Buf)
+	bf.released.Store(false)
+	bf.b = bf.b[:0]
+	return bf
+}
+
+// Bytes returns the buffered frame. It panics after Release.
+func (bf *Buf) Bytes() []byte {
+	if bf.released.Load() {
+		panic("wire: Buf used after Release")
+	}
+	return bf.b
+}
+
+// Release returns the buffer to the arena. Releasing twice panics: the
+// second caller may be racing a goroutine that legitimately re-borrowed
+// the buffer, and silent reuse would scramble an unrelated frame.
+func (bf *Buf) Release() {
+	if bf == nil {
+		return
+	}
+	if !bf.released.CompareAndSwap(false, true) {
+		panic("wire: Buf released twice")
+	}
+	// Drop oversized backing arrays so one huge payload doesn't pin its
+	// storage in the pool forever.
+	if cap(bf.b) > 64<<10 {
+		bf.b = make([]byte, 0, 512)
+	}
+	bufPool.Put(bf)
+}
+
+// MarshalBuf produces the wire form of a frame in a pooled buffer. The
+// caller must Release the result after the native IPCS send returns.
+func MarshalBuf(h Header, payload []byte) (*Buf, error) {
+	bf := GetBuf()
+	b, err := AppendFrame(bf.b, h, payload)
+	if err != nil {
+		bf.b = b
+		bf.Release()
+		return nil, err
+	}
+	bf.b = b
+	return bf, nil
+}

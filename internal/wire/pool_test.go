@@ -1,0 +1,115 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+)
+
+func poolHeader() Header {
+	return Header{
+		Type: TData, Flags: 0x0102, SrcMachine: 1, Mode: ModePacked,
+		Src: 10, Dst: 20, Circuit: 3, Seq: 4,
+	}
+}
+
+func TestMarshalBufRoundTrip(t *testing.T) {
+	h := poolHeader()
+	payload := []byte("pooled payload")
+	buf, err := MarshalBuf(h, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Marshal(h, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), plain) {
+		t.Errorf("MarshalBuf frame differs from Marshal:\n%x\n%x", buf.Bytes(), plain)
+	}
+	got, body, err := Unmarshal(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Src != h.Src || got.Dst != h.Dst || string(body) != string(payload) {
+		t.Errorf("round trip: %+v %q", got, body)
+	}
+	buf.Release()
+}
+
+func TestBufDoubleReleasePanics(t *testing.T) {
+	buf, err := MarshalBuf(poolHeader(), []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Release()
+	defer func() {
+		if recover() == nil {
+			t.Error("second Release did not panic")
+		}
+	}()
+	buf.Release()
+}
+
+func TestBufUseAfterReleasePanics(t *testing.T) {
+	buf, err := MarshalBuf(poolHeader(), []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Release()
+	defer func() {
+		if recover() == nil {
+			t.Error("Bytes after Release did not panic")
+		}
+	}()
+	_ = buf.Bytes()
+}
+
+func TestEncodeHeaderShortDst(t *testing.T) {
+	if err := EncodeHeader(poolHeader(), make([]byte, HeaderSize-1)); !errors.Is(err, ErrShortHeader) {
+		t.Errorf("EncodeHeader short dst = %v, want ErrShortHeader", err)
+	}
+	dst := make([]byte, HeaderSize)
+	if err := EncodeHeader(poolHeader(), dst); err != nil {
+		t.Fatal(err)
+	}
+	h, rest, err := Unmarshal(dst)
+	if err != nil || len(rest) != 0 {
+		t.Fatalf("Unmarshal encoded header: %v (rest %d)", err, len(rest))
+	}
+	if h.Src != 10 || h.Dst != 20 {
+		t.Errorf("decoded %+v", h)
+	}
+}
+
+// TestBufPoolConcurrent churns the pool from many goroutines under
+// -race: each frame must stay intact until its own Release, pooled
+// reuse notwithstanding.
+func TestBufPoolConcurrent(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			payload := bytes.Repeat([]byte{byte(g + 1)}, 64)
+			h := poolHeader()
+			h.Seq = uint32(g)
+			for i := 0; i < 500; i++ {
+				buf, err := MarshalBuf(h, payload)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				got, body, err := Unmarshal(buf.Bytes())
+				if err != nil || got.Seq != uint32(g) || !bytes.Equal(body, payload) {
+					t.Errorf("goroutine %d: frame corrupted: %v %+v", g, err, got)
+					buf.Release()
+					return
+				}
+				buf.Release()
+			}
+		}(g)
+	}
+	wg.Wait()
+}

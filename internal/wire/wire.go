@@ -158,7 +158,18 @@ func Word(b []byte) uint32 {
 	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
 }
 
-// EncodeHeader shift-encodes h into a fresh HeaderSize buffer.
+// EncodeHeader shift-encodes h into dst, which must hold at least
+// HeaderSize bytes. Callers that already own a pooled buffer encode in
+// place instead of paying a fresh allocation per header.
+func EncodeHeader(h Header, dst []byte) error {
+	if len(dst) < HeaderSize {
+		return fmt.Errorf("%w: dst holds %d bytes", ErrShortHeader, len(dst))
+	}
+	h.encode(dst)
+	return nil
+}
+
+// encode shift-encodes h into the first HeaderSize bytes of buf.
 func (h Header) encode(buf []byte) {
 	w := func(i int, v uint32) { PutWord(buf[i*4:], v) }
 	w(0, uint32(Magic)<<16|uint32(Version)<<8|uint32(h.Type))
@@ -199,6 +210,24 @@ func Marshal(h Header, payload []byte) ([]byte, error) {
 	h.encode(buf)
 	copy(buf[HeaderSize:], payload)
 	return buf, nil
+}
+
+// AppendFrame appends the wire form of a frame to dst and returns the
+// extended slice. It is the allocation-free sibling of Marshal for callers
+// holding a reusable buffer.
+func AppendFrame(dst []byte, h Header, payload []byte) ([]byte, error) {
+	if !h.Type.Valid() {
+		return dst, fmt.Errorf("%w: %d", ErrBadType, h.Type)
+	}
+	if len(payload) > MaxPayload {
+		return dst, fmt.Errorf("%w: %d bytes", ErrHugePayload, len(payload))
+	}
+	h.PayloadLen = uint32(len(payload))
+	start := len(dst)
+	dst = append(dst, make([]byte, HeaderSize)...)
+	h.encode(dst[start:])
+	dst = append(dst, payload...)
+	return dst, nil
 }
 
 // Unmarshal parses a frame. The returned payload aliases data.

@@ -96,10 +96,15 @@ const (
 // Errors surfaced at the application interface.
 var (
 	ErrRemote        = lcm.ErrRemote        // the callee replied with an error
-	ErrCallTimeout   = lcm.ErrCallTimeout   // no reply arrived in time
+	ErrCallTimeout   = lcm.ErrCallTimeout   // no reply arrived in time; matches context.DeadlineExceeded
 	ErrNoReplacement = lcm.ErrNoReplacement // destination gone, no successor module
 	ErrNotFound      = nsp.ErrNotFound      // name or address unknown to the naming service
 )
+
+// RemoteError is the structured form of an error reply: errors.As
+// exposes the failing callee's UAdd and its message. Every RemoteError
+// also matches ErrRemote under errors.Is.
+type RemoteError = lcm.RemoteError
 
 // Attach binds a module to the NTCS (§3.2): it creates communication
 // resources, registers with the naming service, adopts the assigned UAdd

@@ -77,6 +77,7 @@ func TestFirstSendRecursionScenario(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	sender.Tracer().SetEnabled(true)
 	sender.Tracer().Clear()
 
 	if err := sender.Send(u, "greeting", "first contact"); err != nil {
@@ -151,6 +152,7 @@ func TestFigure21ApplicationsView(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	client.Tracer().SetEnabled(true)
 	client.Tracer().Clear()
 	u, err := client.Locate("server")
 	if err != nil {
@@ -193,6 +195,7 @@ func TestFigure22NucleusLayering(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	client.Tracer().SetEnabled(true)
 	client.Tracer().Clear()
 	if err := client.Send(u, "t", "x"); err != nil {
 		t.Fatal(err)
@@ -256,6 +259,7 @@ func TestFigure23NSPFunnel(t *testing.T) {
 	}
 
 	// From above: Locate.
+	client.Tracer().SetEnabled(true)
 	client.Tracer().Clear()
 	u, err := client.Locate("server")
 	if err != nil {
@@ -276,6 +280,7 @@ func TestFigure23NSPFunnel(t *testing.T) {
 		t.Fatal(err)
 	}
 	echoServe(gen2)
+	client.Tracer().SetEnabled(true)
 	client.Tracer().Clear()
 	deadline := time.Now().Add(3 * time.Second)
 	for time.Now().Before(deadline) {
@@ -305,6 +310,7 @@ func TestFigure24ComModVeneer(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	m.Tracer().SetEnabled(true)
 	m.Tracer().Clear()
 	if err := m.Send(0, "t", "x"); err == nil {
 		t.Fatal("nil destination must be rejected")
