@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet verify bench
+.PHONY: all build test race vet verify verify-race bench soak
 
 all: verify
 
@@ -23,6 +23,16 @@ verify:
 	$(GO) build ./...
 	$(GO) test -race ./...
 
+# verify-race is the race suite alone (verify already includes it).
+verify-race:
+	$(GO) test -race ./...
+
 # bench reruns the warm-path series recorded in BENCH_PR1.json.
 bench:
 	$(GO) test . -run XXX -bench 'FirstSendVsWarmSend|WarmSendParallel|ResolutionCache' -benchmem
+
+# soak runs the chaos schedule under the race detector with a fixed seed
+# so a failure reproduces. Override the seed: make soak NTCS_CHAOS_SEED=7
+NTCS_CHAOS_SEED ?= 42
+soak:
+	NTCS_CHAOS_SEED=$(NTCS_CHAOS_SEED) $(GO) test . -run TestChaosSoak -race -count=1 -v

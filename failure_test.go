@@ -443,3 +443,137 @@ func TestCallTimeoutSurfacesCleanly(t *testing.T) {
 		t.Errorf("timeout took %v", elapsed)
 	}
 }
+
+// TestGatewayFailoverAutomatic is the self-healing counterpart of
+// TestGatewayFailureTeardown: the standby gateway is already registered
+// when the prime gateway crashes (abruptly — its naming record stays
+// alive), and the client recovers with NO manual cache invalidation. The
+// IP-Layer's failover loop must exclude the dead hop, re-read the
+// topology, and re-route through the standby on its own (§4.3).
+func TestGatewayFailoverAutomatic(t *testing.T) {
+	w := sim.NewWorld()
+	w.AddNetwork("alpha", memnet.Options{})
+	w.AddNetwork("beta", memnet.Options{})
+	if _, err := w.StartNameServer(w.MustHost("ns-host", machine.Apollo, "alpha"), "ns"); err != nil {
+		t.Fatal(err)
+	}
+	gw1, err := w.StartGateway(w.MustHost("gw1-host", machine.Apollo, "alpha", "beta"), "gw-main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(w.Close)
+	if _, err := w.StartOrdinaryGateway(w.MustHost("gw2-host", machine.Apollo, "alpha", "beta"), "gw-standby"); err != nil {
+		t.Fatal(err)
+	}
+
+	server, err := w.Attach(w.MustHost("beta-host", machine.VAX, "beta"), "server", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	echoServe(server)
+	client, err := w.Attach(w.MustHost("alpha-host", machine.VAX, "alpha"), "client", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := client.Locate("server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reply string
+	if err := client.Call(u, "q", "before", &reply); err != nil {
+		t.Fatal(err)
+	}
+
+	// The prime gateway crashes without deregistering: the topology still
+	// lists it, so failover must learn it is dead the hard way.
+	gw1.Kill()
+
+	deadline := time.Now().Add(5 * time.Second)
+	var callErr error
+	for time.Now().Before(deadline) {
+		callErr = client.Call(u, "q", "after", &reply)
+		if callErr == nil {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if callErr != nil {
+		t.Fatalf("calls never re-routed through the standby gateway: %v", callErr)
+	}
+	if reply != "echo:after" {
+		t.Errorf("reply = %q", reply)
+	}
+}
+
+// TestNameServerReplicaRotation kills the primary Name Server abruptly
+// and verifies the NSP-Layer rotates to the configured replica — and
+// stays there (sticky preference), so later requests skip the dead
+// primary entirely.
+func TestNameServerReplicaRotation(t *testing.T) {
+	w := sim.NewWorld()
+	w.AddNetwork("ring", memnet.Options{})
+	nsPrimary, err := w.StartNameServer(w.MustHost("ns1-host", machine.Apollo, "ring"), "ns-primary")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nsReplica, err := w.StartNameServer(w.MustHost("ns2-host", machine.Apollo, "ring"), "ns-replica")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(w.Close)
+
+	server, err := w.Attach(w.MustHost("vax-1", machine.VAX, "ring"), "server", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	echoServe(server)
+	client, err := w.Attach(w.MustHost("vax-2", machine.VAX, "ring"), "client", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Replication must deliver the server's record to the replica before
+	// the primary dies, or rotation has nothing to answer from.
+	deadline := time.Now().Add(tick)
+	for time.Now().Before(deadline) {
+		if _, err := nsReplica.DB().Resolve("server"); err == nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if _, err := nsReplica.DB().Resolve("server"); err != nil {
+		t.Fatalf("replica never learned about the registration: %v", err)
+	}
+
+	if got := client.NSP().PreferredServer(); got != nsPrimary.UAdd() {
+		t.Fatalf("preferred server before the crash = %v, want primary %v", got, nsPrimary.UAdd())
+	}
+
+	// The primary crashes without deregistering.
+	nsPrimary.Kill()
+
+	u, err := client.Locate("server")
+	if err != nil {
+		t.Fatalf("Locate after primary crash: %v", err)
+	}
+	var reply string
+	if err := client.Call(u, "q", "rotated", &reply); err != nil {
+		t.Fatal(err)
+	}
+	if reply != "echo:rotated" {
+		t.Errorf("reply = %q", reply)
+	}
+	if got := client.NSP().PreferredServer(); got != nsReplica.UAdd() {
+		t.Errorf("preferred server after rotation = %v, want replica %v", got, nsReplica.UAdd())
+	}
+
+	// Sticky preference: the next naming request must not re-pay the dead
+	// primary's failure before reaching the replica.
+	start := time.Now()
+	if _, err := client.Locate("server"); err != nil {
+		t.Fatalf("Locate via sticky replica: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > tick {
+		t.Errorf("sticky rotation still took %v", elapsed)
+	}
+}

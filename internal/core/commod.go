@@ -802,3 +802,19 @@ func (m *Module) Detach() error {
 	})
 	return err
 }
+
+// Kill tears the module down abruptly: no deregistration, no goodbye to
+// the naming service — the crash that the §3.5 relocation and §4.3
+// teardown machinery exist to survive. The record it registered stays in
+// the naming database marked alive, exactly as a 1986 machine crash left
+// it; peers discover the death only by failing to reach the endpoints.
+// Used by the chaos harness; a clean shutdown is Detach.
+func (m *Module) Kill() {
+	m.detachOnce.Do(func() {
+		close(m.detached)
+		m.nuc.Close()
+		if m.server != nil {
+			m.server.Wait()
+		}
+	})
+}

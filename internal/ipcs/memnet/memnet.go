@@ -8,8 +8,10 @@ package memnet
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ntcs/internal/ipcs"
@@ -37,9 +39,17 @@ type Options struct {
 type Net struct {
 	id   string
 	opts Options
+	seed int64
 
-	mu        sync.Mutex
-	rng       *rand.Rand
+	// The fault-injection knobs are atomics read on every message: a
+	// chaos orchestrator flipping them must not serialize the traffic it
+	// is perturbing through the structural lock below.
+	latencyNs atomic.Int64
+	jitterNs  atomic.Int64
+	lossBits  atomic.Uint64 // math.Float64bits of the loss probability
+	pipeSeq   atomic.Int64  // per-pipe RNG seed sequence
+
+	mu        sync.Mutex // guards topology only (listeners, isolation)
 	listeners map[string]*listener
 	isolated  map[string]bool
 	nextEP    int
@@ -57,13 +67,17 @@ func New(id string, opts Options) *Net {
 	if seed == 0 {
 		seed = 1
 	}
-	return &Net{
+	n := &Net{
 		id:        id,
 		opts:      opts,
-		rng:       rand.New(rand.NewSource(seed)),
+		seed:      seed,
 		listeners: make(map[string]*listener),
 		isolated:  make(map[string]bool),
 	}
+	n.latencyNs.Store(int64(opts.Latency))
+	n.jitterNs.Store(int64(opts.Jitter))
+	n.lossBits.Store(math.Float64bits(opts.LossProb))
+	return n
 }
 
 // ID returns the logical network identifier.
@@ -169,30 +183,17 @@ func (n *Net) Endpoints() []string {
 // SetLossProb adjusts the message-loss probability at run time (failure
 // injection while a system is live).
 func (n *Net) SetLossProb(p float64) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.opts.LossProb = p
+	n.lossBits.Store(math.Float64bits(p))
 }
 
-// delay computes this message's delivery delay under the network options.
-func (n *Net) delay() time.Duration {
-	d := n.opts.Latency
-	if n.opts.Jitter > 0 {
-		n.mu.Lock()
-		d += time.Duration(n.rng.Int63n(int64(n.opts.Jitter)))
-		n.mu.Unlock()
-	}
-	return d
+// SetLatency adjusts the base delivery delay at run time.
+func (n *Net) SetLatency(d time.Duration) {
+	n.latencyNs.Store(int64(d))
 }
 
-// drop decides whether to lose this message.
-func (n *Net) drop() bool {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if n.opts.LossProb <= 0 {
-		return false
-	}
-	return n.rng.Float64() < n.opts.LossProb
+// SetJitter adjusts the random extra delay bound at run time.
+func (n *Net) SetJitter(d time.Duration) {
+	n.jitterNs.Store(int64(d))
 }
 
 type listener struct {
@@ -260,10 +261,17 @@ func (l *listener) breakConns() {
 
 // pipe is one direction of a connection: a bounded queue of timestamped
 // messages protected by a condition variable, so latency preserves order.
+//
+// Each pipe owns its loss/jitter RNG, seeded deterministically from the
+// net seed and the pipe's creation index: concurrent connections never
+// contend on a shared random source (fault injection must not perturb the
+// timing it is meant to test), yet a fixed seed still reproduces the same
+// loss pattern as long as pipes are created in the same order.
 type pipe struct {
 	net *Net
 
 	mu     sync.Mutex
+	rng    *rand.Rand // guarded by mu; used only in write
 	cond   *sync.Cond
 	items  []item
 	closed bool
@@ -276,21 +284,45 @@ type item struct {
 }
 
 func newPipe(n *Net) *pipe {
-	p := &pipe{net: n}
+	// Knuth's MMIX multiplier spreads consecutive indices across the seed
+	// space so pipe streams are decorrelated.
+	idx := n.pipeSeq.Add(1)
+	p := &pipe{
+		net: n,
+		rng: rand.New(rand.NewSource(n.seed + idx*6364136223846793005)),
+	}
 	p.cond = sync.NewCond(&p.mu)
 	return p
 }
 
-func (p *pipe) write(data []byte) error {
-	if p.net.drop() {
-		return nil // silent loss
+// delayLocked computes this message's delivery delay. Caller holds p.mu.
+func (p *pipe) delayLocked() time.Duration {
+	d := time.Duration(p.net.latencyNs.Load())
+	if j := p.net.jitterNs.Load(); j > 0 {
+		d += time.Duration(p.rng.Int63n(j))
 	}
-	at := time.Now().Add(p.net.delay())
+	return d
+}
+
+// dropLocked decides whether to lose this message. Caller holds p.mu.
+func (p *pipe) dropLocked() bool {
+	lp := math.Float64frombits(p.net.lossBits.Load())
+	if lp <= 0 {
+		return false
+	}
+	return p.rng.Float64() < lp
+}
+
+func (p *pipe) write(data []byte) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.closed {
 		return fmt.Errorf("memnet %s: send: %w", p.net.id, ipcs.ErrClosed)
 	}
+	if p.dropLocked() {
+		return nil // silent loss
+	}
+	at := time.Now().Add(p.delayLocked())
 	if len(p.items) >= p.net.opts.QueueLen {
 		return fmt.Errorf("memnet %s: send: %w", p.net.id, ipcs.ErrMailboxFull)
 	}

@@ -16,6 +16,7 @@
 package iplayer
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -27,6 +28,7 @@ import (
 	"ntcs/internal/drts/errlog"
 	"ntcs/internal/ndlayer"
 	"ntcs/internal/pack"
+	"ntcs/internal/retry"
 	"ntcs/internal/trace"
 	"ntcs/internal/wire"
 )
@@ -87,6 +89,11 @@ type Config struct {
 	Errors *errlog.Table
 	// OpenTimeout bounds IVC establishment; default 5s.
 	OpenTimeout time.Duration
+	// FailoverPolicy tunes the route-recompute retries after a chained
+	// open fails (§4.3 recovery): each round excludes the gateways
+	// observed dead and re-reads the topology. Zero selects 3 rounds of
+	// jittered backoff from 10ms within the OpenTimeout budget.
+	FailoverPolicy retry.Policy
 }
 
 // hop is one step of a computed route: dial Gateway over Via.
@@ -150,6 +157,16 @@ func New(cfg Config) (*Layer, error) {
 	if cfg.OpenTimeout <= 0 {
 		cfg.OpenTimeout = 5 * time.Second
 	}
+	if cfg.FailoverPolicy.IsZero() {
+		cfg.FailoverPolicy = retry.Policy{
+			Attempts:   3,
+			BaseDelay:  10 * time.Millisecond,
+			MaxDelay:   500 * time.Millisecond,
+			Multiplier: 2,
+			Jitter:     0.25,
+			Budget:     cfg.OpenTimeout,
+		}
+	}
 	l := &Layer{
 		cfg:        cfg,
 		bindings:   make(map[string]*ndlayer.Binding, len(cfg.Bindings)),
@@ -198,14 +215,20 @@ type ivcAckInfo struct {
 
 // Send transmits one frame to dst over an IVC, establishing it as needed.
 func (l *Layer) Send(dst addr.UAdd, h wire.Header, payload []byte) error {
+	return l.SendContext(context.Background(), dst, h, payload)
+}
+
+// SendContext is Send honoring ctx: establishment retries and open waits
+// end early on cancellation or deadline expiry.
+func (l *Layer) SendContext(ctx context.Context, dst addr.UAdd, h wire.Header, payload []byte) error {
 	exit := l.cfg.Tracer.Enter(trace.LayerIP, "send", "IVC send", "lcm")
-	err := l.send(dst, h, payload)
+	err := l.send(ctx, dst, h, payload)
 	exit(err)
 	return err
 }
 
-func (l *Layer) send(dst addr.UAdd, h wire.Header, payload []byte) error {
-	ivc, err := l.Open(dst)
+func (l *Layer) send(ctx context.Context, dst addr.UAdd, h wire.Header, payload []byte) error {
+	ivc, err := l.OpenContext(ctx, dst)
 	if err != nil {
 		return err
 	}
@@ -227,6 +250,11 @@ func (l *Layer) SendVia(via *ndlayer.LVC, circuit uint32, h wire.Header, payload
 
 // Open returns the IVC to dst, establishing one if necessary.
 func (l *Layer) Open(dst addr.UAdd) (*IVC, error) {
+	return l.OpenContext(context.Background(), dst)
+}
+
+// OpenContext is Open honoring ctx.
+func (l *Layer) OpenContext(ctx context.Context, dst addr.UAdd) (*IVC, error) {
 	if l.closed.Load() {
 		return nil, ErrClosed
 	}
@@ -235,7 +263,7 @@ func (l *Layer) Open(dst addr.UAdd) (*IVC, error) {
 	}
 
 	exit := l.cfg.Tracer.Enter(trace.LayerIP, "open", "establish IVC", "lcm")
-	ivc, err := l.establish(dst)
+	ivc, err := l.establish(ctx, dst)
 	exit(err)
 	if err != nil {
 		return nil, err
@@ -247,11 +275,11 @@ func (l *Layer) Open(dst addr.UAdd) (*IVC, error) {
 }
 
 // establish determines the destination network and builds the circuit.
-func (l *Layer) establish(dst addr.UAdd) (*IVC, error) {
+func (l *Layer) establish(ctx context.Context, dst addr.UAdd) (*IVC, error) {
 	// Directly attached? A cached endpoint on a local network wins.
 	for net, b := range l.bindings {
 		if _, ok := l.cfg.Cache.Find(dst, net); ok {
-			v, err := b.Open(dst)
+			v, err := b.OpenContext(ctx, dst)
 			if err != nil {
 				return nil, err
 			}
@@ -264,7 +292,7 @@ func (l *Layer) establish(dst addr.UAdd) (*IVC, error) {
 		return nil, err
 	}
 	if b, ok := l.bindings[destNet]; ok {
-		v, err := b.Open(dst)
+		v, err := b.OpenContext(ctx, dst)
 		if err != nil {
 			return nil, err
 		}
@@ -281,21 +309,41 @@ func (l *Layer) establish(dst addr.UAdd) (*IVC, error) {
 	if err != nil {
 		return nil, err
 	}
-	ivc, err := l.openChain(dst, route)
-	if err != nil {
-		// The route is stale: a gateway died or moved. Recompute without
-		// the hop that faulted (if identifiable), this time consulting
-		// the naming service's full topology.
+	ivc, err := l.openChain(ctx, dst, route)
+	if err == nil {
+		return ivc, nil
+	}
+	return l.failover(ctx, dst, destNet, wellKnownOnly, err)
+}
+
+// failover is the §4.3 recovery loop: after a chained open fails, the
+// route is recomputed through alternate registered gateways — excluding
+// every hop observed dead so far, re-reading the centralized topology
+// each round — under the failover retry policy. The fault propagates
+// upward only when no alternate route works within the policy's budget.
+func (l *Layer) failover(ctx context.Context, dst addr.UAdd, destNet string, wellKnownOnly bool, firstErr error) (*IVC, error) {
+	l.cfg.Errors.Report(errlog.CodeRouteStale, "ip", "route to %s failed (%v); recomputing", destNet, firstErr)
+
+	// Gateways observed dead accumulate across rounds: a dead hop must
+	// not be re-selected just because it is still registered.
+	excluded := make(map[addr.UAdd]bool)
+	noteFault := func(err error) {
+		var fault *ndlayer.FaultError
+		if errors.As(err, &fault) && fault.Peer != dst {
+			excluded[fault.Peer] = true
+		}
+	}
+	noteFault(firstErr)
+
+	b := l.cfg.FailoverPolicy.Start()
+	for b.Next(ctx, nil) {
+		if l.closed.Load() {
+			return nil, ErrClosed
+		}
 		l.mu.Lock()
 		delete(l.routeCache, destNet)
 		l.mu.Unlock()
-		l.cfg.Errors.Report(errlog.CodeRouteStale, "ip", "route to %s failed (%v); recomputing", destNet, err)
 
-		exclude := addr.Nil
-		var fault *ndlayer.FaultError
-		if errors.As(err, &fault) && fault.Peer != dst {
-			exclude = fault.Peer
-		}
 		// Never consult the naming service when routing toward it.
 		var gws []GatewayInfo
 		if wellKnownOnly {
@@ -310,10 +358,10 @@ func (l *Layer) establish(dst addr.UAdd) (*IVC, error) {
 			}
 			gws = l.gateways()
 		}
-		if exclude != addr.Nil {
+		if len(excluded) > 0 {
 			kept := make([]GatewayInfo, 0, len(gws))
 			for _, g := range gws {
-				if g.UAdd != exclude {
+				if !excluded[g.UAdd] {
 					kept = append(kept, g)
 				}
 			}
@@ -321,18 +369,22 @@ func (l *Layer) establish(dst addr.UAdd) (*IVC, error) {
 		}
 		route, rerr := ComputeRoute(l.Networks(), destNet, gws)
 		if rerr != nil {
-			return nil, err
+			// No alternate topology this round; a later round may see a
+			// freshly registered standby gateway.
+			continue
 		}
-		ivc, rerr := l.openChain(dst, route)
+		ivc, rerr := l.openChain(ctx, dst, route)
 		if rerr != nil {
-			return nil, err
+			noteFault(rerr)
+			continue
 		}
 		l.mu.Lock()
 		l.routeCache[destNet] = route
 		l.mu.Unlock()
+		l.cfg.Errors.Report(errlog.CodeRouteStale, "ip", "route to %s recovered via alternate gateway (attempt %d)", destNet, b.Attempt())
 		return ivc, nil
 	}
-	return ivc, nil
+	return nil, firstErr
 }
 
 // networkOf finds dst's network from the cache, then the directory.
@@ -482,7 +534,7 @@ func ComputeRoute(localNets []string, destNet string, gws []GatewayInfo) ([]hop,
 
 // openChain opens the first LVC and sends the chained establishment
 // request down the route.
-func (l *Layer) openChain(dst addr.UAdd, route []hop) (*IVC, error) {
+func (l *Layer) openChain(ctx context.Context, dst addr.UAdd, route []hop) (*IVC, error) {
 	if len(route) == 0 {
 		return nil, fmt.Errorf("%w: empty route", ErrNoRoute)
 	}
@@ -491,7 +543,7 @@ func (l *Layer) openChain(dst addr.UAdd, route []hop) (*IVC, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: not attached to %s", ErrNoRoute, first.Via)
 	}
-	v, err := b.Open(first.Gateway)
+	v, err := b.OpenContext(ctx, first.Gateway)
 	if err != nil {
 		return nil, err
 	}
@@ -528,13 +580,22 @@ func (l *Layer) openChain(dst addr.UAdd, route []hop) (*IVC, error) {
 		return nil, err
 	}
 
+	t := retry.GetTimer(l.cfg.OpenTimeout)
+	defer retry.PutTimer(t)
+	var ctxDone <-chan struct{}
+	if ctx != nil {
+		ctxDone = ctx.Done()
+	}
 	select {
 	case err := <-p.done:
 		if err != nil {
 			return nil, err
 		}
 		return &IVC{id: cid, first: v, dest: dst}, nil
-	case <-time.After(l.cfg.OpenTimeout):
+	case <-ctxDone:
+		l.forgetPending(cid)
+		return nil, ctx.Err()
+	case <-t.C:
 		l.forgetPending(cid)
 		return nil, fmt.Errorf("%w: timed out", ErrOpenFailed)
 	}
@@ -797,6 +858,9 @@ func (l *Layer) handleIVCClose(in ndlayer.Inbound) {
 		return true
 	})
 	if closedAsOriginator {
+		// The teardown means some hop of the cached route died (§4.3);
+		// the next establish must recompute, not replay the stale chain.
+		l.InvalidateRoutes()
 		return
 	}
 	l.mu.Lock()
@@ -813,12 +877,21 @@ func (l *Layer) handleIVCClose(in ndlayer.Inbound) {
 // their other side (§4.3).
 func (l *Layer) HandleCircuitDown(peer addr.UAdd, v *ndlayer.LVC, cause error) {
 	// Any IVC using this LVC as first hop is gone.
+	chained := false
 	l.ivcs.Range(func(k, val any) bool {
-		if val.(*IVC).first == v {
+		if ivc := val.(*IVC); ivc.first == v {
 			l.ivcs.Delete(k)
+			if !ivc.direct {
+				chained = true
+			}
 		}
 		return true
 	})
+	if chained {
+		// A chained circuit died with its first LVC: the gateway that the
+		// cached route leads through is unreachable; recompute next time.
+		l.InvalidateRoutes()
+	}
 	l.mu.Lock()
 	entries := l.relay[v]
 	delete(l.relay, v)

@@ -30,6 +30,7 @@ import (
 	"ntcs/internal/drts/errlog"
 	"ntcs/internal/iplayer"
 	"ntcs/internal/ndlayer"
+	"ntcs/internal/retry"
 	"ntcs/internal/trace"
 	"ntcs/internal/wire"
 )
@@ -117,6 +118,12 @@ type Config struct {
 	CallTimeout time.Duration
 	// InboxSize bounds undelivered inbound messages; default 256.
 	InboxSize int
+	// ReconnectPolicy tunes the §3.5 "reestablish what appears to be a
+	// broken communication link" retries: after the naming service reports
+	// the peer still alive, redials back off under this policy instead of
+	// failing on the first refused attempt (the peer may be mid-restart).
+	// Zero selects 3 attempts of jittered backoff from 20ms.
+	ReconnectPolicy retry.Policy
 	// DisableNSFaultPatch removes the §6.3 patch from the address-fault
 	// handler, reproducing the paper's pathology (tests only).
 	DisableNSFaultPatch bool
@@ -194,6 +201,16 @@ func New(cfg Config) (*Layer, error) {
 	}
 	if cfg.MaxFaultDepth <= 0 {
 		cfg.MaxFaultDepth = 8
+	}
+	if cfg.ReconnectPolicy.IsZero() {
+		cfg.ReconnectPolicy = retry.Policy{
+			Attempts:   3,
+			BaseDelay:  20 * time.Millisecond,
+			MaxDelay:   500 * time.Millisecond,
+			Multiplier: 2,
+			Jitter:     0.25,
+			Budget:     cfg.CallTimeout,
+		}
 	}
 	l := &Layer{
 		cfg:   cfg,
@@ -294,26 +311,26 @@ func (l *Layer) header(dst addr.UAdd, mode wire.Mode, flags uint16, seq uint32) 
 // flags may include FlagService (suppresses hooks) and FlagConnless
 // (single attempt, no recovery).
 func (l *Layer) Send(dst addr.UAdd, mode wire.Mode, flags uint16, payload []byte) error {
-	exit := trace.NopExit
-	if l.cfg.Tracer.On() {
-		exit = l.cfg.Tracer.Enter(trace.LayerLCM, "send", "message to "+dst.String(), "above")
-	}
-	err := l.sendInternal(dst, mode, flags, l.nextSeq(), payload)
-	exit(err)
-	return err
+	return l.SendContext(context.Background(), dst, mode, flags, payload)
 }
 
-// SendContext is Send honoring ctx: a canceled or expired context fails
-// fast before any transmission is attempted (a datagram already handed to
-// the layers below is not recalled).
+// SendContext is Send honoring ctx: circuit establishment, reconnection
+// backoff and fault resolution all end early on cancellation (a datagram
+// already handed to the layers below is not recalled).
 func (l *Layer) SendContext(ctx context.Context, dst addr.UAdd, mode wire.Mode, flags uint16, payload []byte) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	return l.Send(dst, mode, flags, payload)
+	exit := trace.NopExit
+	if l.cfg.Tracer.On() {
+		exit = l.cfg.Tracer.Enter(trace.LayerLCM, "send", "message to "+dst.String(), "above")
+	}
+	err := l.sendInternal(ctx, dst, mode, flags, l.nextSeq(), payload)
+	exit(err)
+	return err
 }
 
-func (l *Layer) sendInternal(dst addr.UAdd, mode wire.Mode, flags uint16, seq uint32, payload []byte) error {
+func (l *Layer) sendInternal(ctx context.Context, dst addr.UAdd, mode wire.Mode, flags uint16, seq uint32, payload []byte) error {
 	if l.closed.Load() {
 		return ErrClosed
 	}
@@ -328,7 +345,7 @@ func (l *Layer) sendInternal(dst addr.UAdd, mode wire.Mode, flags uint16, seq ui
 		stamp = hooks.Now()
 	}
 
-	err := l.sendResolved(dst, mode, flags, seq, payload)
+	err := l.sendResolved(ctx, dst, mode, flags, seq, payload)
 
 	if !service && err == nil && hooks.Record != nil {
 		if stamp.IsZero() {
@@ -340,16 +357,19 @@ func (l *Layer) sendInternal(dst addr.UAdd, mode wire.Mode, flags uint16, seq ui
 }
 
 // sendResolved applies the forwarding table and the address-fault handler.
-func (l *Layer) sendResolved(dst addr.UAdd, mode wire.Mode, flags uint16, seq uint32, payload []byte) error {
+func (l *Layer) sendResolved(ctx context.Context, dst addr.UAdd, mode wire.Mode, flags uint16, seq uint32, payload []byte) error {
 	target, _ := l.fwd.Resolve(dst)
 	h := l.header(target, mode, flags, seq)
-	err := l.cfg.IP.Send(target, h, payload)
+	err := l.cfg.IP.SendContext(ctx, target, h, payload)
 	if err == nil {
 		return nil
 	}
 	if flags&wire.FlagConnless != 0 {
 		// Connectionless protocol: no recovery, the loss is recorded.
 		l.cfg.Errors.Report(errlog.CodeDroppedMsg, "lcm", "connectionless to %v: %v", target, err)
+		return err
+	}
+	if ctx != nil && ctx.Err() != nil {
 		return err
 	}
 	if !isAddressFault(err) {
@@ -361,10 +381,14 @@ func (l *Layer) sendResolved(dst addr.UAdd, mode wire.Mode, flags uint16, seq ui
 	if ferr != nil {
 		if errors.Is(ferr, ErrStillAlive) {
 			// §3.5: "it will attempt to reestablish what appears to be a
-			// broken communication link."
-			l.cfg.IP.DropCircuits(target)
-			h = l.header(target, mode, flags, seq)
-			return l.cfg.IP.Send(target, h, payload)
+			// broken communication link." The peer may be mid-restart (or
+			// the network mid-heal), so the redial backs off under the
+			// reconnect policy rather than failing on the first refusal.
+			return l.cfg.ReconnectPolicy.Do(ctx, l.done, func() error {
+				l.cfg.IP.DropCircuits(target)
+				h = l.header(target, mode, flags, seq)
+				return l.cfg.IP.SendContext(ctx, target, h, payload)
+			})
 		}
 		return fmt.Errorf("%v (fault handling: %w)", err, ferr)
 	}
@@ -383,7 +407,7 @@ func (l *Layer) sendResolved(dst addr.UAdd, mode wire.Mode, flags uint16, seq ui
 	l.cfg.IP.DropCircuits(target)
 	l.cfg.IP.DropCircuits(newTarget)
 	h = l.header(newTarget, mode, flags, seq)
-	return l.cfg.IP.Send(newTarget, h, payload)
+	return l.cfg.IP.SendContext(ctx, newTarget, h, payload)
 }
 
 // isAddressFault classifies the errors the fault handler may recover from.
@@ -463,11 +487,11 @@ func (l *Layer) call(ctx context.Context, dst addr.UAdd, mode wire.Mode, flags u
 	l.addWaiter(seq, ch)
 	defer l.dropWaiter(seq)
 
-	if err := l.sendInternal(dst, mode, flags|wire.FlagCall, seq, payload); err != nil {
+	if err := l.sendInternal(ctx, dst, mode, flags|wire.FlagCall, seq, payload); err != nil {
 		return nil, err
 	}
-	timer := getTimer(l.cfg.CallTimeout)
-	defer putTimer(timer)
+	timer := retry.GetTimer(l.cfg.CallTimeout)
+	defer retry.PutTimer(timer)
 	select {
 	case d := <-ch:
 		if d.Header.Flags&wire.FlagError != 0 {
@@ -504,7 +528,7 @@ func (l *Layer) reply(d *Delivery, mode wire.Mode, flags uint16, payload []byte)
 	if d.Header.Src.IsTemp() {
 		return fmt.Errorf("lcm: reply circuit to TAdd source %v is gone", d.Header.Src)
 	}
-	return l.sendResolved(d.Header.Src, mode, flags|wire.FlagReply, d.Header.Seq, payload)
+	return l.sendResolved(context.Background(), d.Header.Src, mode, flags|wire.FlagReply, d.Header.Seq, payload)
 }
 
 // ReplyError answers a Call with an error the caller sees as ErrRemote.
@@ -521,6 +545,15 @@ func (l *Layer) SendCL(dst addr.UAdd, mode wire.Mode, flags uint16, payload []by
 // Ping probes a module's liveness (used by the Name Server's forwarding
 // intelligence to decide whether an old UAdd "is really inactive").
 func (l *Layer) Ping(dst addr.UAdd, timeout time.Duration) error {
+	return l.PingContext(context.Background(), dst, timeout)
+}
+
+// PingContext is Ping honoring ctx; the pong wait uses a pooled timer so
+// liveness probes allocate nothing under churn.
+func (l *Layer) PingContext(ctx context.Context, dst addr.UAdd, timeout time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	seq := l.nextSeq()
 	ch := make(chan *Delivery, 1)
 	if l.closed.Load() {
@@ -531,35 +564,19 @@ func (l *Layer) Ping(dst addr.UAdd, timeout time.Duration) error {
 
 	h := l.header(dst, wire.ModeNone, wire.FlagService, seq)
 	h.Type = wire.TPing
-	if err := l.cfg.IP.Send(dst, h, nil); err != nil {
+	if err := l.cfg.IP.SendContext(ctx, dst, h, nil); err != nil {
 		return err
 	}
+	timer := retry.GetTimer(timeout)
+	defer retry.PutTimer(timer)
 	select {
 	case <-ch:
 		return nil
-	case <-time.After(timeout):
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-timer.C:
 		return fmt.Errorf("%w: ping %v", ErrCallTimeout, dst)
 	}
-}
-
-// timerPool recycles the timeout timers of Recv and call: the warm
-// round trip would otherwise allocate a fresh timer per operation.
-// Requires the go1.23+ timer semantics (Reset/Stop without draining).
-var timerPool = sync.Pool{New: func() any {
-	t := time.NewTimer(time.Hour)
-	t.Stop()
-	return t
-}}
-
-func getTimer(d time.Duration) *time.Timer {
-	t := timerPool.Get().(*time.Timer)
-	t.Reset(d)
-	return t
-}
-
-func putTimer(t *time.Timer) {
-	t.Stop()
-	timerPool.Put(t)
 }
 
 // Recv waits for the next inbound message.
@@ -570,8 +587,8 @@ func (l *Layer) Recv(timeout time.Duration) (*Delivery, error) {
 		return d, nil
 	default:
 	}
-	timer := getTimer(timeout)
-	defer putTimer(timer)
+	timer := retry.GetTimer(timeout)
+	defer retry.PutTimer(timer)
 	select {
 	case d := <-l.inbox:
 		return d, nil

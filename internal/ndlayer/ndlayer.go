@@ -17,6 +17,7 @@
 package ndlayer
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -27,6 +28,7 @@ import (
 	"ntcs/internal/ipcs"
 	"ntcs/internal/machine"
 	"ntcs/internal/pack"
+	"ntcs/internal/retry"
 	"ntcs/internal/trace"
 	"ntcs/internal/wire"
 )
@@ -98,11 +100,17 @@ type Config struct {
 	Tracer *trace.Tracer
 	Errors *errlog.Table
 	// OpenRetries and OpenRetryDelay tune "retry on open" (§2.2); defaults
-	// 3 and 2ms.
+	// 3 and 2ms. The delay is the base of a jittered exponential backoff
+	// (see RetryPolicy) rather than the fixed sleep of the 1986 system.
 	OpenRetries    int
 	OpenRetryDelay time.Duration
-	// OpenTimeout bounds the open handshake; default 5s.
+	// OpenTimeout bounds the open handshake; default 5s. It also caps the
+	// total dial-retry budget, so a caller is never held longer than one
+	// handshake timeout by a dead endpoint.
 	OpenTimeout time.Duration
+	// RetryPolicy, if non-zero, overrides the dial retry discipline
+	// derived from OpenRetries/OpenRetryDelay.
+	RetryPolicy retry.Policy
 }
 
 // Binding is one module's ND-Layer attachment to one network.
@@ -123,6 +131,11 @@ type Binding struct {
 	aliases addr.TAddSource
 	closed  bool
 
+	// done closes when the binding shuts down, interrupting every
+	// in-flight dial retry wait — a closing Nucleus must never block
+	// behind a retry budget.
+	done chan struct{}
+
 	wg sync.WaitGroup
 }
 
@@ -140,6 +153,16 @@ func New(cfg Config) (*Binding, error) {
 	if cfg.OpenTimeout <= 0 {
 		cfg.OpenTimeout = 5 * time.Second
 	}
+	if cfg.RetryPolicy.IsZero() {
+		cfg.RetryPolicy = retry.Policy{
+			Attempts:   cfg.OpenRetries,
+			BaseDelay:  cfg.OpenRetryDelay,
+			MaxDelay:   100 * cfg.OpenRetryDelay,
+			Multiplier: 2,
+			Jitter:     0.25,
+			Budget:     cfg.OpenTimeout,
+		}
+	}
 	l, err := cfg.Network.Listen(cfg.EndpointHint)
 	if err != nil {
 		return nil, fmt.Errorf("ndlayer: listen: %w", err)
@@ -149,6 +172,7 @@ func New(cfg Config) (*Binding, error) {
 		network:  cfg.Network.ID(),
 		listener: l,
 		opening:  make(map[addr.UAdd]chan struct{}),
+		done:     make(chan struct{}),
 	}
 	b.wg.Add(1)
 	go b.acceptLoop()
@@ -184,13 +208,19 @@ type openInfo struct {
 
 // Open returns the LVC to dst, establishing one if necessary.
 func (b *Binding) Open(dst addr.UAdd) (*LVC, error) {
+	return b.OpenContext(context.Background(), dst)
+}
+
+// OpenContext is Open honoring ctx: cancellation or an expiring deadline
+// interrupts the dial retries and the single-flight wait.
+func (b *Binding) OpenContext(ctx context.Context, dst addr.UAdd) (*LVC, error) {
 	exit := b.cfg.Tracer.Enter(trace.LayerND, "open", "establish LVC", "above")
-	v, err := b.open(dst)
+	v, err := b.open(ctx, dst)
 	exit(err)
 	return v, err
 }
 
-func (b *Binding) open(dst addr.UAdd) (*LVC, error) {
+func (b *Binding) open(ctx context.Context, dst addr.UAdd) (*LVC, error) {
 	// Warm path: the circuit already exists — one lock-free map load.
 	if v, ok := b.circuits.Load(dst); ok {
 		return v.(*LVC), nil
@@ -207,14 +237,20 @@ func (b *Binding) open(dst addr.UAdd) (*LVC, error) {
 		}
 		if wait, inFlight := b.opening[dst]; inFlight {
 			b.mu.Unlock()
-			<-wait
+			select {
+			case <-wait:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-b.done:
+				return nil, ErrClosed
+			}
 			continue // re-check the table
 		}
 		done := make(chan struct{})
 		b.opening[dst] = done
 		b.mu.Unlock()
 
-		v, err := b.dial(dst)
+		v, err := b.dial(ctx, dst)
 
 		b.mu.Lock()
 		delete(b.opening, dst)
@@ -239,8 +275,10 @@ func (b *Binding) Lookup(dst addr.UAdd) (*LVC, bool) {
 }
 
 // dial resolves, connects (with retry on open), and runs the open
-// handshake.
-func (b *Binding) dial(dst addr.UAdd) (*LVC, error) {
+// handshake. The retry waits select on ctx and the binding's close
+// signal, so neither a caller deadline nor Binding.Close ever blocks
+// behind the retry budget.
+func (b *Binding) dial(ctx context.Context, dst addr.UAdd) (*LVC, error) {
 	ep, ok := b.cfg.Cache.Find(dst, b.network)
 	if !ok {
 		b.mu.Lock()
@@ -257,18 +295,18 @@ func (b *Binding) dial(dst addr.UAdd) (*LVC, error) {
 		b.cfg.Cache.Put(dst, ep)
 	}
 
-	var (
-		conn ipcs.Conn
-		err  error
-	)
-	for attempt := 0; attempt < b.cfg.OpenRetries; attempt++ {
-		conn, err = b.cfg.Network.Dial(ep.Addr)
-		if err == nil {
-			break
+	var conn ipcs.Conn
+	attempt := 0
+	err := b.cfg.RetryPolicy.Do(ctx, b.done, func() error {
+		attempt++
+		c, derr := b.cfg.Network.Dial(ep.Addr)
+		if derr != nil {
+			b.cfg.Errors.Report(errlog.CodeOpenRetry, "nd", "dial %v via %s attempt %d: %v", dst, ep.Addr, attempt, derr)
+			return derr
 		}
-		b.cfg.Errors.Report(errlog.CodeOpenRetry, "nd", "dial %v via %s attempt %d: %v", dst, ep.Addr, attempt+1, err)
-		time.Sleep(b.cfg.OpenRetryDelay)
-	}
+		conn = c
+		return nil
+	})
 	if err != nil {
 		// The cached endpoint is wrong or the module is gone: drop it so a
 		// relocation can supply fresh information. Well-known addresses
@@ -357,10 +395,12 @@ func recvFrame(conn ipcs.Conn, timeout time.Duration) (wire.Header, []byte, erro
 		h, payload, err := wire.Unmarshal(data)
 		ch <- res{h: h, payload: payload, err: err}
 	}()
+	t := retry.GetTimer(timeout)
+	defer retry.PutTimer(t)
 	select {
 	case r := <-ch:
 		return r.h, r.payload, r.err
-	case <-time.After(timeout):
+	case <-t.C:
 		_ = conn.Close()
 		return wire.Header{}, nil, errors.New("ndlayer: open handshake timed out")
 	}
@@ -585,6 +625,7 @@ func (b *Binding) Close() error {
 		return nil
 	}
 	b.closed = true
+	close(b.done)
 	var circuits []*LVC
 	b.circuits.Range(func(k, v any) bool {
 		circuits = append(circuits, v.(*LVC))

@@ -27,6 +27,7 @@ import (
 	"ntcs/internal/lcm"
 	"ntcs/internal/machine"
 	"ntcs/internal/pack"
+	"ntcs/internal/retry"
 	"ntcs/internal/trace"
 	"ntcs/internal/wire"
 )
@@ -142,6 +143,11 @@ type Config struct {
 	// paper's argument: "locally cached values will likely be correct
 	// since reconfiguration is infrequent").
 	GatewayTTL time.Duration
+	// FailoverPolicy bounds the rounds of replica rotation when no
+	// configured Name Server answers: each round walks every replica
+	// starting from the last one that answered, then backs off. Zero
+	// selects 2 rounds with a 50ms jittered delay between them.
+	FailoverPolicy retry.Policy
 }
 
 // Layer is the NSP-Layer: one per ComMod.
@@ -151,6 +157,11 @@ type Layer struct {
 	mu        sync.Mutex
 	gwCache   []iplayer.GatewayInfo
 	gwFetched time.Time
+	// preferred is the index (into WellKnown.NameServerUAdds) of the last
+	// replica that answered: rotation is sticky, so after the primary dies
+	// every later request goes straight to the live replica instead of
+	// re-paying the primary's timeout.
+	preferred int
 }
 
 // New assembles the layer.
@@ -160,6 +171,15 @@ func New(cfg Config) (*Layer, error) {
 	}
 	if cfg.GatewayTTL <= 0 {
 		cfg.GatewayTTL = 2 * time.Second
+	}
+	if cfg.FailoverPolicy.IsZero() {
+		cfg.FailoverPolicy = retry.Policy{
+			Attempts:   2,
+			BaseDelay:  50 * time.Millisecond,
+			MaxDelay:   time.Second,
+			Multiplier: 2,
+			Jitter:     0.25,
+		}
 	}
 	return &Layer{cfg: cfg}, nil
 }
@@ -185,26 +205,80 @@ func (l *Layer) callServers(ctx context.Context, req Request) (Response, error) 
 	if err != nil {
 		return Response{}, fmt.Errorf("nsp: marshal request: %w", err)
 	}
-	var lastErr error
-	for _, server := range l.cfg.WellKnown.NameServerUAdds() {
-		if ctxErr := ctx.Err(); ctxErr != nil {
-			return Response{}, ctxErr
-		}
-		d, err := l.cfg.LCM.CallContext(ctx, server, wire.ModePacked, wire.FlagService, payload)
-		if err != nil {
-			lastErr = err
-			continue
-		}
-		var resp Response
-		if err := pack.Unmarshal(d.Payload, &resp); err != nil {
-			return Response{}, fmt.Errorf("%w: %v", ErrProtocol, err)
-		}
-		return resp, nil
+	servers := l.cfg.WellKnown.NameServerUAdds()
+	if len(servers) == 0 {
+		return Response{}, fmt.Errorf("%w: no name servers configured", ErrUnavailable)
 	}
-	if lastErr == nil {
-		lastErr = errors.New("no name servers configured")
+	var lastErr error
+	b := l.cfg.FailoverPolicy.Start()
+	for b.Next(ctx, nil) {
+		l.mu.Lock()
+		start := l.preferred
+		l.mu.Unlock()
+		if start >= len(servers) {
+			start = 0
+		}
+		for i := 0; i < len(servers); i++ {
+			idx := (start + i) % len(servers)
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				return Response{}, ctxErr
+			}
+			d, err := l.cfg.LCM.CallContext(ctx, servers[idx], wire.ModePacked, wire.FlagService, payload)
+			if err != nil {
+				lastErr = err
+				if terminalCallError(ctx, err) {
+					// A dead caller or the §6.3 recursion bound: rotating
+					// replicas cannot help and retrying multiplies the
+					// pathology the bound exists to contain.
+					return Response{}, fmt.Errorf("%w: %v", ErrUnavailable, lastErr)
+				}
+				continue // rotate to the next replica
+			}
+			var resp Response
+			if err := pack.Unmarshal(d.Payload, &resp); err != nil {
+				return Response{}, fmt.Errorf("%w: %v", ErrProtocol, err)
+			}
+			if idx != start {
+				l.mu.Lock()
+				l.preferred = idx
+				l.mu.Unlock()
+			}
+			return resp, nil
+		}
+	}
+	if berr := b.Err(); berr != nil && lastErr == nil {
+		lastErr = berr
 	}
 	return Response{}, fmt.Errorf("%w: %v", ErrUnavailable, lastErr)
+}
+
+// terminalCallError classifies failures no replica rotation can recover:
+// the local layer is closing, the context is done, or the LCM address-fault
+// recursion bound tripped (§6.3 — rotating would rerun the recursion per
+// replica per round). A plain call timeout is NOT terminal: that is
+// exactly the dead-primary case rotation exists for.
+func terminalCallError(ctx context.Context, err error) bool {
+	if ctx != nil && ctx.Err() != nil {
+		return true
+	}
+	return errors.Is(err, lcm.ErrClosed) ||
+		errors.Is(err, lcm.ErrFaultRecursion) ||
+		errors.Is(err, context.Canceled)
+}
+
+// PreferredServer reports which Name Server replica the layer currently
+// favors (test instrumentation for the rotation).
+func (l *Layer) PreferredServer() addr.UAdd {
+	servers := l.cfg.WellKnown.NameServerUAdds()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(servers) == 0 {
+		return addr.Nil
+	}
+	if l.preferred >= len(servers) {
+		return servers[0]
+	}
+	return servers[l.preferred]
 }
 
 // Register records the module with the naming service and returns its

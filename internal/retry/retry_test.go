@@ -1,0 +1,221 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestSingleAttemptByDefault(t *testing.T) {
+	var p Policy
+	calls := 0
+	err := p.Do(context.Background(), nil, func() error {
+		calls++
+		return errors.New("boom")
+	})
+	if calls != 1 {
+		t.Errorf("zero policy ran op %d times, want 1", calls)
+	}
+	if err == nil || err.Error() != "boom" {
+		t.Errorf("err = %v, want the op error", err)
+	}
+}
+
+func TestRetriesUntilSuccess(t *testing.T) {
+	p := Policy{Attempts: 5, BaseDelay: time.Microsecond}
+	calls := 0
+	err := p.Do(context.Background(), nil, func() error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if calls != 3 {
+		t.Errorf("op ran %d times, want 3", calls)
+	}
+}
+
+func TestAttemptsExhaustedReturnsLastError(t *testing.T) {
+	p := Policy{Attempts: 3, BaseDelay: time.Microsecond}
+	last := errors.New("attempt-3")
+	calls := 0
+	err := p.Do(context.Background(), nil, func() error {
+		calls++
+		if calls == 3 {
+			return last
+		}
+		return errors.New("earlier")
+	})
+	if calls != 3 {
+		t.Errorf("op ran %d times, want 3", calls)
+	}
+	if !errors.Is(err, last) {
+		t.Errorf("err = %v, want the final op error", err)
+	}
+}
+
+func TestExponentialGrowthAndCap(t *testing.T) {
+	p := Policy{Attempts: 10, BaseDelay: 10 * time.Millisecond, MaxDelay: 40 * time.Millisecond}
+	want := []time.Duration{
+		10 * time.Millisecond, // after attempt 1
+		20 * time.Millisecond,
+		40 * time.Millisecond,
+		40 * time.Millisecond, // capped
+		40 * time.Millisecond,
+	}
+	for i, w := range want {
+		if got := p.BaseDelayFor(i); got != w {
+			t.Errorf("BaseDelayFor(%d) = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestJitterBounds(t *testing.T) {
+	// Drive the jitter source through its extremes: the delay must stay
+	// inside [d·(1−J), d·(1+J)] for every value in [0, 1).
+	const base = 100 * time.Millisecond
+	for _, r := range []float64{0, 0.25, 0.5, 0.75, 0.999999} {
+		p := Policy{
+			Attempts:  2,
+			BaseDelay: base,
+			Jitter:    0.3,
+			Rand:      func() float64 { return r },
+		}
+		got := p.jittered(p.BaseDelayFor(0))
+		lo := time.Duration(float64(base) * 0.7)
+		hi := time.Duration(float64(base) * 1.3)
+		if got < lo || got > hi {
+			t.Errorf("rand=%v: jittered delay %v outside [%v, %v]", r, got, lo, hi)
+		}
+	}
+	// Jitter 0 is exact.
+	p := Policy{Attempts: 2, BaseDelay: base}
+	if got := p.jittered(p.BaseDelayFor(0)); got != base {
+		t.Errorf("no jitter: got %v, want %v", got, base)
+	}
+}
+
+func TestBudgetExhaustion(t *testing.T) {
+	// Delays of 50ms against a 10ms budget: the second attempt's wait
+	// would overrun, so the sequence ends with ErrBudgetExhausted and
+	// without sleeping the full delay.
+	p := Policy{Attempts: 10, BaseDelay: 50 * time.Millisecond, Budget: 10 * time.Millisecond}
+	calls := 0
+	start := time.Now()
+	err := p.Do(context.Background(), nil, func() error {
+		calls++
+		return errors.New("down")
+	})
+	if calls != 1 {
+		t.Errorf("op ran %d times, want 1 (budget bars the second wait)", calls)
+	}
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Errorf("err = %v, want ErrBudgetExhausted", err)
+	}
+	if elapsed := time.Since(start); elapsed > 40*time.Millisecond {
+		t.Errorf("budget exhaustion took %v; the full 50ms delay was slept", elapsed)
+	}
+	// The underlying cause stays visible through the wrapper.
+	if got := err.Error(); got == "" {
+		t.Error("empty error text")
+	}
+}
+
+func TestContextCancelMidBackoff(t *testing.T) {
+	p := Policy{Attempts: 5, BaseDelay: time.Hour}
+	ctx, cancel := context.WithCancel(context.Background())
+	opErr := errors.New("down")
+	done := make(chan error, 1)
+	go func() {
+		done <- p.Do(ctx, nil, func() error { return opErr })
+	}()
+	time.Sleep(10 * time.Millisecond) // let Do enter the hour-long wait
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("err = %v, want context.Canceled", err)
+		}
+		if !errors.Is(err, opErr) {
+			t.Errorf("err = %v, want the op error preserved", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancel did not interrupt the backoff wait")
+	}
+}
+
+func TestStopChannelInterruptsWait(t *testing.T) {
+	p := Policy{Attempts: 5, BaseDelay: time.Hour}
+	stop := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- p.Do(context.Background(), stop, func() error { return errors.New("down") })
+	}()
+	time.Sleep(10 * time.Millisecond)
+	close(stop)
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrStopped) {
+			t.Errorf("err = %v, want ErrStopped", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("stop did not interrupt the backoff wait")
+	}
+}
+
+func TestDeadlinePropagatesIntoWait(t *testing.T) {
+	p := Policy{Attempts: 5, BaseDelay: time.Hour}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := p.Do(ctx, nil, func() error { return errors.New("down") })
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v, want DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("deadline took %v to fire", elapsed)
+	}
+}
+
+func TestCanceledContextPreventsFirstAttempt(t *testing.T) {
+	p := Policy{Attempts: 5, BaseDelay: time.Millisecond}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls := 0
+	err := p.Do(ctx, nil, func() error { calls++; return nil })
+	if calls != 0 {
+		t.Errorf("op ran %d times under a dead context, want 0", calls)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestWaitNilChannels(t *testing.T) {
+	if err := Wait(nil, nil, time.Millisecond); err != nil {
+		t.Errorf("Wait with nil ctx/stop: %v", err)
+	}
+	if err := Wait(nil, nil, 0); err != nil {
+		t.Errorf("Wait(0): %v", err)
+	}
+}
+
+func TestBackoffIteratorShape(t *testing.T) {
+	p := Policy{Attempts: 3, BaseDelay: time.Microsecond}
+	b := p.Start()
+	n := 0
+	for b.Next(context.Background(), nil) {
+		n++
+	}
+	if n != 3 {
+		t.Errorf("iterator granted %d attempts, want 3", n)
+	}
+	if b.Err() != nil {
+		t.Errorf("clean exhaustion should leave Err nil, got %v", b.Err())
+	}
+}

@@ -1,0 +1,165 @@
+package sim
+
+import (
+	"context"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"ntcs/internal/core"
+	"ntcs/internal/ipcs/memnet"
+	"ntcs/internal/retry"
+)
+
+// ChaosEvent is one scheduled fault action.
+type ChaosEvent struct {
+	// At is the offset from the start of Run.
+	At time.Duration
+	// Name labels the event in the run log.
+	Name string
+	// Do performs the fault (or the heal).
+	Do func()
+}
+
+// ChaosRecord is one fired event in the run log.
+type ChaosRecord struct {
+	Name    string
+	Planned time.Duration // scheduled offset
+	Fired   time.Duration // actual offset from Run start
+}
+
+// Chaos is the failure-injection side of the testbed: a deterministic
+// schedule of network degradations (loss, latency, partitions) and module
+// crashes, played back against a running World. The 1986 project proved
+// its recovery paths by literally unplugging Apollo ring nodes; Chaos is
+// that cable-pull with a fixed seed, so a failing soak reproduces.
+//
+// Build the schedule with the episode helpers (or Schedule for arbitrary
+// actions), optionally Perturb the offsets from the seed, then Run it. A
+// Chaos is single-use.
+type Chaos struct {
+	rng *rand.Rand
+
+	mu     sync.Mutex
+	events []ChaosEvent
+	log    []ChaosRecord
+}
+
+// NewChaos creates an empty schedule. The seed drives Perturb; two Chaos
+// instances with the same seed and the same build sequence fire the same
+// schedule.
+func NewChaos(seed int64) *Chaos {
+	if seed == 0 {
+		seed = 1
+	}
+	return &Chaos{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Schedule adds an arbitrary event.
+func (c *Chaos) Schedule(at time.Duration, name string, do func()) *Chaos {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.events = append(c.events, ChaosEvent{At: at, Name: name, Do: do})
+	return c
+}
+
+// LossEpisode drops each message on n with probability p from at until
+// at+dur, then restores the network's configured loss.
+func (c *Chaos) LossEpisode(n *memnet.Net, at, dur time.Duration, p float64) *Chaos {
+	c.Schedule(at, "loss "+n.ID(), func() { n.SetLossProb(p) })
+	c.Schedule(at+dur, "heal-loss "+n.ID(), func() { n.SetLossProb(0) })
+	return c
+}
+
+// LatencyEpisode degrades n's delivery delay from at until at+dur.
+func (c *Chaos) LatencyEpisode(n *memnet.Net, at, dur, latency, jitter time.Duration) *Chaos {
+	c.Schedule(at, "latency "+n.ID(), func() {
+		n.SetLatency(latency)
+		n.SetJitter(jitter)
+	})
+	c.Schedule(at+dur, "heal-latency "+n.ID(), func() {
+		n.SetLatency(0)
+		n.SetJitter(0)
+	})
+	return c
+}
+
+// Partition isolates one endpoint of n (existing connections break, new
+// dials fail) from at until at+dur.
+func (c *Chaos) Partition(n *memnet.Net, physAddr string, at, dur time.Duration) *Chaos {
+	c.Schedule(at, "partition "+physAddr, func() { n.Isolate(physAddr, true) })
+	c.Schedule(at+dur, "heal-partition "+physAddr, func() { n.Isolate(physAddr, false) })
+	return c
+}
+
+// KillModule crashes m abruptly at the given offset: no deregistration,
+// its naming record stays alive — peers must discover the death.
+func (c *Chaos) KillModule(at time.Duration, name string, m *core.Module) *Chaos {
+	return c.Schedule(at, "kill "+name, m.Kill)
+}
+
+// Perturb shifts every scheduled offset by a seeded uniform amount in
+// [-maxSkew, +maxSkew] (clamped at zero): the same seed always produces
+// the same perturbation, so randomized schedules stay reproducible.
+func (c *Chaos) Perturb(maxSkew time.Duration) *Chaos {
+	if maxSkew <= 0 {
+		return c
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := range c.events {
+		skew := time.Duration(c.rng.Int63n(int64(2*maxSkew))) - maxSkew
+		if at := c.events[i].At + skew; at > 0 {
+			c.events[i].At = at
+		} else {
+			c.events[i].At = 0
+		}
+	}
+	return c
+}
+
+// Run plays the schedule: events fire in offset order (ties in insertion
+// order) relative to the moment Run is called. Run blocks until the last
+// event has fired or ctx is done, and returns the log of what fired.
+func (c *Chaos) Run(ctx context.Context) []ChaosRecord {
+	c.mu.Lock()
+	events := make([]ChaosEvent, len(c.events))
+	copy(events, c.events)
+	c.mu.Unlock()
+	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
+
+	start := time.Now()
+	for _, ev := range events {
+		if err := retry.Wait(ctx, nil, ev.At-time.Since(start)); err != nil {
+			break
+		}
+		ev.Do()
+		c.mu.Lock()
+		c.log = append(c.log, ChaosRecord{Name: ev.Name, Planned: ev.At, Fired: time.Since(start)})
+		c.mu.Unlock()
+	}
+	return c.Log()
+}
+
+// Log returns the events fired so far.
+func (c *Chaos) Log() []ChaosRecord {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]ChaosRecord, len(c.log))
+	copy(out, c.log)
+	return out
+}
+
+// Duration reports the offset of the last scheduled event.
+func (c *Chaos) Duration() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var max time.Duration
+	for _, ev := range c.events {
+		if ev.At > max {
+			max = ev.At
+		}
+	}
+	return max
+}

@@ -21,6 +21,7 @@ import (
 	"ntcs/internal/ipcs/memnet"
 	"ntcs/internal/ipcs/tcpnet"
 	"ntcs/internal/machine"
+	"ntcs/internal/nameserver"
 )
 
 // Host is a simulated machine: a machine type plus network attachments.
@@ -41,14 +42,15 @@ func (h *Host) NetworkIDs() []string {
 
 // World is one simulated testbed.
 type World struct {
-	mu        sync.Mutex
-	networks  map[string]ipcs.Network
-	hosts     map[string]*Host
-	wellKnown addr.WellKnown
-	modules   []*core.Module
-	nextGW    addr.UAdd
-	nextNS    int
-	hintSeq   int
+	mu          sync.Mutex
+	networks    map[string]ipcs.Network
+	hosts       map[string]*Host
+	wellKnown   addr.WellKnown
+	modules     []*core.Module
+	nameServers []*core.Module
+	nextGW      addr.UAdd
+	nextNS      int
+	hintSeq     int
 }
 
 // NewWorld creates an empty testbed.
@@ -191,8 +193,31 @@ func (w *World) StartNameServer(h *Host, name string) (*core.Module, error) {
 	w.wellKnown.NameServers = append(w.wellKnown.NameServers, addr.WellKnownEntry{
 		Name: name, UAdd: uadd, Endpoints: m.Endpoints(),
 	})
+	w.nameServers = append(w.nameServers, m)
+	servers := append([]*core.Module(nil), w.nameServers...)
 	w.mu.Unlock()
 	w.track(m)
+
+	// Wire the replicated configuration (§7: "the latter will be
+	// replicated for failure resiliency"): every server knows every
+	// peer's record (so its own Nucleus can reach the peer to push
+	// writes) and propagates each write to all of them, so a client
+	// rotating to a replica after the primary dies sees the records
+	// registered through the primary.
+	for _, s := range servers {
+		peers := make([]addr.UAdd, 0, len(servers)-1)
+		for _, o := range servers {
+			if o == s {
+				continue
+			}
+			peers = append(peers, o.UAdd())
+			s.DB().Insert(nameserver.Record{
+				Name: o.Name(), UAdd: o.UAdd(), Endpoints: o.Endpoints(),
+				Attrs: map[string]string{"type": "nameserver"}, Alive: true,
+			})
+		}
+		s.SetNameServerReplicas(peers)
+	}
 	return m, nil
 }
 
