@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet verify verify-race bench soak
+.PHONY: all build test race vet verify verify-race bench soak fuzz-smoke
 
 all: verify
 
@@ -36,3 +36,11 @@ bench:
 NTCS_CHAOS_SEED ?= 42
 soak:
 	NTCS_CHAOS_SEED=$(NTCS_CHAOS_SEED) $(GO) test . -run TestChaosSoak -race -count=1 -v
+
+# fuzz-smoke runs each wire-facing fuzz target briefly — CI's crash
+# detector, not a coverage hunt. Override: make fuzz-smoke FUZZTIME=2m
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test ./internal/wire -run '^FuzzHeaderDecode$$' -fuzz '^FuzzHeaderDecode$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/pack -run '^FuzzPackRoundTrip$$' -fuzz '^FuzzPackRoundTrip$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/nsp -run '^FuzzNSPRecord$$' -fuzz '^FuzzNSPRecord$$' -fuzztime $(FUZZTIME)

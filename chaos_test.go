@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -16,11 +17,14 @@ import (
 )
 
 // chaosSeed returns the soak seed: fixed by default so failures reproduce,
-// overridable via NTCS_CHAOS_SEED (the Makefile soak target sets it).
+// overridable via NTCS_SEED or NTCS_CHAOS_SEED (the Makefile soak target
+// sets the latter).
 func chaosSeed() int64 {
-	if s := os.Getenv("NTCS_CHAOS_SEED"); s != "" {
-		if v, err := strconv.ParseInt(s, 10, 64); err == nil {
-			return v
+	for _, key := range []string{"NTCS_SEED", "NTCS_CHAOS_SEED"} {
+		if s := os.Getenv(key); s != "" {
+			if v, err := strconv.ParseInt(s, 10, 64); err == nil {
+				return v
+			}
 		}
 	}
 	return 42
@@ -118,6 +122,7 @@ func TestChaosSoak(t *testing.T) {
 	}()
 
 	chaos := sim.NewChaos(seed)
+	chaos.ObserveStats(w.StatsTotals)
 	chaos.KillModule(400*time.Millisecond, "gw-main", gw1)
 	chaos.LossEpisode(alpha, 1800*time.Millisecond, 700*time.Millisecond, 0.10)
 	chaos.KillModule(3200*time.Millisecond, "ns-primary", nsPrimary)
@@ -166,6 +171,32 @@ func TestChaosSoak(t *testing.T) {
 	}
 	if okCount < 50 {
 		t.Errorf("only %d successful calls across the soak; workload starved", okCount)
+	}
+
+	// The metrics must tell the same story the samples do: surviving the
+	// gateway kill requires gateway failovers, surviving the Name Server
+	// kill requires replica rotations, and both recoveries ride the retry
+	// budgets. Zeros here mean the observability layer missed the episode.
+	totals := w.StatsTotals()
+	if totals.Counters["ip.gateway_failovers"] == 0 {
+		t.Errorf("soak survived a gateway kill with ip.gateway_failovers = 0")
+	}
+	if totals.Counters["nsp.replica_rotations"] == 0 {
+		t.Errorf("soak survived a Name Server kill with nsp.replica_rotations = 0")
+	}
+	var retryTotal uint64
+	for name, v := range totals.Counters {
+		if strings.HasPrefix(name, "retry.attempts.") {
+			retryTotal += v
+		}
+	}
+	if retryTotal == 0 {
+		t.Errorf("soak recovered without a single metered retry attempt")
+	}
+	for _, rec := range records {
+		if len(rec.Delta) > 0 {
+			t.Logf("episode %-24s delta %v", rec.Name, rec.Delta)
+		}
 	}
 
 	// Per-event recovery latency: the first successful call after each

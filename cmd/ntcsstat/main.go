@@ -1,0 +1,85 @@
+// ntcsstat fetches and renders the observability snapshot of a running
+// NTCS daemon (start one with `ursad -http 127.0.0.1:7171`).
+//
+// Usage:
+//
+//	ntcsstat [-addr 127.0.0.1:7171] [-module name] [-json] [-watch 2s]
+//
+// The default output is the same sorted text dump the daemon's /stats
+// endpoint serves: one stanza per module, counters then gauges then
+// latency histograms (histograms appear once the daemon enables that
+// tier, e.g. `ursad -hist`). -watch re-fetches on an interval, the
+// poor-operator's top(1) for a Nucleus.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"ntcs/internal/stats"
+)
+
+func main() {
+	var (
+		addr   = flag.String("addr", "127.0.0.1:7171", "daemon stats address (ursad -http)")
+		module = flag.String("module", "", "show only this module's stanza")
+		asJSON = flag.Bool("json", false, "emit raw JSON snapshots")
+		watch  = flag.Duration("watch", 0, "re-fetch on this interval (0 = once)")
+	)
+	flag.Parse()
+
+	for {
+		if err := dump(*addr, *module, *asJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "ntcsstat:", err)
+			os.Exit(1)
+		}
+		if *watch <= 0 {
+			return
+		}
+		time.Sleep(*watch)
+		fmt.Printf("--- %s\n", time.Now().Format(time.TimeOnly))
+	}
+}
+
+func dump(addr, module string, asJSON bool) error {
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get("http://" + addr + "/stats.json")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("daemon answered %s", resp.Status)
+	}
+	var snaps []stats.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snaps); err != nil {
+		return fmt.Errorf("decoding /stats.json: %w", err)
+	}
+	if module != "" {
+		kept := snaps[:0]
+		for _, s := range snaps {
+			if s.Module == module {
+				kept = append(kept, s)
+			}
+		}
+		snaps = kept
+		if len(snaps) == 0 {
+			return fmt.Errorf("daemon has no module %q", module)
+		}
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(snaps)
+	}
+	for _, s := range snaps {
+		if _, err := stats.WriteSnapshot(os.Stdout, s); err != nil {
+			return err
+		}
+	}
+	return nil
+}

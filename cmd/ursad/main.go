@@ -4,10 +4,15 @@
 //
 // Usage:
 //
-//	ursad [-docs 200] [-seed 1]
+//	ursad [-docs 200] [-seed 1] [-http 127.0.0.1:7171] [-hist]
 //	> distributed system
 //	> information retrieval
 //	> :quit
+//
+// With -http the daemon serves its per-module metrics (text at /stats,
+// JSON at /stats.json for ntcsstat, expvar at /debug/vars) and the pprof
+// profile endpoints; -hist additionally turns on the latency-histogram
+// tier for every module.
 package main
 
 import (
@@ -20,23 +25,26 @@ import (
 	"ntcs"
 	"ntcs/internal/drts/monitor"
 	"ntcs/internal/ipcs/memnet"
+	"ntcs/internal/stats/statshttp"
 	"ntcs/internal/ursa"
 	"ntcs/sim"
 )
 
 func main() {
 	var (
-		docs = flag.Int("docs", 0, "synthetic corpus size (0 = built-in corpus)")
-		seed = flag.Int64("seed", 1, "corpus generator seed")
+		docs     = flag.Int("docs", 0, "synthetic corpus size (0 = built-in corpus)")
+		seed     = flag.Int64("seed", 1, "corpus generator seed")
+		httpAddr = flag.String("http", "", "serve /stats, expvar and pprof on this address (off when empty)")
+		hist     = flag.Bool("hist", false, "enable the latency-histogram tier on every module")
 	)
 	flag.Parse()
-	if err := run(*docs, *seed); err != nil {
+	if err := run(*docs, *seed, *httpAddr, *hist); err != nil {
 		fmt.Fprintln(os.Stderr, "ursad:", err)
 		os.Exit(1)
 	}
 }
 
-func run(docCount int, seed int64) error {
+func run(docCount int, seed int64, httpAddr string, hist bool) error {
 	world := sim.NewWorld()
 	world.AddNetwork("machine-room", memnet.Options{})
 	world.AddNetwork("office-ring", memnet.Options{})
@@ -75,6 +83,20 @@ func run(docCount int, seed int64) error {
 	// Monitoring on: every host send is recorded (§6.1 recursion, live).
 	hostMod.SetMonitor(monitor.NewClient(hostMod, "monitor", 8).Record)
 	client := ursa.NewClient(hostMod)
+
+	if hist {
+		for _, m := range world.Modules() {
+			m.Stats().SetHistograms(true)
+		}
+	}
+	if httpAddr != "" {
+		srv, bound, err := statshttp.Serve(httpAddr, world.Snapshots)
+		if err != nil {
+			return fmt.Errorf("stats listener: %w", err)
+		}
+		defer srv.Close()
+		fmt.Printf("stats on http://%s/stats (ntcsstat -addr %s; pprof at /debug/pprof/)\n", bound, bound)
+	}
 
 	corpus := ursa.BuiltinCorpus()
 	if docCount > 0 {

@@ -81,11 +81,14 @@ func TestNDChurn(t *testing.T) {
 
 	var wg sync.WaitGroup
 	stop := make(chan struct{})
-	// Churner: keeps killing the client's circuits.
+	firstDrop := make(chan struct{})
+	// Churner: keeps killing the client's circuits. The callers below
+	// only start once the first drop landed, so every call runs against
+	// live churn rather than racing the churner's warm-up.
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		for {
+		for i := 0; ; i++ {
 			select {
 			case <-stop:
 				return
@@ -95,16 +98,22 @@ func TestNDChurn(t *testing.T) {
 			for _, b := range client.Nucleus().Bindings {
 				b.Drop(u)
 			}
+			if i == 0 {
+				close(firstDrop)
+			}
 			time.Sleep(2 * time.Millisecond)
 		}
 	}()
-	// Callers.
+	<-firstDrop
+	// Callers: bounded work, so the test ends when they do — no fixed
+	// sleep to race against on a loaded machine.
 	var okCount, failCount int
 	var mu sync.Mutex
+	var callers sync.WaitGroup
 	for g := 0; g < 4; g++ {
-		wg.Add(1)
+		callers.Add(1)
 		go func(g int) {
-			defer wg.Done()
+			defer callers.Done()
 			for i := 0; i < 60; i++ {
 				var reply string
 				msg := fmt.Sprintf("g%d-%d", g, i)
@@ -122,7 +131,7 @@ func TestNDChurn(t *testing.T) {
 			}
 		}(g)
 	}
-	time.Sleep(400 * time.Millisecond)
+	callers.Wait()
 	close(stop)
 	wg.Wait()
 	if okCount == 0 {

@@ -32,6 +32,7 @@ import (
 	"ntcs/internal/nsp"
 	"ntcs/internal/nucleus"
 	"ntcs/internal/pack"
+	"ntcs/internal/stats"
 	"ntcs/internal/trace"
 	"ntcs/internal/wire"
 )
@@ -137,6 +138,11 @@ type Module struct {
 	naming *nsp.Layer
 	tracer *trace.Tracer
 	errs   *errlog.Table
+	stats  *stats.Registry
+
+	// DestCache instruments (hot path: resolved once here).
+	destHits   *stats.Counter
+	destMisses *stats.Counter
 
 	convMu sync.RWMutex
 	conv   map[string]Converter
@@ -173,9 +179,12 @@ func Attach(cfg Config) (*Module, error) {
 		cfg:      cfg,
 		tracer:   trace.New(cfg.Name, cfg.TraceCapacity),
 		errs:     errlog.NewTable(cfg.Name, 0),
+		stats:    stats.New(cfg.Name),
 		conv:     make(map[string]Converter),
 		detached: make(chan struct{}),
 	}
+	m.destHits = m.stats.Counter(stats.LCMDestHits)
+	m.destMisses = m.stats.Counter(stats.LCMDestMisses)
 
 	// §3.4: a module assigns itself a TAdd initially; well-known modules
 	// carry their preassigned UAdd from birth.
@@ -194,6 +203,7 @@ func Attach(cfg Config) (*Module, error) {
 		RelayEnabled:        cfg.Kind == KindGateway,
 		Tracer:              m.tracer,
 		Errors:              m.errs,
+		Stats:               m.stats,
 		CallTimeout:         cfg.CallTimeout,
 		OpenTimeout:         cfg.OpenTimeout,
 		DisableNSFaultPatch: cfg.DisableNSFaultPatch,
@@ -214,7 +224,7 @@ func Attach(cfg Config) (*Module, error) {
 
 	// §3.1: the naming service is consulted through the NSP-Layer over
 	// the Nucleus itself.
-	naming, err := nsp.New(nsp.Config{LCM: nuc.LCM, WellKnown: cfg.WellKnown, Tracer: m.tracer})
+	naming, err := nsp.New(nsp.Config{LCM: nuc.LCM, WellKnown: cfg.WellKnown, Tracer: m.tracer, Stats: m.stats})
 	if err != nil {
 		nuc.Close()
 		return nil, err
@@ -280,6 +290,7 @@ func (m *Module) attachNameServer() error {
 		Replicas: m.cfg.Replicas,
 		Tracer:   m.tracer,
 		Errors:   m.errs,
+		Stats:    m.stats,
 	})
 	if err != nil {
 		return err
@@ -311,6 +322,10 @@ func (m *Module) NSP() *nsp.Layer { return m.naming }
 
 // Tracer exposes the module's causal trace.
 func (m *Module) Tracer() *trace.Tracer { return m.tracer }
+
+// Stats exposes the module's metrics registry: every Nucleus layer and the
+// naming machinery register their instruments here.
+func (m *Module) Stats() *stats.Registry { return m.stats }
 
 // Errors exposes the module's running error table (§6.3).
 func (m *Module) Errors() *errlog.Table { return m.errs }
@@ -356,10 +371,10 @@ func (m *Module) Locate(name string) (addr.UAdd, error) {
 
 // LocateContext is Locate honoring ctx: the deadline or cancellation
 // propagates into the NSP resolution, including replica failover.
-func (m *Module) LocateContext(ctx context.Context, name string) (addr.UAdd, error) {
+func (m *Module) LocateContext(ctx context.Context, name string) (u addr.UAdd, err error) {
 	exit := m.tracer.Enter(trace.LayerALI, "locate", "resolve "+name, "app")
-	u, err := m.locate(ctx, name)
-	exit(err)
+	defer func() { exit(err) }()
+	u, err = m.locate(ctx, name)
 	return u, err
 }
 
@@ -382,9 +397,9 @@ func (m *Module) locate(ctx context.Context, name string) (addr.UAdd, error) {
 
 // LocateAttrs finds every module matching the attribute set (the §7
 // attribute-value naming).
-func (m *Module) LocateAttrs(attrs map[string]string) ([]nsp.Record, error) {
+func (m *Module) LocateAttrs(attrs map[string]string) (_ []nsp.Record, err error) {
 	exit := m.tracer.Enter(trace.LayerALI, "locate-attrs", "attribute query", "app")
-	defer func() { exit(nil) }()
+	defer func() { exit(err) }()
 	if m.naming == nil {
 		return nil, errors.New("ntcs: module has no naming service")
 	}
@@ -434,17 +449,19 @@ var errUnknownDest = errors.New("ntcs: destination machine type unknown")
 func (m *Module) destInfo(dst addr.UAdd) (lcm.DestInfo, bool) {
 	dc := m.nuc.LCM.DestCache()
 	if info, ok := dc.Get(dst); ok {
+		m.destHits.Inc()
 		return info, true
 	}
+	m.destMisses.Inc()
 	info, err := dc.Do(dst, func() (lcm.DestInfo, error) {
 		target, _ := m.nuc.LCM.ForwardTable().Resolve(dst)
 		mt := m.lookupMachine(target)
 		if mt == machine.Unknown {
 			return lcm.DestInfo{}, errUnknownDest
 		}
-		mode := wire.ModePacked
-		if !m.cfg.ForcePacked && machine.Compatible(m.cfg.Machine, mt) {
-			mode = wire.ModeImage
+		mode := wire.SelectMode(m.cfg.Machine, mt)
+		if m.cfg.ForcePacked {
+			mode = wire.ModePacked
 		}
 		return lcm.DestInfo{Target: target, Machine: mt, Mode: mode}, nil
 	})
@@ -576,17 +593,21 @@ func (m *Module) SendCL(dst addr.UAdd, msgType string, body any) error {
 	return m.send(context.Background(), dst, msgType, body, wire.FlagConnless)
 }
 
-func (m *Module) send(ctx context.Context, dst addr.UAdd, msgType string, body any, flags uint16) error {
+func (m *Module) send(ctx context.Context, dst addr.UAdd, msgType string, body any, flags uint16) (err error) {
+	// The span opens at the very top of the stack: the ALI allocates it and
+	// every layer below stamps its events with the same ID.
+	span := m.nuc.LCM.NewSpan()
 	exit := trace.NopExit
 	if m.tracer.On() {
 		exit = m.tracer.Enter(trace.LayerALI, "send", msgType+" to "+dst.String(), "app")
+		m.tracer.Span(span, trace.LayerALI, "send", msgType)
 	}
-	err := m.sendChecked(ctx, dst, msgType, body, flags)
-	exit(err)
+	defer func() { exit(err) }()
+	err = m.sendChecked(ctx, span, dst, msgType, body, flags)
 	return err
 }
 
-func (m *Module) sendChecked(ctx context.Context, dst addr.UAdd, msgType string, body any, flags uint16) error {
+func (m *Module) sendChecked(ctx context.Context, span uint32, dst addr.UAdd, msgType string, body any, flags uint16) error {
 	if err := m.checkArgs(dst, msgType); err != nil {
 		return err
 	}
@@ -594,7 +615,7 @@ func (m *Module) sendChecked(ctx context.Context, dst addr.UAdd, msgType string,
 	if err != nil {
 		return err
 	}
-	err = m.nuc.LCM.SendContext(ctx, dst, mode, flags, payload)
+	err = m.nuc.LCM.SendSpan(ctx, span, dst, mode, flags, payload)
 	pack.PutEncoder(enc)
 	return err
 }
@@ -618,17 +639,19 @@ func (m *Module) ServiceCall(dst addr.UAdd, msgType string, body, replyOut any) 
 	return m.call(context.Background(), dst, msgType, body, replyOut, wire.FlagService)
 }
 
-func (m *Module) call(ctx context.Context, dst addr.UAdd, msgType string, body, replyOut any, flags uint16) error {
+func (m *Module) call(ctx context.Context, dst addr.UAdd, msgType string, body, replyOut any, flags uint16) (err error) {
+	span := m.nuc.LCM.NewSpan()
 	exit := trace.NopExit
 	if m.tracer.On() {
 		exit = m.tracer.Enter(trace.LayerALI, "call", msgType+" to "+dst.String(), "app")
+		m.tracer.Span(span, trace.LayerALI, "call", msgType)
 	}
-	err := m.callChecked(ctx, dst, msgType, body, replyOut, flags)
-	exit(err)
+	defer func() { exit(err) }()
+	err = m.callChecked(ctx, span, dst, msgType, body, replyOut, flags)
 	return err
 }
 
-func (m *Module) callChecked(ctx context.Context, dst addr.UAdd, msgType string, body, replyOut any, flags uint16) error {
+func (m *Module) callChecked(ctx context.Context, span uint32, dst addr.UAdd, msgType string, body, replyOut any, flags uint16) error {
 	if err := m.checkArgs(dst, msgType); err != nil {
 		return err
 	}
@@ -636,7 +659,7 @@ func (m *Module) callChecked(ctx context.Context, dst addr.UAdd, msgType string,
 	if err != nil {
 		return err
 	}
-	d, err := m.nuc.LCM.CallContext(ctx, dst, mode, flags, payload)
+	d, err := m.nuc.LCM.CallSpan(ctx, span, dst, mode, flags, payload)
 	pack.PutEncoder(enc)
 	if err != nil {
 		return err
@@ -721,13 +744,16 @@ func (d *Delivery) Decode(out any) error {
 }
 
 // Recv waits for the next message.
-func (m *Module) Recv(timeout time.Duration) (*Delivery, error) {
+func (m *Module) Recv(timeout time.Duration) (d *Delivery, err error) {
 	exit := trace.NopExit
 	if m.tracer.On() {
 		exit = m.tracer.Enter(trace.LayerALI, "recv", "await message", "app")
 	}
-	d, err := m.recv(timeout)
-	exit(err)
+	defer func() { exit(err) }()
+	d, err = m.recv(timeout)
+	if err == nil && m.tracer.On() {
+		m.tracer.Span(d.header.Span, trace.LayerALI, "recv", d.Type)
+	}
 	return d, err
 }
 
@@ -754,13 +780,14 @@ func (m *Module) wrap(raw *lcm.Delivery) (*Delivery, error) {
 }
 
 // Reply answers a Call.
-func (m *Module) Reply(d *Delivery, msgType string, body any) error {
+func (m *Module) Reply(d *Delivery, msgType string, body any) (err error) {
 	exit := trace.NopExit
 	if m.tracer.On() {
 		exit = m.tracer.Enter(trace.LayerALI, "reply", msgType+" to "+d.Src().String(), "app")
+		m.tracer.Span(d.header.Span, trace.LayerALI, "reply", msgType)
 	}
-	err := m.replyChecked(d, msgType, body)
-	exit(err)
+	defer func() { exit(err) }()
+	err = m.replyChecked(d, msgType, body)
 	return err
 }
 

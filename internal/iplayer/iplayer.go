@@ -29,6 +29,7 @@ import (
 	"ntcs/internal/ndlayer"
 	"ntcs/internal/pack"
 	"ntcs/internal/retry"
+	"ntcs/internal/stats"
 	"ntcs/internal/trace"
 	"ntcs/internal/wire"
 )
@@ -87,6 +88,8 @@ type Config struct {
 	// Tracer and Errors receive diagnostics; both may be nil.
 	Tracer *trace.Tracer
 	Errors *errlog.Table
+	// Stats receives the layer's counters; nil disables metering.
+	Stats *stats.Registry
 	// OpenTimeout bounds IVC establishment; default 5s.
 	OpenTimeout time.Duration
 	// FailoverPolicy tunes the route-recompute retries after a chained
@@ -146,6 +149,13 @@ type Layer struct {
 	pending    map[uint32]*pendingOpen // by local (outbound) circuit id
 	relay      map[*ndlayer.LVC]map[uint32]relayDest
 	routeCache map[string][]hop
+
+	// Instruments, resolved once at construction; nil pointers no-op.
+	relays      *stats.Counter
+	hops        *stats.Counter
+	failovers   *stats.Counter
+	routeMisses *stats.Counter
+	ivcsOpen    *stats.Gauge
 }
 
 // New assembles the layer. The caller wires each binding's Deliver to
@@ -167,12 +177,21 @@ func New(cfg Config) (*Layer, error) {
 			Budget:     cfg.OpenTimeout,
 		}
 	}
+	// Meter the failover budget whichever policy ended up installed.
+	cfg.FailoverPolicy.Retries = cfg.Stats.Counter(stats.RetryAttempts + ".ip_failover")
+	cfg.FailoverPolicy.GiveUps = cfg.Stats.Counter(stats.RetryGiveUps + ".ip_failover")
 	l := &Layer{
 		cfg:        cfg,
 		bindings:   make(map[string]*ndlayer.Binding, len(cfg.Bindings)),
 		pending:    make(map[uint32]*pendingOpen),
 		relay:      make(map[*ndlayer.LVC]map[uint32]relayDest),
 		routeCache: make(map[string][]hop),
+
+		relays:      cfg.Stats.Counter(stats.IPRelays),
+		hops:        cfg.Stats.Counter(stats.IPHops),
+		failovers:   cfg.Stats.Counter(stats.IPFailovers),
+		routeMisses: cfg.Stats.Counter(stats.IPRouteMisses),
+		ivcsOpen:    cfg.Stats.Gauge(stats.IPCircuitsOpen),
 	}
 	for _, b := range cfg.Bindings {
 		if _, dup := l.bindings[b.Network()]; dup {
@@ -220,10 +239,10 @@ func (l *Layer) Send(dst addr.UAdd, h wire.Header, payload []byte) error {
 
 // SendContext is Send honoring ctx: establishment retries and open waits
 // end early on cancellation or deadline expiry.
-func (l *Layer) SendContext(ctx context.Context, dst addr.UAdd, h wire.Header, payload []byte) error {
+func (l *Layer) SendContext(ctx context.Context, dst addr.UAdd, h wire.Header, payload []byte) (err error) {
 	exit := l.cfg.Tracer.Enter(trace.LayerIP, "send", "IVC send", "lcm")
-	err := l.send(ctx, dst, h, payload)
-	exit(err)
+	defer func() { exit(err) }() // deferred so a panicking layer below still closes the span
+	err = l.send(ctx, dst, h, payload)
 	return err
 }
 
@@ -262,15 +281,18 @@ func (l *Layer) OpenContext(ctx context.Context, dst addr.UAdd) (*IVC, error) {
 		return v.(*IVC), nil
 	}
 
-	exit := l.cfg.Tracer.Enter(trace.LayerIP, "open", "establish IVC", "lcm")
-	ivc, err := l.establish(ctx, dst)
-	exit(err)
+	ivc, err := func() (ivc *IVC, err error) {
+		exit := l.cfg.Tracer.Enter(trace.LayerIP, "open", "establish IVC", "lcm")
+		defer func() { exit(err) }() // deferred so a panicking hop still closes the span
+		return l.establish(ctx, dst)
+	}()
 	if err != nil {
 		return nil, err
 	}
 	if existing, loaded := l.ivcs.LoadOrStore(dst, ivc); loaded {
 		return existing.(*IVC), nil
 	}
+	l.ivcsOpen.Add(1)
 	return ivc, nil
 }
 
@@ -322,6 +344,7 @@ func (l *Layer) establish(ctx context.Context, dst addr.UAdd) (*IVC, error) {
 // each round — under the failover retry policy. The fault propagates
 // upward only when no alternate route works within the policy's budget.
 func (l *Layer) failover(ctx context.Context, dst addr.UAdd, destNet string, wellKnownOnly bool, firstErr error) (*IVC, error) {
+	l.failovers.Inc()
 	l.cfg.Errors.Report(errlog.CodeRouteStale, "ip", "route to %s failed (%v); recomputing", destNet, firstErr)
 
 	// Gateways observed dead accumulate across rounds: a dead hop must
@@ -446,6 +469,7 @@ func (l *Layer) route(destNet string, wellKnownOnly bool) ([]hop, error) {
 		return r, nil
 	}
 	l.mu.Unlock()
+	l.routeMisses.Inc()
 
 	r, err := ComputeRoute(l.Networks(), destNet, l.cfg.WellKnownGateways)
 	if err != nil {
@@ -609,7 +633,9 @@ func (l *Layer) forgetPending(cid uint32) {
 
 // dropIVC forgets a failed circuit so the next send re-establishes.
 func (l *Layer) dropIVC(dst addr.UAdd, ivc *IVC) {
-	l.ivcs.CompareAndDelete(dst, ivc)
+	if l.ivcs.CompareAndDelete(dst, ivc) {
+		l.ivcsOpen.Add(-1)
+	}
 }
 
 // DropCircuits forgets every IVC whose destination is dst (after an
@@ -618,6 +644,7 @@ func (l *Layer) DropCircuits(dst addr.UAdd) {
 	var ivc *IVC
 	if v, ok := l.ivcs.LoadAndDelete(dst); ok {
 		ivc = v.(*IVC)
+		l.ivcsOpen.Add(-1)
 	}
 	if ivc != nil && ivc.direct {
 		// Also drop the underlying LVC so reopening re-resolves.
@@ -660,12 +687,19 @@ func (l *Layer) relayFrame(in ndlayer.Inbound) bool {
 	if !ok {
 		return false
 	}
-	exit := l.cfg.Tracer.Enter(trace.LayerGateway, "relay", "forward data frame", "ip")
-	h := in.Header
-	h.Circuit = dest.cid
-	h.Hops++
-	err := dest.lvc.Send(h, in.Payload)
-	exit(err)
+	err := func() (err error) {
+		exit := l.cfg.Tracer.Enter(trace.LayerGateway, "relay", "forward data frame", "ip")
+		defer func() { exit(err) }() // deferred so a panicking LVC still closes the span
+		h := in.Header
+		h.Circuit = dest.cid
+		h.Hops++
+		l.relays.Inc()
+		l.hops.Add(uint64(h.Hops))
+		if l.cfg.Tracer.On() {
+			l.cfg.Tracer.Span(h.Span, trace.LayerGateway, "relay", h.Dst.String())
+		}
+		return dest.lvc.Send(h, in.Payload)
+	}()
 	if err != nil {
 		// §4.3: the far link is gone; close the near side of the circuit.
 		l.tearDownRelay(in.Via, in.Header.Circuit, "relay send failed")
@@ -683,11 +717,13 @@ func (l *Layer) handleIVCOpen(in ndlayer.Inbound) {
 		return
 	}
 	exit := l.cfg.Tracer.Enter(trace.LayerGateway, "ivc-open", "extend chained circuit", in.Header.Src.String())
+	var herr error
+	defer func() { exit(herr) }() // deferred so a panicking codec or hop still closes the span
 
 	var info ivcOpenInfo
 	if err := pack.Unmarshal(in.Payload, &info); err != nil {
 		l.ack(in.Via, in.Header.Circuit, fmt.Errorf("%w: bad open payload", ErrOpenFailed))
-		exit(err)
+		herr = err
 		return
 	}
 	finalDst := addr.UAdd(info.FinalDst)
@@ -720,7 +756,7 @@ func (l *Layer) handleIVCOpen(in ndlayer.Inbound) {
 	if err != nil {
 		l.cfg.Errors.Report(errlog.CodeIVCTorn, "ip", "extend to %v: %v", finalDst, err)
 		l.ack(in.Via, in.Header.Circuit, err)
-		exit(err)
+		herr = err
 		return
 	}
 
@@ -732,7 +768,6 @@ func (l *Layer) handleIVCOpen(in ndlayer.Inbound) {
 	if len(info.GwUAdds) == 0 {
 		// Chain complete; acknowledge upstream.
 		l.ack(in.Via, in.Header.Circuit, nil)
-		exit(nil)
 		return
 	}
 
@@ -742,7 +777,7 @@ func (l *Layer) handleIVCOpen(in ndlayer.Inbound) {
 	if err != nil {
 		l.removeRelay(in.Via, in.Header.Circuit)
 		l.ack(in.Via, in.Header.Circuit, err)
-		exit(err)
+		herr = err
 		return
 	}
 	h := in.Header
@@ -758,10 +793,9 @@ func (l *Layer) handleIVCOpen(in ndlayer.Inbound) {
 		l.forgetPending(outCID)
 		l.removeRelay(in.Via, in.Header.Circuit)
 		l.ack(in.Via, in.Header.Circuit, err)
-		exit(err)
+		herr = err
 		return
 	}
-	exit(nil)
 }
 
 // openFinalHop opens the terminal LVC of a chain: the destination module's
@@ -851,6 +885,7 @@ func (l *Layer) handleIVCClose(in ndlayer.Inbound) {
 		ivc := v.(*IVC)
 		if ivc.id == cid && ivc.first == in.Via {
 			l.ivcs.Delete(k)
+			l.ivcsOpen.Add(-1)
 			l.cfg.Errors.Report(errlog.CodeIVCTorn, "ip", "circuit %d to %v closed by network", cid, k.(addr.UAdd))
 			closedAsOriginator = true
 			return false
@@ -881,6 +916,7 @@ func (l *Layer) HandleCircuitDown(peer addr.UAdd, v *ndlayer.LVC, cause error) {
 	l.ivcs.Range(func(k, val any) bool {
 		if ivc := val.(*IVC); ivc.first == v {
 			l.ivcs.Delete(k)
+			l.ivcsOpen.Add(-1)
 			if !ivc.direct {
 				chained = true
 			}
@@ -981,6 +1017,7 @@ func (l *Layer) Close() {
 	l.closed.Store(true)
 	l.ivcs.Range(func(k, _ any) bool {
 		l.ivcs.Delete(k)
+		l.ivcsOpen.Add(-1)
 		return true
 	})
 	l.mu.Lock()

@@ -31,6 +31,7 @@ import (
 	"ntcs/internal/iplayer"
 	"ntcs/internal/ndlayer"
 	"ntcs/internal/retry"
+	"ntcs/internal/stats"
 	"ntcs/internal/trace"
 	"ntcs/internal/wire"
 )
@@ -114,6 +115,8 @@ type Config struct {
 	// Tracer and Errors receive diagnostics; both may be nil.
 	Tracer *trace.Tracer
 	Errors *errlog.Table
+	// Stats receives the layer's counters; nil disables metering.
+	Stats *stats.Registry
 	// CallTimeout bounds synchronous calls; default 5s.
 	CallTimeout time.Duration
 	// InboxSize bounds undelivered inbound messages; default 256.
@@ -185,6 +188,21 @@ type Layer struct {
 
 	inbox chan *Delivery
 	done  chan struct{}
+
+	// spanSeq feeds NewSpan; spans are per-message IDs carried in the
+	// header's reserved word, so one ID follows the message everywhere.
+	spanSeq atomic.Uint32
+
+	// Instruments, resolved once at construction; nil pointers no-op.
+	sends        *stats.Counter
+	calls        *stats.Counter
+	replies      *stats.Counter
+	retries      *stats.Counter
+	addrFaults   *stats.Counter
+	spansStarted *stats.Counter
+	inboxDepth   *stats.Gauge
+	hSend        *stats.Histogram
+	hCall        *stats.Histogram
 }
 
 // New assembles the layer. The caller wires iplayer's Deliver to
@@ -212,12 +230,25 @@ func New(cfg Config) (*Layer, error) {
 			Budget:     cfg.CallTimeout,
 		}
 	}
+	// Meter the reconnect budget whichever policy ended up installed.
+	cfg.ReconnectPolicy.Retries = cfg.Stats.Counter(stats.RetryAttempts + ".lcm_reconnect")
+	cfg.ReconnectPolicy.GiveUps = cfg.Stats.Counter(stats.RetryGiveUps + ".lcm_reconnect")
 	l := &Layer{
 		cfg:   cfg,
 		fwd:   addr.NewForwardTable(),
 		dest:  NewDestCache(),
 		inbox: make(chan *Delivery, cfg.InboxSize),
 		done:  make(chan struct{}),
+
+		sends:        cfg.Stats.Counter(stats.LCMSends),
+		calls:        cfg.Stats.Counter(stats.LCMCalls),
+		replies:      cfg.Stats.Counter(stats.LCMReplies),
+		retries:      cfg.Stats.Counter(stats.LCMRetries),
+		addrFaults:   cfg.Stats.Counter(stats.LCMAddressFaults),
+		spansStarted: cfg.Stats.Counter(stats.SpansStarted),
+		inboxDepth:   cfg.Stats.Gauge(stats.LCMInboxDepth),
+		hSend:        cfg.Stats.Histogram(stats.LCMSendLatency),
+		hCall:        cfg.Stats.Histogram(stats.LCMCallLatency),
 	}
 	for i := range l.waiters {
 		l.waiters[i].m = make(map[uint32]chan *Delivery)
@@ -289,8 +320,23 @@ func (l *Layer) nextSeq() uint32 {
 	return l.seq.Add(1)
 }
 
+// NewSpan allocates a message-path span ID: a nonzero 32-bit value carried
+// in the header's reserved word so one message can be followed
+// ALI→NSP→LCM→IP→ND across machines. IDs mix a local sequence with the
+// module's UAdd (Fibonacci hashing) so concurrent modules rarely collide;
+// uniqueness is best-effort, as span IDs only correlate trace events.
+func (l *Layer) NewSpan() uint32 {
+	u := uint64(l.cfg.Identity.UAdd())
+	s := l.spanSeq.Add(1)*2654435761 ^ uint32(u^u>>32)*0x9E3779B9
+	if s == 0 {
+		s = 1
+	}
+	l.spansStarted.Inc()
+	return s
+}
+
 // header builds a data header for an outbound message.
-func (l *Layer) header(dst addr.UAdd, mode wire.Mode, flags uint16, seq uint32) wire.Header {
+func (l *Layer) header(dst addr.UAdd, mode wire.Mode, flags uint16, seq, span uint32) wire.Header {
 	h := wire.Header{
 		Type:       wire.TData,
 		Src:        l.cfg.Identity.UAdd(),
@@ -299,6 +345,7 @@ func (l *Layer) header(dst addr.UAdd, mode wire.Mode, flags uint16, seq uint32) 
 		Mode:       mode,
 		Flags:      flags,
 		Seq:        seq,
+		Span:       span,
 	}
 	if h.Src.IsTemp() {
 		h.Flags |= wire.FlagSrcTAdd
@@ -318,19 +365,35 @@ func (l *Layer) Send(dst addr.UAdd, mode wire.Mode, flags uint16, payload []byte
 // backoff and fault resolution all end early on cancellation (a datagram
 // already handed to the layers below is not recalled).
 func (l *Layer) SendContext(ctx context.Context, dst addr.UAdd, mode wire.Mode, flags uint16, payload []byte) error {
-	if err := ctx.Err(); err != nil {
+	return l.SendSpan(ctx, l.NewSpan(), dst, mode, flags, payload)
+}
+
+// SendSpan is SendContext with a caller-supplied span ID, so upper layers
+// (ALI, NSP) can stamp the message with the span they already opened
+// instead of starting a fresh one here.
+func (l *Layer) SendSpan(ctx context.Context, span uint32, dst addr.UAdd, mode wire.Mode, flags uint16, payload []byte) (err error) {
+	if err = ctx.Err(); err != nil {
 		return err
 	}
 	exit := trace.NopExit
 	if l.cfg.Tracer.On() {
 		exit = l.cfg.Tracer.Enter(trace.LayerLCM, "send", "message to "+dst.String(), "above")
+		l.cfg.Tracer.Span(span, trace.LayerLCM, "send", dst.String())
 	}
-	err := l.sendInternal(ctx, dst, mode, flags, l.nextSeq(), payload)
-	exit(err)
+	defer func() { exit(err) }()
+	var start time.Time
+	if l.hSend.Enabled() {
+		start = time.Now()
+	}
+	err = l.sendInternal(ctx, dst, mode, flags, l.nextSeq(), span, payload)
+	l.sends.Inc()
+	if !start.IsZero() {
+		l.hSend.Observe(time.Since(start))
+	}
 	return err
 }
 
-func (l *Layer) sendInternal(ctx context.Context, dst addr.UAdd, mode wire.Mode, flags uint16, seq uint32, payload []byte) error {
+func (l *Layer) sendInternal(ctx context.Context, dst addr.UAdd, mode wire.Mode, flags uint16, seq, span uint32, payload []byte) error {
 	if l.closed.Load() {
 		return ErrClosed
 	}
@@ -345,7 +408,7 @@ func (l *Layer) sendInternal(ctx context.Context, dst addr.UAdd, mode wire.Mode,
 		stamp = hooks.Now()
 	}
 
-	err := l.sendResolved(ctx, dst, mode, flags, seq, payload)
+	err := l.sendResolved(ctx, dst, mode, flags, seq, span, payload)
 
 	if !service && err == nil && hooks.Record != nil {
 		if stamp.IsZero() {
@@ -357,9 +420,9 @@ func (l *Layer) sendInternal(ctx context.Context, dst addr.UAdd, mode wire.Mode,
 }
 
 // sendResolved applies the forwarding table and the address-fault handler.
-func (l *Layer) sendResolved(ctx context.Context, dst addr.UAdd, mode wire.Mode, flags uint16, seq uint32, payload []byte) error {
+func (l *Layer) sendResolved(ctx context.Context, dst addr.UAdd, mode wire.Mode, flags uint16, seq, span uint32, payload []byte) error {
 	target, _ := l.fwd.Resolve(dst)
-	h := l.header(target, mode, flags, seq)
+	h := l.header(target, mode, flags, seq, span)
 	err := l.cfg.IP.SendContext(ctx, target, h, payload)
 	if err == nil {
 		return nil
@@ -376,6 +439,7 @@ func (l *Layer) sendResolved(ctx context.Context, dst addr.UAdd, mode wire.Mode,
 		return err
 	}
 
+	l.addrFaults.Inc()
 	l.cfg.Errors.Report(errlog.CodeAddressFault, "lcm", "send to %v: %v", target, err)
 	newTarget, ferr := l.addressFault(target)
 	if ferr != nil {
@@ -385,8 +449,9 @@ func (l *Layer) sendResolved(ctx context.Context, dst addr.UAdd, mode wire.Mode,
 			// the network mid-heal), so the redial backs off under the
 			// reconnect policy rather than failing on the first refusal.
 			return l.cfg.ReconnectPolicy.Do(ctx, l.done, func() error {
+				l.retries.Inc()
 				l.cfg.IP.DropCircuits(target)
-				h = l.header(target, mode, flags, seq)
+				h = l.header(target, mode, flags, seq, span)
 				return l.cfg.IP.SendContext(ctx, target, h, payload)
 			})
 		}
@@ -406,7 +471,8 @@ func (l *Layer) sendResolved(ctx context.Context, dst addr.UAdd, mode wire.Mode,
 	}
 	l.cfg.IP.DropCircuits(target)
 	l.cfg.IP.DropCircuits(newTarget)
-	h = l.header(newTarget, mode, flags, seq)
+	l.retries.Inc()
+	h = l.header(newTarget, mode, flags, seq, span)
 	return l.cfg.IP.SendContext(ctx, newTarget, h, payload)
 }
 
@@ -466,16 +532,31 @@ func (l *Layer) Call(dst addr.UAdd, mode wire.Mode, flags uint16, payload []byte
 // ends the reply wait early with ctx.Err(). The fixed CallTimeout still
 // applies as an upper bound.
 func (l *Layer) CallContext(ctx context.Context, dst addr.UAdd, mode wire.Mode, flags uint16, payload []byte) (*Delivery, error) {
+	return l.CallSpan(ctx, l.NewSpan(), dst, mode, flags, payload)
+}
+
+// CallSpan is CallContext with a caller-supplied span ID. The reply
+// carries the same span back, so one span covers the full round trip.
+func (l *Layer) CallSpan(ctx context.Context, span uint32, dst addr.UAdd, mode wire.Mode, flags uint16, payload []byte) (d *Delivery, err error) {
 	exit := trace.NopExit
 	if l.cfg.Tracer.On() {
 		exit = l.cfg.Tracer.Enter(trace.LayerLCM, "call", "synchronous call to "+dst.String(), "above")
+		l.cfg.Tracer.Span(span, trace.LayerLCM, "call", dst.String())
 	}
-	d, err := l.call(ctx, dst, mode, flags, payload)
-	exit(err)
+	defer func() { exit(err) }()
+	var start time.Time
+	if l.hCall.Enabled() {
+		start = time.Now()
+	}
+	d, err = l.call(ctx, span, dst, mode, flags, payload)
+	l.calls.Inc()
+	if !start.IsZero() {
+		l.hCall.Observe(time.Since(start))
+	}
 	return d, err
 }
 
-func (l *Layer) call(ctx context.Context, dst addr.UAdd, mode wire.Mode, flags uint16, payload []byte) (*Delivery, error) {
+func (l *Layer) call(ctx context.Context, span uint32, dst addr.UAdd, mode wire.Mode, flags uint16, payload []byte) (*Delivery, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -487,7 +568,7 @@ func (l *Layer) call(ctx context.Context, dst addr.UAdd, mode wire.Mode, flags u
 	l.addWaiter(seq, ch)
 	defer l.dropWaiter(seq)
 
-	if err := l.sendInternal(ctx, dst, mode, flags|wire.FlagCall, seq, payload); err != nil {
+	if err := l.sendInternal(ctx, dst, mode, flags|wire.FlagCall, seq, span, payload); err != nil {
 		return nil, err
 	}
 	timer := retry.GetTimer(l.cfg.CallTimeout)
@@ -508,18 +589,21 @@ func (l *Layer) call(ctx context.Context, dst addr.UAdd, mode wire.Mode, flags u
 // Reply answers a Call. It prefers the arriving circuit (the only path
 // back to a TAdd source behind gateways); if that circuit has died it
 // falls back to a routed send.
-func (l *Layer) Reply(d *Delivery, mode wire.Mode, flags uint16, payload []byte) error {
+func (l *Layer) Reply(d *Delivery, mode wire.Mode, flags uint16, payload []byte) (err error) {
 	exit := trace.NopExit
 	if l.cfg.Tracer.On() {
 		exit = l.cfg.Tracer.Enter(trace.LayerLCM, "reply", "reply to "+d.Src().String(), "above")
+		l.cfg.Tracer.Span(d.Header.Span, trace.LayerLCM, "reply", d.Src().String())
 	}
-	err := l.reply(d, mode, flags, payload)
-	exit(err)
+	defer func() { exit(err) }()
+	err = l.reply(d, mode, flags, payload)
+	l.replies.Inc()
 	return err
 }
 
 func (l *Layer) reply(d *Delivery, mode wire.Mode, flags uint16, payload []byte) error {
-	h := l.header(d.Header.Src, mode, flags|wire.FlagReply, d.Header.Seq)
+	// The reply reuses the call's span: one span ID covers the round trip.
+	h := l.header(d.Header.Src, mode, flags|wire.FlagReply, d.Header.Seq, d.Header.Span)
 	if d.via != nil {
 		if err := l.cfg.IP.SendVia(d.via, d.Header.Circuit, h, payload); err == nil {
 			return nil
@@ -528,7 +612,7 @@ func (l *Layer) reply(d *Delivery, mode wire.Mode, flags uint16, payload []byte)
 	if d.Header.Src.IsTemp() {
 		return fmt.Errorf("lcm: reply circuit to TAdd source %v is gone", d.Header.Src)
 	}
-	return l.sendResolved(context.Background(), d.Header.Src, mode, flags|wire.FlagReply, d.Header.Seq, payload)
+	return l.sendResolved(context.Background(), d.Header.Src, mode, flags|wire.FlagReply, d.Header.Seq, d.Header.Span, payload)
 }
 
 // ReplyError answers a Call with an error the caller sees as ErrRemote.
@@ -562,7 +646,7 @@ func (l *Layer) PingContext(ctx context.Context, dst addr.UAdd, timeout time.Dur
 	l.addWaiter(seq, ch)
 	defer l.dropWaiter(seq)
 
-	h := l.header(dst, wire.ModeNone, wire.FlagService, seq)
+	h := l.header(dst, wire.ModeNone, wire.FlagService, seq, 0)
 	h.Type = wire.TPing
 	if err := l.cfg.IP.SendContext(ctx, dst, h, nil); err != nil {
 		return err
@@ -616,7 +700,7 @@ func (l *Layer) HandleInbound(in ndlayer.Inbound) {
 		}
 		l.deliverInbox(d)
 	case wire.TPing:
-		h := l.header(in.Header.Src, wire.ModeNone, wire.FlagService|wire.FlagReply, in.Header.Seq)
+		h := l.header(in.Header.Src, wire.ModeNone, wire.FlagService|wire.FlagReply, in.Header.Seq, in.Header.Span)
 		h.Type = wire.TPong
 		if in.Via != nil {
 			_ = l.cfg.IP.SendVia(in.Via, in.Header.Circuit, h, nil)
@@ -629,6 +713,9 @@ func (l *Layer) HandleInbound(in ndlayer.Inbound) {
 }
 
 func (l *Layer) deliverReply(d *Delivery) {
+	if l.cfg.Tracer.On() {
+		l.cfg.Tracer.Span(d.Header.Span, trace.LayerLCM, "reply-recv", d.Header.Src.String())
+	}
 	sh := l.waiterFor(d.Header.Seq)
 	sh.mu.Lock()
 	ch, ok := sh.m[d.Header.Seq]
@@ -654,8 +741,12 @@ func (l *Layer) deliverInbox(d *Delivery) {
 	if !d.IsService() && hooks.Record != nil {
 		hooks.Record(Event{When: time.Now(), Kind: "recv", Peer: d.Header.Src, Bytes: len(d.Payload)})
 	}
+	if l.cfg.Tracer.On() {
+		l.cfg.Tracer.Span(d.Header.Span, trace.LayerLCM, "recv", d.Header.Src.String())
+	}
 	select {
 	case l.inbox <- d:
+		l.inboxDepth.Set(int64(len(l.inbox)))
 		if l.overflowed.Load() {
 			l.overflowed.Store(false)
 		}

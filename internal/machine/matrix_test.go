@@ -1,0 +1,50 @@
+package machine
+
+import "testing"
+
+// layoutFacts hard-codes each architecture's wire-relevant properties
+// independently of the methods under test, so the full-matrix property
+// below cannot degenerate into a tautology.
+var layoutFacts = map[Type]struct {
+	big   bool
+	align int
+}{
+	VAX:     {big: false, align: 4},
+	Sun68K:  {big: true, align: 2},
+	Apollo:  {big: true, align: 4},
+	Pyramid: {big: true, align: 4},
+}
+
+// TestCompatibilityFullMatrix asserts the §5.1 conversion-selection
+// property over EVERY ordered machine pair: image mode (a byte copy) is
+// valid exactly between layout-identical machines — same byte order and
+// same alignment cap — and the relation is symmetric and reflexive.
+func TestCompatibilityFullMatrix(t *testing.T) {
+	types := []Type{VAX, Sun68K, Apollo, Pyramid}
+	for _, a := range types {
+		fa := layoutFacts[a]
+		if a.BigEndian() != fa.big {
+			t.Errorf("%v.BigEndian() = %v, want %v", a, a.BigEndian(), fa.big)
+		}
+		if a.MaxAlign() != fa.align {
+			t.Errorf("%v.MaxAlign() = %d, want %d", a, a.MaxAlign(), fa.align)
+		}
+		for _, b := range types {
+			fb := layoutFacts[b]
+			want := fa.big == fb.big && fa.align == fb.align
+			if got := Compatible(a, b); got != want {
+				t.Errorf("Compatible(%v, %v) = %v, want %v", a, b, got, want)
+			}
+		}
+		if !Compatible(a, a) {
+			t.Errorf("Compatible(%v, %v) not reflexive", a, a)
+		}
+		// Unknown and out-of-range types are never image-compatible with
+		// anything, including themselves.
+		for _, bad := range []Type{Unknown, numTypes, Type(200)} {
+			if Compatible(a, bad) || Compatible(bad, a) {
+				t.Errorf("Compatible with invalid type %d accepted", bad)
+			}
+		}
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"ntcs/internal/ndlayer"
 	"ntcs/internal/nsp"
 	"ntcs/internal/pack"
+	"ntcs/internal/stats"
 	"ntcs/internal/trace"
 	"ntcs/internal/wire"
 )
@@ -35,6 +36,8 @@ type Config struct {
 	// Tracer and Errors receive diagnostics; both may be nil.
 	Tracer *trace.Tracer
 	Errors *errlog.Table
+	// Stats receives the server's counters; nil disables metering.
+	Stats *stats.Registry
 }
 
 // replFlushWindow is how long the replication flusher waits for more
@@ -55,6 +58,11 @@ type Server struct {
 	replicas []addr.UAdd
 
 	replCh chan nsp.RecordRec
+
+	// Instruments, resolved once at construction; nil pointers no-op.
+	ops        *stats.Counter
+	replRounds *stats.Counter
+	replRecs   *stats.Counter
 }
 
 // NewServer assembles a server; call Run (usually in a goroutine) to
@@ -71,6 +79,10 @@ func NewServer(cfg Config) (*Server, error) {
 		done:     make(chan struct{}),
 		replicas: cfg.Replicas,
 		replCh:   make(chan nsp.RecordRec, 4*replMaxBatch),
+
+		ops:        cfg.Stats.Counter(stats.NSOps),
+		replRounds: cfg.Stats.Counter(stats.NSReplRounds),
+		replRecs:   cfg.Stats.Counter(stats.NSReplRecs),
 	}, nil
 }
 
@@ -129,19 +141,21 @@ func (s *Server) Wait() { <-s.done }
 
 // handle dispatches one request and replies.
 func (s *Server) handle(d *lcm.Delivery) {
+	s.ops.Inc()
+	var herr error
 	exit := trace.NopExit
 	if s.cfg.Tracer.On() {
 		exit = s.cfg.Tracer.Enter(trace.LayerNS, "handle", "naming request", d.Src().String())
+		s.cfg.Tracer.Span(d.Header.Span, trace.LayerNS, "handle", d.Src().String())
 	}
+	defer func() { exit(herr) }()
 	var req nsp.Request
-	if err := pack.Unmarshal(d.Payload, &req); err != nil {
-		s.reply(d, nsp.Response{Code: nsp.CodeBadRequest, Detail: err.Error()})
-		exit(err)
+	if herr = pack.Unmarshal(d.Payload, &req); herr != nil {
+		s.reply(d, nsp.Response{Code: nsp.CodeBadRequest, Detail: herr.Error()})
 		return
 	}
 	resp := s.dispatch(req)
 	s.reply(d, resp)
-	exit(nil)
 }
 
 func (s *Server) dispatch(req nsp.Request) nsp.Response {
@@ -394,6 +408,8 @@ func (s *Server) sendReplicaBatch(batch []nsp.RecordRec) {
 	if err != nil {
 		return
 	}
+	s.replRounds.Inc()
+	s.replRecs.Add(uint64(len(batch)))
 	for _, peer := range peers {
 		if err := s.cfg.LCM.SendCL(peer, wire.ModePacked, wire.FlagService, payload); err != nil {
 			s.cfg.Errors.Report(errlog.CodeDroppedMsg, "ns", "replicate to %v: %v", peer, err)

@@ -29,6 +29,7 @@ import (
 	"ntcs/internal/machine"
 	"ntcs/internal/pack"
 	"ntcs/internal/retry"
+	"ntcs/internal/stats"
 	"ntcs/internal/trace"
 	"ntcs/internal/wire"
 )
@@ -99,6 +100,8 @@ type Config struct {
 	// Tracer and Errors receive diagnostics; both may be nil.
 	Tracer *trace.Tracer
 	Errors *errlog.Table
+	// Stats receives the layer's counters; nil disables metering.
+	Stats *stats.Registry
 	// OpenRetries and OpenRetryDelay tune "retry on open" (§2.2); defaults
 	// 3 and 2ms. The delay is the base of a jittered exponential backoff
 	// (see RetryPolicy) rather than the fixed sleep of the 1986 system.
@@ -137,6 +140,15 @@ type Binding struct {
 	done chan struct{}
 
 	wg sync.WaitGroup
+
+	// Instruments, resolved once at construction; nil pointers no-op.
+	framesIn    *stats.Counter
+	framesOut   *stats.Counter
+	bytesIn     *stats.Counter
+	bytesOut    *stats.Counter
+	redials     *stats.Counter
+	circuitDead *stats.Counter
+	circuitsUp  *stats.Gauge
 }
 
 // New creates a binding: it opens the endpoint and starts accepting LVCs.
@@ -163,6 +175,10 @@ func New(cfg Config) (*Binding, error) {
 			Budget:     cfg.OpenTimeout,
 		}
 	}
+	// Meter the dial-retry budget whichever policy (default or supplied)
+	// ended up installed.
+	cfg.RetryPolicy.Retries = cfg.Stats.Counter(stats.RetryAttempts + ".nd_dial")
+	cfg.RetryPolicy.GiveUps = cfg.Stats.Counter(stats.RetryGiveUps + ".nd_dial")
 	l, err := cfg.Network.Listen(cfg.EndpointHint)
 	if err != nil {
 		return nil, fmt.Errorf("ndlayer: listen: %w", err)
@@ -173,6 +189,14 @@ func New(cfg Config) (*Binding, error) {
 		listener: l,
 		opening:  make(map[addr.UAdd]chan struct{}),
 		done:     make(chan struct{}),
+
+		framesIn:    cfg.Stats.Counter(stats.NDFramesIn),
+		framesOut:   cfg.Stats.Counter(stats.NDFramesOut),
+		bytesIn:     cfg.Stats.Counter(stats.NDBytesIn),
+		bytesOut:    cfg.Stats.Counter(stats.NDBytesOut),
+		redials:     cfg.Stats.Counter(stats.NDRedials),
+		circuitDead: cfg.Stats.Counter(stats.NDCircuitDown),
+		circuitsUp:  cfg.Stats.Gauge(stats.NDCircuitsUp),
 	}
 	b.wg.Add(1)
 	go b.acceptLoop()
@@ -213,10 +237,10 @@ func (b *Binding) Open(dst addr.UAdd) (*LVC, error) {
 
 // OpenContext is Open honoring ctx: cancellation or an expiring deadline
 // interrupts the dial retries and the single-flight wait.
-func (b *Binding) OpenContext(ctx context.Context, dst addr.UAdd) (*LVC, error) {
+func (b *Binding) OpenContext(ctx context.Context, dst addr.UAdd) (v *LVC, err error) {
 	exit := b.cfg.Tracer.Enter(trace.LayerND, "open", "establish LVC", "above")
-	v, err := b.open(ctx, dst)
-	exit(err)
+	defer func() { exit(err) }() // deferred so a panicking IPCS still closes the span
+	v, err = b.open(ctx, dst)
 	return v, err
 }
 
@@ -257,6 +281,7 @@ func (b *Binding) open(ctx context.Context, dst addr.UAdd) (*LVC, error) {
 		close(done)
 		if err == nil {
 			b.circuits.Store(dst, v)
+			b.circuitsUp.Add(1)
 			b.wg.Add(1)
 			go b.readLoop(v)
 		}
@@ -299,6 +324,9 @@ func (b *Binding) dial(ctx context.Context, dst addr.UAdd) (*LVC, error) {
 	attempt := 0
 	err := b.cfg.RetryPolicy.Do(ctx, b.done, func() error {
 		attempt++
+		if attempt > 1 {
+			b.redials.Inc()
+		}
 		c, derr := b.cfg.Network.Dial(ep.Addr)
 		if derr != nil {
 			b.cfg.Errors.Report(errlog.CodeOpenRetry, "nd", "dial %v via %s attempt %d: %v", dst, ep.Addr, attempt, derr)
@@ -428,6 +456,8 @@ func (b *Binding) handleInbound(conn ipcs.Conn) {
 		return
 	}
 	exit := b.cfg.Tracer.Enter(trace.LayerND, "accept", "inbound LVC", "peer "+h.Src.String())
+	var aerr error
+	defer func() { exit(aerr) }() // deferred so a panicking codec still closes the span
 
 	var info openInfo
 	_ = pack.Unmarshal(payload, &info)
@@ -468,7 +498,7 @@ func (b *Binding) handleInbound(conn ipcs.Conn) {
 	ackInfo, err := pack.Marshal(openInfo{Name: self.Name(), Endpoint: b.listener.Addr()})
 	if err != nil {
 		_ = conn.Close()
-		exit(err)
+		aerr = err
 		return
 	}
 	ack := wire.Header{
@@ -481,12 +511,12 @@ func (b *Binding) handleInbound(conn ipcs.Conn) {
 	frame, err := wire.Marshal(ack, ackInfo)
 	if err != nil {
 		_ = conn.Close()
-		exit(err)
+		aerr = err
 		return
 	}
 	if err := conn.Send(frame); err != nil {
 		_ = conn.Close()
-		exit(err)
+		aerr = err
 		return
 	}
 
@@ -494,14 +524,14 @@ func (b *Binding) handleInbound(conn ipcs.Conn) {
 	if b.closed {
 		b.mu.Unlock()
 		_ = conn.Close()
-		exit(ErrClosed)
+		aerr = ErrClosed
 		return
 	}
 	b.circuits.Store(peer, v)
+	b.circuitsUp.Add(1)
 	b.wg.Add(1)
 	b.mu.Unlock()
 	go b.readLoop(v)
-	exit(nil)
 }
 
 // readLoop pumps frames from an LVC upward until the circuit dies.
@@ -517,6 +547,11 @@ func (b *Binding) readLoop(v *LVC) {
 		if err != nil {
 			b.cfg.Errors.Report(errlog.CodeUnknowncontrol, "nd", "bad frame from %v: %v", v.Peer(), err)
 			continue
+		}
+		b.framesIn.Inc()
+		b.bytesIn.Add(uint64(len(data)))
+		if b.cfg.Tracer.On() {
+			b.cfg.Tracer.Span(h.Span, trace.LayerND, "frame-in", b.network)
 		}
 		b.noteFrame(v, &h)
 		b.cfg.Deliver(Inbound{Header: h, Payload: payload, Via: v})
@@ -551,7 +586,7 @@ func (b *Binding) noteFrame(v *LVC, h *wire.Header) {
 	v.mu.Unlock()
 
 	if b.circuits.CompareAndDelete(alias, v) {
-		b.circuits.Store(real, v)
+		b.circuits.Store(real, v) // rekey, not a new circuit: gauge unchanged
 	}
 	b.cfg.Cache.Replace(alias, real)
 	b.cfg.Errors.Report(errlog.CodeTAddReplaced, "nd", "%v replaced by %v", alias, real)
@@ -564,13 +599,16 @@ func (b *Binding) noteFrame(v *LVC, h *wire.Header) {
 func (b *Binding) circuitDown(v *LVC, err error) {
 	v.markClosed()
 	peer := v.Peer()
-	b.circuits.CompareAndDelete(peer, v)
+	if b.circuits.CompareAndDelete(peer, v) {
+		b.circuitsUp.Add(-1)
+	}
 	b.mu.Lock()
 	closed := b.closed
 	b.mu.Unlock()
 	if closed {
 		return
 	}
+	b.circuitDead.Inc()
 	b.cfg.Errors.Report(errlog.CodeCircuitDead, "nd", "circuit to %v: %v", peer, err)
 	if b.cfg.OnCircuitDown != nil {
 		b.cfg.OnCircuitDown(peer, v, err)
@@ -590,6 +628,7 @@ func (b *Binding) Send(dst addr.UAdd, h wire.Header, payload []byte) error {
 // decide an address is stale).
 func (b *Binding) Drop(dst addr.UAdd) {
 	if v, ok := b.circuits.LoadAndDelete(dst); ok {
+		b.circuitsUp.Add(-1)
 		_ = v.(*LVC).Close()
 	}
 }
@@ -630,6 +669,7 @@ func (b *Binding) Close() error {
 	b.circuits.Range(func(k, v any) bool {
 		circuits = append(circuits, v.(*LVC))
 		b.circuits.Delete(k)
+		b.circuitsUp.Add(-1)
 		return true
 	})
 	b.mu.Unlock()
@@ -699,12 +739,20 @@ func (v *LVC) Send(h wire.Header, payload []byte) error {
 	conn := v.conn
 	peer := v.peer
 	v.mu.Unlock()
+	n := len(frame.Bytes())
 	err = conn.Send(frame.Bytes())
 	frame.Release()
 	if err != nil {
 		_ = v.Close()
-		v.b.circuits.CompareAndDelete(peer, v)
+		if v.b.circuits.CompareAndDelete(peer, v) {
+			v.b.circuitsUp.Add(-1)
+		}
 		return &FaultError{Peer: peer, Err: err}
+	}
+	v.b.framesOut.Inc()
+	v.b.bytesOut.Add(uint64(n))
+	if v.b.cfg.Tracer.On() {
+		v.b.cfg.Tracer.Span(h.Span, trace.LayerND, "frame-out", v.b.network)
 	}
 	return nil
 }
@@ -719,6 +767,8 @@ func (v *LVC) markClosed() {
 // subsequent Open dials afresh rather than finding the corpse.
 func (v *LVC) Close() error {
 	v.markClosed()
-	v.b.circuits.CompareAndDelete(v.Peer(), v)
+	if v.b.circuits.CompareAndDelete(v.Peer(), v) {
+		v.b.circuitsUp.Add(-1)
+	}
 	return v.conn.Close()
 }

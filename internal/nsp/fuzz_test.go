@@ -1,0 +1,91 @@
+package nsp_test
+
+import (
+	"testing"
+
+	"ntcs/internal/nsp"
+	"ntcs/internal/pack"
+)
+
+func fuzzSeedRequest(tb testing.TB) []byte {
+	req := nsp.Request{
+		Op:   "register",
+		Name: "printer-spooler",
+		Attrs: map[string]string{
+			"role":    "server",
+			"machine": "vax",
+		},
+		UAdd: 0x1122334455667788,
+		Endpoints: []nsp.EndpointRec{
+			{Network: "alpha", Addr: "host-3:9", Machine: 1},
+			{Network: "beta", Addr: "gw-1:2", Machine: 3},
+		},
+		Record: nsp.RecordRec{
+			Name:        "printer-spooler",
+			UAdd:        0x1122334455667788,
+			Incarnation: 4,
+			Alive:       true,
+		},
+	}
+	data, err := pack.Marshal(req)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return data
+}
+
+func fuzzSeedResponse(tb testing.TB) []byte {
+	resp := nsp.Response{
+		Code:   "ok",
+		Detail: "",
+		UAdd:   42,
+		Records: []nsp.RecordRec{{
+			Name:        "server",
+			Attrs:       map[string]string{"net": "beta"},
+			UAdd:        42,
+			Endpoints:   []nsp.EndpointRec{{Network: "beta", Addr: "h:1", Machine: 2}},
+			Incarnation: 9,
+			Alive:       true,
+		}},
+	}
+	data, err := pack.Marshal(resp)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return data
+}
+
+// FuzzNSPRecord fuzzes the naming-service wire records. NSP payloads are
+// what an NTCS module trusts MOST off the wire — a hostile or corrupt
+// Name Server reply steers binding, replication, and gateway discovery —
+// so the decode path must never panic, and anything it does accept must
+// survive re-encoding (replication forwards accepted records verbatim).
+func FuzzNSPRecord(f *testing.F) {
+	f.Add(fuzzSeedRequest(f))
+	f.Add(fuzzSeedResponse(f))
+	f.Add([]byte("(s2:ok;s0:;u2:42;l0:;)"))
+	f.Add([]byte("(n;n;n;n;n;n;n;)"))
+	f.Add([]byte{})
+	f.Add([]byte("(s8:register"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var req nsp.Request
+		if err := pack.Unmarshal(data, &req); err == nil {
+			if _, err := pack.Marshal(req); err != nil {
+				t.Fatalf("accepted Request failed to re-marshal: %v\nrequest: %+v", err, req)
+			}
+		}
+		var resp nsp.Response
+		if err := pack.Unmarshal(data, &resp); err == nil {
+			if _, err := pack.Marshal(resp); err != nil {
+				t.Fatalf("accepted Response failed to re-marshal: %v\nresponse: %+v", err, resp)
+			}
+		}
+		var rec nsp.RecordRec
+		if err := pack.Unmarshal(data, &rec); err == nil {
+			if _, err := pack.Marshal(rec); err != nil {
+				t.Fatalf("accepted RecordRec failed to re-marshal: %v\nrecord: %+v", err, rec)
+			}
+		}
+	})
+}

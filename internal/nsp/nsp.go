@@ -28,6 +28,7 @@ import (
 	"ntcs/internal/machine"
 	"ntcs/internal/pack"
 	"ntcs/internal/retry"
+	"ntcs/internal/stats"
 	"ntcs/internal/trace"
 	"ntcs/internal/wire"
 )
@@ -139,6 +140,8 @@ type Config struct {
 	WellKnown addr.WellKnown
 	// Tracer receives diagnostics; may be nil.
 	Tracer *trace.Tracer
+	// Stats receives the layer's counters; nil disables metering.
+	Stats *stats.Registry
 	// GatewayTTL caches the gateway topology this long (default 2s; the
 	// paper's argument: "locally cached values will likely be correct
 	// since reconfiguration is infrequent").
@@ -162,6 +165,11 @@ type Layer struct {
 	// every later request goes straight to the live replica instead of
 	// re-paying the primary's timeout.
 	preferred int
+
+	// Instruments, resolved once at construction; nil pointers no-op.
+	queries   *stats.Counter
+	rotations *stats.Counter
+	failures  *stats.Counter
 }
 
 // New assembles the layer.
@@ -181,7 +189,14 @@ func New(cfg Config) (*Layer, error) {
 			Jitter:     0.25,
 		}
 	}
-	return &Layer{cfg: cfg}, nil
+	cfg.FailoverPolicy.Retries = cfg.Stats.Counter(stats.RetryAttempts + ".nsp")
+	cfg.FailoverPolicy.GiveUps = cfg.Stats.Counter(stats.RetryGiveUps + ".nsp")
+	return &Layer{
+		cfg:       cfg,
+		queries:   cfg.Stats.Counter(stats.NSPQueries),
+		rotations: cfg.Stats.Counter(stats.NSPRotations),
+		failures:  cfg.Stats.Counter(stats.NSPFailures),
+	}, nil
 }
 
 // call performs one naming service exchange, failing over across the
@@ -193,14 +208,22 @@ func (l *Layer) call(req Request) (Response, error) {
 // callContext is call honoring ctx: the deadline/cancellation propagates
 // into each underlying LCM call, and replica failover stops once the
 // context is done.
-func (l *Layer) callContext(ctx context.Context, req Request) (Response, error) {
+func (l *Layer) callContext(ctx context.Context, req Request) (resp Response, err error) {
+	l.queries.Inc()
+	// The span opens here, at the top of the naming exchange, and rides the
+	// LCM call down through IP and ND — the full recursion under one ID.
+	span := l.cfg.LCM.NewSpan()
 	exit := l.cfg.Tracer.Enter(trace.LayerNSP, req.Op, "naming service request", "below/above")
-	resp, err := l.callServers(ctx, req)
-	exit(err)
+	l.cfg.Tracer.Span(span, trace.LayerNSP, req.Op, req.Name)
+	defer func() { exit(err) }()
+	resp, err = l.callServers(ctx, span, req)
+	if err != nil {
+		l.failures.Inc()
+	}
 	return resp, err
 }
 
-func (l *Layer) callServers(ctx context.Context, req Request) (Response, error) {
+func (l *Layer) callServers(ctx context.Context, span uint32, req Request) (Response, error) {
 	payload, err := pack.Marshal(req)
 	if err != nil {
 		return Response{}, fmt.Errorf("nsp: marshal request: %w", err)
@@ -223,7 +246,7 @@ func (l *Layer) callServers(ctx context.Context, req Request) (Response, error) 
 			if ctxErr := ctx.Err(); ctxErr != nil {
 				return Response{}, ctxErr
 			}
-			d, err := l.cfg.LCM.CallContext(ctx, servers[idx], wire.ModePacked, wire.FlagService, payload)
+			d, err := l.cfg.LCM.CallSpan(ctx, span, servers[idx], wire.ModePacked, wire.FlagService, payload)
 			if err != nil {
 				lastErr = err
 				if terminalCallError(ctx, err) {
@@ -239,6 +262,7 @@ func (l *Layer) callServers(ctx context.Context, req Request) (Response, error) 
 				return Response{}, fmt.Errorf("%w: %v", ErrProtocol, err)
 			}
 			if idx != start {
+				l.rotations.Inc()
 				l.mu.Lock()
 				l.preferred = idx
 				l.mu.Unlock()

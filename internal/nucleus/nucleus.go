@@ -21,6 +21,7 @@ import (
 	"ntcs/internal/iplayer"
 	"ntcs/internal/lcm"
 	"ntcs/internal/ndlayer"
+	"ntcs/internal/stats"
 	"ntcs/internal/trace"
 )
 
@@ -51,6 +52,8 @@ type Config struct {
 	// Tracer and Errors receive diagnostics; both may be nil.
 	Tracer *trace.Tracer
 	Errors *errlog.Table
+	// Stats receives every layer's instruments; nil disables metering.
+	Stats *stats.Registry
 	// OnTAddReplaced, if non-nil, is told about §3.4 replacements after
 	// the internal tables have been rewritten.
 	OnTAddReplaced func(old, real addr.UAdd)
@@ -119,6 +122,7 @@ func New(cfg Config) (*Nucleus, error) {
 			OnTAddReplaced: taddReplaced,
 			Tracer:         cfg.Tracer,
 			Errors:         cfg.Errors,
+			Stats:          cfg.Stats,
 			OpenTimeout:    cfg.OpenTimeout,
 		})
 		if err != nil {
@@ -139,6 +143,7 @@ func New(cfg Config) (*Nucleus, error) {
 		RelayEnabled: cfg.RelayEnabled,
 		Tracer:       cfg.Tracer,
 		Errors:       cfg.Errors,
+		Stats:        cfg.Stats,
 		OpenTimeout:  cfg.OpenTimeout,
 	})
 	if err != nil {
@@ -153,6 +158,7 @@ func New(cfg Config) (*Nucleus, error) {
 		WellKnown:           cfg.WellKnown,
 		Tracer:              cfg.Tracer,
 		Errors:              cfg.Errors,
+		Stats:               cfg.Stats,
 		CallTimeout:         cfg.CallTimeout,
 		InboxSize:           cfg.InboxSize,
 		DisableNSFaultPatch: cfg.DisableNSFaultPatch,

@@ -1,0 +1,110 @@
+package pack
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// fuzzSample mirrors the shapes real NTCS payloads use: every scalar
+// kind the packed representation defines plus the variable-length ones.
+type fuzzSample struct {
+	I   int64
+	U   uint64
+	F   float64
+	B   bool
+	S   string
+	Raw []byte
+	L   []int64
+	M   map[string]int64
+}
+
+// TestCountBombRejected is the regression test for a decoder flaw the
+// fuzz target exposed: a list/map header claiming a huge element count
+// used to drive reflect.MakeSlice / MakeMapWithSize before any element
+// parsed, so a dozen hostile bytes reserved gigabytes. Counts beyond the
+// remaining input (one byte per element, minimum) are now rejected up
+// front.
+func TestCountBombRejected(t *testing.T) {
+	var l []int64
+	if err := Unmarshal([]byte("l999999999;"), &l); err == nil {
+		t.Error("billion-element list header accepted")
+	}
+	var m map[string]int64
+	if err := Unmarshal([]byte("m999999999;"), &m); err == nil {
+		t.Error("billion-pair map header accepted")
+	}
+	// Sanity: honest counts still decode.
+	if err := Unmarshal([]byte("l2;i7;i-3;"), &l); err != nil || len(l) != 2 {
+		t.Errorf("honest list rejected: %v (%v)", err, l)
+	}
+}
+
+// FuzzPackRoundTrip fuzzes the packed codec from both ends. Forward: a
+// value built from the fuzzed primitives must marshal and unmarshal back
+// to itself exactly (§5.1 packed mode is the lossless fallback for every
+// incompatible machine pair). Backward: the same raw bytes are fed to
+// the decoder directly, which must reject or accept them without ever
+// panicking or over-reading — packed payloads arrive off the wire.
+func FuzzPackRoundTrip(f *testing.F) {
+	f.Add(int64(-42), uint64(7), 3.5, true, "hello", []byte("raw"))
+	f.Add(int64(math.MinInt64), uint64(math.MaxUint64), math.Inf(-1), false, "", []byte{})
+	f.Add(int64(0), uint64(0), 0.0, false, "i4:-42;u1:7;", []byte("(s3:abc;l2:i1:1;i1:2;;)"))
+	f.Add(int64(1), uint64(2), math.NaN(), true, "héllo — §5.1", []byte{0, 0xFF, ';', '(', 'n'})
+
+	f.Fuzz(func(t *testing.T, i int64, u uint64, fl float64, b bool, s string, raw []byte) {
+		orig := fuzzSample{
+			I:   i,
+			U:   u,
+			F:   fl,
+			B:   b,
+			S:   s,
+			Raw: raw,
+			L:   []int64{i, int64(u), i ^ int64(u)},
+			M:   map[string]int64{s: i, "k": int64(len(raw))},
+		}
+		data, err := Marshal(orig)
+		if err != nil {
+			t.Fatalf("marshal of in-memory value failed: %v", err)
+		}
+		var got fuzzSample
+		if err := Unmarshal(data, &got); err != nil {
+			t.Fatalf("unmarshal of own output failed: %v\n%s", err, Dump(data))
+		}
+		if got.I != orig.I || got.U != orig.U || got.B != orig.B || got.S != orig.S {
+			t.Fatalf("scalar round trip drifted: %+v vs %+v", orig, got)
+		}
+		if got.F != orig.F && !(math.IsNaN(got.F) && math.IsNaN(orig.F)) {
+			t.Fatalf("float round trip drifted: %v vs %v", orig.F, got.F)
+		}
+		if !bytes.Equal(got.Raw, orig.Raw) {
+			t.Fatalf("bytes round trip drifted: %q vs %q", orig.Raw, got.Raw)
+		}
+		if len(got.L) != len(orig.L) {
+			t.Fatalf("list round trip drifted: %v vs %v", orig.L, got.L)
+		}
+		for j := range orig.L {
+			if got.L[j] != orig.L[j] {
+				t.Fatalf("list round trip drifted at %d: %v vs %v", j, orig.L, got.L)
+			}
+		}
+		if len(got.M) != len(orig.M) {
+			t.Fatalf("map round trip drifted: %v vs %v", orig.M, got.M)
+		}
+		for k, v := range orig.M {
+			if got.M[k] != v {
+				t.Fatalf("map round trip drifted at %q: %v vs %v", k, orig.M, got.M)
+			}
+		}
+
+		// Decoder robustness: raw fuzz bytes straight off the "wire".
+		var junk fuzzSample
+		_ = Unmarshal(raw, &junk) // must not panic, any error is fine
+		d := NewDecoder(raw)
+		for k := 0; k < 8; k++ { // walking tokens must not panic either
+			if _, err := d.Int(); err != nil {
+				break
+			}
+		}
+	})
+}

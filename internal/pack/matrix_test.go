@@ -1,0 +1,103 @@
+package pack_test
+
+import (
+	"reflect"
+	"testing"
+
+	"ntcs/internal/machine"
+	"ntcs/internal/pack"
+	"ntcs/internal/wire"
+)
+
+// matrixSample exercises every scalar kind the packed representation
+// carries, plus nesting and variable-length fields — the shapes §5.1's
+// automatic conversion derivation must preserve exactly.
+type matrixSample struct {
+	I   int64
+	U   uint64
+	F   float64
+	B   bool
+	S   string
+	Raw []byte
+	L   []int32
+	M   map[string]string
+	Sub struct {
+		X int16
+		Y string
+	}
+}
+
+func sampleValue() matrixSample {
+	v := matrixSample{
+		I:   -987654321,
+		U:   0xDEADBEEFCAFE,
+		F:   3.14159265358979,
+		B:   true,
+		S:   "héllo, wörld — §5.1",
+		Raw: []byte{0, 1, 2, 0xFF, 0x80},
+		L:   []int32{-1, 0, 1, 1 << 30},
+		M:   map[string]string{"role": "server", "machine": "vax"},
+	}
+	v.Sub.X = -42
+	v.Sub.Y = "nested"
+	return v
+}
+
+// TestModeSelectionFullMatrix pins the §5.1 adaptive conversion decision
+// for EVERY ordered (source, destination) machine pair: image mode is
+// chosen exactly between layout-compatible machines, packed mode
+// otherwise — wire.SelectMode is the single decision point the ComMod
+// consults, so this matrix is the spec of the conversion subsystem.
+func TestModeSelectionFullMatrix(t *testing.T) {
+	types := []machine.Type{machine.VAX, machine.Sun68K, machine.Apollo, machine.Pyramid}
+	imagePairs := 0
+	for _, src := range types {
+		for _, dst := range types {
+			got := wire.SelectMode(src, dst)
+			want := wire.ModePacked
+			if machine.Compatible(src, dst) {
+				want = wire.ModeImage
+			}
+			if got != want {
+				t.Errorf("SelectMode(%v, %v) = %v, want %v", src, dst, got, want)
+			}
+			if got == wire.ModeImage {
+				imagePairs++
+			}
+			if back := wire.SelectMode(dst, src); back != got {
+				t.Errorf("SelectMode not symmetric for (%v, %v): %v vs %v", src, dst, got, back)
+			}
+		}
+	}
+	// The URSA fleet: VAX↔VAX, Sun↔Sun, and the {Apollo, Pyramid} clique.
+	if imagePairs != 1+1+4 {
+		t.Errorf("image mode chosen for %d ordered pairs, want 6", imagePairs)
+	}
+}
+
+// TestPackedLosslessAcrossAllPairs asserts the property that makes packed
+// mode the safe fallback for every incompatible pair: the packed encoding
+// is machine-independent, so marshal→unmarshal restores the value exactly
+// no matter which (src, dst) pair selected it.
+func TestPackedLosslessAcrossAllPairs(t *testing.T) {
+	types := []machine.Type{machine.VAX, machine.Sun68K, machine.Apollo, machine.Pyramid}
+	orig := sampleValue()
+	data, err := pack.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, src := range types {
+		for _, dst := range types {
+			if wire.SelectMode(src, dst) != wire.ModePacked {
+				continue
+			}
+			var got matrixSample
+			if err := pack.Unmarshal(data, &got); err != nil {
+				t.Fatalf("%v→%v: unmarshal: %v", src, dst, err)
+			}
+			if !reflect.DeepEqual(orig, got) {
+				t.Errorf("%v→%v: packed round trip lost data:\n  sent %+v\n  got  %+v", src, dst, orig, got)
+			}
+		}
+	}
+}

@@ -301,6 +301,13 @@ func (d *Decoder) header(tagByte byte) (int, error) {
 	if err != nil || n < 0 {
 		return 0, fmt.Errorf("%w: count %q", ErrSyntax, s)
 	}
+	// Every element occupies at least one byte of input, so a count beyond
+	// the remaining data can never decode. Rejecting it here bounds the
+	// slice/map preallocations above — a hostile 12-byte frame must not
+	// reserve a gigabyte before its first element fails to parse.
+	if n > d.Remaining() {
+		return 0, fmt.Errorf("%w: count %d exceeds %d remaining bytes", ErrSyntax, n, d.Remaining())
+	}
 	return n, nil
 }
 

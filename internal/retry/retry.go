@@ -22,6 +22,8 @@ import (
 	"math/rand"
 	"sync"
 	"time"
+
+	"ntcs/internal/stats"
 )
 
 // Errors reported by a Backoff.
@@ -58,6 +60,14 @@ type Policy struct {
 	// value in [0, 1); nil selects the package's seeded source. Tests
 	// use it for deterministic jitter.
 	Rand func() float64
+
+	// Retries and GiveUps, when set, meter the budget: Retries counts
+	// every granted attempt after the first, GiveUps every Do sequence
+	// that ended without success. Pure instruments — they never change
+	// retry behavior and IsZero ignores them, so layers attach them to
+	// whatever policy (default or caller-supplied) ends up installed.
+	Retries *stats.Counter
+	GiveUps *stats.Counter
 }
 
 // jitterMu guards the package-level jitter source: retries are cold
@@ -189,6 +199,9 @@ func (b *Backoff) Next(ctx context.Context, stop <-chan struct{}) bool {
 		return false
 	}
 	b.attempt++
+	if b.attempt > 1 {
+		b.p.Retries.Inc()
+	}
 	return true
 }
 
@@ -209,10 +222,14 @@ func (p Policy) Do(ctx context.Context, stop <-chan struct{}, op func() error) e
 		}
 	}
 	if berr := b.Err(); berr != nil {
+		p.GiveUps.Inc()
 		if lastErr != nil {
 			return &interruptError{cause: lastErr, interrupt: berr}
 		}
 		return berr
+	}
+	if lastErr != nil {
+		p.GiveUps.Inc()
 	}
 	return lastErr
 }

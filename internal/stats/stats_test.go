@@ -1,0 +1,143 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNilRegistryNoOps(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("y")
+	h := r.Histogram("z")
+	// Every instrument from a nil registry is nil and must no-op.
+	c.Inc()
+	c.Add(5)
+	g.Set(3)
+	g.Add(-1)
+	h.Observe(time.Millisecond)
+	if c.Load() != 0 || g.Load() != 0 || h.Count() != 0 || h.Enabled() {
+		t.Fatal("nil instruments recorded something")
+	}
+	r.SetHistograms(true)
+	if r.HistogramsOn() || r.Module() != "" {
+		t.Fatal("nil registry is not inert")
+	}
+	s := r.Snapshot()
+	if len(s.Counters) != 0 || len(s.Gauges) != 0 {
+		t.Fatalf("nil registry snapshot not empty: %+v", s)
+	}
+}
+
+func TestGetOrCreateIdentity(t *testing.T) {
+	r := New("m")
+	if r.Counter("a") != r.Counter("a") {
+		t.Error("Counter not get-or-create")
+	}
+	if r.Gauge("b") != r.Gauge("b") {
+		t.Error("Gauge not get-or-create")
+	}
+	if r.Histogram("c") != r.Histogram("c") {
+		t.Error("Histogram not get-or-create")
+	}
+}
+
+func TestCounterGaugeSnapshot(t *testing.T) {
+	r := New("mod")
+	r.Counter("sends").Add(3)
+	r.Counter("sends").Inc()
+	r.Gauge("depth").Set(7)
+	r.Gauge("depth").Add(-2)
+
+	s := r.Snapshot()
+	if s.Module != "mod" {
+		t.Errorf("module = %q", s.Module)
+	}
+	if s.Counters["sends"] != 4 {
+		t.Errorf("sends = %d, want 4", s.Counters["sends"])
+	}
+	if s.Gauges["depth"] != 5 {
+		t.Errorf("depth = %d, want 5", s.Gauges["depth"])
+	}
+}
+
+func TestHistogramTierGated(t *testing.T) {
+	r := New("m")
+	h := r.Histogram("lat")
+	h.Observe(time.Millisecond)
+	if h.Count() != 0 || h.Enabled() {
+		t.Fatal("histogram recorded while tier off")
+	}
+	r.SetHistograms(true)
+	if !h.Enabled() {
+		t.Fatal("Enabled false after SetHistograms(true)")
+	}
+	h.Observe(500 * time.Microsecond)
+	h.Observe(3 * time.Millisecond)
+	if h.Count() != 2 {
+		t.Fatalf("count = %d, want 2", h.Count())
+	}
+	v := r.Snapshot().Histograms["lat"]
+	if v.Count != 2 {
+		t.Fatalf("snapshot count = %d", v.Count)
+	}
+	var bucketSum uint64
+	for _, n := range v.Buckets {
+		bucketSum += n
+	}
+	if bucketSum != 2 {
+		t.Errorf("bucket sum = %d, want 2", bucketSum)
+	}
+	r.SetHistograms(false)
+	h.Observe(time.Millisecond)
+	if h.Count() != 2 {
+		t.Error("histogram recorded after tier turned back off")
+	}
+}
+
+func TestHistogramBucketBounds(t *testing.T) {
+	if bucketBound(0) != time.Microsecond {
+		t.Errorf("bucket 0 bound = %v", bucketBound(0))
+	}
+	for i := 1; i < numBuckets-1; i++ {
+		if bucketBound(i) != 2*bucketBound(i-1) {
+			t.Errorf("bucket %d bound %v not double bucket %d", i, bucketBound(i), i-1)
+		}
+	}
+}
+
+func TestSnapshotSub(t *testing.T) {
+	r := New("m")
+	r.Counter("a").Add(2)
+	r.Counter("b").Add(1)
+	prev := r.Snapshot()
+	r.Counter("a").Add(3)
+	r.Counter("c").Inc()
+	d := r.Snapshot().Sub(prev)
+	if d["a"] != 3 || d["c"] != 1 {
+		t.Errorf("delta = %v", d)
+	}
+	if _, ok := d["b"]; ok {
+		t.Error("zero delta for b not dropped")
+	}
+}
+
+func TestWriteTo(t *testing.T) {
+	r := New("mod")
+	r.Counter("nd.frames_in").Add(9)
+	r.Gauge("nd.circuits_up").Set(2)
+	r.SetHistograms(true)
+	r.Histogram("lcm.send_latency").Observe(2 * time.Microsecond)
+
+	var sb strings.Builder
+	if _, err := r.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"module mod", "counter", "nd.frames_in", "9", "gauge", "nd.circuits_up", "hist", "lcm.send_latency"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q:\n%s", want, out)
+		}
+	}
+}

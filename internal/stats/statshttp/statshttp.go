@@ -1,0 +1,74 @@
+// Package statshttp exposes a process's stats registries over HTTP,
+// entirely from the standard library: a text dump for ntcsstat, a JSON
+// snapshot feed, expvar, and the pprof profile endpoints. The listener
+// is strictly opt-in (ursad -http) — an NTCS Nucleus never opens a
+// network port the operator did not ask for.
+package statshttp
+
+import (
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+
+	"ntcs/internal/stats"
+)
+
+// Handler serves the observability surface:
+//
+//	/stats        sorted text dump, one module per stanza (ntcsstat's default)
+//	/stats.json   JSON array of per-module snapshots
+//	/debug/vars   expvar (includes the "ntcs" variable once Publish ran)
+//	/debug/pprof  CPU/heap/goroutine profiles
+func Handler(collect func() []stats.Snapshot) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		for _, s := range collect() {
+			if _, err := stats.WriteSnapshot(w, s); err != nil {
+				return
+			}
+		}
+	})
+	mux.HandleFunc("/stats.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(collect())
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+var publishOnce sync.Once
+
+// Publish registers the collector as the expvar variable "ntcs".
+// expvar's namespace is process-global and re-publishing panics, so
+// this is once-only; later collectors are ignored.
+func Publish(collect func() []stats.Snapshot) {
+	publishOnce.Do(func() {
+		expvar.Publish("ntcs", expvar.Func(func() any { return collect() }))
+	})
+}
+
+// Serve binds addr, publishes the collector to expvar, and serves the
+// Handler endpoints in the background. It returns the server (for
+// Shutdown) and the bound address, which differs from addr when the
+// operator asked for port 0.
+func Serve(addr string, collect func() []stats.Snapshot) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	Publish(collect)
+	srv := &http.Server{Handler: Handler(collect)}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, ln.Addr().String(), nil
+}

@@ -1,0 +1,76 @@
+package statshttp
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"ntcs/internal/stats"
+)
+
+func collectFixture() []stats.Snapshot {
+	r := stats.New("mod-a")
+	r.Counter("lcm.sends").Add(11)
+	r.Gauge("nd.circuits_up").Set(2)
+	r2 := stats.New("mod-b")
+	r2.Counter("ip.relays").Add(3)
+	return []stats.Snapshot{r.Snapshot(), r2.Snapshot()}
+}
+
+func get(t *testing.T, srv *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestStatsEndpoints(t *testing.T) {
+	srv := httptest.NewServer(Handler(collectFixture))
+	defer srv.Close()
+
+	code, text := get(t, srv, "/stats")
+	if code != http.StatusOK {
+		t.Fatalf("/stats status %d", code)
+	}
+	for _, want := range []string{"module mod-a", "lcm.sends", "11", "module mod-b", "ip.relays"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/stats missing %q:\n%s", want, text)
+		}
+	}
+
+	code, body := get(t, srv, "/stats.json")
+	if code != http.StatusOK {
+		t.Fatalf("/stats.json status %d", code)
+	}
+	var snaps []stats.Snapshot
+	if err := json.Unmarshal([]byte(body), &snaps); err != nil {
+		t.Fatalf("/stats.json not valid JSON: %v\n%s", err, body)
+	}
+	if len(snaps) != 2 || snaps[0].Counters["lcm.sends"] != 11 {
+		t.Errorf("/stats.json decoded %+v", snaps)
+	}
+
+	Publish(collectFixture)
+	Publish(collectFixture) // second publish must be a no-op, not a panic
+	code, vars := get(t, srv, "/debug/vars")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/vars status %d", code)
+	}
+	if !strings.Contains(vars, `"ntcs"`) {
+		t.Errorf("/debug/vars missing the ntcs variable:\n%.400s", vars)
+	}
+
+	if code, _ := get(t, srv, "/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline status %d", code)
+	}
+}

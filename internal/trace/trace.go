@@ -50,6 +50,19 @@ type Event struct {
 	Dur    time.Duration // set at exit
 }
 
+// SpanEvent is one structured span record: the moment a message carrying
+// the given span ID crossed a layer. Span IDs travel in the shift-mode
+// header's reserved word, so the events for one ID — collected from the
+// tracers of every module the message touched — reconstruct its
+// ALI→NSP→LCM→IP→ND path across machines.
+type SpanEvent struct {
+	Span  uint32    // header span ID (0 is never recorded)
+	Layer Layer     // layer the message crossed
+	Op    string    // what happened: send, call, relay, recv, reply...
+	Note  string    // free-form detail (destination, circuit, error)
+	Time  time.Time // when
+}
+
 // Tracer records the causal flow through one module's ComMod.
 //
 // Depth tracking is a simple nesting counter: exact for the synchronous
@@ -67,6 +80,11 @@ type Tracer struct {
 	depth    int
 	maxDepth int
 	filter   func(Layer, string) bool
+
+	spanMu    sync.Mutex
+	spans     []SpanEvent // bounded ring, same capacity as events
+	spanStart int
+	spanCount int
 }
 
 // New creates a tracer for the named module, retaining up to capacity
@@ -166,6 +184,53 @@ func (t *Tracer) Enter(layer Layer, op, reason, who string) func(err error) {
 	}
 }
 
+// Span records a structured span event. Like Enter it is gated on the
+// enabled switch, so an untraced module pays one atomic load; span 0
+// (an untraced or pre-span frame) is never recorded.
+func (t *Tracer) Span(span uint32, layer Layer, op, note string) {
+	if span == 0 || !t.On() {
+		return
+	}
+	t.spanMu.Lock()
+	defer t.spanMu.Unlock()
+	ev := SpanEvent{Span: span, Layer: layer, Op: op, Note: note, Time: time.Now()}
+	if t.spanCount < t.capacity {
+		if t.spans == nil {
+			t.spans = make([]SpanEvent, t.capacity)
+		}
+		t.spans[(t.spanStart+t.spanCount)%t.capacity] = ev
+		t.spanCount++
+		return
+	}
+	t.spans[t.spanStart] = ev
+	t.spanStart = (t.spanStart + 1) % t.capacity
+}
+
+// Spans returns a copy of the recorded span events in order.
+func (t *Tracer) Spans() []SpanEvent {
+	if t == nil {
+		return nil
+	}
+	t.spanMu.Lock()
+	defer t.spanMu.Unlock()
+	out := make([]SpanEvent, 0, t.spanCount)
+	for i := 0; i < t.spanCount; i++ {
+		out = append(out, t.spans[(t.spanStart+i)%t.capacity])
+	}
+	return out
+}
+
+// SpansFor returns the recorded events for one span ID, in order.
+func (t *Tracer) SpansFor(span uint32) []SpanEvent {
+	var out []SpanEvent
+	for _, ev := range t.Spans() {
+		if ev.Span == span {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
 // push appends to the ring, returning a stable slot index usable with at.
 func (t *Tracer) push(ev Event) int {
 	if t.count < t.capacity {
@@ -208,8 +273,11 @@ func (t *Tracer) Clear() {
 		return
 	}
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	t.start, t.count, t.seq, t.maxDepth = 0, 0, 0, 0
+	t.mu.Unlock()
+	t.spanMu.Lock()
+	t.spanStart, t.spanCount = 0, 0
+	t.spanMu.Unlock()
 }
 
 // MaxDepth reports the deepest nesting observed — the recursion depth of

@@ -1,0 +1,87 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"ntcs/internal/addr"
+	"ntcs/internal/machine"
+)
+
+// fuzzSeedFrame builds a representative valid frame for the corpus.
+func fuzzSeedFrame(tb testing.TB) []byte {
+	h := Header{
+		Type:       TData,
+		Flags:      FlagCall | FlagSrcTAdd,
+		SrcMachine: machine.VAX,
+		Mode:       ModePacked,
+		Src:        addr.UAdd(0x1122334455667788),
+		Dst:        addr.UAdd(0x99AABBCCDDEEFF00),
+		Circuit:    7,
+		Seq:        41,
+		Hops:       2,
+		Span:       0xC0FFEE,
+	}
+	frame, err := Marshal(h, []byte("naming request payload"))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return frame
+}
+
+// FuzzHeaderDecode throws arbitrary byte streams at the frame decoder.
+// The decoder sits on the network boundary — every gateway and every
+// Nucleus parses attacker-reachable bytes with it — so the contract is
+// absolute: never panic, never over-read, and any frame it accepts must
+// satisfy the header invariants and survive a re-encode round trip.
+func FuzzHeaderDecode(f *testing.F) {
+	valid := fuzzSeedFrame(f)
+	f.Add(valid)
+	f.Add(valid[:HeaderSize])      // payload truncated away (ErrTruncated path)
+	f.Add(valid[:HeaderSize-1])    // one byte short of a header
+	f.Add([]byte{})                // empty
+	f.Add(bytes.Repeat([]byte{0xFF}, HeaderSize+8)) // bad magic
+
+	corrupt := append([]byte(nil), valid...)
+	corrupt[17] ^= 0x20 // flips a checksummed word
+	f.Add(corrupt)
+
+	spanned := append([]byte(nil), valid...)
+	PutWord(spanned[spanWord*4:], 0xDEADBEEF) // span word is outside the checksum
+	f.Add(spanned)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, payload, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		// Accepted frame: every invariant the layers above rely on.
+		if !h.Type.Valid() {
+			t.Fatalf("accepted frame with invalid type %d", h.Type)
+		}
+		if uint32(len(payload)) != h.PayloadLen {
+			t.Fatalf("payload length %d != header claim %d", len(payload), h.PayloadLen)
+		}
+		if h.PayloadLen > MaxPayload {
+			t.Fatalf("accepted payload of %d bytes over MaxPayload", h.PayloadLen)
+		}
+		if len(data) < HeaderSize+len(payload) {
+			t.Fatalf("decoder over-read: %d-byte input yielded %d-byte payload", len(data), len(payload))
+		}
+		// Re-encode and decode again: the header must survive byte-exactly.
+		again, err := Marshal(h, payload)
+		if err != nil {
+			t.Fatalf("accepted header failed to re-marshal: %v", err)
+		}
+		h2, p2, err := Unmarshal(again)
+		if err != nil {
+			t.Fatalf("re-marshaled frame rejected: %v", err)
+		}
+		if h2 != h {
+			t.Fatalf("header round trip drifted:\n  first  %+v\n  second %+v", h, h2)
+		}
+		if !bytes.Equal(p2, payload) {
+			t.Fatal("payload round trip drifted")
+		}
+	})
+}

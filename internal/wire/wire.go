@@ -127,8 +127,17 @@ type Header struct {
 	Circuit    uint32 // IVC circuit identifier (0 on direct LVCs)
 	Seq        uint32 // per-module send sequence; echoed in replies
 	PayloadLen uint32
-	Hops       uint8 // gateway hops traversed so far
+	Hops       uint8  // gateway hops traversed so far
+	Span       uint32 // observability span ID; 0 = untraced (see below)
 }
+
+// The span word. Word 11 of the shift-mode header was reserved (always
+// encoded zero) through protocol version 1, and it is deliberately NOT
+// covered by the checksum, which folds words 0..9 only. That makes the
+// span field version-tolerant in both directions: frames from older
+// senders decode with Span 0, and older receivers ignore the word
+// entirely — no version bump, no interop break.
+const spanWord = 11
 
 // Errors returned by the codec.
 var (
@@ -183,7 +192,7 @@ func (h Header) encode(buf []byte) {
 	w(8, h.PayloadLen)
 	w(9, uint32(h.Hops)<<24)
 	w(10, h.checksum(buf))
-	w(11, 0)
+	w(spanWord, h.Span)
 }
 
 // checksum folds header words 0..9 into a single word.
@@ -258,6 +267,7 @@ func Unmarshal(data []byte) (Header, []byte, error) {
 	h.Seq = w(7)
 	h.PayloadLen = w(8)
 	h.Hops = uint8(w(9) >> 24)
+	h.Span = w(spanWord)
 	if h.checksum(data) != w(10) {
 		return h, nil, ErrBadChecksum
 	}
@@ -268,6 +278,19 @@ func Unmarshal(data []byte) (Header, []byte, error) {
 		return h, nil, fmt.Errorf("%w: have %d, want %d", ErrTruncated, len(data)-HeaderSize, h.PayloadLen)
 	}
 	return h, data[HeaderSize : HeaderSize+int(h.PayloadLen)], nil
+}
+
+// SelectMode is the §5.1 adaptive conversion-mode choice for application
+// payloads: image when the two machine types agree on byte order and
+// structure alignment (a straight memory copy is then valid), packed
+// otherwise. Internal header data always travels in shift mode and never
+// consults this. Core's destination cache and the conversion-matrix
+// property tests share this single decision point.
+func SelectMode(src, dst machine.Type) Mode {
+	if machine.Compatible(src, dst) {
+		return ModeImage
+	}
+	return ModePacked
 }
 
 func (h Header) String() string {

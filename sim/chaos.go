@@ -10,6 +10,7 @@ import (
 	"ntcs/internal/core"
 	"ntcs/internal/ipcs/memnet"
 	"ntcs/internal/retry"
+	"ntcs/internal/stats"
 )
 
 // ChaosEvent is one scheduled fault action.
@@ -27,6 +28,10 @@ type ChaosRecord struct {
 	Name    string
 	Planned time.Duration // scheduled offset
 	Fired   time.Duration // actual offset from Run start
+	// Delta holds the nonzero world-wide counter movements since the
+	// previous event fired (or since Run started, for the first event).
+	// Nil unless ObserveStats installed a snapshot source.
+	Delta map[string]uint64
 }
 
 // Chaos is the failure-injection side of the testbed: a deterministic
@@ -41,9 +46,10 @@ type ChaosRecord struct {
 type Chaos struct {
 	rng *rand.Rand
 
-	mu     sync.Mutex
-	events []ChaosEvent
-	log    []ChaosRecord
+	mu      sync.Mutex
+	events  []ChaosEvent
+	log     []ChaosRecord
+	observe func() stats.Snapshot
 }
 
 // NewChaos creates an empty schedule. The seed drives Perturb; two Chaos
@@ -54,6 +60,16 @@ func NewChaos(seed int64) *Chaos {
 		seed = 1
 	}
 	return &Chaos{rng: rand.New(rand.NewSource(seed))}
+}
+
+// ObserveStats installs a snapshot source — typically World.StatsTotals —
+// so every fired event records the counter deltas of the episode that
+// preceded it: which retries, failovers and rotations each fault bought.
+func (c *Chaos) ObserveStats(fn func() stats.Snapshot) *Chaos {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.observe = fn
+	return c
 }
 
 // Schedule adds an arbitrary event.
@@ -126,17 +142,28 @@ func (c *Chaos) Run(ctx context.Context) []ChaosRecord {
 	c.mu.Lock()
 	events := make([]ChaosEvent, len(c.events))
 	copy(events, c.events)
+	observe := c.observe
 	c.mu.Unlock()
 	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
 
+	var prev stats.Snapshot
+	if observe != nil {
+		prev = observe()
+	}
 	start := time.Now()
 	for _, ev := range events {
 		if err := retry.Wait(ctx, nil, ev.At-time.Since(start)); err != nil {
 			break
 		}
 		ev.Do()
+		rec := ChaosRecord{Name: ev.Name, Planned: ev.At, Fired: time.Since(start)}
+		if observe != nil {
+			cur := observe()
+			rec.Delta = cur.Sub(prev)
+			prev = cur
+		}
 		c.mu.Lock()
-		c.log = append(c.log, ChaosRecord{Name: ev.Name, Planned: ev.At, Fired: time.Since(start)})
+		c.log = append(c.log, rec)
 		c.mu.Unlock()
 	}
 	return c.Log()

@@ -22,6 +22,7 @@ import (
 	"ntcs/internal/ipcs/tcpnet"
 	"ntcs/internal/machine"
 	"ntcs/internal/nameserver"
+	"ntcs/internal/stats"
 )
 
 // Host is a simulated machine: a machine type plus network attachments.
@@ -160,6 +161,42 @@ func (w *World) track(m *core.Module) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	w.modules = append(w.modules, m)
+}
+
+// Modules returns every module the world has started, in start order.
+func (w *World) Modules() []*core.Module {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]*core.Module(nil), w.modules...)
+}
+
+// Snapshots returns a point-in-time metrics snapshot per tracked module.
+func (w *World) Snapshots() []stats.Snapshot {
+	mods := w.Modules()
+	out := make([]stats.Snapshot, 0, len(mods))
+	for _, m := range mods {
+		out = append(out, m.Stats().Snapshot())
+	}
+	return out
+}
+
+// StatsTotals merges every tracked module's counters and gauges into one
+// world-wide snapshot: the aggregate the chaos reports diff per episode.
+func (w *World) StatsTotals() stats.Snapshot {
+	total := stats.Snapshot{
+		Module:   "world",
+		Counters: map[string]uint64{},
+		Gauges:   map[string]int64{},
+	}
+	for _, s := range w.Snapshots() {
+		for name, v := range s.Counters {
+			total.Counters[name] += v
+		}
+		for name, v := range s.Gauges {
+			total.Gauges[name] += v
+		}
+	}
+	return total
 }
 
 // StartNameServer boots the Name Server module on a host and adds its
