@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet verify verify-race bench soak fuzz-smoke
+.PHONY: all build test race vet verify verify-race bench bench-thru soak fuzz-smoke
 
 all: verify
 
@@ -30,6 +30,11 @@ verify-race:
 # bench reruns the warm-path series recorded in BENCH_PR1.json.
 bench:
 	$(GO) test . -run XXX -bench 'FirstSendVsWarmSend|WarmSendParallel|ResolutionCache' -benchmem
+
+# bench-thru reruns the PR-4 throughput series (pipelined msgs/sec and
+# the gateway-hop round trip) recorded in BENCH_PR4.json.
+bench-thru:
+	$(GO) test . -run XXX -bench 'ThroughputPipelined|GatewayCutThrough' -benchmem
 
 # soak runs the chaos schedule under the race detector with a fixed seed
 # so a failure reproduces. Override the seed: make soak NTCS_CHAOS_SEED=7

@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ntcs/internal/addr"
@@ -103,27 +104,34 @@ type Config struct {
 	// "Messages between identical machines are simply byte-copied ...
 	// thus avoiding needless conversions"). Ablation experiments only.
 	ForcePacked bool
+	// CoalesceWrites enables the ND-Layer group-commit writer: concurrent
+	// senders on one LVC are drained into a single vectored write.
+	CoalesceWrites bool
+	// DispatchWorkers tunes LCM inbound parallelism: 0 selects the
+	// default worker pool, negative forces inline dispatch.
+	DispatchWorkers int
 }
 
 // identity is the mutable module identity: a TAdd until registration
 // completes, the assigned UAdd afterwards.
 type identity struct {
-	mu   sync.Mutex
-	u    addr.UAdd
+	u    atomic.Uint64 // addr.UAdd bits: read on every send, written once
 	m    machine.Type
 	name string
 }
 
+func newIdentity(u addr.UAdd, m machine.Type, name string) *identity {
+	id := &identity{m: m, name: name}
+	id.u.Store(uint64(u))
+	return id
+}
+
 func (id *identity) UAdd() addr.UAdd {
-	id.mu.Lock()
-	defer id.mu.Unlock()
-	return id.u
+	return addr.UAdd(id.u.Load())
 }
 
 func (id *identity) set(u addr.UAdd) {
-	id.mu.Lock()
-	defer id.mu.Unlock()
-	id.u = u
+	id.u.Store(uint64(u))
 }
 
 func (id *identity) Machine() machine.Type { return id.m }
@@ -193,7 +201,7 @@ func Attach(cfg Config) (*Module, error) {
 	if cfg.FixedUAdd != addr.Nil {
 		startU = cfg.FixedUAdd
 	}
-	m.id = &identity{u: startU, m: cfg.Machine, name: cfg.Name}
+	m.id = newIdentity(startU, cfg.Machine, cfg.Name)
 
 	nuc, err := nucleus.New(nucleus.Config{
 		Networks:            cfg.Networks,
@@ -208,6 +216,8 @@ func Attach(cfg Config) (*Module, error) {
 		OpenTimeout:         cfg.OpenTimeout,
 		DisableNSFaultPatch: cfg.DisableNSFaultPatch,
 		InboxSize:           cfg.InboxSize,
+		CoalesceWrites:      cfg.CoalesceWrites,
+		DispatchWorkers:     cfg.DispatchWorkers,
 	})
 	if err != nil {
 		return nil, err
@@ -529,6 +539,14 @@ func (m *Module) encode(dst addr.UAdd, msgType string, body any) (wire.Mode, []b
 		c := m.converter(msgType)
 		if c.Pack != nil {
 			data, err = c.Pack(body)
+		} else if bb, ok := body.([]byte); ok {
+			// Opaque bodies are machine-independent; write the envelope
+			// straight through rather than reflecting over the slice and
+			// materializing its Marshal encoding first.
+			e := pack.GetEncoder()
+			e.String(msgType)
+			e.NestedBytesField(bb)
+			return mode, e.Bytes(), e, nil
 		} else {
 			data, err = pack.Marshal(body)
 			if err != nil {
@@ -561,7 +579,10 @@ func openEnvelope(payload []byte) (string, []byte, error) {
 	if err != nil {
 		return "", nil, err
 	}
-	body, err := d.BytesField()
+	// The delivery's payload buffer is uniquely owned (every substrate
+	// reads each inbound frame into its own allocation), so the body can
+	// alias it instead of being copied out.
+	body, err := d.BytesView()
 	if err != nil {
 		return "", nil, err
 	}
@@ -591,6 +612,50 @@ func (m *Module) ServiceSend(dst addr.UAdd, msgType string, body any) error {
 // relocation, no recovery.
 func (m *Module) SendCL(dst addr.UAdd, msgType string, body any) error {
 	return m.send(context.Background(), dst, msgType, body, wire.FlagConnless)
+}
+
+// SendBytes is Send for an opaque byte payload. Semantically identical
+// to Send(dst, msgType, body) with a []byte body, but the typed
+// signature keeps the slice out of an interface, so the high-rate
+// datagram path does not pay a boxing allocation per message.
+func (m *Module) SendBytes(dst addr.UAdd, msgType string, body []byte) (err error) {
+	span := m.nuc.LCM.NewSpan()
+	exit := trace.NopExit
+	if m.tracer.On() {
+		exit = m.tracer.Enter(trace.LayerALI, "send", msgType+" to "+dst.String(), "app")
+		m.tracer.Span(span, trace.LayerALI, "send", msgType)
+	}
+	defer func() { exit(err) }()
+	if err = m.checkArgs(dst, msgType); err != nil {
+		return err
+	}
+	mode, payload, enc, eerr := m.encodeBytes(msgType, body)
+	if eerr != nil {
+		err = eerr
+		return err
+	}
+	err = m.nuc.LCM.SendSpan(context.Background(), span, dst, mode, 0, payload)
+	pack.PutEncoder(enc)
+	return err
+}
+
+// encodeBytes is the []byte arm of encode with a typed entry point:
+// opaque bodies are machine-independent, so they are always packed and
+// the envelope is written straight through. A custom converter for
+// msgType still wins, exactly as in encode.
+func (m *Module) encodeBytes(msgType string, body []byte) (wire.Mode, []byte, *pack.Encoder, error) {
+	if c := m.converter(msgType); c.Pack != nil {
+		data, err := c.Pack(body)
+		if err != nil {
+			return 0, nil, nil, err
+		}
+		enc, payload := envelope(msgType, data)
+		return wire.ModePacked, payload, enc, nil
+	}
+	e := pack.GetEncoder()
+	e.String(msgType)
+	e.NestedBytesField(body)
+	return wire.ModePacked, e.Bytes(), e, nil
 }
 
 func (m *Module) send(ctx context.Context, dst addr.UAdd, msgType string, body any, flags uint16) (err error) {

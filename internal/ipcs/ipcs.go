@@ -57,6 +57,14 @@ type Listener interface {
 type Conn interface {
 	// Send transmits one message.
 	Send(msg []byte) error
+	// SendBatch transmits msgs in order, exactly as consecutive Sends
+	// would, but lets the implementation coalesce them into one native
+	// operation (a single writev on TCP, one lock acquisition on the
+	// simulated substrates). An element the substrate would reject from
+	// Send (oversized) fails the whole batch before anything is
+	// transmitted; a transmission error may leave a prefix of the batch
+	// delivered, never a gap or a reordering. An empty batch is a no-op.
+	SendBatch(msgs [][]byte) error
 	// Recv blocks for the next message.
 	Recv() ([]byte, error)
 	// Close tears the connection down; the peer's Recv returns ErrClosed.

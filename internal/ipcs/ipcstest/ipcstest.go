@@ -29,6 +29,9 @@ func Run(t *testing.T, newNet Factory) {
 	t.Run("ManyClients", func(t *testing.T) { testManyClients(t, newNet(t)) })
 	t.Run("LargeMessage", func(t *testing.T) { testLargeMessage(t, newNet(t)) })
 	t.Run("SenderBufferReuse", func(t *testing.T) { testBufferReuse(t, newNet(t)) })
+	t.Run("SendBatchOrdering", func(t *testing.T) { testSendBatchOrdering(t, newNet(t)) })
+	t.Run("SendBatchOversize", func(t *testing.T) { testSendBatchOversize(t, newNet(t)) })
+	t.Run("SendBatchPrefixOnError", func(t *testing.T) { testSendBatchPrefix(t, newNet(t)) })
 }
 
 // accept1 runs Accept in a goroutine and returns the connection.
@@ -343,6 +346,165 @@ func testLargeMessage(t *testing.T, n ipcs.Network) {
 	}
 	if !bytes.Equal(got, big) {
 		t.Fatal("1MB message corrupted in transit")
+	}
+}
+
+// testSendBatchOrdering interleaves Send, multi-element SendBatch, and
+// empty SendBatch calls; the receiver must observe exactly the order
+// consecutive Sends would have produced.
+func testSendBatchOrdering(t *testing.T, n ipcs.Network) {
+	l, err := n.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	client, err := n.Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	server := accept1(t, l)
+	defer server.Close()
+
+	const rounds = 10
+	var want []string
+	go func() {
+		seq := 0
+		next := func() []byte {
+			m := []byte(fmt.Sprintf("b%04d", seq))
+			seq++
+			return m
+		}
+		for r := 0; r < rounds; r++ {
+			if err := client.Send(next()); err != nil {
+				return
+			}
+			if err := client.SendBatch([][]byte{next(), next(), next()}); err != nil {
+				return
+			}
+			if err := client.SendBatch(nil); err != nil {
+				return
+			}
+			if err := client.SendBatch([][]byte{next()}); err != nil {
+				return
+			}
+		}
+	}()
+	for i := 0; i < rounds*5; i++ {
+		want = append(want, fmt.Sprintf("b%04d", i))
+	}
+	for i, w := range want {
+		got, err := server.Recv()
+		if err != nil {
+			t.Fatalf("message %d: %v", i, err)
+		}
+		if string(got) != w {
+			t.Fatalf("message %d: got %q, want %q (batch broke ordering)", i, got, w)
+		}
+	}
+}
+
+// testSendBatchOversize: on substrates with a message size limit, a batch
+// containing one oversized element must fail whole — nothing from the
+// batch, not even the valid elements before the bad one, may be delivered.
+func testSendBatchOversize(t *testing.T, n ipcs.Network) {
+	l, err := n.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	client, err := n.Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	server := accept1(t, l)
+	defer server.Close()
+
+	huge := make([]byte, 18<<20)
+	if err := client.Send(huge); err == nil {
+		// Drain the probe so it cannot shadow later assertions.
+		if _, err := server.Recv(); err != nil {
+			t.Fatal(err)
+		}
+		t.Skip("substrate imposes no message size limit")
+	}
+	if err := client.SendBatch([][]byte{[]byte("ok"), huge}); err == nil {
+		t.Fatal("batch with oversized element must fail")
+	}
+	// Nothing from the failed batch was transmitted: the next message the
+	// receiver sees is the marker, not the "ok" prefix.
+	if err := client.Send([]byte("marker")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := server.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "marker" {
+		t.Fatalf("got %q; a failed batch must transmit nothing", got)
+	}
+}
+
+// testSendBatchPrefix: when the connection dies mid-stream, whatever the
+// receiver saw must be a gap-free, in-order prefix of the sent sequence,
+// and the sender must eventually observe the failure.
+func testSendBatchPrefix(t *testing.T, n ipcs.Network) {
+	l, err := n.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	client, err := n.Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	server := accept1(t, l)
+
+	// Phase 1: twenty 2-element batches, all of which must arrive intact.
+	// 40 messages stays under every substrate's queue bound, so no
+	// transient overflow can muddy the prefix check.
+	seq := 0
+	for i := 0; i < 20; i++ {
+		batch := [][]byte{
+			[]byte(fmt.Sprintf("p%04d", seq)),
+			[]byte(fmt.Sprintf("p%04d", seq+1)),
+		}
+		seq += 2
+		if err := client.SendBatch(batch); err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+	}
+	for i := 0; i < 40; i++ {
+		got, err := server.Recv()
+		if err != nil {
+			t.Fatalf("message %d: %v", i, err)
+		}
+		if want := fmt.Sprintf("p%04d", i); string(got) != want {
+			t.Fatalf("message %d: got %q, want %q (gap or reorder)", i, got, want)
+		}
+	}
+
+	// Phase 2: the receiver dies; the sender's batches must start failing
+	// within a bounded number of attempts (TCP may absorb a few into
+	// socket buffers first).
+	if err := server.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var sendErr error
+	for i := 0; i < 5000 && sendErr == nil; i++ {
+		sendErr = client.SendBatch([][]byte{
+			[]byte(fmt.Sprintf("p%04d", seq)),
+			[]byte(fmt.Sprintf("p%04d", seq+1)),
+		})
+		seq += 2
+		if sendErr == nil && i%50 == 49 {
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	if sendErr == nil {
+		t.Fatal("SendBatch to a dead peer never failed")
 	}
 }
 

@@ -234,6 +234,19 @@ func (e *end) Send(msg []byte) error {
 	}
 }
 
+// SendBatch on MBX has no native coalescing to exploit — each message is
+// its own mailbox deposit — so it is the straightforward loop: stop at the
+// first failure (full mailbox or severed channel), leaving the prefix
+// already queued for the receiver.
+func (e *end) SendBatch(msgs [][]byte) error {
+	for _, m := range msgs {
+		if err := e.Send(m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 func (e *end) Recv() ([]byte, error) {
 	// Drain queued messages even after close, as the Apollo mailbox did.
 	select {

@@ -122,6 +122,13 @@ type relayDest struct {
 	cid uint32
 }
 
+// relayKey identifies one direction of a relay entry: the LVC a frame
+// arrived on and the circuit id it carried.
+type relayKey struct {
+	via *ndlayer.LVC
+	cid uint32
+}
+
 // pendingOpen tracks an unacknowledged TIVCOpen this node forwarded.
 type pendingOpen struct {
 	// For the originator: ack delivers the result here.
@@ -144,6 +151,13 @@ type Layer struct {
 	nextCID atomic.Uint32
 	closed  atomic.Bool
 
+	// relayTab mirrors the relay table for the data path: relayKey →
+	// relayDest, consulted lock-free on every relayed frame so the hot
+	// forwarding loop never touches (or holds) the layer mutex. The map
+	// under mu below stays authoritative for installs and sweeps; every
+	// mutation updates both.
+	relayTab sync.Map
+
 	mu         sync.Mutex
 	dir        Directory
 	pending    map[uint32]*pendingOpen // by local (outbound) circuit id
@@ -153,6 +167,7 @@ type Layer struct {
 	// Instruments, resolved once at construction; nil pointers no-op.
 	relays      *stats.Counter
 	hops        *stats.Counter
+	cutthrough  *stats.Counter
 	failovers   *stats.Counter
 	routeMisses *stats.Counter
 	ivcsOpen    *stats.Gauge
@@ -189,6 +204,7 @@ func New(cfg Config) (*Layer, error) {
 
 		relays:      cfg.Stats.Counter(stats.IPRelays),
 		hops:        cfg.Stats.Counter(stats.IPHops),
+		cutthrough:  cfg.Stats.Counter(stats.IPCutThrough),
 		failovers:   cfg.Stats.Counter(stats.IPFailovers),
 		routeMisses: cfg.Stats.Counter(stats.IPRouteMisses),
 		ivcsOpen:    cfg.Stats.Gauge(stats.IPCircuitsOpen),
@@ -680,24 +696,37 @@ func (l *Layer) HandleInbound(in ndlayer.Inbound) {
 
 // relayFrame forwards a data frame across a gateway, if a relay entry
 // exists. Returns false when the frame is for the local module.
+//
+// The lookup is a single lock-free sync.Map load, and the forward is
+// cut-through: the circuit and hop words are patched in place in the
+// frame exactly as it arrived and the raw bytes go out with no header
+// re-marshal and no payload copy. §4.2's "no inter-gateway communication"
+// is what makes this legal — nothing at a hop needs to understand the
+// frame beyond the words it rewrites. The layer mutex is never taken
+// here, so a slow downstream Send cannot stall opens, closes, or other
+// relays.
 func (l *Layer) relayFrame(in ndlayer.Inbound) bool {
-	l.mu.Lock()
-	dest, ok := l.relay[in.Via][in.Header.Circuit]
-	l.mu.Unlock()
+	d, ok := l.relayTab.Load(relayKey{via: in.Via, cid: in.Header.Circuit})
 	if !ok {
 		return false
 	}
+	dest := d.(relayDest)
 	err := func() (err error) {
 		exit := l.cfg.Tracer.Enter(trace.LayerGateway, "relay", "forward data frame", "ip")
 		defer func() { exit(err) }() // deferred so a panicking LVC still closes the span
+		l.relays.Inc()
+		l.hops.Add(uint64(in.Header.Hops) + 1)
+		if l.cfg.Tracer.On() {
+			l.cfg.Tracer.Span(in.Header.Span, trace.LayerGateway, "relay", in.Header.Dst.String())
+		}
+		if wire.PatchRelay(in.Raw, dest.cid) == nil {
+			l.cutthrough.Inc()
+			return dest.lvc.SendRaw(in.Raw, in.Header.Span)
+		}
+		// No raw frame (synthetic Inbound): re-marshal the slow way.
 		h := in.Header
 		h.Circuit = dest.cid
 		h.Hops++
-		l.relays.Inc()
-		l.hops.Add(uint64(h.Hops))
-		if l.cfg.Tracer.On() {
-			l.cfg.Tracer.Span(h.Span, trace.LayerGateway, "relay", h.Dst.String())
-		}
 		return dest.lvc.Send(h, in.Payload)
 	}()
 	if err != nil {
@@ -931,6 +960,9 @@ func (l *Layer) HandleCircuitDown(peer addr.UAdd, v *ndlayer.LVC, cause error) {
 	l.mu.Lock()
 	entries := l.relay[v]
 	delete(l.relay, v)
+	for cid := range entries {
+		l.relayTab.Delete(relayKey{via: v, cid: cid})
+	}
 	l.mu.Unlock()
 
 	for cid, dest := range entries {
@@ -960,17 +992,25 @@ func (l *Layer) installRelayLocked(inLVC *ndlayer.LVC, inCID uint32, outLVC *ndl
 	}
 	l.relay[inLVC][inCID] = relayDest{lvc: outLVC, cid: outCID}
 	l.relay[outLVC][outCID] = relayDest{lvc: inLVC, cid: inCID}
+	l.relayTab.Store(relayKey{via: inLVC, cid: inCID}, relayDest{lvc: outLVC, cid: outCID})
+	l.relayTab.Store(relayKey{via: outLVC, cid: outCID}, relayDest{lvc: inLVC, cid: inCID})
 }
 
-// removeRelay deletes one direction pair of relay state.
+// removeRelay deletes one direction pair of relay state, from both the
+// authoritative map and the lock-free mirror.
 func (l *Layer) removeRelay(via *ndlayer.LVC, cid uint32) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	// The mirror entry goes even when the map side was already swept (a
+	// HandleCircuitDown bulk delete reaches here with only the reverse
+	// direction still in the map).
+	l.relayTab.Delete(relayKey{via: via, cid: cid})
 	dest, ok := l.relay[via][cid]
 	if !ok {
 		return
 	}
 	delete(l.relay[via], cid)
+	l.relayTab.Delete(relayKey{via: dest.lvc, cid: dest.cid})
 	if m := l.relay[dest.lvc]; m != nil {
 		delete(m, dest.cid)
 	}
@@ -1023,6 +1063,10 @@ func (l *Layer) Close() {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.relay = make(map[*ndlayer.LVC]map[uint32]relayDest)
+	l.relayTab.Range(func(k, _ any) bool {
+		l.relayTab.Delete(k)
+		return true
+	})
 	for _, p := range l.pending {
 		if p.done != nil {
 			p.done <- ErrClosed

@@ -1,6 +1,7 @@
 package iplayer
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"sync"
@@ -489,5 +490,94 @@ func TestNoInterGatewayCommunication(t *testing.T) {
 	}
 	if len(g.layer.OpenCircuits()) != 0 {
 		t.Error("gateway originated its own IVCs")
+	}
+}
+
+func TestRelayTeardownUnderTraffic(t *testing.T) {
+	// The §4.3 teardown must be safe to run while frames are mid-flight
+	// through the relay it is dismantling: relayFrame reads the relay
+	// table lock-free and must never hold a layer lock across the
+	// downstream Send, so a concurrent sweep cannot deadlock or race it.
+	a, b, g, _ := world1gw(t)
+	if err := a.layer.Send(2001, dataHeader(2000, 2001), []byte("prime")); err != nil {
+		t.Fatal(err)
+	}
+	recvData(t, b)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Drain the destination so the circuit stays busy, not blocked.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-b.inbound:
+			case <-stop:
+				return
+			}
+		}
+	}()
+
+	// Hammer the relay from several goroutines until the teardown
+	// surfaces as a send failure.
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := a.layer.Send(2001, dataHeader(2000, 2001), []byte("x")); err != nil {
+					return // circuit torn down mid-traffic: expected
+				}
+			}
+		}()
+	}
+
+	time.Sleep(20 * time.Millisecond) // let frames pile into the relay
+	b.close()                         // far side dies while traffic is in flight
+
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) && g.layer.RelayCount() != 0 {
+		time.Sleep(5 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	if got := g.layer.RelayCount(); got != 0 {
+		t.Errorf("relay entries remain after teardown under traffic: %d", got)
+	}
+}
+
+func TestCutThroughPreservesFrame(t *testing.T) {
+	// A frame relayed by the in-place patch must arrive with the same
+	// payload, span, source, and a correctly incremented hop count —
+	// byte-for-byte what the old decode→re-marshal relay produced.
+	a, b, _, _ := world1gw(t)
+	payload := make([]byte, 300)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	h := dataHeader(2000, 2001)
+	h.Span = 77
+	if err := a.layer.Send(2001, h, payload); err != nil {
+		t.Fatal(err)
+	}
+	in := recvData(t, b)
+	if !bytes.Equal(in.Payload, payload) {
+		t.Error("payload corrupted through cut-through relay")
+	}
+	if in.Header.Hops != 1 {
+		t.Errorf("Hops = %d, want 1", in.Header.Hops)
+	}
+	if in.Header.Span != 77 {
+		t.Errorf("Span = %d, want 77", in.Header.Span)
+	}
+	if in.Header.Src != 2000 {
+		t.Errorf("Src = %v, want 2000", in.Header.Src)
 	}
 }

@@ -1,0 +1,46 @@
+// The forwarding allocation gate: a gateway relaying a frame calls
+// SendRaw with bytes it already holds, so the direct write path must not
+// allocate — no re-marshal, no per-frame bookkeeping garbage. Excluded
+// under the race detector, which instruments allocation behaviour.
+
+//go:build !race
+
+package ndlayer
+
+import (
+	"testing"
+
+	"ntcs/internal/addr"
+	"ntcs/internal/ipcs/memnet"
+	"ntcs/internal/machine"
+	"ntcs/internal/wire"
+)
+
+// nullConn swallows writes so the gate measures only the ND-Layer's own
+// allocation behaviour, not the substrate's.
+type nullConn struct{}
+
+func (nullConn) Send(msg []byte) error         { return nil }
+func (nullConn) SendBatch(msgs [][]byte) error { return nil }
+func (nullConn) Recv() ([]byte, error)         { select {} }
+func (nullConn) Close() error                  { return nil }
+
+func TestSendRawZeroAlloc(t *testing.T) {
+	net := memnet.New("alloc-net", memnet.Options{})
+	f := newFixture(t, net, "alloc-mod", 2000, machine.VAX)
+	v := newLVC(f.binding, nullConn{}, 9999, machine.VAX, "peer", addr.Nil)
+
+	h := dataHeader(2000, 9999, machine.VAX)
+	frame, err := wire.Marshal(h, make([]byte, 256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		if err := v.SendRaw(frame, h.Span); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("SendRaw allocates %v/op; the relay forwarding path must be allocation-free", allocs)
+	}
+}

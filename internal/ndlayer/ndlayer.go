@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ntcs/internal/addr"
@@ -52,7 +53,15 @@ type Identity interface {
 type Inbound struct {
 	Header  wire.Header
 	Payload []byte
-	Via     *LVC
+	// Raw is the complete frame as it arrived, header words included;
+	// Payload aliases its tail. The buffer is owned by the receiver once
+	// delivered (the reader allocates afresh for every Recv), which is
+	// what lets a gateway patch it in place and forward it without a
+	// re-marshal. Header.Src may differ from the Src words in Raw after a
+	// §3.4 alias rewrite; Src is an opaque reply-to above the ND-Layer,
+	// so a relayed frame legitimately carries the peer's original TAdd.
+	Raw []byte
+	Via *LVC
 }
 
 // FaultError is the address fault of §3.5: an attempt to communicate with
@@ -114,6 +123,12 @@ type Config struct {
 	// RetryPolicy, if non-zero, overrides the dial retry discipline
 	// derived from OpenRetries/OpenRetryDelay.
 	RetryPolicy retry.Policy
+	// CoalesceWrites enables the per-LVC group-commit writer: concurrent
+	// senders on one circuit are drained into a single vectored
+	// SendBatch while a write is already in progress. An idle circuit
+	// still writes immediately — the queue only forms under
+	// backpressure, so single-message latency does not regress.
+	CoalesceWrites bool
 }
 
 // Binding is one module's ND-Layer attachment to one network.
@@ -149,6 +164,8 @@ type Binding struct {
 	redials     *stats.Counter
 	circuitDead *stats.Counter
 	circuitsUp  *stats.Gauge
+	batches     *stats.Counter
+	batchFrames *stats.Counter
 }
 
 // New creates a binding: it opens the endpoint and starts accepting LVCs.
@@ -197,6 +214,8 @@ func New(cfg Config) (*Binding, error) {
 		redials:     cfg.Stats.Counter(stats.NDRedials),
 		circuitDead: cfg.Stats.Counter(stats.NDCircuitDown),
 		circuitsUp:  cfg.Stats.Gauge(stats.NDCircuitsUp),
+		batches:     cfg.Stats.Counter(stats.NDBatches),
+		batchFrames: cfg.Stats.Counter(stats.NDFramesPerBatch),
 	}
 	b.wg.Add(1)
 	go b.acceptLoop()
@@ -279,13 +298,25 @@ func (b *Binding) open(ctx context.Context, dst addr.UAdd) (*LVC, error) {
 		b.mu.Lock()
 		delete(b.opening, dst)
 		close(done)
+		var evicted *LVC
 		if err == nil {
-			b.circuits.Store(dst, v)
-			b.circuitsUp.Add(1)
+			// A crossing inbound open may have landed a circuit for dst
+			// while we were dialing. Swap, never Store: an LVC silently
+			// overwritten in the table would keep its conn and readLoop
+			// alive with nothing left to close them, deadlocking
+			// Binding.Close on wg.Wait.
+			if prev, loaded := b.circuits.Swap(dst, v); loaded {
+				evicted = prev.(*LVC)
+			} else {
+				b.circuitsUp.Add(1)
+			}
 			b.wg.Add(1)
 			go b.readLoop(v)
 		}
 		b.mu.Unlock()
+		if evicted != nil && evicted != v {
+			_ = evicted.Close()
+		}
 		return v, err
 	}
 }
@@ -397,13 +428,7 @@ func (b *Binding) dial(ctx context.Context, dst addr.UAdd) (*LVC, error) {
 		})
 	}
 
-	return &LVC{
-		b:           b,
-		conn:        conn,
-		peer:        dst,
-		peerMachine: ackH.SrcMachine,
-		peerName:    ackInfo.Name,
-	}, nil
+	return newLVC(b, conn, dst, ackH.SrcMachine, ackInfo.Name, addr.Nil), nil
 }
 
 // recvFrame reads one frame with a deadline.
@@ -485,14 +510,7 @@ func (b *Binding) handleInbound(conn ipcs.Conn) {
 		})
 	}
 
-	v := &LVC{
-		b:           b,
-		conn:        conn,
-		peer:        peer,
-		peerMachine: h.SrcMachine,
-		peerName:    info.Name,
-		remoteTAdd:  remoteTAdd,
-	}
+	v := newLVC(b, conn, peer, h.SrcMachine, info.Name, remoteTAdd)
 
 	self := b.cfg.Identity
 	ackInfo, err := pack.Marshal(openInfo{Name: self.Name(), Endpoint: b.listener.Addr()})
@@ -527,10 +545,20 @@ func (b *Binding) handleInbound(conn ipcs.Conn) {
 		aerr = ErrClosed
 		return
 	}
-	b.circuits.Store(peer, v)
-	b.circuitsUp.Add(1)
+	// Swap, never Store: a dialed circuit to the same peer may already be
+	// in the table, and overwriting it would leak its conn and readLoop
+	// past Binding.Close (see open).
+	var evicted *LVC
+	if prev, loaded := b.circuits.Swap(peer, v); loaded {
+		evicted = prev.(*LVC)
+	} else {
+		b.circuitsUp.Add(1)
+	}
 	b.wg.Add(1)
 	b.mu.Unlock()
+	if evicted != nil && evicted != v {
+		_ = evicted.Close()
+	}
 	go b.readLoop(v)
 }
 
@@ -554,18 +582,20 @@ func (b *Binding) readLoop(v *LVC) {
 			b.cfg.Tracer.Span(h.Span, trace.LayerND, "frame-in", b.network)
 		}
 		b.noteFrame(v, &h)
-		b.cfg.Deliver(Inbound{Header: h, Payload: payload, Via: v})
+		b.cfg.Deliver(Inbound{Header: h, Payload: payload, Raw: data, Via: v})
 	}
 }
 
 // noteFrame applies the §3.4 replacement rule and the alias rewrite for
-// TAdd peers.
+// TAdd peers. The common case — a peer opened with its real UAdd, so
+// remoteTAdd is Nil — is a single atomic load.
 func (b *Binding) noteFrame(v *LVC, h *wire.Header) {
-	v.mu.Lock()
-	alias := v.peer
-	remote := v.remoteTAdd
-	v.mu.Unlock()
-	if remote == addr.Nil || !alias.IsTemp() {
+	remote := addr.UAdd(v.remoteTAdd.Load())
+	if remote == addr.Nil {
+		return
+	}
+	alias := v.Peer()
+	if !alias.IsTemp() {
 		return
 	}
 	if h.Flags&wire.FlagSrcTAdd != 0 {
@@ -580,13 +610,22 @@ func (b *Binding) noteFrame(v *LVC, h *wire.Header) {
 	if real == addr.Nil || real.IsTemp() {
 		return
 	}
-	v.mu.Lock()
-	v.peer = real
-	v.remoteTAdd = addr.Nil
-	v.mu.Unlock()
+	// The CAS elects exactly one replacer; frames racing past it see
+	// remoteTAdd already Nil and take the fast path above.
+	if !v.remoteTAdd.CompareAndSwap(uint64(remote), uint64(addr.Nil)) {
+		return
+	}
+	v.peer.Store(uint64(real))
 
 	if b.circuits.CompareAndDelete(alias, v) {
-		b.circuits.Store(real, v) // rekey, not a new circuit: gauge unchanged
+		// Rekey, not a new circuit: the gauge is unchanged unless the real
+		// UAdd already had a circuit, which the swap supersedes.
+		if prev, loaded := b.circuits.Swap(real, v); loaded {
+			b.circuitsUp.Add(-1)
+			if old := prev.(*LVC); old != v {
+				_ = old.Close()
+			}
+		}
 	}
 	b.cfg.Cache.Replace(alias, real)
 	b.cfg.Errors.Report(errlog.CodeTAddReplaced, "nd", "%v replaced by %v", alias, real)
@@ -683,39 +722,63 @@ func (b *Binding) Close() error {
 }
 
 // LVC is one local virtual circuit.
+//
+// The send path holds no mutex: peer identity and the closed flag are
+// atomics, and everything else is immutable after open. The only writer
+// of peer after construction is the single §3.4 TAdd replacement in
+// noteFrame, elected by CAS.
 type LVC struct {
 	b    *Binding
 	conn ipcs.Conn
 
-	mu          sync.Mutex
-	peer        addr.UAdd
-	remoteTAdd  addr.UAdd
+	// peer (and remoteTAdd while the peer is still on a TAdd) hold
+	// addr.UAdd bits. Rewritten at most once, read on every frame.
+	peer       atomic.Uint64
+	remoteTAdd atomic.Uint64
+	closed     atomic.Bool
+
+	// Immutable after open.
 	peerMachine machine.Type
 	peerName    string
-	closed      bool
+	id          uint64
+
+	// sq is the group-commit writer; nil unless Config.CoalesceWrites.
+	sq *sendQueue
+}
+
+// lvcSeq hands every circuit a process-unique id, used by upper layers to
+// shard work by source circuit without holding any LVC state.
+var lvcSeq atomic.Uint64
+
+func newLVC(b *Binding, conn ipcs.Conn, peer addr.UAdd, m machine.Type, name string, remoteTAdd addr.UAdd) *LVC {
+	v := &LVC{
+		b:           b,
+		conn:        conn,
+		peerMachine: m,
+		peerName:    name,
+		id:          lvcSeq.Add(1),
+	}
+	v.peer.Store(uint64(peer))
+	v.remoteTAdd.Store(uint64(remoteTAdd))
+	if b.cfg.CoalesceWrites {
+		v.sq = newSendQueue()
+	}
+	return v
 }
 
 // Peer returns the circuit's current peer UAdd (a local alias while the
 // peer is still on a TAdd).
-func (v *LVC) Peer() addr.UAdd {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	return v.peer
-}
+func (v *LVC) Peer() addr.UAdd { return addr.UAdd(v.peer.Load()) }
 
 // PeerMachine returns the peer's machine type (learned at open).
-func (v *LVC) PeerMachine() machine.Type {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	return v.peerMachine
-}
+func (v *LVC) PeerMachine() machine.Type { return v.peerMachine }
 
 // PeerName returns the peer's logical name as presented at open.
-func (v *LVC) PeerName() string {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	return v.peerName
-}
+func (v *LVC) PeerName() string { return v.peerName }
+
+// ID returns a process-unique circuit identifier, stable for the
+// circuit's lifetime (survives the §3.4 peer rekey).
+func (v *LVC) ID() uint64 { return v.id }
 
 // Network returns the network this circuit runs over.
 func (v *LVC) Network() string { return v.b.network }
@@ -723,26 +786,48 @@ func (v *LVC) Network() string { return v.b.network }
 // Send transmits one frame on the circuit. A failure closes the circuit
 // and surfaces as a FaultError.
 func (v *LVC) Send(h wire.Header, payload []byte) error {
-	// The frame lives in a pooled buffer; every ipcs.Conn.Send either
-	// copies it or writes it out synchronously, so it is released as soon
-	// as Send returns.
+	// The frame lives in a pooled buffer; on the direct path every
+	// ipcs.Conn.Send either copies it or writes it out synchronously, so
+	// it is released right after the write. On the coalescing path the
+	// queue takes ownership and the drainer releases it.
 	frame, err := wire.MarshalBuf(h, payload)
 	if err != nil {
 		return err
 	}
-	v.mu.Lock()
-	if v.closed {
-		v.mu.Unlock()
+	if v.closed.Load() {
 		frame.Release()
-		return &FaultError{Peer: v.peer, Err: ipcs.ErrClosed}
+		return &FaultError{Peer: v.Peer(), Err: ipcs.ErrClosed}
 	}
-	conn := v.conn
-	peer := v.peer
-	v.mu.Unlock()
+	if v.sq != nil {
+		return v.sendCoalesced(frame.Bytes(), frame, h.Span)
+	}
 	n := len(frame.Bytes())
-	err = conn.Send(frame.Bytes())
+	err = v.conn.Send(frame.Bytes())
 	frame.Release()
+	return v.finishSend(n, h.Span, err)
+}
+
+// SendRaw transmits an already-marshalled frame — the gateway cut-through
+// path. SendRaw takes ownership of frame: with coalescing enabled the
+// write may complete after SendRaw returns, so the caller must not touch
+// the buffer again. (Inbound frames satisfy this: each arrives in its own
+// freshly read buffer.)
+func (v *LVC) SendRaw(frame []byte, span uint32) error {
+	if v.closed.Load() {
+		return &FaultError{Peer: v.Peer(), Err: ipcs.ErrClosed}
+	}
+	if v.sq != nil {
+		return v.sendCoalesced(frame, nil, span)
+	}
+	err := v.conn.Send(frame)
+	return v.finishSend(len(frame), span, err)
+}
+
+// finishSend is the common tail of every direct write: fault handling,
+// metering, tracing.
+func (v *LVC) finishSend(n int, span uint32, err error) error {
 	if err != nil {
+		peer := v.Peer()
 		_ = v.Close()
 		if v.b.circuits.CompareAndDelete(peer, v) {
 			v.b.circuitsUp.Add(-1)
@@ -752,15 +837,21 @@ func (v *LVC) Send(h wire.Header, payload []byte) error {
 	v.b.framesOut.Inc()
 	v.b.bytesOut.Add(uint64(n))
 	if v.b.cfg.Tracer.On() {
-		v.b.cfg.Tracer.Span(h.Span, trace.LayerND, "frame-out", v.b.network)
+		v.b.cfg.Tracer.Span(span, trace.LayerND, "frame-out", v.b.network)
 	}
 	return nil
 }
 
 func (v *LVC) markClosed() {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	v.closed = true
+	v.closed.Store(true)
+	if v.sq != nil {
+		// Wake anyone parked on a full queue, and the flusher, so they
+		// observe the close.
+		v.sq.mu.Lock()
+		v.sq.space.Broadcast()
+		v.sq.kick.Broadcast()
+		v.sq.mu.Unlock()
+	}
 }
 
 // Close tears the circuit down and forgets it immediately, so a
@@ -771,4 +862,150 @@ func (v *LVC) Close() error {
 		v.b.circuitsUp.Add(-1)
 	}
 	return v.conn.Close()
+}
+
+// sendQueue is the per-LVC group-commit writer. Senders only append
+// their frame to the queue and wake the flusher; a single flusher
+// goroutine (started lazily on the first coalesced send) swaps the queue
+// out under the lock and writes everything it found in one vectored
+// SendBatch. On an idle circuit the flusher is parked on the kick
+// condition and drains the lone frame as soon as it is scheduled — no
+// timer, no deliberate delay. Under load the flush pipeline runs one
+// batch deep behind the producers: every frame enqueued while the
+// flusher is inside a write goes out in the next batch, which is where
+// the syscall coalescing comes from.
+//
+// A coalesced send reports success at enqueue time; a transmission
+// failure surfaces on the flusher, which closes the circuit, so every
+// later send observes the FaultError. That is the same delivery contract
+// a direct Send already has — a frame accepted by the kernel's socket
+// buffer may still never arrive.
+type sendQueue struct {
+	mu      sync.Mutex
+	space   *sync.Cond // waits for room when entries is at capacity
+	kick    *sync.Cond // wakes the flusher when entries becomes non-empty
+	started bool       // flusher goroutine is running
+	entries []sendEntry
+	drain   []sendEntry // double-buffer swapped with entries by the flusher
+	scratch [][]byte    // iovec list reused across batches
+}
+
+// sendQueueCap bounds how many frames may wait ahead of the flusher;
+// beyond it, senders block for room, which is the same backpressure a
+// saturated direct Send would exert.
+const sendQueueCap = 256
+
+func newSendQueue() *sendQueue {
+	q := &sendQueue{}
+	q.space = sync.NewCond(&q.mu)
+	q.kick = sync.NewCond(&q.mu)
+	return q
+}
+
+// sendEntry is one queued frame.
+type sendEntry struct {
+	frame []byte
+	buf   *wire.Buf // released by the flusher after transmission; may be nil (SendRaw)
+	span  uint32
+}
+
+// sendCoalesced routes one frame through the group-commit writer. buf,
+// when non-nil, is the pooled backing of frame and is released once the
+// frame has been written. The queue takes ownership of frame either way.
+func (v *LVC) sendCoalesced(frame []byte, buf *wire.Buf, span uint32) error {
+	q := v.sq
+	q.mu.Lock()
+	for len(q.entries) >= sendQueueCap && !v.closed.Load() {
+		q.space.Wait()
+	}
+	if v.closed.Load() {
+		q.mu.Unlock()
+		if buf != nil {
+			buf.Release()
+		}
+		return &FaultError{Peer: v.Peer(), Err: ipcs.ErrClosed}
+	}
+	q.entries = append(q.entries, sendEntry{frame: frame, buf: buf, span: span})
+	if !q.started {
+		q.started = true
+		go v.flushLoop()
+	}
+	q.kick.Signal()
+	q.mu.Unlock()
+	return nil
+}
+
+// flushLoop is the per-LVC flusher. It exits once the circuit is closed
+// and the queue has been emptied — every remaining buffer released — so
+// no frame is stranded. No lock is held across any write.
+func (v *LVC) flushLoop() {
+	q := v.sq
+	q.mu.Lock()
+	for {
+		for len(q.entries) == 0 {
+			if v.closed.Load() {
+				q.mu.Unlock()
+				return
+			}
+			q.kick.Wait()
+		}
+		batch := q.entries
+		q.entries = q.drain[:0]
+		q.drain = batch
+		q.space.Broadcast()
+		q.mu.Unlock()
+
+		if v.closed.Load() {
+			for i := range batch {
+				if batch[i].buf != nil {
+					batch[i].buf.Release()
+				}
+				batch[i].frame, batch[i].buf = nil, nil
+			}
+			q.mu.Lock()
+			continue
+		}
+		msgs := q.scratch[:0]
+		total := 0
+		for i := range batch {
+			msgs = append(msgs, batch[i].frame)
+			total += len(batch[i].frame)
+		}
+		q.scratch = msgs
+		var err error
+		if len(msgs) == 1 {
+			err = v.conn.Send(msgs[0])
+		} else {
+			err = v.conn.SendBatch(msgs)
+		}
+		if err != nil {
+			peer := v.Peer()
+			_ = v.Close()
+			if v.b.circuits.CompareAndDelete(peer, v) {
+				v.b.circuitsUp.Add(-1)
+			}
+		} else {
+			if len(msgs) > 1 {
+				v.b.batches.Inc()
+				v.b.batchFrames.Add(uint64(len(msgs)))
+			}
+			v.b.framesOut.Add(uint64(len(msgs)))
+			v.b.bytesOut.Add(uint64(total))
+		}
+		for i := range msgs {
+			msgs[i] = nil // drop frame refs from the reused iovec list
+		}
+		traceOn := err == nil && v.b.cfg.Tracer.On()
+		for i := range batch {
+			e := &batch[i]
+			if traceOn {
+				v.b.cfg.Tracer.Span(e.span, trace.LayerND, "frame-out", v.b.network)
+			}
+			if e.buf != nil {
+				e.buf.Release()
+			}
+			e.frame, e.buf = nil, nil
+		}
+		q.mu.Lock()
+	}
 }

@@ -66,6 +66,12 @@ type Config struct {
 	MaxFaultDepth       int32
 	// InboxSize bounds the LCM inbox.
 	InboxSize int
+	// CoalesceWrites enables the ND-Layer group-commit writer on every
+	// binding (see ndlayer.Config.CoalesceWrites).
+	CoalesceWrites bool
+	// DispatchWorkers tunes LCM inbound parallelism (see
+	// lcm.Config.DispatchWorkers): 0 default, negative inline.
+	DispatchWorkers int
 }
 
 // Nucleus is one module's assembled communication core.
@@ -124,6 +130,7 @@ func New(cfg Config) (*Nucleus, error) {
 			Errors:         cfg.Errors,
 			Stats:          cfg.Stats,
 			OpenTimeout:    cfg.OpenTimeout,
+			CoalesceWrites: cfg.CoalesceWrites,
 		})
 		if err != nil {
 			n.closeBindings()
@@ -161,6 +168,7 @@ func New(cfg Config) (*Nucleus, error) {
 		Stats:               cfg.Stats,
 		CallTimeout:         cfg.CallTimeout,
 		InboxSize:           cfg.InboxSize,
+		DispatchWorkers:     cfg.DispatchWorkers,
 		DisableNSFaultPatch: cfg.DisableNSFaultPatch,
 		MaxFaultDepth:       cfg.MaxFaultDepth,
 	})

@@ -106,6 +106,28 @@ func (e *Encoder) BytesField(v []byte) {
 	e.buf = append(e.buf, v...)
 }
 
+// NestedBytesField writes BytesField(m) where m is the Marshal encoding
+// of the byte slice v — i.e. the same bytes as BytesField(Marshal(v)) —
+// without materializing the intermediate encoding. This is the hot-path
+// framing of an opaque message body.
+func (e *Encoder) NestedBytesField(v []byte) {
+	inner := int64(2 + digits(int64(len(v))) + len(v)) // 'x' + count + ':' + v
+	e.buf = append(e.buf, 'x')
+	e.buf = strconv.AppendInt(e.buf, inner, 10)
+	e.buf = append(e.buf, ':')
+	e.BytesField(v)
+}
+
+// digits counts the base-10 digits of a non-negative count.
+func digits(n int64) int {
+	d := 1
+	for n >= 10 {
+		n /= 10
+		d++
+	}
+	return d
+}
+
 // List writes a list header for n following values.
 func (e *Encoder) List(n int) {
 	e.buf = append(e.buf, 'l')
@@ -282,6 +304,11 @@ func (d *Decoder) BytesField() ([]byte, error) {
 	copy(out, v)
 	return out, nil
 }
+
+// BytesView decodes a byte slice as a view aliasing the stream — no
+// copy. Only safe when the caller owns the underlying buffer for at
+// least as long as the view.
+func (d *Decoder) BytesView() ([]byte, error) { return d.counted('x') }
 
 // List decodes a list header and returns the element count.
 func (d *Decoder) List() (int, error) { return d.header('l') }

@@ -379,9 +379,15 @@ const (
 	NDRedials     = "nd.redials"
 	NDCircuitsUp  = "nd.circuits_up" // gauge
 	NDCircuitDown = "nd.circuit_down"
+	// Group-commit coalescing: batches actually coalesced (≥2 frames in
+	// one vectored write) and the frames they carried; frames_per_batch ÷
+	// batches is the mean coalescing factor under load.
+	NDBatches        = "nd.batches"
+	NDFramesPerBatch = "nd.frames_per_batch"
 
 	// IP-Layer
 	IPRelays       = "ip.relays"
+	IPCutThrough   = "ip.cutthrough" // relayed frames forwarded by in-place patch, no re-marshal
 	IPHops         = "ip.hops" // cumulative hop count of relayed frames
 	IPFailovers    = "ip.gateway_failovers"
 	IPRouteMisses  = "ip.route_misses"

@@ -1,0 +1,28 @@
+// The cut-through allocation gate: patching a relayed frame in place is
+// the whole point of the gateway fast path, so the patch must never
+// re-marshal or allocate. Excluded under the race detector, which
+// instruments allocation behaviour.
+
+//go:build !race
+
+package wire
+
+import "testing"
+
+func TestPatchRelayZeroAlloc(t *testing.T) {
+	h := Header{Type: TData, Circuit: 3, Hops: 1, Span: 42}
+	frame, err := Marshal(h, make([]byte, 256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cid := uint32(0)
+	allocs := testing.AllocsPerRun(1000, func() {
+		cid++
+		if err := PatchRelay(frame, cid); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("PatchRelay allocates %v/op; the cut-through path must be allocation-free", allocs)
+	}
+}

@@ -1,0 +1,91 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"ntcs/internal/addr"
+	"ntcs/internal/machine"
+)
+
+// TestPatchRelayMatchesReencode: a patched frame must be byte-identical
+// to marshalling the header a gateway would have built the slow way —
+// same circuit swap, same hop increment, valid checksum, span preserved.
+func TestPatchRelayMatchesReencode(t *testing.T) {
+	check := func(circ, newCirc, seq, span uint32, hops uint8, srcRaw, dstRaw uint64, payload []byte) bool {
+		h := Header{
+			Type:       TData,
+			Flags:      FlagCall,
+			SrcMachine: machine.VAX,
+			Mode:       ModeImage,
+			Src:        addr.UAdd(srcRaw),
+			Dst:        addr.UAdd(dstRaw),
+			Circuit:    circ,
+			Seq:        seq,
+			Hops:       hops,
+			Span:       span,
+		}
+		frame, err := Marshal(h, payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := PatchRelay(frame, newCirc); err != nil {
+			t.Fatal(err)
+		}
+
+		want := h
+		want.Circuit = newCirc
+		want.Hops++
+		wantFrame, err := Marshal(want, payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(frame, wantFrame) {
+			t.Logf("patched:   % x", frame[:HeaderSize])
+			t.Logf("reencoded: % x", wantFrame[:HeaderSize])
+			return false
+		}
+		got, gotPayload, err := Unmarshal(frame)
+		if err != nil {
+			t.Logf("patched frame fails decode: %v", err)
+			return false
+		}
+		return got.Circuit == newCirc && got.Hops == want.Hops &&
+			got.Span == span && bytes.Equal(gotPayload, payload)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Hop count 255 must wrap to 0 exactly like the uint8 increment the
+// re-marshal path performs, not carry into the rest of word 9.
+func TestPatchRelayHopWrap(t *testing.T) {
+	h := Header{Type: TData, Circuit: 7, Hops: 255, Span: 99}
+	frame, err := Marshal(h, []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := PatchRelay(frame, 8); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := Unmarshal(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Hops != 0 {
+		t.Fatalf("Hops = %d after wrap, want 0", got.Hops)
+	}
+	if got.Circuit != 8 || got.Span != 99 {
+		t.Fatalf("circuit/span corrupted: %+v", got)
+	}
+}
+
+func TestPatchRelayShortFrame(t *testing.T) {
+	err := PatchRelay(make([]byte, HeaderSize-1), 1)
+	if !errors.Is(err, ErrShortHeader) {
+		t.Fatalf("short frame: %v, want ErrShortHeader", err)
+	}
+}

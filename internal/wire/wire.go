@@ -280,6 +280,37 @@ func Unmarshal(data []byte) (Header, []byte, error) {
 	return h, data[HeaderSize : HeaderSize+int(h.PayloadLen)], nil
 }
 
+// PatchRelay rewrites an encoded frame in place for one gateway hop: the
+// circuit word (6) takes the downstream circuit id, the hop count (the
+// top byte of word 9) increments, and the header checksum (word 10) is
+// updated incrementally rather than refolded. The span word (11) sits
+// outside the checksum and is forwarded untouched, so the relayed frame
+// keeps its span ID. Everything else — including the payload — travels
+// byte-identical, which is what makes gateway cut-through legal: §4.2's
+// "no inter-gateway communication ever takes place" means the circuit
+// word is the only header state a hop owns.
+//
+// The incremental update exploits the checksum being a linear fold over
+// XOR: after the 10-word rotate-and-xor loop, word i's contribution to
+// the final sum is rotl(w_i, 9-i). Changing words 6 and 9 therefore
+// moves the sum by exactly rotl(Δw6, 3) ^ Δw9.
+func PatchRelay(frame []byte, newCircuit uint32) error {
+	if len(frame) < HeaderSize {
+		return fmt.Errorf("%w: %d bytes", ErrShortHeader, len(frame))
+	}
+	oldW6 := Word(frame[6*4:])
+	oldW9 := Word(frame[9*4:])
+	// The hop count wraps at 255 exactly as a uint8 increment would; the
+	// low three bytes of word 9 pass through untouched.
+	newW9 := oldW9&^(0xFF<<24) | (oldW9>>24+1)<<24
+	PutWord(frame[6*4:], newCircuit)
+	PutWord(frame[9*4:], newW9)
+	d6 := oldW6 ^ newCircuit
+	delta := (d6<<3 | d6>>29) ^ (oldW9 ^ newW9)
+	PutWord(frame[10*4:], Word(frame[10*4:])^delta)
+	return nil
+}
+
 // SelectMode is the §5.1 adaptive conversion-mode choice for application
 // payloads: image when the two machine types agree on byte order and
 // structure alignment (a straight memory copy is then valid), packed

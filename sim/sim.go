@@ -52,6 +52,7 @@ type World struct {
 	nextGW      addr.UAdd
 	nextNS      int
 	hintSeq     int
+	coalesce    bool
 }
 
 // NewWorld creates an empty testbed.
@@ -88,6 +89,21 @@ func (w *World) putNetwork(n ipcs.Network) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	w.networks[n.ID()] = n
+}
+
+// SetCoalesceWrites toggles the ND-Layer group-commit writer for every
+// module attached afterwards (gateways and name servers included).
+// Already-attached modules are unaffected.
+func (w *World) SetCoalesceWrites(on bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.coalesce = on
+}
+
+func (w *World) coalesceWrites() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.coalesce
 }
 
 // Network returns a previously added network.
@@ -214,14 +230,15 @@ func (w *World) StartNameServer(h *Host, name string) (*core.Module, error) {
 	w.mu.Unlock()
 
 	m, err := core.Attach(core.Config{
-		Name:          name,
-		Machine:       h.Machine,
-		Networks:      h.Networks,
-		EndpointHints: w.hints(h, name),
-		WellKnown:     wk,
-		Kind:          core.KindNameServer,
-		FixedUAdd:     uadd,
-		ServerID:      serverID,
+		Name:           name,
+		Machine:        h.Machine,
+		Networks:       h.Networks,
+		EndpointHints:  w.hints(h, name),
+		WellKnown:      wk,
+		Kind:           core.KindNameServer,
+		FixedUAdd:      uadd,
+		ServerID:       serverID,
+		CoalesceWrites: w.coalesceWrites(),
 	})
 	if err != nil {
 		return nil, err
@@ -276,13 +293,14 @@ func (w *World) StartGateway(h *Host, name string) (*core.Module, error) {
 	w.mu.Unlock()
 
 	m, err := core.Attach(core.Config{
-		Name:          name,
-		Machine:       h.Machine,
-		Networks:      h.Networks,
-		EndpointHints: w.hints(h, name),
-		WellKnown:     wk,
-		Kind:          core.KindGateway,
-		FixedUAdd:     uadd,
+		Name:           name,
+		Machine:        h.Machine,
+		Networks:       h.Networks,
+		EndpointHints:  w.hints(h, name),
+		WellKnown:      wk,
+		Kind:           core.KindGateway,
+		FixedUAdd:      uadd,
+		CoalesceWrites: w.coalesceWrites(),
 	})
 	if err != nil {
 		return nil, err
@@ -303,12 +321,13 @@ func (w *World) StartOrdinaryGateway(h *Host, name string) (*core.Module, error)
 		return nil, fmt.Errorf("sim: gateway host %q must join at least two networks", h.Name)
 	}
 	m, err := core.Attach(core.Config{
-		Name:          name,
-		Machine:       h.Machine,
-		Networks:      h.Networks,
-		EndpointHints: w.hints(h, name),
-		WellKnown:     w.WellKnown(),
-		Kind:          core.KindGateway,
+		Name:           name,
+		Machine:        h.Machine,
+		Networks:       h.Networks,
+		EndpointHints:  w.hints(h, name),
+		WellKnown:      w.WellKnown(),
+		Kind:           core.KindGateway,
+		CoalesceWrites: w.coalesceWrites(),
 	})
 	if err != nil {
 		return nil, err
@@ -320,12 +339,13 @@ func (w *World) StartOrdinaryGateway(h *Host, name string) (*core.Module, error)
 // Attach binds an application module to the NTCS on the given host.
 func (w *World) Attach(h *Host, name string, attrs map[string]string) (*core.Module, error) {
 	m, err := core.Attach(core.Config{
-		Name:          name,
-		Attrs:         attrs,
-		Machine:       h.Machine,
-		Networks:      h.Networks,
-		EndpointHints: w.hints(h, name),
-		WellKnown:     w.WellKnown(),
+		Name:           name,
+		Attrs:          attrs,
+		Machine:        h.Machine,
+		Networks:       h.Networks,
+		EndpointHints:  w.hints(h, name),
+		WellKnown:      w.WellKnown(),
+		CoalesceWrites: w.coalesceWrites(),
 	})
 	if err != nil {
 		return nil, err
@@ -350,6 +370,7 @@ func (w *World) AttachConfig(h *Host, cfg core.Config) (*core.Module, error) {
 	if cfg.Machine == machine.Unknown {
 		cfg.Machine = h.Machine
 	}
+	cfg.CoalesceWrites = cfg.CoalesceWrites || w.coalesceWrites()
 	m, err := core.Attach(cfg)
 	if err != nil {
 		return nil, err
