@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet verify verify-race bench bench-thru soak fuzz-smoke
+.PHONY: all build test race vet verify verify-race bench bench-thru bench-pack soak fuzz-smoke
 
 all: verify
 
@@ -36,6 +36,13 @@ bench:
 bench-thru:
 	$(GO) test . -run XXX -bench 'ThroughputPipelined|GatewayCutThrough' -benchmem
 
+# bench-pack reruns the PR-5 compiled-codec series (per-type conversion
+# plans vs the reflect walk, and the differing-machine-type end-to-end
+# call) recorded in BENCH_PR5.json.
+bench-pack:
+	$(GO) test ./internal/pack -run XXX -bench 'PackedConvert' -benchmem
+	$(GO) test . -run XXX -bench 'CrossMachineCall' -benchmem
+
 # soak runs the chaos schedule under the race detector with a fixed seed
 # so a failure reproduces. Override the seed: make soak NTCS_CHAOS_SEED=7
 NTCS_CHAOS_SEED ?= 42
@@ -48,4 +55,5 @@ FUZZTIME ?= 10s
 fuzz-smoke:
 	$(GO) test ./internal/wire -run '^FuzzHeaderDecode$$' -fuzz '^FuzzHeaderDecode$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/pack -run '^FuzzPackRoundTrip$$' -fuzz '^FuzzPackRoundTrip$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/pack -run '^FuzzCodecEquivalence$$' -fuzz '^FuzzCodecEquivalence$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/nsp -run '^FuzzNSPRecord$$' -fuzz '^FuzzNSPRecord$$' -fuzztime $(FUZZTIME)

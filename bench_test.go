@@ -140,6 +140,91 @@ func BenchmarkAdaptiveVsAlwaysPacked(b *testing.B) {
 	b.Run("always-packed", func(b *testing.B) { run(b, true) })
 }
 
+// --- E-PACK (cross-machine leg) ------------------------------------------
+
+// crossCallBody is the structured payload for the differing-machine-type
+// call: the shape a real NSP record or application request carries, so
+// both ends execute their compiled conversion plans (§5.1 packed mode).
+type crossCallBody struct {
+	Seq     int64
+	Flags   uint32
+	Load    float64
+	OK      bool
+	Name    string
+	Detail  string
+	Raw     []byte
+	Samples []int32
+	Attrs   map[string]string
+}
+
+// BenchmarkCrossMachineCall measures the end-to-end structured Call
+// between differing machine types (VAX client, Sun68K server): machine
+// incompatibility forces packed mode, so each round trip pays encode +
+// decode on the request and again on the reply — the path the compiled
+// codecs exist to speed up.
+func BenchmarkCrossMachineCall(b *testing.B) {
+	w := sim.NewWorld()
+	w.AddNetwork("net", memnet.Options{})
+	defer w.Close()
+	nsHost := w.MustHost("ns-host", machine.Apollo, "net")
+	if _, err := w.StartNameServer(nsHost, "ns"); err != nil {
+		b.Fatal(err)
+	}
+	sHost := w.MustHost("server-host", machine.Sun68K, "net")
+	server, err := w.Attach(sHost, "pack-echo", nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	go func() {
+		for {
+			d, err := server.Recv(time.Hour)
+			if err != nil {
+				return
+			}
+			if !d.IsCall() {
+				continue
+			}
+			var body crossCallBody
+			if err := d.Decode(&body); err != nil {
+				_ = server.ReplyError(d, err.Error())
+				continue
+			}
+			_ = server.Reply(d, "pack", body)
+		}
+	}()
+	cHost := w.MustHost("client-host", machine.VAX, "net")
+	client, err := w.Attach(cHost, "client", nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	u, err := client.Locate("pack-echo")
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := crossCallBody{
+		Seq:     987654321,
+		Flags:   0xBEEF,
+		Load:    0.8125,
+		OK:      true,
+		Name:    "search-backend",
+		Detail:  "replica 3 of 5, rack c-12",
+		Raw:     []byte{0, 1, 2, 3, 4, 5, 6, 7},
+		Samples: []int32{-1, 0, 1, 1 << 30, 42},
+		Attrs:   map[string]string{"role": "server", "machine": "sun"},
+	}
+	var out crossCallBody
+	if err := client.Call(u, "pack", in, &out); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := client.Call(u, "pack", in, &out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func serveImageEcho(m *core.Module) {
 	go func() {
 		for {

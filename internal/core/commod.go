@@ -193,6 +193,10 @@ func Attach(cfg Config) (*Module, error) {
 	}
 	m.destHits = m.stats.Counter(stats.LCMDestHits)
 	m.destMisses = m.stats.Counter(stats.LCMDestMisses)
+	// The plan cache is process-global; every module's registry surfaces
+	// its compile/reuse totals so ntcsstat shows conversion economics.
+	m.stats.CounterFunc(stats.PackCompiles, pack.Compiles)
+	m.stats.CounterFunc(stats.PackPlanHits, pack.PlanHits)
 
 	// §3.4: a module assigns itself a TAdd initially; well-known modules
 	// carry their preassigned UAdd from birth.
@@ -548,10 +552,18 @@ func (m *Module) encode(dst addr.UAdd, msgType string, body any) (wire.Mode, []b
 			e.NestedBytesField(bb)
 			return mode, e.Bytes(), e, nil
 		} else {
-			data, err = pack.Marshal(body)
-			if err != nil {
-				err = fmt.Errorf("%w: %v", ErrNotConverter, err)
+			// Structured bodies execute the compiled per-type plan (see
+			// pack/codec.go) straight into a pooled encoder; the envelope
+			// copies the stream out, so the scratch encoder goes back to
+			// the pool before the send even leaves this frame.
+			be := pack.GetEncoder()
+			if err := be.Marshal(body); err != nil {
+				pack.PutEncoder(be)
+				return 0, nil, nil, fmt.Errorf("%w: %v", ErrNotConverter, err)
 			}
+			enc, payload := envelope(msgType, be.Bytes())
+			pack.PutEncoder(be)
+			return mode, payload, enc, nil
 		}
 	}
 	if err != nil {

@@ -1,6 +1,12 @@
 package machine
 
-import "testing"
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"ntcs/internal/pack"
+)
 
 // layoutFacts hard-codes each architecture's wire-relevant properties
 // independently of the methods under test, so the full-matrix property
@@ -46,5 +52,92 @@ func TestCompatibilityFullMatrix(t *testing.T) {
 				t.Errorf("Compatible with invalid type %d accepted", bad)
 			}
 		}
+	}
+}
+
+// pairSample is the payload shape driven through every packed machine
+// pair: all scalar widths, strings, bytes, list, map, and nesting.
+type pairSample struct {
+	I8  int8
+	I16 int16
+	I32 int32
+	I64 int64
+	U8  uint8
+	U16 uint16
+	U32 uint32
+	U64 uint64
+	F   float64
+	B   bool
+	S   string
+	Raw []byte
+	L   []int32
+	M   map[string]string
+	Sub struct {
+		X int16
+		Y string
+	}
+}
+
+// TestCompiledCodecFullMatrix extends the conversion property matrix to
+// the compiled codecs: for EVERY ordered machine pair that selects
+// packed mode (the incompatible ones), the compiled plan must produce
+// byte-for-byte the stream the reflect walk produces, and each decoder
+// must losslessly consume the other encoder's stream. Wire identity is
+// what lets a plan-compiled sender talk to a reflect-walking receiver
+// mid-upgrade — the wire admits no codec generations.
+func TestCompiledCodecFullMatrix(t *testing.T) {
+	orig := pairSample{
+		I8: -8, I16: -1600, I32: -320000, I64: -64000000000,
+		U8: 200, U16: 60000, U32: 4000000000, U64: 0xDEADBEEFCAFE,
+		F: 2.718281828, B: true,
+		S:   "héllo, wörld — §5.1",
+		Raw: []byte{0, 1, 2, 0xFF, 0x80},
+		L:   []int32{-1, 0, 1, 1 << 30},
+		M:   map[string]string{"role": "server", "machine": "vax"},
+	}
+	orig.Sub.X = -42
+	orig.Sub.Y = "nested"
+
+	compiled, err := pack.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy, err := pack.MarshalReflect(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(compiled, legacy) {
+		t.Fatalf("compiled and reflect streams diverge:\n compiled %q\n reflect  %q", compiled, legacy)
+	}
+
+	types := []Type{VAX, Sun68K, Apollo, Pyramid}
+	packedPairs := 0
+	for _, src := range types {
+		for _, dst := range types {
+			if Compatible(src, dst) {
+				continue // image mode: no conversion functions run
+			}
+			packedPairs++
+			// src packs with the compiled plan, dst unpacks with the
+			// reflect walk — and the reverse — simulating mixed codec
+			// generations across the pair.
+			var viaReflect, viaCompiled pairSample
+			if err := pack.UnmarshalReflect(compiled, &viaReflect); err != nil {
+				t.Fatalf("%v→%v: reflect decode of compiled stream: %v", src, dst, err)
+			}
+			if err := pack.Unmarshal(legacy, &viaCompiled); err != nil {
+				t.Fatalf("%v→%v: compiled decode of reflect stream: %v", src, dst, err)
+			}
+			if !reflect.DeepEqual(orig, viaReflect) {
+				t.Errorf("%v→%v: compiled→reflect lost data: %+v", src, dst, viaReflect)
+			}
+			if !reflect.DeepEqual(orig, viaCompiled) {
+				t.Errorf("%v→%v: reflect→compiled lost data: %+v", src, dst, viaCompiled)
+			}
+		}
+	}
+	// Every ordered pair outside the image cliques converts: 16 - 6 = 10.
+	if packedPairs != 10 {
+		t.Errorf("packed conversion ran for %d ordered pairs, want 10", packedPairs)
 	}
 }

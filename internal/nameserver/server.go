@@ -74,6 +74,10 @@ func NewServer(cfg Config) (*Server, error) {
 	if cfg.PingTimeout == 0 {
 		cfg.PingTimeout = 300 * time.Millisecond
 	}
+	// Compile the name-protocol plans before the first request arrives.
+	if err := pack.Precompile(nsp.Request{}, nsp.Response{}, nsp.RecordRec{}, nsp.EndpointRec{}); err != nil {
+		return nil, fmt.Errorf("nameserver: precompile: %w", err)
+	}
 	return &Server{
 		cfg:      cfg,
 		done:     make(chan struct{}),

@@ -191,6 +191,11 @@ func New(cfg Config) (*Layer, error) {
 	}
 	cfg.FailoverPolicy.Retries = cfg.Stats.Counter(stats.RetryAttempts + ".nsp")
 	cfg.FailoverPolicy.GiveUps = cfg.Stats.Counter(stats.RetryGiveUps + ".nsp")
+	// Compile the name-protocol conversion plans up front: the first real
+	// lookup is often on a Send/Call critical path.
+	if err := pack.Precompile(Request{}, Response{}, RecordRec{}, EndpointRec{}); err != nil {
+		return nil, fmt.Errorf("nsp: precompile: %w", err)
+	}
 	return &Layer{
 		cfg:       cfg,
 		queries:   cfg.Stats.Counter(stats.NSPQueries),

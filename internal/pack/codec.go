@@ -1,0 +1,1440 @@
+// Compiled packed-mode codecs: cached per-type conversion plans for the
+// cross-machine hot path.
+//
+// The reflect-walk Marshal/Unmarshal (retained as MarshalReflect /
+// UnmarshalReflect, and still the reference implementation the
+// differential fuzzer checks against) re-derives a type's shape on every
+// message: each field pays a reflect.Kind switch, a reflect.Type.Field
+// call (which allocates its Index slice), and for maps a fresh key sort.
+// Between differing machine types every structured Send/Call crosses this
+// code twice — once to pack, once to unpack — so the walk is the §5.1
+// conversion cost the paper's adaptive selection exists to dodge, paid
+// even when it cannot be dodged.
+//
+// A plan compiles that walk once per type: an ordered list of field ops
+// with precomputed struct-field indices, kind-specialized encode/decode
+// funcs (no per-field Kind switching, no interface boxing on scalar
+// fields), and a fixed-size hint for buffer presizing. Plans live in a
+// process-wide sync.Map keyed by reflect.Type; the wire format is
+// byte-identical to the reflect walk (FuzzCodecEquivalence proves it).
+package pack
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"reflect"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+)
+
+// MaxDepth bounds value nesting in both codec paths (compiled and
+// reflect walk, encode and decode). It is the companion of the decoder's
+// count-bomb guard: a hostile frame of open-parens must not drive
+// unbounded recursion and allocation before its first scalar fails to
+// parse, and a pathological in-memory value must not blow the stack on
+// encode. Real NTCS payloads nest a handful of levels; 64 is generous.
+const MaxDepth = 64
+
+// ErrDepth reports a value or stream nested beyond MaxDepth.
+var ErrDepth = errors.New("pack: nesting exceeds depth limit")
+
+// encFn encodes rv (of the plan's type) onto e.
+type encFn func(e *Encoder, rv reflect.Value) error
+
+// decFn decodes the next value from d into rv, which must be settable.
+type decFn func(d *Decoder, rv reflect.Value) error
+
+// encPFn / decPFn are the unsafe-offset forms: they convert the value at
+// p, which must point at memory of the plan's type. Struct plans carry
+// them so field access is a pointer add and a typed load instead of a
+// reflect.Value.Field round trip.
+type encPFn func(e *Encoder, p unsafe.Pointer) error
+type decPFn func(d *Decoder, p unsafe.Pointer) error
+
+// plan is one type's compiled conversion: flat closures specialized at
+// compile time, executed with no Kind dispatch thereafter.
+type plan struct {
+	enc  encFn
+	dec  decFn
+	encP encPFn // non-nil on struct plans only
+	decP decPFn // non-nil on struct plans only
+	hint int    // typical encoded size, for buffer presizing
+}
+
+// efaceData returns the data word of v's interface header: for types the
+// runtime boxes (everything ifaceIndir reports true for), a pointer to
+// the boxed copy.
+func efaceData(v any) unsafe.Pointer {
+	return (*[2]unsafe.Pointer)(unsafe.Pointer(&v))[1]
+}
+
+// pointerShaped mirrors the runtime's direct-interface rule: a value of
+// such a type lives in the interface data word itself, so efaceData
+// would be the value, not a pointer to it.
+func pointerShaped(t reflect.Type) bool {
+	switch t.Kind() {
+	case reflect.Pointer, reflect.UnsafePointer, reflect.Map, reflect.Chan, reflect.Func:
+		return true
+	case reflect.Struct:
+		return t.NumField() == 1 && pointerShaped(t.Field(0).Type)
+	case reflect.Array:
+		return t.Len() == 1 && pointerShaped(t.Elem())
+	}
+	return false
+}
+
+// ifaceIndir reports whether an interface holding a t stores a pointer
+// to a copy — the precondition for handing efaceData to a plan's encP.
+func ifaceIndir(t reflect.Type) bool { return !pointerShaped(t) }
+
+// planCache maps reflect.Type → *plan, process-wide: the packed format
+// is type-shaped only, so one plan serves every module in the process.
+var planCache sync.Map
+
+// Plan-cache telemetry, surfaced as the pack.compiles / pack.plan_hits
+// counters in every module's stats registry. Package-level because the
+// cache is package-level.
+var (
+	compiles atomic.Uint64
+	planHits atomic.Uint64
+)
+
+// Compiles reports how many per-type plans have been compiled and cached
+// since process start.
+func Compiles() uint64 { return compiles.Load() }
+
+// PlanHits reports how many Marshal/Unmarshal calls were served by an
+// already-compiled plan.
+func PlanHits() uint64 { return planHits.Load() }
+
+// Precompile builds and caches conversion plans for the types of the
+// given values, so the first real message of each type does not pay the
+// compile. Layers call it at construction for their wire structs.
+func Precompile(vals ...any) error {
+	for _, v := range vals {
+		rv := reflect.ValueOf(v)
+		if !rv.IsValid() {
+			return fmt.Errorf("%w: untyped nil", ErrUnsupported)
+		}
+		if _, err := planFor(rv.Type()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// planEntry is one slot of the direct-mapped front cache below.
+type planEntry struct {
+	t reflect.Type
+	p *plan
+}
+
+// planSlot is a tiny direct-mapped cache in front of planCache: a
+// Marshal/Unmarshal-per-message workload hits the same few types over
+// and over, and one atomic load plus an interface compare is cheaper
+// than the sync.Map lookup. Misses fall through; collisions just evict.
+var planSlot [8]atomic.Pointer[planEntry]
+
+func planSlotFor(t reflect.Type) *atomic.Pointer[planEntry] {
+	// A reflect.Type interface's data word is the *rtype, a stable
+	// per-type address — exactly the identity planCache keys on.
+	ptr := (*[2]uintptr)(unsafe.Pointer(&t))[1]
+	return &planSlot[(ptr>>4)%uintptr(len(planSlot))]
+}
+
+// planFor returns t's plan, compiling and caching it on first use.
+func planFor(t reflect.Type) (*plan, error) {
+	slot := planSlotFor(t)
+	if e := slot.Load(); e != nil && e.t == t {
+		planHits.Add(1)
+		return e.p, nil
+	}
+	if p, ok := planCache.Load(t); ok {
+		planHits.Add(1)
+		slot.Store(&planEntry{t: t, p: p.(*plan)})
+		return p.(*plan), nil
+	}
+	c := compiler{structs: make(map[reflect.Type]*plan)}
+	p, err := c.compile(t)
+	if err != nil {
+		return nil, err
+	}
+	p = cachePlan(t, p)
+	slot.Store(&planEntry{t: t, p: p})
+	return p, nil
+}
+
+// cachePlan publishes p for t unless a concurrent compile won the race,
+// and counts the compile exactly once per cached type.
+func cachePlan(t reflect.Type, p *plan) *plan {
+	if prev, loaded := planCache.LoadOrStore(t, p); loaded {
+		return prev.(*plan)
+	}
+	compiles.Add(1)
+	return p
+}
+
+// compiler builds one plan tree. structs memoizes in-progress struct
+// plans so recursive types (a cycle must pass through a named struct)
+// tie the knot instead of recursing forever; entries migrate to the
+// global cache only once complete, so a failed compile caches nothing.
+type compiler struct {
+	structs map[reflect.Type]*plan
+}
+
+func (c *compiler) compile(t reflect.Type) (*plan, error) {
+	if p, ok := planCache.Load(t); ok {
+		return p.(*plan), nil
+	}
+	switch t.Kind() {
+	case reflect.Bool:
+		return boolPlan, nil
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		return intPlans[t.Kind()], nil
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		return uintPlans[t.Kind()], nil
+	case reflect.Float32, reflect.Float64:
+		return floatPlan, nil
+	case reflect.String:
+		return stringPlan, nil
+	case reflect.Slice:
+		if t.Elem().Kind() == reflect.Uint8 {
+			return bytesPlan, nil
+		}
+		return c.slicePlan(t)
+	case reflect.Array:
+		return c.arrayPlan(t)
+	case reflect.Map:
+		return c.mapPlan(t)
+	case reflect.Struct:
+		return c.structPlan(t)
+	case reflect.Pointer:
+		return c.pointerPlan(t)
+	default:
+		return nil, fmt.Errorf("%w: kind %s", ErrUnsupported, t.Kind())
+	}
+}
+
+// --- Scalar plans (shared singletons, specialized per kind) ---------------
+
+var boolPlan = &plan{
+	hint: 3,
+	enc: func(e *Encoder, rv reflect.Value) error {
+		e.Bool(rv.Bool())
+		return nil
+	},
+	dec: func(d *Decoder, rv reflect.Value) error {
+		v, err := d.Bool()
+		if err != nil {
+			return err
+		}
+		rv.SetBool(v)
+		return nil
+	},
+}
+
+var floatPlan = &plan{
+	hint: 10,
+	enc: func(e *Encoder, rv reflect.Value) error {
+		e.Float(rv.Float())
+		return nil
+	},
+	dec: func(d *Decoder, rv reflect.Value) error {
+		v, err := d.Float()
+		if err != nil {
+			return err
+		}
+		rv.SetFloat(v)
+		return nil
+	},
+}
+
+var stringPlan = &plan{
+	hint: 8,
+	enc: func(e *Encoder, rv reflect.Value) error {
+		e.String(rv.String())
+		return nil
+	},
+	dec: func(d *Decoder, rv reflect.Value) error {
+		v, err := d.String()
+		if err != nil {
+			return err
+		}
+		rv.SetString(v)
+		return nil
+	},
+}
+
+var bytesPlan = &plan{
+	hint: 8,
+	enc: func(e *Encoder, rv reflect.Value) error {
+		e.BytesField(rv.Bytes())
+		return nil
+	},
+	dec: func(d *Decoder, rv reflect.Value) error {
+		v, err := d.BytesField()
+		if err != nil {
+			return err
+		}
+		rv.SetBytes(v)
+		return nil
+	},
+}
+
+func encInt(e *Encoder, rv reflect.Value) error {
+	e.Int(rv.Int())
+	return nil
+}
+
+func encUint(e *Encoder, rv reflect.Value) error {
+	e.Uint(rv.Uint())
+	return nil
+}
+
+// intDec decodes a signed integer with the overflow check specialized to
+// the target width at compile time.
+func intDec(bits int) decFn {
+	if bits == 64 {
+		return func(d *Decoder, rv reflect.Value) error {
+			v, err := d.Int()
+			if err != nil {
+				return err
+			}
+			rv.SetInt(v)
+			return nil
+		}
+	}
+	lo := int64(-1) << (bits - 1)
+	hi := int64(1)<<(bits-1) - 1
+	return func(d *Decoder, rv reflect.Value) error {
+		v, err := d.Int()
+		if err != nil {
+			return err
+		}
+		if v < lo || v > hi {
+			return fmt.Errorf("%w: %d into %s", ErrOverflow, v, rv.Type())
+		}
+		rv.SetInt(v)
+		return nil
+	}
+}
+
+func uintDec(bits int) decFn {
+	if bits == 64 {
+		return func(d *Decoder, rv reflect.Value) error {
+			v, err := d.Uint()
+			if err != nil {
+				return err
+			}
+			rv.SetUint(v)
+			return nil
+		}
+	}
+	hi := uint64(1)<<bits - 1
+	return func(d *Decoder, rv reflect.Value) error {
+		v, err := d.Uint()
+		if err != nil {
+			return err
+		}
+		if v > hi {
+			return fmt.Errorf("%w: %d into %s", ErrOverflow, v, rv.Type())
+		}
+		rv.SetUint(v)
+		return nil
+	}
+}
+
+var intPlans = map[reflect.Kind]*plan{
+	reflect.Int:   {hint: 8, enc: encInt, dec: intDec(strconv.IntSize)},
+	reflect.Int8:  {hint: 4, enc: encInt, dec: intDec(8)},
+	reflect.Int16: {hint: 5, enc: encInt, dec: intDec(16)},
+	reflect.Int32: {hint: 6, enc: encInt, dec: intDec(32)},
+	reflect.Int64: {hint: 8, enc: encInt, dec: intDec(64)},
+}
+
+var uintPlans = map[reflect.Kind]*plan{
+	reflect.Uint:   {hint: 8, enc: encUint, dec: uintDec(strconv.IntSize)},
+	reflect.Uint8:  {hint: 4, enc: encUint, dec: uintDec(8)},
+	reflect.Uint16: {hint: 5, enc: encUint, dec: uintDec(16)},
+	reflect.Uint32: {hint: 6, enc: encUint, dec: uintDec(32)},
+	reflect.Uint64: {hint: 8, enc: encUint, dec: uintDec(64)},
+}
+
+// --- Composite plans ------------------------------------------------------
+
+// hintCap bounds a plan's presize hint: one pathological type must not
+// make every fresh encode reserve an outsized buffer.
+const hintCap = 4096
+
+func addHint(base, more int) int {
+	if h := base + more; h < hintCap {
+		return h
+	}
+	return hintCap
+}
+
+// Builtin element types worth a fully native slice path.
+var (
+	int32Type  = reflect.TypeOf(int32(0))
+	int64Type  = reflect.TypeOf(int64(0))
+	uint64Type = reflect.TypeOf(uint64(0))
+	stringType = reflect.TypeOf("")
+)
+
+// sliceEncScaffold wraps the shared slice-encode framing (nil marker,
+// depth accounting, list header) around a specialized element loop.
+func sliceEncScaffold(encElems func(e *Encoder, rv reflect.Value, n int)) encFn {
+	return func(e *Encoder, rv reflect.Value) error {
+		if rv.IsNil() {
+			e.Nil()
+			return nil
+		}
+		if err := e.push(); err != nil {
+			return err
+		}
+		n := rv.Len()
+		e.List(n)
+		encElems(e, rv, n)
+		e.pop()
+		return nil
+	}
+}
+
+// sliceDecScaffold wraps the shared slice-decode framing around a
+// specialized element loop that fills a natively built slice. When the
+// target field has the exact builtin type (the common case) the slice is
+// stored through a typed pointer — no reflect.ValueOf boxing, no Set.
+func sliceDecScaffold[T any](t reflect.Type, mk func(*Decoder, int) []T, decElems func(d *Decoder, s []T) error) decFn {
+	exact := t == reflect.TypeOf([]T(nil))
+	return func(d *Decoder, rv reflect.Value) error {
+		if d.IsNil() {
+			rv.Set(reflect.Zero(t))
+			return nil
+		}
+		if err := d.push(); err != nil {
+			return err
+		}
+		n, err := d.List()
+		if err != nil {
+			d.pop()
+			return err
+		}
+		s := mk(d, n)
+		if err := decElems(d, s); err != nil {
+			d.pop()
+			return err
+		}
+		if exact && rv.CanAddr() {
+			*(rv.Addr().Interface().(*[]T)) = s
+		} else {
+			v := reflect.ValueOf(s)
+			if !exact {
+				v = v.Convert(t)
+			}
+			rv.Set(v)
+		}
+		d.pop()
+		return nil
+	}
+}
+
+// Shared native element loops: the reflect-facing scaffold and the
+// unsafe-offset field ops below execute the same code, so the two
+// execution forms cannot drift apart.
+
+func decInt64s(d *Decoder, s []int64) error {
+	for i := range s {
+		v, err := d.Int()
+		if err != nil {
+			return err
+		}
+		s[i] = v
+	}
+	return nil
+}
+
+func decInt32s(d *Decoder, s []int32) error {
+	for i := range s {
+		v, err := d.Int()
+		if err != nil {
+			return err
+		}
+		if v < math.MinInt32 || v > math.MaxInt32 {
+			return fmt.Errorf("%w: %d into %s", ErrOverflow, v, int32Type)
+		}
+		s[i] = int32(v)
+	}
+	return nil
+}
+
+func decUint64s(d *Decoder, s []uint64) error {
+	for i := range s {
+		v, err := d.Uint()
+		if err != nil {
+			return err
+		}
+		s[i] = v
+	}
+	return nil
+}
+
+func decStrings(d *Decoder, s []string) error {
+	for i := range s {
+		v, err := d.String()
+		if err != nil {
+			return err
+		}
+		s[i] = v
+	}
+	return nil
+}
+
+// mkSlice is the plain allocator for decoded native slices.
+func mkSlice[T any](_ *Decoder, n int) []T { return make([]T, n) }
+
+// arenaMakeSlice carves an n-element slice of a pointer-free scalar type
+// out of the decode arena when it fits — the slice shares the message's
+// string block instead of costing its own allocation. The -8 headroom
+// keeps the worst-case alignment pad inside arenaReserve's block clamp.
+func arenaMakeSlice[T int32 | int64 | uint64](d *Decoder, n int) []T {
+	if n == 0 {
+		return []T{}
+	}
+	var zero T
+	size := n * int(unsafe.Sizeof(zero))
+	if size <= arenaMax-8 {
+		p := d.arenaReserve(size, int(unsafe.Alignof(zero)))
+		return unsafe.Slice((*T)(p), n)
+	}
+	return make([]T, n)
+}
+
+// ptrSliceEnc / ptrSliceDec are the unsafe-offset forms of the native
+// slice codecs: the slice header is loaded through a typed pointer, so a
+// struct field costs no reflect.Value at all. Safe for named slice types
+// with the same builtin element type — the layout is identical.
+func ptrSliceEnc[T any](encElem func(e *Encoder, v T)) encPFn {
+	return func(e *Encoder, p unsafe.Pointer) error {
+		s := *(*[]T)(p)
+		if s == nil {
+			e.Nil()
+			return nil
+		}
+		if err := e.push(); err != nil {
+			return err
+		}
+		e.List(len(s))
+		for _, v := range s {
+			encElem(e, v)
+		}
+		e.pop()
+		return nil
+	}
+}
+
+func ptrSliceDec[T any](mk func(*Decoder, int) []T, decElems func(d *Decoder, s []T) error) decPFn {
+	return func(d *Decoder, p unsafe.Pointer) error {
+		if d.IsNil() {
+			*(*[]T)(p) = nil
+			return nil
+		}
+		if err := d.push(); err != nil {
+			return err
+		}
+		n, err := d.List()
+		if err != nil {
+			d.pop()
+			return err
+		}
+		s := mk(d, n)
+		if err := decElems(d, s); err != nil {
+			d.pop()
+			return err
+		}
+		*(*[]T)(p) = s
+		d.pop()
+		return nil
+	}
+}
+
+// nativeSlicePlan returns a fully specialized plan for the common scalar
+// slice shapes — no per-element reflect.Value round trip, no sub-plan
+// closure dispatch. Wire bytes and error behavior match the generic
+// plan; nil means the generic plan must handle the shape.
+func nativeSlicePlan(t reflect.Type) *plan {
+	switch t.Elem() {
+	case int64Type:
+		return &plan{
+			hint: addHint(4, 4*8),
+			enc: sliceEncScaffold(func(e *Encoder, rv reflect.Value, n int) {
+				for i := 0; i < n; i++ {
+					e.Int(rv.Index(i).Int())
+				}
+			}),
+			dec: sliceDecScaffold(t, arenaMakeSlice[int64], decInt64s),
+		}
+	case int32Type:
+		return &plan{
+			hint: addHint(4, 4*6),
+			enc: sliceEncScaffold(func(e *Encoder, rv reflect.Value, n int) {
+				for i := 0; i < n; i++ {
+					e.Int(rv.Index(i).Int())
+				}
+			}),
+			dec: sliceDecScaffold(t, arenaMakeSlice[int32], decInt32s),
+		}
+	case uint64Type:
+		return &plan{
+			hint: addHint(4, 4*8),
+			enc: sliceEncScaffold(func(e *Encoder, rv reflect.Value, n int) {
+				for i := 0; i < n; i++ {
+					e.Uint(rv.Index(i).Uint())
+				}
+			}),
+			dec: sliceDecScaffold(t, arenaMakeSlice[uint64], decUint64s),
+		}
+	case stringType:
+		return &plan{
+			hint: addHint(4, 4*8),
+			enc: sliceEncScaffold(func(e *Encoder, rv reflect.Value, n int) {
+				for i := 0; i < n; i++ {
+					e.String(rv.Index(i).String())
+				}
+			}),
+			dec: sliceDecScaffold(t, mkSlice[string], decStrings),
+		}
+	}
+	return nil
+}
+
+func (c *compiler) slicePlan(t reflect.Type) (*plan, error) {
+	if p := nativeSlicePlan(t); p != nil {
+		return p, nil
+	}
+	elem, err := c.compile(t.Elem())
+	if err != nil {
+		return nil, err
+	}
+	return &plan{
+		hint: addHint(4, 4*elem.hint),
+		enc: func(e *Encoder, rv reflect.Value) error {
+			if rv.IsNil() {
+				e.Nil()
+				return nil
+			}
+			if err := e.push(); err != nil {
+				return err
+			}
+			n := rv.Len()
+			e.List(n)
+			for i := 0; i < n; i++ {
+				if err := elem.enc(e, rv.Index(i)); err != nil {
+					e.pop()
+					return err
+				}
+			}
+			e.pop()
+			return nil
+		},
+		dec: func(d *Decoder, rv reflect.Value) error {
+			if d.IsNil() {
+				rv.Set(reflect.Zero(t))
+				return nil
+			}
+			if err := d.push(); err != nil {
+				return err
+			}
+			n, err := d.List()
+			if err != nil {
+				d.pop()
+				return err
+			}
+			s := reflect.MakeSlice(t, n, n)
+			for i := 0; i < n; i++ {
+				if err := elem.dec(d, s.Index(i)); err != nil {
+					d.pop()
+					return err
+				}
+			}
+			rv.Set(s)
+			d.pop()
+			return nil
+		},
+	}, nil
+}
+
+func (c *compiler) arrayPlan(t reflect.Type) (*plan, error) {
+	// No byte-array fast path: the reflect walk encodes [N]uint8 element
+	// by element, and the wire format must stay byte-identical.
+	elem, err := c.compile(t.Elem())
+	if err != nil {
+		return nil, err
+	}
+	n := t.Len()
+	return &plan{
+		hint: addHint(4, n*elem.hint),
+		enc: func(e *Encoder, rv reflect.Value) error {
+			if err := e.push(); err != nil {
+				return err
+			}
+			e.List(n)
+			for i := 0; i < n; i++ {
+				if err := elem.enc(e, rv.Index(i)); err != nil {
+					e.pop()
+					return err
+				}
+			}
+			e.pop()
+			return nil
+		},
+		dec: func(d *Decoder, rv reflect.Value) error {
+			if err := d.push(); err != nil {
+				return err
+			}
+			got, err := d.List()
+			if err != nil {
+				d.pop()
+				return err
+			}
+			if got != n {
+				d.pop()
+				return fmt.Errorf("%w: array length %d != %d", ErrSyntax, got, n)
+			}
+			for i := 0; i < n; i++ {
+				if err := elem.dec(d, rv.Index(i)); err != nil {
+					d.pop()
+					return err
+				}
+			}
+			d.pop()
+			return nil
+		},
+	}, nil
+}
+
+// mapScratch is the pooled plan-execution scratch for map encodes: the
+// key slice and its sorter live across messages instead of being
+// reallocated per map.
+type mapScratch struct {
+	keys []reflect.Value
+	less func(a, b reflect.Value) bool
+}
+
+func (s *mapScratch) Len() int           { return len(s.keys) }
+func (s *mapScratch) Swap(i, j int)      { s.keys[i], s.keys[j] = s.keys[j], s.keys[i] }
+func (s *mapScratch) Less(i, j int) bool { return s.less(s.keys[i], s.keys[j]) }
+
+var mapScratchPool = sync.Pool{
+	New: func() any { return &mapScratch{keys: make([]reflect.Value, 0, 16)} },
+}
+
+// mapSSType is the dominant map shape on the wire (NSP record and
+// endpoint attributes are map[string]string), worth a native fast path.
+var mapSSType = reflect.TypeOf(map[string]string(nil))
+
+// stringKeysPool is the pooled sort scratch for the native string-map
+// encoder.
+var stringKeysPool = sync.Pool{
+	New: func() any { s := make([]string, 0, 16); return &s },
+}
+
+// encodeStringMapEntries writes a map header and the sorted key/value
+// pairs; the caller owns the nil check and the depth push/pop. Typical
+// attribute maps hold a handful of keys: a stack array plus insertion
+// sort skips the pool round trip, the sort.Strings dispatch, and the
+// write barriers both incur. The two paths stay disjoint so the array
+// never flows into the pool and escapes.
+func encodeStringMapEntries(e *Encoder, m map[string]string) {
+	// Zero-, one- and two-entry maps — the bulk of NTCS attribute maps —
+	// sort in plain locals: stack writes take no write barrier at all.
+	switch len(m) {
+	case 0:
+		e.Map(0)
+		return
+	case 1:
+		e.Map(1)
+		for k, v := range m {
+			e.String(k)
+			e.String(v)
+		}
+		return
+	case 2:
+		var k1, k2 string
+		first := true
+		for k := range m {
+			if first {
+				k1, first = k, false
+			} else {
+				k2 = k
+			}
+		}
+		if k2 < k1 {
+			k1, k2 = k2, k1
+		}
+		e.Map(2)
+		e.String(k1)
+		e.String(m[k1])
+		e.String(k2)
+		e.String(m[k2])
+		return
+	}
+	if len(m) <= 8 {
+		var arr [8]string
+		keys := arr[:0]
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sortStringsSmall(keys)
+		e.Map(len(keys))
+		for _, k := range keys {
+			e.String(k)
+			e.String(m[k])
+		}
+	} else {
+		kp := stringKeysPool.Get().(*[]string)
+		keys := (*kp)[:0]
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		e.Map(len(keys))
+		for _, k := range keys {
+			e.String(k)
+			e.String(m[k])
+		}
+		putStringKeys(kp, keys)
+	}
+}
+
+// decodeStringMapEntries reads a map header and its key/value pairs into
+// a native map; the caller owns the nil check and the depth push/pop.
+func decodeStringMapEntries(d *Decoder) (map[string]string, error) {
+	n, err := d.Map()
+	if err != nil {
+		return nil, err
+	}
+	m := make(map[string]string, n)
+	for i := 0; i < n; i++ {
+		k, err := d.String()
+		if err != nil {
+			return nil, err
+		}
+		v, err := d.String()
+		if err != nil {
+			return nil, err
+		}
+		m[k] = v
+	}
+	return m, nil
+}
+
+// sortStringsSmall is insertion sort: for the handful of keys a typical
+// attribute map holds it beats the generic sort and, run on a stack
+// array, allocates nothing. Same ascending order as sort.Strings, so the
+// wire bytes are identical whichever path a map takes.
+func sortStringsSmall(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func putStringKeys(kp *[]string, keys []string) {
+	if cap(keys) > 1024 {
+		keys = make([]string, 0, 16)
+	} else {
+		clear(keys) // do not pin key strings across messages
+		keys = keys[:0]
+	}
+	*kp = keys
+	stringKeysPool.Put(kp)
+}
+
+// stringMapPlan converts map[string]string (and named types with that
+// underlying shape) without reflect.Value per entry: native iteration,
+// sort.Strings on pooled scratch, native map build on decode. Wire bytes
+// and error behavior match the generic plan exactly — keys sort the same
+// way and the element codecs are the same d.String/e.String calls.
+func stringMapPlan(t reflect.Type) *plan {
+	named := t != mapSSType
+	return &plan{
+		hint: 16,
+		enc: func(e *Encoder, rv reflect.Value) error {
+			if rv.IsNil() {
+				e.Nil()
+				return nil
+			}
+			if err := e.push(); err != nil {
+				return err
+			}
+			m := rv.Convert(mapSSType).Interface().(map[string]string)
+			encodeStringMapEntries(e, m)
+			e.pop()
+			return nil
+		},
+		dec: func(d *Decoder, rv reflect.Value) error {
+			if d.IsNil() {
+				rv.Set(reflect.Zero(t))
+				return nil
+			}
+			if err := d.push(); err != nil {
+				return err
+			}
+			m, err := decodeStringMapEntries(d)
+			if err != nil {
+				d.pop()
+				return err
+			}
+			if !named && rv.CanAddr() {
+				*(rv.Addr().Interface().(*map[string]string)) = m
+			} else {
+				mv := reflect.ValueOf(m)
+				if named {
+					mv = mv.Convert(t)
+				}
+				rv.Set(mv)
+			}
+			d.pop()
+			return nil
+		},
+	}
+}
+
+func (c *compiler) mapPlan(t reflect.Type) (*plan, error) {
+	if t.ConvertibleTo(mapSSType) {
+		return stringMapPlan(t), nil
+	}
+	var less func(a, b reflect.Value) bool
+	switch t.Key().Kind() {
+	case reflect.String:
+		less = func(a, b reflect.Value) bool { return a.String() < b.String() }
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		less = func(a, b reflect.Value) bool { return a.Int() < b.Int() }
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		less = func(a, b reflect.Value) bool { return a.Uint() < b.Uint() }
+	default:
+		return nil, fmt.Errorf("%w: map key kind %s", ErrUnsupported, t.Key().Kind())
+	}
+	key, err := c.compile(t.Key())
+	if err != nil {
+		return nil, err
+	}
+	val, err := c.compile(t.Elem())
+	if err != nil {
+		return nil, err
+	}
+	// SetMapIndex copies key and value into the map, so one scratch pair
+	// can be reused across iterations — unless the value type reaches a
+	// pointer, where reuse would alias every entry to one allocation.
+	reuseKV := !typeHasPointer(t.Key()) && !typeHasPointer(t.Elem())
+	keyT, valT := t.Key(), t.Elem()
+	return &plan{
+		hint: 16,
+		enc: func(e *Encoder, rv reflect.Value) error {
+			if rv.IsNil() {
+				e.Nil()
+				return nil
+			}
+			if err := e.push(); err != nil {
+				return err
+			}
+			s := mapScratchPool.Get().(*mapScratch)
+			s.less = less
+			iter := rv.MapRange()
+			for iter.Next() {
+				s.keys = append(s.keys, iter.Key())
+			}
+			sort.Sort(s)
+			e.Map(len(s.keys))
+			for _, k := range s.keys {
+				if err := key.enc(e, k); err != nil {
+					putMapScratch(s)
+					e.pop()
+					return err
+				}
+				if err := val.enc(e, rv.MapIndex(k)); err != nil {
+					putMapScratch(s)
+					e.pop()
+					return err
+				}
+			}
+			putMapScratch(s)
+			e.pop()
+			return nil
+		},
+		dec: func(d *Decoder, rv reflect.Value) error {
+			if d.IsNil() {
+				rv.Set(reflect.Zero(t))
+				return nil
+			}
+			if err := d.push(); err != nil {
+				return err
+			}
+			n, err := d.Map()
+			if err != nil {
+				d.pop()
+				return err
+			}
+			m := reflect.MakeMapWithSize(t, n)
+			var k, v reflect.Value
+			for i := 0; i < n; i++ {
+				if !reuseKV || i == 0 {
+					k = reflect.New(keyT).Elem()
+					v = reflect.New(valT).Elem()
+				}
+				if err := key.dec(d, k); err != nil {
+					d.pop()
+					return err
+				}
+				if err := val.dec(d, v); err != nil {
+					d.pop()
+					return err
+				}
+				m.SetMapIndex(k, v)
+			}
+			rv.Set(m)
+			d.pop()
+			return nil
+		},
+	}, nil
+}
+
+func putMapScratch(s *mapScratch) {
+	// Drop slices grown by one huge map, and the key Values they pin.
+	if cap(s.keys) > 1024 {
+		s.keys = make([]reflect.Value, 0, 16)
+	} else {
+		clear(s.keys)
+		s.keys = s.keys[:0]
+	}
+	s.less = nil
+	mapScratchPool.Put(s)
+}
+
+// typeHasPointer reports whether t's value graph can contain a pointer.
+// Visited types guard against recursive shapes (which necessarily do).
+func typeHasPointer(t reflect.Type) bool {
+	return typeHasPointerRec(t, make(map[reflect.Type]bool))
+}
+
+func typeHasPointerRec(t reflect.Type, seen map[reflect.Type]bool) bool {
+	if seen[t] {
+		return true // a type cycle is only expressible through a pointer
+	}
+	seen[t] = true
+	switch t.Kind() {
+	case reflect.Pointer:
+		return true
+	case reflect.Slice, reflect.Array:
+		return typeHasPointerRec(t.Elem(), seen)
+	case reflect.Map:
+		return typeHasPointerRec(t.Key(), seen) || typeHasPointerRec(t.Elem(), seen)
+	case reflect.Struct:
+		for i := 0; i < t.NumField(); i++ {
+			if typeHasPointerRec(t.Field(i).Type, seen) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// fieldOp is one struct field's slot in a flat plan: the precomputed
+// field index and byte offset, the field name for error wrapping, the
+// sub-plan, and the unsafe-offset ops compiled for the field's type.
+type fieldOp struct {
+	idx  int
+	off  uintptr
+	name string
+	sub  *plan
+	encP encPFn
+	decP decPFn
+}
+
+// ptrEnc compiles the unsafe-offset encoder for a field of type t. The
+// scalar and builtin-composite cases load through a typed pointer — the
+// layout of a named type is its underlying type's, so they cover named
+// fields too. Everything else bridges into the reflect-based sub-plan
+// via reflect.NewAt, which costs one Value construction and nothing
+// else, so the two forms can never diverge in wire bytes or errors.
+func ptrEnc(t reflect.Type, sub *plan) encPFn {
+	switch t.Kind() {
+	case reflect.Bool:
+		return func(e *Encoder, p unsafe.Pointer) error { e.Bool(*(*bool)(p)); return nil }
+	case reflect.Int:
+		return func(e *Encoder, p unsafe.Pointer) error { e.Int(int64(*(*int)(p))); return nil }
+	case reflect.Int8:
+		return func(e *Encoder, p unsafe.Pointer) error { e.Int(int64(*(*int8)(p))); return nil }
+	case reflect.Int16:
+		return func(e *Encoder, p unsafe.Pointer) error { e.Int(int64(*(*int16)(p))); return nil }
+	case reflect.Int32:
+		return func(e *Encoder, p unsafe.Pointer) error { e.Int(int64(*(*int32)(p))); return nil }
+	case reflect.Int64:
+		return func(e *Encoder, p unsafe.Pointer) error { e.Int(*(*int64)(p)); return nil }
+	case reflect.Uint:
+		return func(e *Encoder, p unsafe.Pointer) error { e.Uint(uint64(*(*uint)(p))); return nil }
+	case reflect.Uint8:
+		return func(e *Encoder, p unsafe.Pointer) error { e.Uint(uint64(*(*uint8)(p))); return nil }
+	case reflect.Uint16:
+		return func(e *Encoder, p unsafe.Pointer) error { e.Uint(uint64(*(*uint16)(p))); return nil }
+	case reflect.Uint32:
+		return func(e *Encoder, p unsafe.Pointer) error { e.Uint(uint64(*(*uint32)(p))); return nil }
+	case reflect.Uint64:
+		return func(e *Encoder, p unsafe.Pointer) error { e.Uint(*(*uint64)(p)); return nil }
+	case reflect.Float32:
+		return func(e *Encoder, p unsafe.Pointer) error { e.Float(float64(*(*float32)(p))); return nil }
+	case reflect.Float64:
+		return func(e *Encoder, p unsafe.Pointer) error { e.Float(*(*float64)(p)); return nil }
+	case reflect.String:
+		return func(e *Encoder, p unsafe.Pointer) error { e.String(*(*string)(p)); return nil }
+	case reflect.Slice:
+		if t.Elem().Kind() == reflect.Uint8 {
+			return func(e *Encoder, p unsafe.Pointer) error { e.BytesField(*(*[]byte)(p)); return nil }
+		}
+		switch t.Elem() {
+		case int64Type:
+			return ptrSliceEnc(func(e *Encoder, v int64) { e.Int(v) })
+		case int32Type:
+			return ptrSliceEnc(func(e *Encoder, v int32) { e.Int(int64(v)) })
+		case uint64Type:
+			return ptrSliceEnc(func(e *Encoder, v uint64) { e.Uint(v) })
+		case stringType:
+			return ptrSliceEnc(func(e *Encoder, v string) { e.String(v) })
+		}
+	case reflect.Map:
+		if t.ConvertibleTo(mapSSType) {
+			return func(e *Encoder, p unsafe.Pointer) error {
+				m := *(*map[string]string)(p)
+				if m == nil {
+					e.Nil()
+					return nil
+				}
+				if err := e.push(); err != nil {
+					return err
+				}
+				encodeStringMapEntries(e, m)
+				e.pop()
+				return nil
+			}
+		}
+	case reflect.Struct:
+		return func(e *Encoder, p unsafe.Pointer) error { return sub.encP(e, p) }
+	}
+	return func(e *Encoder, p unsafe.Pointer) error {
+		return sub.enc(e, reflect.NewAt(t, p).Elem())
+	}
+}
+
+// ptrDec is ptrEnc's decode twin: scalar stores through typed pointers,
+// with the same width checks (and error text) the reflect-based plans
+// apply, bridging to the sub-plan for every other shape.
+func ptrDec(t reflect.Type, sub *plan) decPFn {
+	switch t.Kind() {
+	case reflect.Bool:
+		return func(d *Decoder, p unsafe.Pointer) error {
+			v, err := d.Bool()
+			if err != nil {
+				return err
+			}
+			*(*bool)(p) = v
+			return nil
+		}
+	case reflect.Int:
+		return ptrDecInt[int](t, strconv.IntSize)
+	case reflect.Int8:
+		return ptrDecInt[int8](t, 8)
+	case reflect.Int16:
+		return ptrDecInt[int16](t, 16)
+	case reflect.Int32:
+		return ptrDecInt[int32](t, 32)
+	case reflect.Int64:
+		return ptrDecInt[int64](t, 64)
+	case reflect.Uint:
+		return ptrDecUint[uint](t, strconv.IntSize)
+	case reflect.Uint8:
+		return ptrDecUint[uint8](t, 8)
+	case reflect.Uint16:
+		return ptrDecUint[uint16](t, 16)
+	case reflect.Uint32:
+		return ptrDecUint[uint32](t, 32)
+	case reflect.Uint64:
+		return ptrDecUint[uint64](t, 64)
+	case reflect.Float32:
+		return func(d *Decoder, p unsafe.Pointer) error {
+			v, err := d.Float()
+			if err != nil {
+				return err
+			}
+			*(*float32)(p) = float32(v)
+			return nil
+		}
+	case reflect.Float64:
+		return func(d *Decoder, p unsafe.Pointer) error {
+			v, err := d.Float()
+			if err != nil {
+				return err
+			}
+			*(*float64)(p) = v
+			return nil
+		}
+	case reflect.String:
+		return func(d *Decoder, p unsafe.Pointer) error {
+			v, err := d.String()
+			if err != nil {
+				return err
+			}
+			*(*string)(p) = v
+			return nil
+		}
+	case reflect.Slice:
+		if t.Elem().Kind() == reflect.Uint8 {
+			return func(d *Decoder, p unsafe.Pointer) error {
+				v, err := d.BytesField()
+				if err != nil {
+					return err
+				}
+				*(*[]byte)(p) = v
+				return nil
+			}
+		}
+		switch t.Elem() {
+		case int64Type:
+			return ptrSliceDec(arenaMakeSlice[int64], decInt64s)
+		case int32Type:
+			return ptrSliceDec(arenaMakeSlice[int32], decInt32s)
+		case uint64Type:
+			return ptrSliceDec(arenaMakeSlice[uint64], decUint64s)
+		case stringType:
+			return ptrSliceDec(mkSlice[string], decStrings)
+		}
+	case reflect.Map:
+		if t.ConvertibleTo(mapSSType) {
+			return func(d *Decoder, p unsafe.Pointer) error {
+				if d.IsNil() {
+					*(*map[string]string)(p) = nil
+					return nil
+				}
+				if err := d.push(); err != nil {
+					return err
+				}
+				m, err := decodeStringMapEntries(d)
+				if err != nil {
+					d.pop()
+					return err
+				}
+				*(*map[string]string)(p) = m
+				d.pop()
+				return nil
+			}
+		}
+	case reflect.Struct:
+		return func(d *Decoder, p unsafe.Pointer) error { return sub.decP(d, p) }
+	}
+	return func(d *Decoder, p unsafe.Pointer) error {
+		return sub.dec(d, reflect.NewAt(t, p).Elem())
+	}
+}
+
+// ptrDecInt stores a decoded signed integer through a typed pointer with
+// the overflow check specialized to the field width; instantiated with
+// the builtin of the field's kind, which shares the field's layout even
+// when the field type is named. The error text captures t so it matches
+// what the reflect-based decoder reports for the same field.
+func ptrDecInt[T int | int8 | int16 | int32 | int64](t reflect.Type, bits int) decPFn {
+	if bits == 64 {
+		return func(d *Decoder, p unsafe.Pointer) error {
+			v, err := d.Int()
+			if err != nil {
+				return err
+			}
+			*(*T)(p) = T(v)
+			return nil
+		}
+	}
+	lo := int64(-1) << (bits - 1)
+	hi := int64(1)<<(bits-1) - 1
+	return func(d *Decoder, p unsafe.Pointer) error {
+		v, err := d.Int()
+		if err != nil {
+			return err
+		}
+		if v < lo || v > hi {
+			return fmt.Errorf("%w: %d into %s", ErrOverflow, v, t)
+		}
+		*(*T)(p) = T(v)
+		return nil
+	}
+}
+
+func ptrDecUint[T uint | uint8 | uint16 | uint32 | uint64](t reflect.Type, bits int) decPFn {
+	if bits == 64 {
+		return func(d *Decoder, p unsafe.Pointer) error {
+			v, err := d.Uint()
+			if err != nil {
+				return err
+			}
+			*(*T)(p) = T(v)
+			return nil
+		}
+	}
+	hi := uint64(1)<<bits - 1
+	return func(d *Decoder, p unsafe.Pointer) error {
+		v, err := d.Uint()
+		if err != nil {
+			return err
+		}
+		if v > hi {
+			return fmt.Errorf("%w: %d into %s", ErrOverflow, v, t)
+		}
+		*(*T)(p) = T(v)
+		return nil
+	}
+}
+
+func (c *compiler) structPlan(t reflect.Type) (*plan, error) {
+	if p, ok := c.structs[t]; ok {
+		return p, nil // recursive reference: filled in before any execution
+	}
+	p := &plan{}
+	c.structs[t] = p
+	ops := make([]fieldOp, 0, t.NumField())
+	hint := 2
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		if !f.IsExported() {
+			return nil, fmt.Errorf("%w: unexported field %s.%s", ErrUnsupported, t.Name(), f.Name)
+		}
+		sub, err := c.compile(f.Type)
+		if err != nil {
+			return nil, fmt.Errorf("field %s: %w", f.Name, err)
+		}
+		ops = append(ops, fieldOp{
+			idx:  i,
+			off:  f.Offset,
+			name: f.Name,
+			sub:  sub,
+			encP: ptrEnc(f.Type, sub),
+			decP: ptrDec(f.Type, sub),
+		})
+		hint = addHint(hint, sub.hint)
+	}
+	p.hint = hint
+	p.encP = func(e *Encoder, base unsafe.Pointer) error {
+		if err := e.push(); err != nil {
+			return err
+		}
+		e.Begin()
+		for k := range ops {
+			op := &ops[k]
+			if err := op.encP(e, unsafe.Add(base, op.off)); err != nil {
+				e.pop()
+				return fmt.Errorf("field %s: %w", op.name, err)
+			}
+		}
+		e.End()
+		e.pop()
+		return nil
+	}
+	p.decP = func(d *Decoder, base unsafe.Pointer) error {
+		if err := d.push(); err != nil {
+			return err
+		}
+		if err := d.Begin(); err != nil {
+			d.pop()
+			return err
+		}
+		for k := range ops {
+			op := &ops[k]
+			if err := op.decP(d, unsafe.Add(base, op.off)); err != nil {
+				d.pop()
+				return fmt.Errorf("field %s: %w", op.name, err)
+			}
+		}
+		err := d.End()
+		d.pop()
+		return err
+	}
+	// The reflect-facing forms delegate to the offset walk whenever the
+	// value has a stable address (decode targets always do; encode
+	// sources do except at the top of a Marshal, which efaceData covers).
+	p.enc = func(e *Encoder, rv reflect.Value) error {
+		if rv.CanAddr() {
+			return p.encP(e, unsafe.Pointer(rv.UnsafeAddr()))
+		}
+		if err := e.push(); err != nil {
+			return err
+		}
+		e.Begin()
+		for k := range ops {
+			op := &ops[k]
+			if err := op.sub.enc(e, rv.Field(op.idx)); err != nil {
+				e.pop()
+				return fmt.Errorf("field %s: %w", op.name, err)
+			}
+		}
+		e.End()
+		e.pop()
+		return nil
+	}
+	p.dec = func(d *Decoder, rv reflect.Value) error {
+		if rv.CanAddr() {
+			return p.decP(d, unsafe.Pointer(rv.UnsafeAddr()))
+		}
+		if err := d.push(); err != nil {
+			return err
+		}
+		if err := d.Begin(); err != nil {
+			d.pop()
+			return err
+		}
+		for k := range ops {
+			op := &ops[k]
+			if err := op.sub.dec(d, rv.Field(op.idx)); err != nil {
+				d.pop()
+				return fmt.Errorf("field %s: %w", op.name, err)
+			}
+		}
+		err := d.End()
+		d.pop()
+		return err
+	}
+	return cachePlan(t, p), nil
+}
+
+func (c *compiler) pointerPlan(t reflect.Type) (*plan, error) {
+	elem, err := c.compile(t.Elem())
+	if err != nil {
+		return nil, err
+	}
+	elemT := t.Elem()
+	return &plan{
+		hint: addHint(0, elem.hint),
+		enc: func(e *Encoder, rv reflect.Value) error {
+			if rv.IsNil() {
+				return fmt.Errorf("%w: nil pointer", ErrUnsupported)
+			}
+			if err := e.push(); err != nil {
+				return err
+			}
+			err := elem.enc(e, rv.Elem())
+			e.pop()
+			return err
+		},
+		dec: func(d *Decoder, rv reflect.Value) error {
+			if err := d.push(); err != nil {
+				return err
+			}
+			if rv.IsNil() {
+				rv.Set(reflect.New(elemT))
+			}
+			err := elem.dec(d, rv.Elem())
+			d.pop()
+			return err
+		},
+	}, nil
+}

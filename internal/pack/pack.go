@@ -17,10 +17,12 @@ package pack
 import (
 	"errors"
 	"fmt"
+	"math"
 	"reflect"
 	"sort"
 	"strconv"
 	"strings"
+	"unsafe"
 )
 
 // Errors returned by the codec.
@@ -48,7 +50,8 @@ var (
 //	( ... )            struct grouping
 //	n;                 nil (empty slice/map)
 type Encoder struct {
-	buf []byte
+	buf   []byte
+	depth int // current value-nesting depth, bounded by MaxDepth
 }
 
 // Bytes returns the encoded stream.
@@ -58,19 +61,63 @@ func (e *Encoder) Bytes() []byte { return e.buf }
 func (e *Encoder) Len() int { return len(e.buf) }
 
 // Reset discards the encoded stream, retaining the buffer.
-func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+func (e *Encoder) Reset() { e.buf, e.depth = e.buf[:0], 0 }
+
+// push enters one nesting level (struct, list, map, or pointer deref),
+// enforcing the shared MaxDepth cap.
+func (e *Encoder) push() error {
+	e.depth++
+	if e.depth > MaxDepth {
+		e.depth--
+		return ErrDepth
+	}
+	return nil
+}
+
+// pop leaves one nesting level.
+func (e *Encoder) pop() { e.depth-- }
+
+// ensure grows the buffer so at least n more bytes fit without
+// reallocation (plan-size presizing; a no-op when capacity suffices).
+func (e *Encoder) ensure(n int) {
+	if n <= 0 || cap(e.buf)-len(e.buf) >= n {
+		return
+	}
+	nb := make([]byte, len(e.buf), len(e.buf)+n)
+	copy(nb, e.buf)
+	e.buf = nb
+}
+
+// num appends v in decimal. One- and two-digit values — field counts,
+// list lengths, string lengths, small scalars, i.e. most of a control
+// message — skip the strconv call entirely. Output is byte-identical to
+// strconv for every value.
+func (e *Encoder) num(v uint64) {
+	switch {
+	case v < 10:
+		e.buf = append(e.buf, byte('0'+v))
+	case v < 100:
+		e.buf = append(e.buf, byte('0'+v/10), byte('0'+v%10))
+	default:
+		e.buf = strconv.AppendUint(e.buf, v, 10)
+	}
+}
 
 // Int encodes a signed integer.
 func (e *Encoder) Int(v int64) {
 	e.buf = append(e.buf, 'i')
-	e.buf = strconv.AppendInt(e.buf, v, 10)
+	if v >= 0 {
+		e.num(uint64(v))
+	} else {
+		e.buf = strconv.AppendInt(e.buf, v, 10)
+	}
 	e.buf = append(e.buf, ';')
 }
 
 // Uint encodes an unsigned integer.
 func (e *Encoder) Uint(v uint64) {
 	e.buf = append(e.buf, 'u')
-	e.buf = strconv.AppendUint(e.buf, v, 10)
+	e.num(v)
 	e.buf = append(e.buf, ';')
 }
 
@@ -93,7 +140,7 @@ func (e *Encoder) Bool(v bool) {
 // String encodes a string as length-prefixed raw bytes.
 func (e *Encoder) String(v string) {
 	e.buf = append(e.buf, 's')
-	e.buf = strconv.AppendInt(e.buf, int64(len(v)), 10)
+	e.num(uint64(len(v)))
 	e.buf = append(e.buf, ':')
 	e.buf = append(e.buf, v...)
 }
@@ -101,7 +148,7 @@ func (e *Encoder) String(v string) {
 // Bytes appends a byte slice as length-prefixed raw bytes.
 func (e *Encoder) BytesField(v []byte) {
 	e.buf = append(e.buf, 'x')
-	e.buf = strconv.AppendInt(e.buf, int64(len(v)), 10)
+	e.num(uint64(len(v)))
 	e.buf = append(e.buf, ':')
 	e.buf = append(e.buf, v...)
 }
@@ -131,14 +178,14 @@ func digits(n int64) int {
 // List writes a list header for n following values.
 func (e *Encoder) List(n int) {
 	e.buf = append(e.buf, 'l')
-	e.buf = strconv.AppendInt(e.buf, int64(n), 10)
+	e.num(uint64(n))
 	e.buf = append(e.buf, ';')
 }
 
 // Map writes a map header for n following key/value pairs.
 func (e *Encoder) Map(n int) {
 	e.buf = append(e.buf, 'm')
-	e.buf = strconv.AppendInt(e.buf, int64(n), 10)
+	e.num(uint64(n))
 	e.buf = append(e.buf, ';')
 }
 
@@ -153,9 +200,33 @@ func (e *Encoder) Nil() { e.buf = append(e.buf, 'n', ';') }
 
 // Decoder consumes a packed byte stream.
 type Decoder struct {
-	data []byte
-	pos  int
+	data  []byte
+	pos   int
+	depth int // current value-nesting depth, bounded by MaxDepth
+
+	// arena is an append-only backing store for decoded strings and byte
+	// fields: one allocation amortized over every counted field of a
+	// message instead of one per field. Safety rests on two rules —
+	// the arena is never truncated (issued strings view a prefix that no
+	// append can touch), and issued byte slices get len==cap so an append
+	// by the caller reallocates instead of growing into a neighbor.
+	arena []byte
 }
+
+// push enters one nesting level, enforcing the shared MaxDepth cap: the
+// decode-side twin of the count-bomb guard, so a hostile stream of open
+// parens cannot drive unbounded recursion.
+func (d *Decoder) push() error {
+	d.depth++
+	if d.depth > MaxDepth {
+		d.depth--
+		return fmt.Errorf("%w (%d levels) at %d", ErrDepth, MaxDepth, d.pos)
+	}
+	return nil
+}
+
+// pop leaves one nesting level.
+func (d *Decoder) pop() { d.depth-- }
 
 // NewDecoder returns a decoder over data.
 func NewDecoder(data []byte) *Decoder {
@@ -172,34 +243,82 @@ func (d *Decoder) peek() (byte, error) {
 	return d.data[d.pos], nil
 }
 
-// tag consumes the expected tag byte.
+// tag consumes the expected tag byte. The success path is small enough
+// to inline into every scalar reader; diagnostics live in tagErr.
 func (d *Decoder) tag(want byte) error {
+	if d.pos < len(d.data) && d.data[d.pos] == want {
+		d.pos++
+		return nil
+	}
+	return d.tagErr(want)
+}
+
+func (d *Decoder) tagErr(want byte) error {
 	c, err := d.peek()
 	if err != nil {
 		return err
 	}
-	if c != want {
-		return fmt.Errorf("%w: want %q, got %q at %d", ErrTypeTag, want, c, d.pos)
-	}
-	d.pos++
-	return nil
+	return fmt.Errorf("%w: want %q, got %q at %d", ErrTypeTag, want, c, d.pos)
 }
 
-// number reads decimal characters up to the delimiter.
-func (d *Decoder) number(delim byte) (string, error) {
+// numTok returns the characters up to the delimiter as a view of the
+// stream — no copy, so the per-token string allocation the decoder used
+// to pay is gone from the conversion hot path.
+func (d *Decoder) numTok(delim byte) ([]byte, error) {
 	start := d.pos
 	for d.pos < len(d.data) && d.data[d.pos] != delim {
 		d.pos++
 	}
 	if d.pos >= len(d.data) {
-		return "", fmt.Errorf("%w: missing %q delimiter after %d", ErrSyntax, delim, start)
+		return nil, fmt.Errorf("%w: missing %q delimiter after %d", ErrSyntax, delim, start)
 	}
-	s := string(d.data[start:d.pos])
+	b := d.data[start:d.pos]
 	d.pos++ // consume delimiter
-	if s == "" {
-		return "", fmt.Errorf("%w: empty number at %d", ErrSyntax, start)
+	if len(b) == 0 {
+		return nil, fmt.Errorf("%w: empty number at %d", ErrSyntax, start)
 	}
-	return s, nil
+	return b, nil
+}
+
+// numErr is the cold path shared by the fused readers below: it rescans
+// the token (d.pos still points at its first character) purely to build
+// the same diagnostics the unfused decoder produced.
+func (d *Decoder) numErr(delim byte) error {
+	b, err := d.numTok(delim)
+	if err != nil {
+		return err
+	}
+	return fmt.Errorf("%w: %q", ErrSyntax, b)
+}
+
+// readUint scans and parses decimal digits up to delim in one pass — no
+// intermediate token, no per-digit division (the overflow check is one
+// compare plus a wraparound test, as in strconv).
+func (d *Decoder) readUint(delim byte) (uint64, error) {
+	data := d.data
+	i := d.pos
+	start := i
+	var n uint64
+	for i < len(data) && data[i] != delim {
+		c := data[i] - '0'
+		if c > 9 || n > math.MaxUint64/10 {
+			return 0, d.numErr(delim)
+		}
+		n2 := n*10 + uint64(c)
+		if n2 < n {
+			return 0, d.numErr(delim)
+		}
+		n = n2
+		i++
+	}
+	if i >= len(data) {
+		return 0, fmt.Errorf("%w: missing %q delimiter after %d", ErrSyntax, delim, start)
+	}
+	if i == start {
+		return 0, fmt.Errorf("%w: empty number at %d", ErrSyntax, start)
+	}
+	d.pos = i + 1
+	return n, nil
 }
 
 // Int decodes a signed integer.
@@ -207,15 +326,25 @@ func (d *Decoder) Int() (int64, error) {
 	if err := d.tag('i'); err != nil {
 		return 0, err
 	}
-	s, err := d.number(';')
+	neg := false
+	if c := d.peekByte(); c == '+' || c == '-' {
+		neg = c == '-'
+		d.pos++
+	}
+	n, err := d.readUint(';')
 	if err != nil {
 		return 0, err
 	}
-	v, err := strconv.ParseInt(s, 10, 64)
-	if err != nil {
-		return 0, fmt.Errorf("%w: %q", ErrSyntax, s)
+	if neg {
+		if n > 1<<63 {
+			return 0, fmt.Errorf("%w: %q", ErrSyntax, "-"+strconv.FormatUint(n, 10))
+		}
+		return -int64(n), nil
 	}
-	return v, nil
+	if n > math.MaxInt64 {
+		return 0, fmt.Errorf("%w: %q", ErrSyntax, strconv.FormatUint(n, 10))
+	}
+	return int64(n), nil
 }
 
 // Uint decodes an unsigned integer.
@@ -223,15 +352,14 @@ func (d *Decoder) Uint() (uint64, error) {
 	if err := d.tag('u'); err != nil {
 		return 0, err
 	}
-	s, err := d.number(';')
-	if err != nil {
-		return 0, err
+	return d.readUint(';')
+}
+
+func (d *Decoder) peekByte() byte {
+	if d.pos < len(d.data) {
+		return d.data[d.pos]
 	}
-	v, err := strconv.ParseUint(s, 10, 64)
-	if err != nil {
-		return 0, fmt.Errorf("%w: %q", ErrSyntax, s)
-	}
-	return v, nil
+	return 0
 }
 
 // Float decodes a floating-point value.
@@ -239,13 +367,15 @@ func (d *Decoder) Float() (float64, error) {
 	if err := d.tag('f'); err != nil {
 		return 0, err
 	}
-	s, err := d.number(';')
+	b, err := d.numTok(';')
 	if err != nil {
 		return 0, err
 	}
-	v, err := strconv.ParseFloat(s, 64)
+	// numTok guarantees b is non-empty; the unsafe.String view is safe
+	// because ParseFloat does not retain its argument.
+	v, err := strconv.ParseFloat(unsafe.String(&b[0], len(b)), 64)
 	if err != nil {
-		return 0, fmt.Errorf("%w: %q", ErrSyntax, s)
+		return 0, fmt.Errorf("%w: %q", ErrSyntax, b)
 	}
 	return v, nil
 }
@@ -255,31 +385,35 @@ func (d *Decoder) Bool() (bool, error) {
 	if err := d.tag('b'); err != nil {
 		return false, err
 	}
-	s, err := d.number(';')
+	if d.pos+1 < len(d.data) && d.data[d.pos+1] == ';' {
+		switch d.data[d.pos] {
+		case '0':
+			d.pos += 2
+			return false, nil
+		case '1':
+			d.pos += 2
+			return true, nil
+		}
+	}
+	b, err := d.numTok(';')
 	if err != nil {
 		return false, err
 	}
-	switch s {
-	case "0":
-		return false, nil
-	case "1":
-		return true, nil
-	}
-	return false, fmt.Errorf("%w: bool %q", ErrSyntax, s)
+	return false, fmt.Errorf("%w: bool %q", ErrSyntax, b)
 }
 
 func (d *Decoder) counted(tagByte byte) ([]byte, error) {
 	if err := d.tag(tagByte); err != nil {
 		return nil, err
 	}
-	s, err := d.number(':')
+	u, err := d.readUint(':')
 	if err != nil {
 		return nil, err
 	}
-	n, err := strconv.Atoi(s)
-	if err != nil || n < 0 {
-		return nil, fmt.Errorf("%w: length %q", ErrSyntax, s)
+	if u > math.MaxInt32 {
+		return nil, fmt.Errorf("%w: length %d", ErrSyntax, u)
 	}
+	n := int(u)
 	if d.pos+n > len(d.data) {
 		return nil, fmt.Errorf("%w: counted field of %d bytes exceeds data", ErrSyntax, n)
 	}
@@ -291,19 +425,96 @@ func (d *Decoder) counted(tagByte byte) ([]byte, error) {
 // String decodes a string.
 func (d *Decoder) String() (string, error) {
 	v, err := d.counted('s')
-	return string(v), err
+	if err != nil {
+		return "", err
+	}
+	if len(v) == 0 {
+		return "", nil
+	}
+	// Fast path: spare arena already fits v — the common case once the
+	// first field of a message has sized the block.
+	if a := d.arena; cap(a)-len(a) >= len(v) {
+		off := len(a)
+		a = a[:off+len(v)]
+		copy(a[off:], v)
+		d.arena = a
+		return unsafe.String(&a[off], len(v)), nil
+	}
+	b := d.arenaCopy(v)
+	return unsafe.String(&b[0], len(b)), nil
 }
 
-// BytesField decodes a byte slice (copied out of the stream).
+// BytesField decodes a byte slice (copied out of the stream; the caller
+// owns the result).
 func (d *Decoder) BytesField() ([]byte, error) {
 	v, err := d.counted('x')
 	if err != nil {
 		return nil, err
 	}
-	out := make([]byte, len(v))
-	copy(out, v)
-	return out, nil
+	return d.arenaCopy(v), nil
 }
+
+// arenaCopy copies v into the decoder's arena and returns the copy with
+// len==cap, so caller appends reallocate rather than grow into the next
+// field's bytes.
+func (d *Decoder) arenaCopy(v []byte) []byte {
+	if len(v) == 0 {
+		return []byte{} // non-nil: x0: decodes to an empty slice, not a nil one
+	}
+	if len(v) > arenaMax {
+		// Huge fields get their own allocation; the arena stays small
+		// enough to recycle through the decoder pool.
+		out := make([]byte, len(v))
+		copy(out, v)
+		return out
+	}
+	if cap(d.arena)-len(d.arena) < len(v) {
+		// Size the block by what this message can still need: every future
+		// counted field's bytes are part of the undecoded remainder. The
+		// floor is generous because pooled decoders carry spare arena
+		// across messages — a bigger block amortizes over many of them.
+		block := len(v) + d.Remaining()
+		if block < 1024 {
+			block = 1024
+		}
+		if block > arenaMax {
+			block = arenaMax
+		}
+		d.arena = make([]byte, 0, block) // old arena stays alive via issued views
+	}
+	off := len(d.arena)
+	d.arena = append(d.arena, v...)
+	return d.arena[off:len(d.arena):len(d.arena)]
+}
+
+// arenaReserve claims size bytes of arena aligned to align, growing the
+// arena exactly like arenaCopy, and returns a pointer to the region. The
+// caller must guarantee size ≤ arenaMax and size > 0. Used to carve
+// pointer-free decoded slices ([]int32 and friends) out of the same
+// block the message's strings land in — the arena is byte-backed and
+// never scanned, so it must never hold pointers.
+func (d *Decoder) arenaReserve(size, align int) unsafe.Pointer {
+	off := len(d.arena)
+	pad := (align - off&(align-1)) & (align - 1)
+	if cap(d.arena)-off < pad+size {
+		block := size + align + d.Remaining()
+		if block < 1024 {
+			block = 1024
+		}
+		if block > arenaMax {
+			block = arenaMax
+		}
+		d.arena = make([]byte, 0, block) // old arena stays alive via issued views
+		off = 0
+		pad = 0 // fresh blocks are at least word-aligned
+	}
+	d.arena = d.arena[:off+pad+size]
+	return unsafe.Pointer(&d.arena[off+pad])
+}
+
+// arenaMax bounds both the arena block size and the largest field stored
+// in one: 4KiB covers every string a control-plane message carries.
+const arenaMax = 4096
 
 // BytesView decodes a byte slice as a view aliasing the stream — no
 // copy. Only safe when the caller owns the underlying buffer for at
@@ -320,14 +531,14 @@ func (d *Decoder) header(tagByte byte) (int, error) {
 	if err := d.tag(tagByte); err != nil {
 		return 0, err
 	}
-	s, err := d.number(';')
+	u, err := d.readUint(';')
 	if err != nil {
 		return 0, err
 	}
-	n, err := strconv.Atoi(s)
-	if err != nil || n < 0 {
-		return 0, fmt.Errorf("%w: count %q", ErrSyntax, s)
+	if u > math.MaxInt32 {
+		return 0, fmt.Errorf("%w: count %d", ErrSyntax, u)
 	}
+	n := int(u)
 	// Every element occupies at least one byte of input, so a count beyond
 	// the remaining data can never decode. Rejecting it here bounds the
 	// slice/map preallocations above — a hostile 12-byte frame must not
@@ -358,7 +569,64 @@ func (d *Decoder) IsNil() bool {
 // bools, strings, []byte, slices, arrays, maps with string or integer
 // keys, and nested structs of the same (exported fields only; unexported
 // fields are rejected, as they could not be reconstructed at the far end).
+//
+// The first Marshal of a type compiles its conversion plan (see codec.go);
+// every later Marshal executes the cached plan. The stream is
+// byte-identical to MarshalReflect, the retained reference walk.
 func Marshal(v any) ([]byte, error) {
+	rv := reflect.ValueOf(v)
+	if !rv.IsValid() {
+		return nil, fmt.Errorf("%w: untyped nil", ErrUnsupported)
+	}
+	t := rv.Type()
+	p, err := planFor(t)
+	if err != nil {
+		return nil, err
+	}
+	e := GetEncoder()
+	e.ensure(p.hint)
+	// A struct body arrives boxed: the interface data word already points
+	// at the copy, so the offset walk can start there without the
+	// non-addressable reflect.Value detour.
+	if p.encP != nil && ifaceIndir(t) {
+		err = p.encP(e, efaceData(v))
+	} else {
+		err = p.enc(e, rv)
+	}
+	if err != nil {
+		PutEncoder(e)
+		return nil, err
+	}
+	out := append([]byte(nil), e.buf...) // exact-size copy; encoder returns to pool
+	PutEncoder(e)
+	return out, nil
+}
+
+// Marshal encodes v onto the encoder's stream via its compiled plan: the
+// pooled-encoder form of the package-level Marshal, used by the ComMod to
+// pack structured bodies without an intermediate allocation.
+func (e *Encoder) Marshal(v any) error {
+	rv := reflect.ValueOf(v)
+	if !rv.IsValid() {
+		return fmt.Errorf("%w: untyped nil", ErrUnsupported)
+	}
+	t := rv.Type()
+	p, err := planFor(t)
+	if err != nil {
+		return err
+	}
+	e.ensure(p.hint)
+	if p.encP != nil && ifaceIndir(t) {
+		return p.encP(e, efaceData(v))
+	}
+	return p.enc(e, rv)
+}
+
+// MarshalReflect is the original reflection walk, kept as the reference
+// implementation: the differential fuzzer and the machine-pair matrix
+// assert that compiled plans produce byte-identical streams. It shares
+// the MaxDepth cap with the compiled path.
+func MarshalReflect(v any) ([]byte, error) {
 	var e Encoder
 	rv := reflect.ValueOf(v)
 	if err := marshalValue(&e, rv); err != nil {
@@ -377,7 +645,12 @@ func marshalValue(e *Encoder, rv reflect.Value) error {
 		if rv.IsNil() {
 			return fmt.Errorf("%w: nil pointer", ErrUnsupported)
 		}
-		return marshalValue(e, rv.Elem())
+		if err := e.push(); err != nil {
+			return err
+		}
+		err := marshalValue(e, rv.Elem())
+		e.pop()
+		return err
 	case reflect.Bool:
 		e.Bool(rv.Bool())
 	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
@@ -397,6 +670,10 @@ func marshalValue(e *Encoder, rv reflect.Value) error {
 			e.Nil()
 			return nil
 		}
+		if err := e.push(); err != nil {
+			return err
+		}
+		defer e.pop()
 		e.List(rv.Len())
 		for i := 0; i < rv.Len(); i++ {
 			if err := marshalValue(e, rv.Index(i)); err != nil {
@@ -404,6 +681,10 @@ func marshalValue(e *Encoder, rv reflect.Value) error {
 			}
 		}
 	case reflect.Array:
+		if err := e.push(); err != nil {
+			return err
+		}
+		defer e.pop()
 		e.List(rv.Len())
 		for i := 0; i < rv.Len(); i++ {
 			if err := marshalValue(e, rv.Index(i)); err != nil {
@@ -415,6 +696,10 @@ func marshalValue(e *Encoder, rv reflect.Value) error {
 			e.Nil()
 			return nil
 		}
+		if err := e.push(); err != nil {
+			return err
+		}
+		defer e.pop()
 		keys := rv.MapKeys()
 		switch t.Key().Kind() {
 		case reflect.String:
@@ -436,6 +721,10 @@ func marshalValue(e *Encoder, rv reflect.Value) error {
 			}
 		}
 	case reflect.Struct:
+		if err := e.push(); err != nil {
+			return err
+		}
+		defer e.pop()
 		e.Begin()
 		for i := 0; i < t.NumField(); i++ {
 			f := t.Field(i)
@@ -454,7 +743,35 @@ func marshalValue(e *Encoder, rv reflect.Value) error {
 }
 
 // Unmarshal reverses Marshal into out, which must be a non-nil pointer.
+// Like Marshal it executes the target type's compiled plan, decoding a
+// stream byte-for-byte compatible with UnmarshalReflect.
 func Unmarshal(data []byte, out any) error {
+	rv := reflect.ValueOf(out)
+	if rv.Kind() != reflect.Pointer || rv.IsNil() {
+		return ErrBadTarget
+	}
+	elem := rv.Elem()
+	p, err := planFor(elem.Type())
+	if err != nil {
+		return err
+	}
+	d := getDecoder(data)
+	err = p.dec(d, elem)
+	rem := d.Remaining()
+	putDecoder(d)
+	if err != nil {
+		return err
+	}
+	if rem != 0 {
+		return fmt.Errorf("%w: %d bytes", ErrTrailing, rem)
+	}
+	return nil
+}
+
+// UnmarshalReflect is the original reflection walk, kept as the
+// reference implementation the differential fuzzer checks the compiled
+// decoder against. It shares the MaxDepth cap with the compiled path.
+func UnmarshalReflect(data []byte, out any) error {
 	rv := reflect.ValueOf(out)
 	if rv.Kind() != reflect.Pointer || rv.IsNil() {
 		return ErrBadTarget
@@ -521,6 +838,10 @@ func unmarshalValue(d *Decoder, rv reflect.Value) error {
 			rv.Set(reflect.Zero(t))
 			return nil
 		}
+		if err := d.push(); err != nil {
+			return err
+		}
+		defer d.pop()
 		n, err := d.List()
 		if err != nil {
 			return err
@@ -533,6 +854,10 @@ func unmarshalValue(d *Decoder, rv reflect.Value) error {
 		}
 		rv.Set(s)
 	case reflect.Array:
+		if err := d.push(); err != nil {
+			return err
+		}
+		defer d.pop()
 		n, err := d.List()
 		if err != nil {
 			return err
@@ -550,6 +875,10 @@ func unmarshalValue(d *Decoder, rv reflect.Value) error {
 			rv.Set(reflect.Zero(t))
 			return nil
 		}
+		if err := d.push(); err != nil {
+			return err
+		}
+		defer d.pop()
 		n, err := d.Map()
 		if err != nil {
 			return err
@@ -568,6 +897,10 @@ func unmarshalValue(d *Decoder, rv reflect.Value) error {
 		}
 		rv.Set(m)
 	case reflect.Struct:
+		if err := d.push(); err != nil {
+			return err
+		}
+		defer d.pop()
 		if err := d.Begin(); err != nil {
 			return err
 		}
@@ -582,6 +915,10 @@ func unmarshalValue(d *Decoder, rv reflect.Value) error {
 		}
 		return d.End()
 	case reflect.Pointer:
+		if err := d.push(); err != nil {
+			return err
+		}
+		defer d.pop()
 		if rv.IsNil() {
 			rv.Set(reflect.New(t.Elem()))
 		}

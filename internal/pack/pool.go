@@ -28,3 +28,25 @@ func PutEncoder(e *Encoder) {
 	}
 	encoderPool.Put(e)
 }
+
+// Decoder pooling for the plan-executed Unmarshal: the decoder escapes
+// into the plan closures, so a stack allocation is not available anyway.
+var decoderPool = sync.Pool{
+	New: func() any { return new(Decoder) },
+}
+
+func getDecoder(data []byte) *Decoder {
+	d := decoderPool.Get().(*Decoder)
+	d.data, d.pos, d.depth = data, 0, 0
+	return d
+}
+
+func putDecoder(d *Decoder) {
+	d.data = nil // do not pin the caller's frame in the pool
+	// The arena is append-only, so its spare capacity can serve the next
+	// message; once nearly full, drop it (issued views keep it alive).
+	if cap(d.arena)-len(d.arena) < 256 {
+		d.arena = nil
+	}
+	decoderPool.Put(d)
+}

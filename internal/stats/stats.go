@@ -150,6 +150,7 @@ type Registry struct {
 	ctrs   map[string]*Counter
 	gauges map[string]*Gauge
 	hists  map[string]*Histogram
+	fns    map[string]func() uint64
 }
 
 // New creates an empty registry for the named module. The histogram
@@ -217,6 +218,27 @@ func (r *Registry) Gauge(name string) *Gauge {
 	return g
 }
 
+// CounterFunc registers a function-backed read-only counter: fn is
+// called at Snapshot time and its value reported under name alongside
+// the regular counters. It exists for process-global sources — the pack
+// plan cache is one compiled-plan table shared by every module, so each
+// module's registry surfaces the shared totals by reference instead of
+// owning a copy. Re-registering a name replaces the function.
+func (r *Registry) CounterFunc(name string, fn func() uint64) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.fns == nil {
+		r.fns = make(map[string]func() uint64)
+	}
+	if _, ok := r.fns[name]; !ok {
+		r.order = append(r.order, name)
+	}
+	r.fns[name] = fn
+}
+
 // Histogram returns the named histogram, creating it on first use.
 func (r *Registry) Histogram(name string) *Histogram {
 	if r == nil {
@@ -265,6 +287,9 @@ func (r *Registry) Snapshot() Snapshot {
 	defer r.mu.Unlock()
 	for name, c := range r.ctrs {
 		s.Counters[name] = c.Load()
+	}
+	for name, fn := range r.fns {
+		s.Counters[name] = fn()
 	}
 	for name, g := range r.gauges {
 		s.Gauges[name] = g.Load()
@@ -388,7 +413,7 @@ const (
 	// IP-Layer
 	IPRelays       = "ip.relays"
 	IPCutThrough   = "ip.cutthrough" // relayed frames forwarded by in-place patch, no re-marshal
-	IPHops         = "ip.hops" // cumulative hop count of relayed frames
+	IPHops         = "ip.hops"       // cumulative hop count of relayed frames
 	IPFailovers    = "ip.gateway_failovers"
 	IPRouteMisses  = "ip.route_misses"
 	IPCircuitsOpen = "ip.ivcs_open" // gauge
@@ -401,7 +426,7 @@ const (
 	LCMAddressFaults = "lcm.address_faults"
 	LCMDestHits      = "lcm.destcache_hits"
 	LCMDestMisses    = "lcm.destcache_misses"
-	LCMInboxDepth    = "lcm.inbox_depth" // gauge
+	LCMInboxDepth    = "lcm.inbox_depth"  // gauge
 	LCMSendLatency   = "lcm.send_latency" // histogram
 	LCMCallLatency   = "lcm.call_latency" // histogram
 
@@ -421,4 +446,9 @@ const (
 
 	// spans
 	SpansStarted = "span.started"
+
+	// Packed-codec plan cache (process-global; surfaced per module via
+	// CounterFunc so ntcsstat shows compilation and reuse rates)
+	PackCompiles = "pack.compiles"
+	PackPlanHits = "pack.plan_hits"
 )

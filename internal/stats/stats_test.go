@@ -30,6 +30,38 @@ func TestNilRegistryNoOps(t *testing.T) {
 	}
 }
 
+func TestCounterFuncSnapshot(t *testing.T) {
+	r := New("m")
+	v := uint64(7)
+	r.CounterFunc("pack.compiles", func() uint64 { return v })
+	r.CounterFunc(nil2name, nil) // nil fn must be ignored
+	if got := r.Snapshot().Counters["pack.compiles"]; got != 7 {
+		t.Fatalf("function-backed counter = %d, want 7", got)
+	}
+	v = 12
+	if got := r.Snapshot().Counters["pack.compiles"]; got != 12 {
+		t.Fatalf("function-backed counter must read live: %d, want 12", got)
+	}
+	// Re-registering replaces the function rather than duplicating it.
+	r.CounterFunc("pack.compiles", func() uint64 { return 99 })
+	if got := r.Snapshot().Counters["pack.compiles"]; got != 99 {
+		t.Fatalf("re-registered counter = %d, want 99", got)
+	}
+	// Nil registry no-ops.
+	var nr *Registry
+	nr.CounterFunc("x", func() uint64 { return 1 })
+	// Function-backed counters render in the text dump like any counter.
+	var sb strings.Builder
+	if _, err := r.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "pack.compiles") {
+		t.Errorf("dump missing function-backed counter:\n%s", sb.String())
+	}
+}
+
+const nil2name = "never-registered"
+
 func TestGetOrCreateIdentity(t *testing.T) {
 	r := New("m")
 	if r.Counter("a") != r.Counter("a") {
