@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet verify verify-race bench bench-thru bench-pack soak fuzz-smoke
+.PHONY: all build test race vet verify verify-race bench bench-thru bench-pack bench-scale scale-gate soak fuzz-smoke
 
 all: verify
 
@@ -42,6 +42,19 @@ bench-thru:
 bench-pack:
 	$(GO) test ./internal/pack -run XXX -bench 'PackedConvert' -benchmem
 	$(GO) test . -run XXX -bench 'CrossMachineCall' -benchmem
+
+# bench-scale runs the PR-6 circuit-scale benchmark recorded in
+# BENCH_PR6.json: ~320 fully meshed ND bindings holding >100k live LVC
+# endpoints in one process, reporting goroutine count and heap per
+# circuit. Gated behind NTCS_SCALE so `make test` stays fast.
+bench-scale:
+	NTCS_SCALE=1 $(GO) test ./internal/ndlayer -run TestScale100kCircuits -count=1 -v
+
+# scale-gate is the cheap CI form of the same claim: thousands of idle
+# circuits must fit under a flat goroutine budget, and a hot circuit must
+# not starve a thousand cold ones.
+scale-gate:
+	$(GO) test ./internal/ndlayer -run 'TestIdleCircuitGoroutineBudget|TestHotSenderDoesNotStarveIdleCircuits' -count=1 -v
 
 # soak runs the chaos schedule under the race detector with a fixed seed
 # so a failure reproduces. Override the seed: make soak NTCS_CHAOS_SEED=7

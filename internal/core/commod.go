@@ -110,6 +110,14 @@ type Config struct {
 	// DispatchWorkers tunes LCM inbound parallelism: 0 selects the
 	// default worker pool, negative forces inline dispatch.
 	DispatchWorkers int
+	// CreditWindow is the per-circuit receive window this module
+	// advertises: how many unconsumed data frames a peer may have in
+	// flight toward it. 0 selects the default (1024); negative disables
+	// credit flow control entirely.
+	CreditWindow int
+	// CreditWaitMax bounds how long a blocking send waits for circuit
+	// credit before failing with ErrBackpressure; default 2s.
+	CreditWaitMax time.Duration
 }
 
 // identity is the mutable module identity: a TAdd until registration
@@ -197,6 +205,12 @@ func Attach(cfg Config) (*Module, error) {
 	// its compile/reuse totals so ntcsstat shows conversion economics.
 	m.stats.CounterFunc(stats.PackCompiles, pack.Compiles)
 	m.stats.CounterFunc(stats.PackPlanHits, pack.PlanHits)
+	// So is the substrate dispatch pool: the event-driven receive path is
+	// shared process-wide, and its health (polls, wakeups, dispatches) is
+	// the first thing to read when circuits look stalled.
+	m.stats.CounterFunc(stats.IPCSPollerWakeups, ipcs.PollerWakeups)
+	m.stats.CounterFunc(stats.IPCSPollerDispatches, ipcs.PollerDispatches)
+	m.stats.CounterFunc(stats.IPCSPollerPolls, ipcs.PollerPolls)
 
 	// §3.4: a module assigns itself a TAdd initially; well-known modules
 	// carry their preassigned UAdd from birth.
@@ -222,6 +236,8 @@ func Attach(cfg Config) (*Module, error) {
 		InboxSize:           cfg.InboxSize,
 		CoalesceWrites:      cfg.CoalesceWrites,
 		DispatchWorkers:     cfg.DispatchWorkers,
+		CreditWindow:        cfg.CreditWindow,
+		CreditWaitMax:       cfg.CreditWaitMax,
 	})
 	if err != nil {
 		return nil, err
@@ -353,6 +369,15 @@ func (m *Module) SetNameServerReplicas(peers []addr.UAdd) {
 	if m.server != nil {
 		m.server.SetReplicas(peers)
 	}
+}
+
+// SetAdmissionRate bounds how fast this module hands out circuit credit
+// to its peers, in grants per second per attached network (0 removes the
+// bound). Lowering the rate throttles every sender at the source — the
+// adaptive arm of the flow-control design — without tearing circuits or
+// dropping accepted frames.
+func (m *Module) SetAdmissionRate(perSec float64) {
+	m.nuc.SetAdmissionRate(perSec)
 }
 
 // SetClock installs the DRTS corrected-time source used for monitor
@@ -603,13 +628,67 @@ func openEnvelope(payload []byte) (string, []byte, error) {
 
 // --- Communication primitives (§1.3) -------------------------------------
 
+// SendOption tunes one SendMsg. Options fold into a bitmask, so the
+// variadic call costs nothing on the warm path.
+type SendOption uint32
+
+const (
+	// WithNoCopy promises the body is an opaque []byte the module may
+	// write straight through: no reflection, no conversion plan, no
+	// boxing-driven copies. Ignored (the body still goes out, via the
+	// general encoder) when the body is not a []byte.
+	WithNoCopy SendOption = 1 << iota
+	// WithNoBlock makes a credit-exhausted circuit fail immediately with
+	// ErrBackpressure instead of waiting up to CreditWaitMax for the
+	// receiver to drain. The inspectable error carries the queue depth
+	// and a suggested backoff.
+	WithNoBlock
+)
+
+// sendFlags maps the folded options onto local wire flags. FlagNoBlock
+// never travels — the ND-Layer strips it after reading it.
+func (o SendOption) sendFlags() uint16 {
+	var flags uint16
+	if o&WithNoBlock != 0 {
+		flags |= wire.FlagNoBlock
+	}
+	return flags
+}
+
+// SendMsg transmits body to dst asynchronously: the canonical send
+// primitive. The context bounds establishment and any credit wait;
+// options select the opaque-bytes fast path (WithNoCopy) and the
+// fail-fast backpressure contract (WithNoBlock).
+//
+// When the destination's circuit is out of credit, SendMsg waits up to
+// the module's CreditWaitMax and then — or immediately under
+// WithNoBlock — returns an error matching ntcs.ErrBackpressure via
+// errors.Is, with the inspectable *BackpressureError available through
+// errors.As.
+func (m *Module) SendMsg(ctx context.Context, dst addr.UAdd, msgType string, body any, opts ...SendOption) error {
+	var o SendOption
+	for _, opt := range opts {
+		o |= opt
+	}
+	if o&WithNoCopy != 0 {
+		if bb, ok := body.([]byte); ok {
+			return m.sendBytes(ctx, dst, msgType, bb, o.sendFlags())
+		}
+	}
+	return m.send(ctx, dst, msgType, body, o.sendFlags())
+}
+
 // Send transmits body to dst asynchronously.
+//
+// Deprecated: use SendMsg.
 func (m *Module) Send(dst addr.UAdd, msgType string, body any) error {
 	return m.send(context.Background(), dst, msgType, body, 0)
 }
 
 // SendContext is Send honoring ctx: a canceled or expired context fails
 // fast before transmission.
+//
+// Deprecated: use SendMsg.
 func (m *Module) SendContext(ctx context.Context, dst addr.UAdd, msgType string, body any) error {
 	return m.send(ctx, dst, msgType, body, 0)
 }
@@ -630,7 +709,15 @@ func (m *Module) SendCL(dst addr.UAdd, msgType string, body any) error {
 // to Send(dst, msgType, body) with a []byte body, but the typed
 // signature keeps the slice out of an interface, so the high-rate
 // datagram path does not pay a boxing allocation per message.
-func (m *Module) SendBytes(dst addr.UAdd, msgType string, body []byte) (err error) {
+//
+// Deprecated: use SendMsg with WithNoCopy.
+func (m *Module) SendBytes(dst addr.UAdd, msgType string, body []byte) error {
+	return m.sendBytes(context.Background(), dst, msgType, body, 0)
+}
+
+// sendBytes is the opaque-payload send: the WithNoCopy arm of SendMsg
+// and the body of the deprecated SendBytes.
+func (m *Module) sendBytes(ctx context.Context, dst addr.UAdd, msgType string, body []byte, flags uint16) (err error) {
 	span := m.nuc.LCM.NewSpan()
 	exit := trace.NopExit
 	if m.tracer.On() {
@@ -646,7 +733,7 @@ func (m *Module) SendBytes(dst addr.UAdd, msgType string, body []byte) (err erro
 		err = eerr
 		return err
 	}
-	err = m.nuc.LCM.SendSpan(context.Background(), span, dst, mode, 0, payload)
+	err = m.nuc.LCM.SendSpan(ctx, span, dst, mode, flags, payload)
 	pack.PutEncoder(enc)
 	return err
 }

@@ -1,0 +1,103 @@
+package ipcs
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Task is one unit of connection work: typically "drain this connection's
+// pending messages through its callback". A connection schedules itself at
+// most once at a time, so per-connection FIFO holds without any pool-level
+// ordering.
+type Task interface {
+	Run()
+}
+
+// Pool is the shared dispatcher behind every substrate's Receiver
+// contract. Workers are spawned on demand, up to a small cap, and exit
+// the moment the queue runs dry — an idle substrate holds zero goroutines,
+// which is what lets 100k idle circuits coexist with a bounded goroutine
+// count.
+//
+// The queue is unbounded: a callback is allowed to Send (even back into
+// the connection that invoked it), so Schedule must never block on pool
+// capacity or it could deadlock a worker against itself.
+type Pool struct {
+	mu         sync.Mutex
+	queue      []Task
+	workers    int
+	maxWorkers int
+}
+
+// NewPool creates a dispatcher. maxWorkers caps concurrent workers;
+// zero or negative selects the default (min(GOMAXPROCS, 8)).
+func NewPool(maxWorkers int) *Pool {
+	if maxWorkers <= 0 {
+		maxWorkers = runtime.GOMAXPROCS(0)
+		if maxWorkers > 8 {
+			maxWorkers = 8
+		}
+	}
+	return &Pool{maxWorkers: maxWorkers}
+}
+
+// Schedule enqueues t and ensures a worker will run it. Never blocks.
+func (p *Pool) Schedule(t Task) {
+	pollerDispatches.Add(1)
+	p.mu.Lock()
+	p.queue = append(p.queue, t)
+	if p.workers < p.maxWorkers {
+		p.workers++
+		p.mu.Unlock()
+		pollerWakeups.Add(1)
+		go p.work()
+		return
+	}
+	p.mu.Unlock()
+}
+
+// work drains the queue and exits when it runs dry.
+func (p *Pool) work() {
+	for {
+		p.mu.Lock()
+		if len(p.queue) == 0 {
+			p.workers--
+			p.mu.Unlock()
+			return
+		}
+		t := p.queue[0]
+		p.queue[0] = nil
+		p.queue = p.queue[1:]
+		if len(p.queue) == 0 {
+			// Reset so the backing array is reusable instead of crawling
+			// forward forever.
+			p.queue = nil
+		}
+		p.mu.Unlock()
+		t.Run()
+	}
+}
+
+// Process-wide poller instrumentation. The pools are per-substrate but the
+// counters are global (like the pack plan cache): each module's registry
+// surfaces them via stats.CounterFunc, so ntcsstat shows dispatch economics
+// without threading a registry into every Network constructor.
+var (
+	pollerDispatches atomic.Uint64 // tasks scheduled onto a pool
+	pollerWakeups    atomic.Uint64 // workers spawned (queue went non-empty)
+	pollerPolls      atomic.Uint64 // poll rounds (epoll_wait returns, timer fires)
+)
+
+// PollerDispatches returns the process-wide count of scheduled tasks.
+func PollerDispatches() uint64 { return pollerDispatches.Load() }
+
+// PollerWakeups returns the process-wide count of worker spawns.
+func PollerWakeups() uint64 { return pollerWakeups.Load() }
+
+// PollerPolls returns the process-wide count of poll rounds.
+func PollerPolls() uint64 { return pollerPolls.Load() }
+
+// CountPoll records one poll round; substrates with a real poller (tcpnet's
+// epoll loop, memnet's deferred-delivery timers) call it per wakeup.
+func CountPoll() { pollerPolls.Add(1) }

@@ -8,6 +8,12 @@
 // unreachable by construction; that is the disjointness the IP-Layer and
 // Gateways exist to bridge (§4).
 //
+// Receiving is event-driven: a connection delivers inbound messages to a
+// registered callback (Receiver.Start) instead of exposing a blocking read.
+// Each substrate multiplexes delivery over a small shared worker pool (see
+// dispatch.go), so an idle connection costs no goroutine — the property the
+// C1M circuit-scale work depends on.
+//
 // Three implementations mirror the 1986 testbed:
 //
 //   - memnet: an in-memory simulated network with configurable latency,
@@ -52,9 +58,16 @@ type Listener interface {
 	Close() error
 }
 
-// Conn is a reliable, ordered, message-oriented connection. Send and Recv
-// are safe for one concurrent sender and one concurrent receiver.
-type Conn interface {
+// RecvFunc receives one inbound message, or the connection's terminal
+// error. Exactly one of msg/err is meaningful per invocation: msg non-nil
+// with err nil for a delivery, msg nil with err non-nil for the terminal
+// condition (peer closed → ErrClosed, transport failure → the failure).
+// The callback owns msg.
+type RecvFunc func(msg []byte, err error)
+
+// Sender is the transmitting half of a connection. Send and SendBatch are
+// safe for concurrent use.
+type Sender interface {
 	// Send transmits one message.
 	Send(msg []byte) error
 	// SendBatch transmits msgs in order, exactly as consecutive Sends
@@ -65,8 +78,35 @@ type Conn interface {
 	// transmitted; a transmission error may leave a prefix of the batch
 	// delivered, never a gap or a reordering. An empty batch is a no-op.
 	SendBatch(msgs [][]byte) error
-	// Recv blocks for the next message.
-	Recv() ([]byte, error)
-	// Close tears the connection down; the peer's Recv returns ErrClosed.
+}
+
+// Receiver is the receiving half of a connection: a registered-callback
+// contract, served by the substrate's shared dispatcher.
+//
+// The contract every substrate honors (and ipcstest enforces):
+//
+//   - Messages that arrive before Start are buffered and delivered, in
+//     order, once the callback is registered.
+//   - The callback is invoked serially per connection — never two
+//     invocations at once — and in arrival order (per-connection FIFO).
+//   - The terminal error is delivered exactly once, after every message
+//     that arrived before the close; no deliveries follow it.
+//   - Start may be called at most once per connection.
+//
+// The callback runs on a shared substrate worker; it may call Send (even
+// back into the same connection) but must not block indefinitely, or it
+// stalls a dispatcher slot.
+type Receiver interface {
+	// Start registers cb and begins delivery.
+	Start(cb RecvFunc)
+}
+
+// Conn is a reliable, ordered, message-oriented connection: a Sender and a
+// Receiver sharing one transport and one Close.
+type Conn interface {
+	Sender
+	Receiver
+	// Close tears the connection down; the peer's callback receives
+	// ErrClosed as its terminal error.
 	Close() error
 }

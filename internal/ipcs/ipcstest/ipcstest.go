@@ -2,6 +2,12 @@
 // implementation. The ND-Layer's portability (paper §2.2) rests on all
 // substrates honoring the same contract; this suite is that contract,
 // executable.
+//
+// Since the event-driven rework, the receive half of the contract is a
+// registered callback (ipcs.Receiver): the suite drives both halves —
+// Sender ordering/batching semantics and Receiver delivery semantics
+// (buffer-before-Start, serial FIFO callbacks, exactly-once terminal
+// error, queued-messages-before-terminal).
 package ipcstest
 
 import (
@@ -9,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -32,6 +39,10 @@ func Run(t *testing.T, newNet Factory) {
 	t.Run("SendBatchOrdering", func(t *testing.T) { testSendBatchOrdering(t, newNet(t)) })
 	t.Run("SendBatchOversize", func(t *testing.T) { testSendBatchOversize(t, newNet(t)) })
 	t.Run("SendBatchPrefixOnError", func(t *testing.T) { testSendBatchPrefix(t, newNet(t)) })
+	t.Run("BufferBeforeStart", func(t *testing.T) { testBufferBeforeStart(t, newNet(t)) })
+	t.Run("DrainBeforeTerminal", func(t *testing.T) { testDrainBeforeTerminal(t, newNet(t)) })
+	t.Run("TerminalExactlyOnce", func(t *testing.T) { testTerminalOnce(t, newNet(t)) })
+	t.Run("SerialCallbacks", func(t *testing.T) { testSerialCallbacks(t, newNet(t)) })
 }
 
 // accept1 runs Accept in a goroutine and returns the connection.
@@ -58,6 +69,68 @@ func accept1(t *testing.T, l ipcs.Listener) ipcs.Conn {
 	}
 }
 
+// rx adapts the callback contract back to a channel the tests can block
+// on. A single event channel preserves the callback's delivery order — a
+// pair of message/error channels would let select pick a buffered
+// terminal error ahead of buffered messages.
+type rxEvent struct {
+	msg []byte
+	err error
+}
+
+type rx struct {
+	events chan rxEvent
+}
+
+// startRecv registers a channel-feeding callback on c.
+func startRecv(c ipcs.Conn) *rx {
+	r := newRx()
+	c.Start(r.cb)
+	return r
+}
+
+func newRx() *rx {
+	// Buffered deep enough that the substrate's dispatch workers never
+	// stall on the test.
+	return &rx{events: make(chan rxEvent, 4096)}
+}
+
+func (r *rx) cb(msg []byte, err error) {
+	r.events <- rxEvent{msg: msg, err: err}
+}
+
+// recv waits for the next delivered message; a terminal error or a 5s
+// stall fails the test.
+func (r *rx) recv(t *testing.T) []byte {
+	t.Helper()
+	select {
+	case ev := <-r.events:
+		if ev.err != nil {
+			t.Fatalf("terminal error while awaiting message: %v", ev.err)
+		}
+		return ev.msg
+	case <-time.After(5 * time.Second):
+		t.Fatal("no message delivered within 5s")
+	}
+	return nil
+}
+
+// recvErr waits for the terminal error; a message or a 5s stall fails
+// the test.
+func (r *rx) recvErr(t *testing.T) error {
+	t.Helper()
+	select {
+	case ev := <-r.events:
+		if ev.err == nil {
+			t.Fatalf("message %q delivered while awaiting terminal error", ev.msg)
+		}
+		return ev.err
+	case <-time.After(5 * time.Second):
+		t.Fatal("no terminal error delivered within 5s")
+	}
+	return nil
+}
+
 func testExchange(t *testing.T, n ipcs.Network) {
 	if n.ID() == "" {
 		t.Error("network must have a logical identifier")
@@ -78,25 +151,19 @@ func testExchange(t *testing.T, n ipcs.Network) {
 	defer client.Close()
 	server := accept1(t, l)
 	defer server.Close()
+	crx := startRecv(client)
+	srx := startRecv(server)
 
 	if err := client.Send([]byte("ping")); err != nil {
 		t.Fatal(err)
 	}
-	got, err := server.Recv()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if string(got) != "ping" {
+	if got := srx.recv(t); string(got) != "ping" {
 		t.Fatalf("server got %q", got)
 	}
 	if err := server.Send([]byte("pong")); err != nil {
 		t.Fatal(err)
 	}
-	got, err = client.Recv()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if string(got) != "pong" {
+	if got := crx.recv(t); string(got) != "pong" {
 		t.Fatalf("client got %q", got)
 	}
 }
@@ -114,6 +181,7 @@ func testBoundaries(t *testing.T, n ipcs.Network) {
 	defer client.Close()
 	server := accept1(t, l)
 	defer server.Close()
+	srx := startRecv(server)
 
 	// Three sends must arrive as three messages, including an empty one.
 	for _, m := range [][]byte{[]byte("a"), {}, []byte("ccc")} {
@@ -122,11 +190,7 @@ func testBoundaries(t *testing.T, n ipcs.Network) {
 		}
 	}
 	for _, want := range []string{"a", "", "ccc"} {
-		got, err := server.Recv()
-		if err != nil {
-			t.Fatal(err)
-		}
-		if string(got) != want {
+		if got := srx.recv(t); string(got) != want {
 			t.Fatalf("got %q, want %q", got, want)
 		}
 	}
@@ -145,6 +209,7 @@ func testOrdering(t *testing.T, n ipcs.Network) {
 	defer client.Close()
 	server := accept1(t, l)
 	defer server.Close()
+	srx := startRecv(server)
 
 	const count = 50
 	go func() {
@@ -155,10 +220,7 @@ func testOrdering(t *testing.T, n ipcs.Network) {
 		}
 	}()
 	for i := 0; i < count; i++ {
-		got, err := server.Recv()
-		if err != nil {
-			t.Fatal(err)
-		}
+		got := srx.recv(t)
 		if want := fmt.Sprintf("m%03d", i); string(got) != want {
 			t.Fatalf("message %d: got %q, want %q (reordered)", i, got, want)
 		}
@@ -186,26 +248,14 @@ func testCloseUnblocks(t *testing.T, n ipcs.Network) {
 		t.Fatal(err)
 	}
 	server := accept1(t, l)
+	srx := startRecv(server)
 
-	done := make(chan error, 1)
-	go func() {
-		_, err := server.Recv()
-		done <- err
-	}()
 	time.Sleep(10 * time.Millisecond)
 	if err := client.Close(); err != nil {
 		t.Fatal(err)
 	}
-	select {
-	case err := <-done:
-		if err == nil {
-			t.Fatal("Recv after peer close should fail")
-		}
-		if !errors.Is(err, ipcs.ErrClosed) {
-			t.Errorf("error should wrap ErrClosed: %v", err)
-		}
-	case <-time.After(5 * time.Second):
-		t.Fatal("peer Recv not unblocked by Close")
+	if err := srx.recvErr(t); !errors.Is(err, ipcs.ErrClosed) {
+		t.Errorf("terminal error should wrap ErrClosed: %v", err)
 	}
 	// Sending on a closed connection fails, immediately or after the
 	// substrate notices (TCP may buffer one send).
@@ -260,7 +310,8 @@ func testManyClients(t *testing.T, n ipcs.Network) {
 	defer l.Close()
 
 	const clients = 8
-	// Echo server.
+	// Echo server: entirely callback-driven — the echo happens inside the
+	// receive callback, exercising Send-from-callback on every substrate.
 	var serverWG sync.WaitGroup
 	serverWG.Add(1)
 	go func() {
@@ -270,17 +321,12 @@ func testManyClients(t *testing.T, n ipcs.Network) {
 			if err != nil {
 				return
 			}
-			go func(c ipcs.Conn) {
-				for {
-					m, err := c.Recv()
-					if err != nil {
-						return
-					}
-					if err := c.Send(m); err != nil {
-						return
-					}
+			c.Start(func(m []byte, err error) {
+				if err != nil {
+					return
 				}
-			}(c)
+				_ = c.Send(m)
+			})
 		}
 	}()
 
@@ -295,19 +341,25 @@ func testManyClients(t *testing.T, n ipcs.Network) {
 				return
 			}
 			defer c.Close()
+			crx := startRecv(c)
 			for j := 0; j < 20; j++ {
 				msg := []byte(fmt.Sprintf("c%d-%d", i, j))
 				if err := c.Send(msg); err != nil {
 					t.Errorf("client %d send: %v", i, err)
 					return
 				}
-				got, err := c.Recv()
-				if err != nil {
-					t.Errorf("client %d recv: %v", i, err)
-					return
-				}
-				if !bytes.Equal(got, msg) {
-					t.Errorf("client %d: got %q, want %q", i, got, msg)
+				select {
+				case ev := <-crx.events:
+					if ev.err != nil {
+						t.Errorf("client %d: terminal error: %v", i, ev.err)
+						return
+					}
+					if !bytes.Equal(ev.msg, msg) {
+						t.Errorf("client %d: got %q, want %q", i, ev.msg, msg)
+						return
+					}
+				case <-time.After(5 * time.Second):
+					t.Errorf("client %d: echo timed out", i)
 					return
 				}
 			}
@@ -330,6 +382,7 @@ func testLargeMessage(t *testing.T, n ipcs.Network) {
 	defer client.Close()
 	server := accept1(t, l)
 	defer server.Close()
+	srx := startRecv(server)
 
 	big := make([]byte, 1<<20)
 	for i := range big {
@@ -337,10 +390,7 @@ func testLargeMessage(t *testing.T, n ipcs.Network) {
 	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- client.Send(big) }()
-	got, err := server.Recv()
-	if err != nil {
-		t.Fatal(err)
-	}
+	got := srx.recv(t)
 	if sendErr := <-errCh; sendErr != nil {
 		t.Fatal(sendErr)
 	}
@@ -365,6 +415,7 @@ func testSendBatchOrdering(t *testing.T, n ipcs.Network) {
 	defer client.Close()
 	server := accept1(t, l)
 	defer server.Close()
+	srx := startRecv(server)
 
 	const rounds = 10
 	var want []string
@@ -394,10 +445,7 @@ func testSendBatchOrdering(t *testing.T, n ipcs.Network) {
 		want = append(want, fmt.Sprintf("b%04d", i))
 	}
 	for i, w := range want {
-		got, err := server.Recv()
-		if err != nil {
-			t.Fatalf("message %d: %v", i, err)
-		}
+		got := srx.recv(t)
 		if string(got) != w {
 			t.Fatalf("message %d: got %q, want %q (batch broke ordering)", i, got, w)
 		}
@@ -420,13 +468,12 @@ func testSendBatchOversize(t *testing.T, n ipcs.Network) {
 	defer client.Close()
 	server := accept1(t, l)
 	defer server.Close()
+	srx := startRecv(server)
 
 	huge := make([]byte, 18<<20)
 	if err := client.Send(huge); err == nil {
 		// Drain the probe so it cannot shadow later assertions.
-		if _, err := server.Recv(); err != nil {
-			t.Fatal(err)
-		}
+		srx.recv(t)
 		t.Skip("substrate imposes no message size limit")
 	}
 	if err := client.SendBatch([][]byte{[]byte("ok"), huge}); err == nil {
@@ -437,11 +484,7 @@ func testSendBatchOversize(t *testing.T, n ipcs.Network) {
 	if err := client.Send([]byte("marker")); err != nil {
 		t.Fatal(err)
 	}
-	got, err := server.Recv()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if string(got) != "marker" {
+	if got := srx.recv(t); string(got) != "marker" {
 		t.Fatalf("got %q; a failed batch must transmit nothing", got)
 	}
 }
@@ -461,6 +504,7 @@ func testSendBatchPrefix(t *testing.T, n ipcs.Network) {
 	}
 	defer client.Close()
 	server := accept1(t, l)
+	srx := startRecv(server)
 
 	// Phase 1: twenty 2-element batches, all of which must arrive intact.
 	// 40 messages stays under every substrate's queue bound, so no
@@ -477,10 +521,7 @@ func testSendBatchPrefix(t *testing.T, n ipcs.Network) {
 		}
 	}
 	for i := 0; i < 40; i++ {
-		got, err := server.Recv()
-		if err != nil {
-			t.Fatalf("message %d: %v", i, err)
-		}
+		got := srx.recv(t)
 		if want := fmt.Sprintf("p%04d", i); string(got) != want {
 			t.Fatalf("message %d: got %q, want %q (gap or reorder)", i, got, want)
 		}
@@ -521,6 +562,7 @@ func testBufferReuse(t *testing.T, n ipcs.Network) {
 	defer client.Close()
 	server := accept1(t, l)
 	defer server.Close()
+	srx := startRecv(server)
 
 	// The sender mutating its buffer after Send must not corrupt the
 	// delivered message.
@@ -529,11 +571,169 @@ func testBufferReuse(t *testing.T, n ipcs.Network) {
 		t.Fatal(err)
 	}
 	copy(buf, "XXXXX")
-	got, err := server.Recv()
+	if got := srx.recv(t); string(got) != "first" {
+		t.Fatalf("buffer aliasing: got %q", got)
+	}
+}
+
+// testBufferBeforeStart: messages that arrive before the receiver
+// registers its callback are buffered and delivered in order at Start.
+func testBufferBeforeStart(t *testing.T, n ipcs.Network) {
+	l, err := n.Listen("")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if string(got) != "first" {
-		t.Fatalf("buffer aliasing: got %q", got)
+	defer l.Close()
+	client, err := n.Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	server := accept1(t, l)
+	defer server.Close()
+
+	for i := 0; i < 5; i++ {
+		if err := client.Send([]byte(fmt.Sprintf("early%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Give the substrate time to move the messages; none may be dropped
+	// for lack of a callback.
+	time.Sleep(20 * time.Millisecond)
+	srx := startRecv(server)
+	for i := 0; i < 5; i++ {
+		if got, want := string(srx.recv(t)), fmt.Sprintf("early%d", i); got != want {
+			t.Fatalf("buffered message %d: got %q, want %q", i, got, want)
+		}
+	}
+}
+
+// testDrainBeforeTerminal: messages queued ahead of a peer close are all
+// delivered before the terminal error.
+func testDrainBeforeTerminal(t *testing.T, n ipcs.Network) {
+	l, err := n.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	client, err := n.Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := accept1(t, l)
+	defer server.Close()
+
+	if err := client.Send([]byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Send([]byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if err := client.Close(); err != nil {
+		t.Fatal(err)
+	}
+	srx := startRecv(server)
+	for _, want := range []string{"one", "two"} {
+		if got := string(srx.recv(t)); got != want {
+			t.Fatalf("got %q, want %q (queued messages must precede the terminal error)", got, want)
+		}
+	}
+	if err := srx.recvErr(t); !errors.Is(err, ipcs.ErrClosed) {
+		t.Errorf("terminal error should wrap ErrClosed: %v", err)
+	}
+}
+
+// testTerminalOnce: the terminal error is delivered exactly once, and no
+// deliveries follow it.
+func testTerminalOnce(t *testing.T, n ipcs.Network) {
+	l, err := n.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	client, err := n.Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := accept1(t, l)
+	srx := startRecv(server)
+
+	if err := client.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srx.recvErr(t); !errors.Is(err, ipcs.ErrClosed) {
+		t.Errorf("terminal error should wrap ErrClosed: %v", err)
+	}
+	// Closing our own side too must not produce a second terminal.
+	_ = server.Close()
+	select {
+	case ev := <-srx.events:
+		if ev.err != nil {
+			t.Fatalf("terminal error delivered twice: %v", ev.err)
+		}
+		t.Fatalf("message %q delivered after terminal error", ev.msg)
+	case <-time.After(100 * time.Millisecond):
+	}
+}
+
+// testSerialCallbacks: the callback is never invoked concurrently for one
+// connection, even under heavy inbound traffic.
+func testSerialCallbacks(t *testing.T, n ipcs.Network) {
+	l, err := n.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	client, err := n.Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	server := accept1(t, l)
+	defer server.Close()
+
+	const total = 200
+	var (
+		inFlight   atomic.Int32
+		violations atomic.Int32
+		seen       atomic.Int32
+	)
+	done := make(chan struct{})
+	server.Start(func(m []byte, err error) {
+		if err != nil {
+			return
+		}
+		if inFlight.Add(1) != 1 {
+			violations.Add(1)
+		}
+		time.Sleep(100 * time.Microsecond) // widen any overlap window
+		inFlight.Add(-1)
+		if seen.Add(1) == total {
+			close(done)
+		}
+	})
+	go func() {
+		for i := 0; i < total; i++ {
+			// Retry on transient overflow: bounded substrates (mbx) push
+			// back when the receiver is slower than the sender.
+			for try := 0; client.Send([]byte("m")) != nil; try++ {
+				if try > 5000 {
+					return
+				}
+				time.Sleep(time.Millisecond)
+			}
+			if i%32 == 31 {
+				time.Sleep(time.Millisecond) // let bounded substrates drain
+			}
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("only %d/%d messages delivered", seen.Load(), total)
+	}
+	if v := violations.Load(); v != 0 {
+		t.Fatalf("callback invoked concurrently %d times", v)
 	}
 }

@@ -35,6 +35,7 @@ type Options struct {
 type Registry struct {
 	id   string
 	opts Options
+	pool *ipcs.Pool // shared dispatcher for every channel's callbacks
 
 	mu     sync.Mutex
 	boxes  map[string]*serverBox
@@ -49,7 +50,7 @@ func New(id string, opts Options) *Registry {
 	if opts.Capacity <= 0 {
 		opts.Capacity = DefaultCapacity
 	}
-	return &Registry{id: id, opts: opts, boxes: make(map[string]*serverBox)}
+	return &Registry{id: id, opts: opts, pool: ipcs.NewPool(0), boxes: make(map[string]*serverBox)}
 }
 
 // ID returns the logical network identifier.
@@ -97,9 +98,8 @@ func (r *Registry) Dial(physAddr string) (ipcs.Conn, error) {
 		return nil, fmt.Errorf("mbx %s: open %q: %w", r.id, physAddr, ipcs.ErrNoSuchEndpoint)
 	}
 	ch := &channel{
-		toServer: make(chan []byte, r.opts.Capacity),
-		toClient: make(chan []byte, r.opts.Capacity),
-		done:     make(chan struct{}),
+		toServer: newBox(r),
+		toClient: newBox(r),
 	}
 	select {
 	case b.pending <- ch:
@@ -196,43 +196,118 @@ func (b *serverBox) Close() error {
 
 // channel is the bidirectional rendezvous an MBX open creates.
 type channel struct {
-	toServer chan []byte
-	toClient chan []byte
+	toServer *box
+	toClient *box
 
 	closeOnce sync.Once
-	done      chan struct{}
 }
 
 func (ch *channel) close() {
-	ch.closeOnce.Do(func() { close(ch.done) })
+	ch.closeOnce.Do(func() {
+		ch.toServer.close()
+		ch.toClient.close()
+	})
+}
+
+// box is one mailbox direction: a bounded queue drained through the
+// registry's shared dispatch pool. Queued messages survive close and are
+// delivered before the terminal error, as the Apollo mailbox drained.
+type box struct {
+	reg *Registry
+
+	mu            sync.Mutex
+	items         [][]byte
+	closed        bool
+	cb            ipcs.RecvFunc
+	dispatching   bool
+	termDelivered bool
+}
+
+func newBox(r *Registry) *box { return &box{reg: r} }
+
+func (b *box) write(msg []byte) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return fmt.Errorf("mbx: send: %w", ipcs.ErrClosed)
+	}
+	if len(b.items) >= b.reg.opts.Capacity {
+		// Mailbox full: Apollo MBX reports this to the sender rather than
+		// blocking forever.
+		return fmt.Errorf("mbx: send: %w", ipcs.ErrMailboxFull)
+	}
+	cp := make([]byte, len(msg))
+	copy(cp, msg)
+	b.items = append(b.items, cp)
+	b.maybeScheduleLocked()
+	return nil
+}
+
+func (b *box) start(cb ipcs.RecvFunc) {
+	b.mu.Lock()
+	b.cb = cb
+	b.maybeScheduleLocked()
+	b.mu.Unlock()
+}
+
+func (b *box) close() {
+	b.mu.Lock()
+	b.closed = true
+	b.maybeScheduleLocked()
+	b.mu.Unlock()
+}
+
+// maybeScheduleLocked queues a drain if there is deliverable work and no
+// drain in flight. Caller holds b.mu.
+func (b *box) maybeScheduleLocked() {
+	if b.cb == nil || b.dispatching {
+		return
+	}
+	if len(b.items) == 0 && (!b.closed || b.termDelivered) {
+		return
+	}
+	b.dispatching = true
+	b.reg.pool.Schedule(b)
+}
+
+// Run drains the box through the callback (the box's ipcs.Task). At most
+// one Run is in flight per box, so delivery is serial and FIFO.
+func (b *box) Run() {
+	for {
+		b.mu.Lock()
+		if len(b.items) == 0 {
+			if b.closed && !b.termDelivered {
+				b.termDelivered = true
+				b.dispatching = false
+				cb := b.cb
+				b.mu.Unlock()
+				cb(nil, fmt.Errorf("mbx: recv: %w", ipcs.ErrClosed))
+				return
+			}
+			b.dispatching = false
+			b.mu.Unlock()
+			return
+		}
+		msg := b.items[0]
+		b.items[0] = nil
+		b.items = b.items[1:]
+		if len(b.items) == 0 {
+			b.items = nil
+		}
+		cb := b.cb
+		b.mu.Unlock()
+		cb(msg, nil)
+	}
 }
 
 // end is one side's view of a channel.
 type end struct {
 	ch   *channel
-	send chan []byte
-	recv chan []byte
+	send *box
+	recv *box
 }
 
-func (e *end) Send(msg []byte) error {
-	cp := make([]byte, len(msg))
-	copy(cp, msg)
-	select {
-	case <-e.ch.done:
-		return fmt.Errorf("mbx: send: %w", ipcs.ErrClosed)
-	default:
-	}
-	select {
-	case e.send <- cp:
-		return nil
-	case <-e.ch.done:
-		return fmt.Errorf("mbx: send: %w", ipcs.ErrClosed)
-	default:
-		// Mailbox full: Apollo MBX reports this to the sender rather than
-		// blocking forever.
-		return fmt.Errorf("mbx: send: %w", ipcs.ErrMailboxFull)
-	}
-}
+func (e *end) Send(msg []byte) error { return e.send.write(msg) }
 
 // SendBatch on MBX has no native coalescing to exploit — each message is
 // its own mailbox deposit — so it is the straightforward loop: stop at the
@@ -247,26 +322,7 @@ func (e *end) SendBatch(msgs [][]byte) error {
 	return nil
 }
 
-func (e *end) Recv() ([]byte, error) {
-	// Drain queued messages even after close, as the Apollo mailbox did.
-	select {
-	case msg := <-e.recv:
-		return msg, nil
-	default:
-	}
-	select {
-	case msg := <-e.recv:
-		return msg, nil
-	case <-e.ch.done:
-		// A racing sender may have queued between our two selects.
-		select {
-		case msg := <-e.recv:
-			return msg, nil
-		default:
-			return nil, fmt.Errorf("mbx: recv: %w", ipcs.ErrClosed)
-		}
-	}
-}
+func (e *end) Start(cb ipcs.RecvFunc) { e.recv.start(cb) }
 
 func (e *end) Close() error {
 	e.ch.close()

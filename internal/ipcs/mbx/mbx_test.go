@@ -3,6 +3,7 @@ package mbx
 import (
 	"errors"
 	"testing"
+	"time"
 
 	"ntcs/internal/ipcs"
 	"ntcs/internal/ipcs/ipcstest"
@@ -122,17 +123,35 @@ func TestDrainAfterClose(t *testing.T) {
 		}
 	}
 	c.Close()
+	// Start only after the writer is gone: queued messages must still be
+	// delivered in order, then the terminal error. One ordered event
+	// channel keeps the terminal behind the buffered messages.
+	type event struct {
+		msg []byte
+		err error
+	}
+	events := make(chan event, 8)
+	server.Start(func(m []byte, err error) { events <- event{msg: m, err: err} })
 	for i := 0; i < 3; i++ {
-		got, err := server.Recv()
-		if err != nil {
-			t.Fatalf("message %d after close: %v", i, err)
-		}
-		if got[0] != byte(i) {
-			t.Fatalf("message %d = %d", i, got[0])
+		select {
+		case ev := <-events:
+			if ev.err != nil {
+				t.Fatalf("message %d after close: %v", i, ev.err)
+			}
+			if ev.msg[0] != byte(i) {
+				t.Fatalf("message %d = %d", i, ev.msg[0])
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("message %d not delivered within 5s", i)
 		}
 	}
-	if _, err := server.Recv(); !errors.Is(err, ipcs.ErrClosed) {
-		t.Errorf("after drain: %v, want ErrClosed", err)
+	select {
+	case ev := <-events:
+		if !errors.Is(ev.err, ipcs.ErrClosed) {
+			t.Errorf("after drain: %v, want ErrClosed", ev.err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Error("no terminal error after drain within 5s")
 	}
 }
 

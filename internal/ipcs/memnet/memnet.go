@@ -49,6 +49,10 @@ type Net struct {
 	lossBits  atomic.Uint64 // math.Float64bits of the loss probability
 	pipeSeq   atomic.Int64  // per-pipe RNG seed sequence
 
+	// pool dispatches inbound-message callbacks for every connection on
+	// this network: spawn-on-demand workers, zero goroutines at idle.
+	pool *ipcs.Pool
+
 	mu        sync.Mutex // guards topology only (listeners, isolation)
 	listeners map[string]*listener
 	isolated  map[string]bool
@@ -71,6 +75,7 @@ func New(id string, opts Options) *Net {
 		id:        id,
 		opts:      opts,
 		seed:      seed,
+		pool:      ipcs.NewPool(0),
 		listeners: make(map[string]*listener),
 		isolated:  make(map[string]bool),
 	}
@@ -260,22 +265,29 @@ func (l *listener) breakConns() {
 }
 
 // pipe is one direction of a connection: a bounded queue of timestamped
-// messages protected by a condition variable, so latency preserves order.
+// messages drained through the network's shared dispatch pool. The pipe is
+// its own ipcs.Task; the dispatching flag guarantees at most one drain in
+// flight, which is what makes callback delivery serial and FIFO.
 //
 // Each pipe owns its loss/jitter RNG, seeded deterministically from the
 // net seed and the pipe's creation index: concurrent connections never
 // contend on a shared random source (fault injection must not perturb the
 // timing it is meant to test), yet a fixed seed still reproduces the same
-// loss pattern as long as pipes are created in the same order.
+// loss pattern as long as pipes are created in the same order. The RNG is
+// ~5KB and only loss/jitter paths touch it, so it is built lazily — a
+// perfect network holds 100k+ pipes without paying for random state.
 type pipe struct {
-	net *Net
+	net  *Net
+	seed int64
 
-	mu     sync.Mutex
-	rng    *rand.Rand // guarded by mu; used only in write
-	cond   *sync.Cond
-	items  []item
-	closed bool
-	lastAt time.Time
+	mu            sync.Mutex
+	rng           *rand.Rand // guarded by mu; lazily built
+	items         []item
+	closed        bool
+	lastAt        time.Time
+	cb            ipcs.RecvFunc
+	dispatching   bool // a drain is queued or running (or a timer is armed)
+	termDelivered bool
 }
 
 type item struct {
@@ -287,19 +299,23 @@ func newPipe(n *Net) *pipe {
 	// Knuth's MMIX multiplier spreads consecutive indices across the seed
 	// space so pipe streams are decorrelated.
 	idx := n.pipeSeq.Add(1)
-	p := &pipe{
-		net: n,
-		rng: rand.New(rand.NewSource(n.seed + idx*6364136223846793005)),
+	return &pipe{net: n, seed: n.seed + idx*6364136223846793005}
+}
+
+// rngLocked returns the pipe's RNG, building it on first use. Caller
+// holds p.mu.
+func (p *pipe) rngLocked() *rand.Rand {
+	if p.rng == nil {
+		p.rng = rand.New(rand.NewSource(p.seed))
 	}
-	p.cond = sync.NewCond(&p.mu)
-	return p
+	return p.rng
 }
 
 // delayLocked computes this message's delivery delay. Caller holds p.mu.
 func (p *pipe) delayLocked() time.Duration {
 	d := time.Duration(p.net.latencyNs.Load())
 	if j := p.net.jitterNs.Load(); j > 0 {
-		d += time.Duration(p.rng.Int63n(j))
+		d += time.Duration(p.rngLocked().Int63n(j))
 	}
 	return d
 }
@@ -310,7 +326,71 @@ func (p *pipe) dropLocked() bool {
 	if lp <= 0 {
 		return false
 	}
-	return p.rng.Float64() < lp
+	return p.rngLocked().Float64() < lp
+}
+
+// start registers the receive callback and kicks off delivery of anything
+// buffered before registration.
+func (p *pipe) start(cb ipcs.RecvFunc) {
+	p.mu.Lock()
+	p.cb = cb
+	p.maybeScheduleLocked()
+	p.mu.Unlock()
+}
+
+// maybeScheduleLocked queues a drain if there is deliverable work and no
+// drain is already in flight. Caller holds p.mu.
+func (p *pipe) maybeScheduleLocked() {
+	if p.cb == nil || p.dispatching {
+		return
+	}
+	if len(p.items) == 0 && (!p.closed || p.termDelivered) {
+		return
+	}
+	p.dispatching = true
+	p.net.pool.Schedule(p)
+}
+
+// Run drains the pipe through the callback: it is the pipe's ipcs.Task.
+// At most one Run is in flight per pipe (the dispatching flag), so
+// callbacks are serial and in arrival order. A head item whose simulated
+// delivery time has not arrived parks the pipe on a timer instead of
+// blocking a pool worker.
+func (p *pipe) Run() {
+	for {
+		p.mu.Lock()
+		if len(p.items) == 0 {
+			if p.closed && !p.termDelivered {
+				p.termDelivered = true
+				p.dispatching = false
+				cb := p.cb
+				p.mu.Unlock()
+				cb(nil, fmt.Errorf("memnet %s: recv: %w", p.net.id, ipcs.ErrClosed))
+				return
+			}
+			p.dispatching = false
+			p.mu.Unlock()
+			return
+		}
+		it := p.items[0]
+		if wait := time.Until(it.at); wait > 0 {
+			// Keep dispatching set: the timer owns the next drain.
+			p.mu.Unlock()
+			time.AfterFunc(wait, func() {
+				ipcs.CountPoll()
+				p.net.pool.Schedule(p)
+			})
+			return
+		}
+		p.items[0] = item{}
+		p.items = p.items[1:]
+		if len(p.items) == 0 {
+			p.items = nil
+		}
+		cb := p.cb
+		p.mu.Unlock()
+		cb(it.data, nil)
+	}
 }
 
 func (p *pipe) write(data []byte) error {
@@ -333,7 +413,7 @@ func (p *pipe) write(data []byte) error {
 	msg := make([]byte, len(data))
 	copy(msg, data)
 	p.items = append(p.items, item{data: msg, at: at})
-	p.cond.Broadcast()
+	p.maybeScheduleLocked()
 	return nil
 }
 
@@ -353,7 +433,7 @@ func (p *pipe) writeBatch(msgs [][]byte) error {
 	queued := false
 	defer func() {
 		if queued {
-			p.cond.Broadcast()
+			p.maybeScheduleLocked()
 		}
 	}()
 	for _, data := range msgs {
@@ -376,34 +456,11 @@ func (p *pipe) writeBatch(msgs [][]byte) error {
 	return nil
 }
 
-func (p *pipe) read() ([]byte, error) {
-	p.mu.Lock()
-	for {
-		if len(p.items) > 0 {
-			it := p.items[0]
-			if wait := time.Until(it.at); wait > 0 {
-				p.mu.Unlock()
-				time.Sleep(wait)
-				p.mu.Lock()
-				continue
-			}
-			p.items = p.items[1:]
-			p.mu.Unlock()
-			return it.data, nil
-		}
-		if p.closed {
-			p.mu.Unlock()
-			return nil, fmt.Errorf("memnet %s: recv: %w", p.net.id, ipcs.ErrClosed)
-		}
-		p.cond.Wait()
-	}
-}
-
 func (p *pipe) close() {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.closed = true
-	p.cond.Broadcast()
+	p.maybeScheduleLocked()
 }
 
 type conn struct {
@@ -417,7 +474,7 @@ type conn struct {
 
 func (c *conn) Send(msg []byte) error         { return c.send.write(msg) }
 func (c *conn) SendBatch(msgs [][]byte) error { return c.send.writeBatch(msgs) }
-func (c *conn) Recv() ([]byte, error)         { return c.recv.read() }
+func (c *conn) Start(cb ipcs.RecvFunc)        { c.recv.start(cb) }
 
 func (c *conn) Close() error {
 	c.closeOnce.Do(func() {

@@ -42,6 +42,34 @@ func dialPair(t *testing.T, n *Net) (client, server ipcs.Conn) {
 	return client, server
 }
 
+// rxEvent is one callback delivery. A single ordered channel (rather
+// than separate message/error channels) keeps the terminal error behind
+// any buffered messages.
+type rxEvent struct {
+	msg []byte
+	err error
+}
+
+func recvChan(c ipcs.Conn) <-chan rxEvent {
+	events := make(chan rxEvent, 1024)
+	c.Start(func(m []byte, err error) { events <- rxEvent{msg: m, err: err} })
+	return events
+}
+
+func recvOne(t *testing.T, events <-chan rxEvent) []byte {
+	t.Helper()
+	select {
+	case ev := <-events:
+		if ev.err != nil {
+			t.Fatalf("terminal error: %v", ev.err)
+		}
+		return ev.msg
+	case <-time.After(5 * time.Second):
+		t.Fatal("no delivery within 5s")
+	}
+	return nil
+}
+
 func TestNamedEndpoints(t *testing.T) {
 	n := New("alpha", Options{})
 	l, err := n.Listen("ns")
@@ -63,13 +91,12 @@ func TestNamedEndpoints(t *testing.T) {
 func TestLatencyDelaysDelivery(t *testing.T) {
 	n := New("slow", Options{Latency: 30 * time.Millisecond})
 	client, server := dialPair(t, n)
+	events := recvChan(server)
 	start := time.Now()
 	if err := client.Send([]byte("x")); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := server.Recv(); err != nil {
-		t.Fatal(err)
-	}
+	recvOne(t, events)
 	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
 		t.Errorf("delivery took %v, want >= ~30ms", elapsed)
 	}
@@ -78,6 +105,7 @@ func TestLatencyDelaysDelivery(t *testing.T) {
 func TestJitterPreservesOrder(t *testing.T) {
 	n := New("jittery", Options{Latency: time.Millisecond, Jitter: 5 * time.Millisecond, Seed: 42})
 	client, server := dialPair(t, n)
+	events := recvChan(server)
 	const count = 30
 	go func() {
 		for i := 0; i < count; i++ {
@@ -85,10 +113,7 @@ func TestJitterPreservesOrder(t *testing.T) {
 		}
 	}()
 	for i := 0; i < count; i++ {
-		got, err := server.Recv()
-		if err != nil {
-			t.Fatal(err)
-		}
+		got := recvOne(t, events)
 		if got[0] != byte(i) {
 			t.Fatalf("message %d arrived as %d: jitter reordered delivery", i, got[0])
 		}
@@ -98,6 +123,7 @@ func TestJitterPreservesOrder(t *testing.T) {
 func TestLossDropsSilently(t *testing.T) {
 	n := New("lossy", Options{LossProb: 0.5, Seed: 7})
 	client, server := dialPair(t, n)
+	events := recvChan(server)
 	const sent = 200
 	for i := 0; i < sent; i++ {
 		if err := client.Send([]byte{byte(i)}); err != nil {
@@ -106,11 +132,17 @@ func TestLossDropsSilently(t *testing.T) {
 	}
 	client.Close()
 	received := 0
+drain:
 	for {
-		if _, err := server.Recv(); err != nil {
-			break
+		select {
+		case ev := <-events:
+			if ev.err != nil {
+				break drain
+			}
+			received++
+		case <-time.After(5 * time.Second):
+			t.Fatal("no terminal error within 5s")
 		}
-		received++
 	}
 	if received == 0 || received == sent {
 		t.Errorf("received %d of %d; loss probability 0.5 should drop some but not all", received, sent)
@@ -120,11 +152,17 @@ func TestLossDropsSilently(t *testing.T) {
 func TestIsolateBreaksEndpoint(t *testing.T) {
 	n := New("alpha", Options{})
 	client, server := dialPair(t, n)
+	events := recvChan(server)
 	n.Isolate("svc", true)
 
 	// Existing connections break.
-	if _, err := server.Recv(); !errors.Is(err, ipcs.ErrClosed) {
-		t.Errorf("Recv on isolated endpoint: %v", err)
+	select {
+	case ev := <-events:
+		if !errors.Is(ev.err, ipcs.ErrClosed) {
+			t.Errorf("terminal error on isolated endpoint: %v", ev.err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Error("no terminal error on isolated endpoint within 5s")
 	}
 	_ = client
 	// New dials fail.
@@ -141,6 +179,7 @@ func TestIsolateBreaksEndpoint(t *testing.T) {
 func TestSetDownFailsEverything(t *testing.T) {
 	n := New("alpha", Options{})
 	client, server := dialPair(t, n)
+	events := recvChan(server)
 	n.SetDown(true)
 	if _, err := n.Listen("new"); !errors.Is(err, ipcs.ErrNetworkDown) {
 		t.Errorf("Listen on down network: %v", err)
@@ -148,7 +187,12 @@ func TestSetDownFailsEverything(t *testing.T) {
 	if _, err := n.Dial("svc"); !errors.Is(err, ipcs.ErrNetworkDown) {
 		t.Errorf("Dial on down network: %v", err)
 	}
-	if _, err := server.Recv(); err == nil {
+	select {
+	case ev := <-events:
+		if ev.err == nil {
+			t.Errorf("expected terminal error, got message %q", ev.msg)
+		}
+	case <-time.After(5 * time.Second):
 		t.Error("existing connection should break")
 	}
 	_ = client
@@ -193,18 +237,24 @@ func TestDeterministicLossWithSeed(t *testing.T) {
 	run := func() []bool {
 		n := New("det", Options{LossProb: 0.3, Seed: 99})
 		client, server := dialPair(t, n)
+		events := recvChan(server)
 		for i := 0; i < 50; i++ {
 			_ = client.Send([]byte{byte(i)})
 		}
 		client.Close()
 		var pattern []bool
 		seen := make(map[byte]bool)
+	drain:
 		for {
-			m, err := server.Recv()
-			if err != nil {
-				break
+			select {
+			case ev := <-events:
+				if ev.err != nil {
+					break drain
+				}
+				seen[ev.msg[0]] = true
+			case <-time.After(5 * time.Second):
+				t.Fatal("no terminal error within 5s")
 			}
-			seen[m[0]] = true
 		}
 		for i := 0; i < 50; i++ {
 			pattern = append(pattern, seen[byte(i)])

@@ -1,0 +1,255 @@
+//go:build linux
+
+package tcpnet
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"syscall"
+
+	"ntcs/internal/ipcs"
+)
+
+// The shared reader: one process-wide epoll instance and one goroutine
+// blocked in epoll_wait, multiplexing every tcpnet connection in the
+// process. Readiness events are fanned out to the shared dispatch pool;
+// a connection with no traffic costs no goroutine and no poller work.
+//
+// Registration uses edge-triggered epoll. The classic missed-event race
+// (an edge firing between "drain hit EAGAIN" and "drain task exits") is
+// closed by the per-conn pending counter: the poller increments it per
+// event and schedules a drain only on the 0→1 transition; the drain
+// re-runs until it can CAS the counter back to zero.
+type poller struct {
+	epfd int
+	pool *ipcs.Pool
+
+	mu    sync.Mutex
+	conns map[int32]*conn
+}
+
+var (
+	pollerOnce sync.Once
+	gPoller    *poller
+	gPollerErr error
+)
+
+// epollET is the edge-trigger flag; spelled as a uint32 because the
+// syscall constant is a negative int on some arches.
+const epollET = uint32(1) << 31
+
+func getPoller() (*poller, error) {
+	pollerOnce.Do(func() {
+		epfd, err := syscall.EpollCreate1(syscall.EPOLL_CLOEXEC)
+		if err != nil {
+			gPollerErr = fmt.Errorf("tcpnet: epoll_create: %w", err)
+			return
+		}
+		gPoller = &poller{epfd: epfd, pool: ipcs.NewPool(0), conns: make(map[int32]*conn)}
+		go gPoller.loop()
+	})
+	return gPoller, gPollerErr
+}
+
+func (p *poller) loop() {
+	events := make([]syscall.EpollEvent, 128)
+	for {
+		n, err := syscall.EpollWait(p.epfd, events, -1)
+		if err == syscall.EINTR {
+			continue
+		}
+		if err != nil {
+			return
+		}
+		ipcs.CountPoll()
+		p.mu.Lock()
+		for i := 0; i < n; i++ {
+			c := p.conns[events[i].Fd]
+			if c == nil {
+				continue
+			}
+			if c.pending.Add(1) == 1 {
+				p.pool.Schedule(c)
+			}
+		}
+		p.mu.Unlock()
+	}
+}
+
+// add registers c's socket with the poller. c.fd and c.onEpoll are set
+// before the map insert: the poller loop reads the map under p.mu before
+// scheduling a drain, so the mutex orders these writes ahead of any
+// drain-task read.
+func (p *poller) add(c *conn) error {
+	var fd int
+	if err := c.rc.Control(func(f uintptr) { fd = int(f) }); err != nil {
+		return err
+	}
+	c.fd = fd
+	c.onEpoll = true
+	p.mu.Lock()
+	p.conns[int32(fd)] = c
+	p.mu.Unlock()
+	ev := syscall.EpollEvent{
+		Events: uint32(syscall.EPOLLIN|syscall.EPOLLRDHUP) | epollET,
+		Fd:     int32(fd),
+	}
+	if err := syscall.EpollCtl(p.epfd, syscall.EPOLL_CTL_ADD, fd, &ev); err != nil {
+		p.mu.Lock()
+		delete(p.conns, int32(fd))
+		p.mu.Unlock()
+		c.onEpoll = false
+		return err
+	}
+	return nil
+}
+
+// remove deregisters; idempotent, and safe against fd reuse because it
+// runs before the fd is closed.
+func (p *poller) remove(fd int) {
+	p.mu.Lock()
+	if _, ok := p.conns[int32(fd)]; !ok {
+		p.mu.Unlock()
+		return
+	}
+	delete(p.conns, int32(fd))
+	p.mu.Unlock()
+	_ = syscall.EpollCtl(p.epfd, syscall.EPOLL_CTL_DEL, fd, nil)
+}
+
+// startRecv joins the shared poller, falling back to a blocking reader
+// goroutine if epoll or the raw fd is unavailable.
+func (c *conn) startRecv() {
+	p, err := getPoller()
+	if err == nil {
+		if sc, ok := c.c.(syscall.Conn); ok {
+			if rc, rerr := sc.SyscallConn(); rerr == nil {
+				c.rc = rc
+				if p.add(c) == nil {
+					return
+				}
+			}
+		}
+	}
+	c.startBlockingReader()
+}
+
+func (c *conn) detachRecv() {
+	if c.onEpoll {
+		gPoller.remove(c.fd)
+	}
+}
+
+// wakeRecv schedules a drain so the receive path notices the close and
+// delivers its terminal error (the fallback reader wakes itself via the
+// failing read).
+func (c *conn) wakeRecv() {
+	if c.onEpoll {
+		if c.pending.Add(1) == 1 {
+			gPoller.pool.Schedule(c)
+		}
+	}
+}
+
+// errAgain marks a drained socket (EAGAIN).
+var errAgain = errors.New("tcpnet: drained")
+
+// readOnce performs one non-blocking read on the raw fd. The RawConn
+// read keeps the fd pinned against a concurrent Close.
+func (c *conn) readOnce(buf []byte) (int, error) {
+	var n int
+	var rerr error
+	cerr := c.rc.Read(func(fd uintptr) bool {
+		n, rerr = syscall.Read(int(fd), buf)
+		return true // one-shot: never park in the runtime poller
+	})
+	if cerr != nil {
+		return 0, cerr
+	}
+	if rerr == syscall.EAGAIN || rerr == syscall.EWOULDBLOCK {
+		return 0, errAgain
+	}
+	if n < 0 {
+		n = 0
+	}
+	return n, rerr
+}
+
+// Run is the conn's drain task: read to EAGAIN, parse frames, deliver.
+// At most one Run is in flight per conn (pending counter), so callbacks
+// stay serial and FIFO.
+func (c *conn) Run() {
+	for {
+		n := c.pending.Load()
+		if n == 0 {
+			return
+		}
+		c.drain()
+		if c.pending.CompareAndSwap(n, 0) {
+			return
+		}
+	}
+}
+
+func (c *conn) drain() {
+	if c.term {
+		return
+	}
+	if c.scratch == nil {
+		c.scratch = make([]byte, 64<<10)
+	}
+	for {
+		n, err := c.readOnce(c.scratch)
+		if err == errAgain {
+			return
+		}
+		if err != nil || n == 0 {
+			c.detachRecv()
+			if err == nil {
+				err = errors.New("connection closed by peer")
+			}
+			c.deliverTerminal(fmt.Errorf("tcpnet: recv: %w (%v)", ipcs.ErrClosed, err))
+			return
+		}
+		c.feed(c.scratch[:n])
+		if c.term {
+			return
+		}
+	}
+}
+
+// feed runs the incremental frame parser over one read's bytes,
+// delivering every complete frame and carrying a partial tail to the
+// next drain.
+func (c *conn) feed(data []byte) {
+	if len(c.pend) > 0 {
+		c.pend = append(c.pend, data...)
+		data = c.pend
+	}
+	for len(data) >= 4 {
+		n := getLen(data)
+		if n > MaxMessage {
+			c.detachRecv()
+			c.deliverTerminal(fmt.Errorf("tcpnet: recv: frame of %d bytes exceeds limit", n))
+			return
+		}
+		if len(data) < 4+int(n) {
+			break
+		}
+		msg := c.carve(int(n))
+		copy(msg, data[4:4+n])
+		data = data[4+n:]
+		c.cb(msg, nil)
+		if c.term {
+			return
+		}
+	}
+	if len(data) == 0 {
+		c.pend = c.pend[:0]
+	} else {
+		// data may alias c.pend's tail; append-to-front copies forward,
+		// which is overlap-safe.
+		c.pend = append(c.pend[:0], data...)
+	}
+}

@@ -12,6 +12,8 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
+	"syscall"
 
 	"ntcs/internal/ipcs"
 )
@@ -126,7 +128,8 @@ func (l *listener) Close() error {
 }
 
 type conn struct {
-	c net.Conn
+	c      net.Conn
+	closed atomic.Bool
 
 	sendMu sync.Mutex
 	w      *bufio.Writer
@@ -136,21 +139,80 @@ type conn struct {
 	prefixes []byte
 	vecs     net.Buffers
 
-	recvMu sync.Mutex
-	r      *bufio.Reader
+	// Receive side. All fields below are touched only by the serialized
+	// receive path: either the shared epoll poller's drain task (Run,
+	// at most one in flight — see the pending counter) or the fallback
+	// blocking-reader goroutine. cb is written once in Start, before any
+	// delivery can happen.
+	cb       ipcs.RecvFunc
+	termOnce sync.Once
+	term     bool // terminal delivered; stop parsing (receive path only)
 	// arena carves per-message buffers out of one large allocation.
 	// Each message owns its slice exclusively (capacity-clamped), so
 	// this only amortizes allocator and GC work — it never aliases.
 	arena []byte
+
+	// Shared-poller state (linux): the raw fd registered with epoll, a
+	// scratch read buffer, and the partial-frame carry between drains.
+	// pending counts poll events not yet drained; the 0→1 transition
+	// schedules exactly one drain task, which is what keeps callback
+	// delivery serial and FIFO per connection.
+	rc      syscall.RawConn
+	fd      int
+	onEpoll bool
+	pending atomic.Int32
+	scratch []byte
+	pend    []byte
 }
 
-// recvBufSize sizes the read buffer to swallow a full vectored batch
-// (sendQueueCap small frames) in one kernel read, so a batching sender
-// is matched by a batching receiver.
+// recvBufSize sizes the fallback reader's buffer to swallow a full
+// vectored batch (sendQueueCap small frames) in one kernel read, so a
+// batching sender is matched by a batching receiver.
 const recvBufSize = 128 << 10
 
 func newConn(c net.Conn) *conn {
-	return &conn{c: c, w: bufio.NewWriter(c), r: bufio.NewReaderSize(c, recvBufSize)}
+	return &conn{c: c, w: bufio.NewWriter(c)}
+}
+
+// Start registers the receive callback. On Linux the connection joins the
+// process-wide epoll poller — an idle connection costs no goroutine;
+// elsewhere (and when epoll setup fails) a blocking reader goroutine
+// feeds the callback.
+func (c *conn) Start(cb ipcs.RecvFunc) {
+	c.cb = cb
+	c.startRecv()
+}
+
+// deliverTerminal invokes the callback's terminal error exactly once.
+func (c *conn) deliverTerminal(err error) {
+	c.term = true
+	c.termOnce.Do(func() { c.cb(nil, err) })
+}
+
+// startBlockingReader is the portable receive path: one goroutine doing
+// framed blocking reads. Used off-Linux and as the epoll fallback.
+func (c *conn) startBlockingReader() {
+	r := bufio.NewReaderSize(c.c, recvBufSize)
+	go func() {
+		for {
+			var hdr [4]byte
+			if _, err := io.ReadFull(r, hdr[:]); err != nil {
+				c.deliverTerminal(fmt.Errorf("tcpnet: recv: %w (%v)", ipcs.ErrClosed, err))
+				return
+			}
+			n := getLen(hdr[:])
+			if n > MaxMessage {
+				c.deliverTerminal(fmt.Errorf("tcpnet: recv: frame of %d bytes exceeds limit", n))
+				return
+			}
+			msg := c.carve(int(n))
+			if _, err := io.ReadFull(r, msg); err != nil {
+				c.deliverTerminal(fmt.Errorf("tcpnet: recv: %w (%v)", ipcs.ErrClosed, err))
+				return
+			}
+			c.cb(msg, nil)
+		}
+	}()
 }
 
 // putLen and getLen are the length-prefix shift routines: explicit shifts,
@@ -230,24 +292,6 @@ func (c *conn) SendBatch(msgs [][]byte) error {
 	return nil
 }
 
-func (c *conn) Recv() ([]byte, error) {
-	c.recvMu.Lock()
-	defer c.recvMu.Unlock()
-	var hdr [4]byte
-	if _, err := io.ReadFull(c.r, hdr[:]); err != nil {
-		return nil, fmt.Errorf("tcpnet: recv: %w (%v)", ipcs.ErrClosed, err)
-	}
-	n := getLen(hdr[:])
-	if n > MaxMessage {
-		return nil, fmt.Errorf("tcpnet: recv: frame of %d bytes exceeds limit", n)
-	}
-	msg := c.carve(int(n))
-	if _, err := io.ReadFull(c.r, msg); err != nil {
-		return nil, fmt.Errorf("tcpnet: recv: %w (%v)", ipcs.ErrClosed, err)
-	}
-	return msg, nil
-}
-
 // carve returns an exclusively owned n-byte slice, refilling the arena
 // when it runs dry. Messages near the arena size get their own
 // allocation rather than a fresh arena.
@@ -264,4 +308,12 @@ func (c *conn) carve(n int) []byte {
 	return msg
 }
 
-func (c *conn) Close() error { return c.c.Close() }
+func (c *conn) Close() error {
+	if c.closed.Swap(true) {
+		return nil
+	}
+	c.detachRecv() // deregister from the poller before the fd can be reused
+	err := c.c.Close()
+	c.wakeRecv() // the receive path delivers its terminal error
+	return err
+}

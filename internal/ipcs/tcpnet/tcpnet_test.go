@@ -90,7 +90,7 @@ func TestOversizeSendRejected(t *testing.T) {
 		conn, err := l.Accept()
 		if err == nil {
 			defer conn.Close()
-			_, _ = conn.Recv()
+			conn.Start(func([]byte, error) {})
 		}
 	}()
 	huge := make([]byte, MaxMessage+1)

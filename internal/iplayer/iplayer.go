@@ -170,6 +170,7 @@ type Layer struct {
 	cutthrough  *stats.Counter
 	failovers   *stats.Counter
 	routeMisses *stats.Counter
+	bpDrops     *stats.Counter
 	ivcsOpen    *stats.Gauge
 }
 
@@ -207,6 +208,7 @@ func New(cfg Config) (*Layer, error) {
 		cutthrough:  cfg.Stats.Counter(stats.IPCutThrough),
 		failovers:   cfg.Stats.Counter(stats.IPFailovers),
 		routeMisses: cfg.Stats.Counter(stats.IPRouteMisses),
+		bpDrops:     cfg.Stats.Counter(stats.NDBackpressureDrops),
 		ivcsOpen:    cfg.Stats.Gauge(stats.IPCircuitsOpen),
 	}
 	for _, b := range cfg.Bindings {
@@ -269,7 +271,12 @@ func (l *Layer) send(ctx context.Context, dst addr.UAdd, h wire.Header, payload 
 	}
 	h.Circuit = ivc.id
 	if err := ivc.first.Send(h, payload); err != nil {
-		l.dropIVC(dst, ivc)
+		// Backpressure is congestion, not failure: the circuit is healthy
+		// and must be reused, or every stalled send would pay a fresh
+		// (chained) establishment just to hit the same full window.
+		if !errors.Is(err, ndlayer.ErrBackpressure) {
+			l.dropIVC(dst, ivc)
+		}
 		return err
 	}
 	return nil
@@ -730,6 +737,15 @@ func (l *Layer) relayFrame(in ndlayer.Inbound) bool {
 		return dest.lvc.Send(h, in.Payload)
 	}()
 	if err != nil {
+		if errors.Is(err, ndlayer.ErrBackpressure) {
+			// The downstream circuit is out of credit, not dead: drop this
+			// frame and NACK the upstream sender so it backs off. Tearing
+			// the circuit down here would convert transient congestion into
+			// a fault storm of re-establishments.
+			l.bpDrops.Inc()
+			in.Via.NackBackpressure()
+			return true
+		}
 		// §4.3: the far link is gone; close the near side of the circuit.
 		l.tearDownRelay(in.Via, in.Header.Circuit, "relay send failed")
 	}

@@ -1,0 +1,43 @@
+package lcm
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"ntcs/internal/addr"
+	"ntcs/internal/iplayer"
+	"ntcs/internal/ndlayer"
+)
+
+// TestIsAddressFaultClassification pins the send-error taxonomy: circuit
+// faults and establishment failures enter the §3.5 relocation handler;
+// backpressure — even wrapped — never does, because congestion must not
+// be answered with a naming-service stampede.
+func TestIsAddressFaultClassification(t *testing.T) {
+	bp := &ndlayer.BackpressureError{
+		Peer:          addr.UAdd(42),
+		Circuit:       7,
+		QueueDepth:    128,
+		SuggestedWait: 100 * time.Millisecond,
+	}
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"fault error", &ndlayer.FaultError{Peer: addr.UAdd(42), Err: fmt.Errorf("conn reset")}, true},
+		{"wrapped fault error", fmt.Errorf("send: %w", &ndlayer.FaultError{Peer: addr.UAdd(42), Err: fmt.Errorf("down")}), true},
+		{"open failed", fmt.Errorf("%w: timed out", iplayer.ErrOpenFailed), true},
+		{"no route", iplayer.ErrNoRoute, true},
+		{"backpressure", bp, false},
+		{"wrapped backpressure", fmt.Errorf("relay: %w", bp), false},
+		{"backpressure sentinel", ndlayer.ErrBackpressure, false},
+		{"plain error", fmt.Errorf("something else"), false},
+	}
+	for _, tc := range cases {
+		if got := isAddressFault(tc.err); got != tc.want {
+			t.Errorf("isAddressFault(%s) = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}

@@ -510,7 +510,14 @@ func (l *Layer) sendResolved(ctx context.Context, dst addr.UAdd, mode wire.Mode,
 }
 
 // isAddressFault classifies the errors the fault handler may recover from.
+// Backpressure is deliberately not one of them: a credit-starved circuit
+// is healthy, and treating congestion as relocation would stampede the
+// naming service exactly when the system is busiest. The error surfaces
+// to the caller, who may retry, wait, or shed load.
 func isAddressFault(err error) bool {
+	if errors.Is(err, ndlayer.ErrBackpressure) {
+		return false
+	}
 	var fault *ndlayer.FaultError
 	return errors.As(err, &fault) || errors.Is(err, iplayer.ErrOpenFailed) || errors.Is(err, iplayer.ErrNoRoute)
 }

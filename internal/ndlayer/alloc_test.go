@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"ntcs/internal/addr"
+	"ntcs/internal/ipcs"
 	"ntcs/internal/ipcs/memnet"
 	"ntcs/internal/machine"
 	"ntcs/internal/wire"
@@ -22,13 +23,15 @@ type nullConn struct{}
 
 func (nullConn) Send(msg []byte) error         { return nil }
 func (nullConn) SendBatch(msgs [][]byte) error { return nil }
-func (nullConn) Recv() ([]byte, error)         { select {} }
+func (nullConn) Start(cb ipcs.RecvFunc)        {}
 func (nullConn) Close() error                  { return nil }
 
 func TestSendRawZeroAlloc(t *testing.T) {
 	net := memnet.New("alloc-net", memnet.Options{})
 	f := newFixture(t, net, "alloc-mod", 2000, machine.VAX)
-	v := newLVC(f.binding, nullConn{}, 9999, machine.VAX, "peer", addr.Nil)
+	// Window 0: a directly constructed circuit is uncredited, keeping the
+	// relay path's zero-alloc guarantee independent of credit state.
+	v := newLVC(f.binding, nullConn{}, 9999, machine.VAX, "peer", addr.Nil, 0)
 
 	h := dataHeader(2000, 9999, machine.VAX)
 	frame, err := wire.Marshal(h, make([]byte, 256))

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"ntcs/internal/addr"
+	"ntcs/internal/ipcs"
 	"ntcs/internal/ipcs/memnet"
 	"ntcs/internal/machine"
 	"ntcs/internal/wire"
@@ -65,8 +66,8 @@ func (c *recordingConn) SendBatch(msgs [][]byte) error {
 	return err
 }
 
-func (c *recordingConn) Recv() ([]byte, error) { select {} }
-func (c *recordingConn) Close() error          { return nil }
+func (c *recordingConn) Start(cb ipcs.RecvFunc) {}
+func (c *recordingConn) Close() error           { return nil }
 
 func (c *recordingConn) snapshot() (frames [][]byte, batchLens []int, singles int) {
 	c.mu.Lock()
@@ -81,7 +82,7 @@ func coalescingLVC(t *testing.T, conn *recordingConn) *LVC {
 	net := memnet.New("coalesce-net", memnet.Options{})
 	f := newFixture(t, net, "coalesce-mod", 2000, machine.VAX)
 	f.binding.cfg.CoalesceWrites = true
-	v := newLVC(f.binding, conn, 9999, machine.VAX, "peer", addr.Nil)
+	v := newLVC(f.binding, conn, 9999, machine.VAX, "peer", addr.Nil, 0)
 	return v
 }
 
@@ -220,7 +221,7 @@ func TestCoalescedCloseReleasesWaiters(t *testing.T) {
 	net := memnet.New("stall-net", memnet.Options{})
 	f := newFixture(t, net, "stall-mod", 2000, machine.VAX)
 	f.binding.cfg.CoalesceWrites = true
-	v := newLVC(f.binding, conn, 9999, machine.VAX, "peer", addr.Nil)
+	v := newLVC(f.binding, conn, 9999, machine.VAX, "peer", addr.Nil, 0)
 
 	var wg sync.WaitGroup
 	errs := make(chan error, sendQueueCap*2)
@@ -266,5 +267,5 @@ func (c *stallConn) SendBatch(m [][]byte) error {
 	<-c.release
 	return errors.New("stalled conn closed")
 }
-func (c *stallConn) Recv() ([]byte, error) { select {} }
-func (c *stallConn) Close() error          { return nil }
+func (c *stallConn) Start(cb ipcs.RecvFunc) {}
+func (c *stallConn) Close() error           { return nil }

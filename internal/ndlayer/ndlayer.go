@@ -84,7 +84,37 @@ var (
 	ErrClosed       = errors.New("ndlayer: binding closed")
 	ErrWrongModule  = errors.New("ndlayer: endpoint answered with an unexpected UAdd")
 	ErrOpenRejected = errors.New("ndlayer: open rejected by peer")
+
+	// ErrBackpressure is the sentinel every BackpressureError matches via
+	// errors.Is: the circuit is out of send credit and the caller chose (or
+	// timed out) not to wait.
+	ErrBackpressure = errors.New("ndlayer: circuit backpressure (no send credit)")
 )
+
+// BackpressureError reports a send refused for want of circuit credit.
+// It is deliberately NOT a FaultError: the circuit is healthy, only
+// momentarily full, so the LCM never treats it as an address fault and
+// the IP-Layer never tears the circuit down over it.
+//
+// errors.Is(err, ErrBackpressure) matches; errors.As recovers the
+// inspectable fields.
+type BackpressureError struct {
+	// Peer is the circuit's peer UAdd.
+	Peer addr.UAdd
+	// Circuit is the process-unique LVC id (LVC.ID).
+	Circuit uint64
+	// QueueDepth is the number of frames in flight beyond the last credit
+	// grant at the moment the send gave up.
+	QueueDepth int
+	// SuggestedWait hints how long a retrying sender should back off.
+	SuggestedWait time.Duration
+}
+
+func (e *BackpressureError) Error() string {
+	return fmt.Sprintf("ndlayer: backpressure on circuit %d to %v: %d frames beyond last credit", e.Circuit, e.Peer, e.QueueDepth)
+}
+
+func (e *BackpressureError) Is(target error) bool { return target == ErrBackpressure }
 
 // Config assembles a Binding.
 type Config struct {
@@ -97,8 +127,9 @@ type Config struct {
 	// Cache is the module-wide UAdd→endpoint cache (shared across
 	// bindings; preloaded with the well-known addresses).
 	Cache *addr.EndpointCache
-	// Deliver receives every inbound frame. It runs on the LVC reader
-	// goroutine; blocking it backpressures the circuit.
+	// Deliver receives every inbound frame. It runs on the substrate's
+	// shared dispatch workers, serially per circuit; blocking it delays
+	// that circuit's grants, which backpressures the sender.
 	Deliver func(Inbound)
 	// OnCircuitDown, if non-nil, is told when an LVC dies (gateways use
 	// this for the §4.3 teardown propagation).
@@ -129,6 +160,15 @@ type Config struct {
 	// still writes immediately — the queue only forms under
 	// backpressure, so single-message latency does not regress.
 	CoalesceWrites bool
+	// CreditWindow is the receive window this binding advertises during
+	// the open handshake: how many unconsumed data frames a peer may have
+	// in flight toward us. 0 selects DefaultCreditWindow; negative
+	// disables credit flow control entirely (the binding advertises no
+	// window, so peers send uncredited).
+	CreditWindow int
+	// CreditWaitMax bounds how long a blocking send waits for circuit
+	// credit before failing with a BackpressureError; default 2s.
+	CreditWaitMax time.Duration
 }
 
 // Binding is one module's ND-Layer attachment to one network.
@@ -149,12 +189,25 @@ type Binding struct {
 	aliases addr.TAddSource
 	closed  bool
 
+	// closedFlag mirrors closed for the lock-free inbound path: frames
+	// dispatched after Close are dropped instead of delivered upward.
+	closedFlag atomic.Bool
+
 	// done closes when the binding shuts down, interrupting every
 	// in-flight dial retry wait — a closing Nucleus must never block
 	// behind a retry budget.
 	done chan struct{}
 
 	wg sync.WaitGroup
+
+	// flushers is the shared group-commit flusher pool: circuits with
+	// queued writes are drained by a bounded set of on-demand workers
+	// instead of one goroutine per LVC.
+	flushers *ipcs.Pool
+
+	// admit rate-limits outgoing credit grants (receiver-side adaptive
+	// admission); unlimited until SetAdmissionRate.
+	admit admission
 
 	// Instruments, resolved once at construction; nil pointers no-op.
 	framesIn    *stats.Counter
@@ -166,6 +219,11 @@ type Binding struct {
 	circuitsUp  *stats.Gauge
 	batches     *stats.Counter
 	batchFrames *stats.Counter
+	bpWaits     *stats.Counter
+	bpErrors    *stats.Counter
+	bpDrops     *stats.Counter
+	bpNacksIn   *stats.Counter
+	nacksOut    *stats.Counter
 }
 
 // New creates a binding: it opens the endpoint and starts accepting LVCs.
@@ -181,6 +239,9 @@ func New(cfg Config) (*Binding, error) {
 	}
 	if cfg.OpenTimeout <= 0 {
 		cfg.OpenTimeout = 5 * time.Second
+	}
+	if cfg.CreditWaitMax <= 0 {
+		cfg.CreditWaitMax = DefaultCreditWaitMax
 	}
 	if cfg.RetryPolicy.IsZero() {
 		cfg.RetryPolicy = retry.Policy{
@@ -206,6 +267,7 @@ func New(cfg Config) (*Binding, error) {
 		listener: l,
 		opening:  make(map[addr.UAdd]chan struct{}),
 		done:     make(chan struct{}),
+		flushers: ipcs.NewPool(0),
 
 		framesIn:    cfg.Stats.Counter(stats.NDFramesIn),
 		framesOut:   cfg.Stats.Counter(stats.NDFramesOut),
@@ -216,6 +278,11 @@ func New(cfg Config) (*Binding, error) {
 		circuitsUp:  cfg.Stats.Gauge(stats.NDCircuitsUp),
 		batches:     cfg.Stats.Counter(stats.NDBatches),
 		batchFrames: cfg.Stats.Counter(stats.NDFramesPerBatch),
+		bpWaits:     cfg.Stats.Counter(stats.NDBackpressureWaits),
+		bpErrors:    cfg.Stats.Counter(stats.NDBackpressureErrors),
+		bpDrops:     cfg.Stats.Counter(stats.NDBackpressureDrops),
+		bpNacksIn:   cfg.Stats.Counter(stats.NDBackpressureNacksIn),
+		nacksOut:    cfg.Stats.Counter(stats.NDNacks),
 	}
 	b.wg.Add(1)
 	go b.acceptLoop()
@@ -242,11 +309,87 @@ func (b *Binding) Endpoint() addr.Endpoint {
 	}
 }
 
+// Credit flow-control defaults: the receive window advertised at open
+// (frames a peer may have in flight unconsumed), the bound on a blocking
+// send's wait for credit, and the retry cadence for grants withheld by
+// admission control.
+const (
+	DefaultCreditWindow  = 1024
+	DefaultCreditWaitMax = 2 * time.Second
+	grantRetryDelay      = 100 * time.Millisecond
+)
+
 // openInfo is the packed control payload of TOpen/TOpenAck: the identity
 // exchange that fills endpoint caches without consulting the Name Server.
+// Window is the sender's advertised receive window (0 = uncredited).
 type openInfo struct {
 	Name     string
 	Endpoint string
+	Window   uint32
+}
+
+// advertisedWindow maps Config.CreditWindow onto the wire value.
+func (b *Binding) advertisedWindow() uint32 {
+	switch {
+	case b.cfg.CreditWindow < 0:
+		return 0
+	case b.cfg.CreditWindow == 0:
+		return DefaultCreditWindow
+	default:
+		return uint32(b.cfg.CreditWindow)
+	}
+}
+
+// SetAdmissionRate caps how many credit grants per second this binding's
+// circuits hand out (receiver-side adaptive admission). Zero or negative
+// removes the cap. Throttling grants is how a deliberately slow receiver
+// exerts end-to-end backpressure instead of buffering without bound.
+func (b *Binding) SetAdmissionRate(perSec float64) {
+	b.admit.setRate(perSec)
+}
+
+// admission is the token bucket gating outgoing credit grants.
+type admission struct {
+	mu     sync.Mutex
+	rate   float64 // grants per second; 0 = unlimited
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+func (a *admission) setRate(perSec float64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if perSec <= 0 {
+		a.rate = 0
+		return
+	}
+	a.rate = perSec
+	a.burst = perSec / 4
+	if a.burst < 1 {
+		a.burst = 1
+	}
+	a.tokens = a.burst
+	a.last = time.Now()
+}
+
+func (a *admission) allow() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.rate <= 0 {
+		return true
+	}
+	now := time.Now()
+	a.tokens += now.Sub(a.last).Seconds() * a.rate
+	a.last = now
+	if a.tokens > a.burst {
+		a.tokens = a.burst
+	}
+	if a.tokens < 1 {
+		return false
+	}
+	a.tokens--
+	return true
 }
 
 // Open returns the LVC to dst, establishing one if necessary.
@@ -293,7 +436,7 @@ func (b *Binding) open(ctx context.Context, dst addr.UAdd) (*LVC, error) {
 		b.opening[dst] = done
 		b.mu.Unlock()
 
-		v, err := b.dial(ctx, dst)
+		v, hs, err := b.dial(ctx, dst)
 
 		b.mu.Lock()
 		delete(b.opening, dst)
@@ -302,18 +445,20 @@ func (b *Binding) open(ctx context.Context, dst addr.UAdd) (*LVC, error) {
 		if err == nil {
 			// A crossing inbound open may have landed a circuit for dst
 			// while we were dialing. Swap, never Store: an LVC silently
-			// overwritten in the table would keep its conn and readLoop
-			// alive with nothing left to close them, deadlocking
-			// Binding.Close on wg.Wait.
+			// overwritten in the table would keep its conn alive with
+			// nothing left to close it.
 			if prev, loaded := b.circuits.Swap(dst, v); loaded {
 				evicted = prev.(*LVC)
 			} else {
 				b.circuitsUp.Add(1)
 			}
-			b.wg.Add(1)
-			go b.readLoop(v)
 		}
 		b.mu.Unlock()
+		if err == nil {
+			// Frames that raced the handshake replay in order before any
+			// new delivery.
+			hs.promote(func(data []byte, rerr error) { b.onRaw(v, data, rerr) })
+		}
 		if evicted != nil && evicted != v {
 			_ = evicted.Close()
 		}
@@ -333,19 +478,20 @@ func (b *Binding) Lookup(dst addr.UAdd) (*LVC, bool) {
 // dial resolves, connects (with retry on open), and runs the open
 // handshake. The retry waits select on ctx and the binding's close
 // signal, so neither a caller deadline nor Binding.Close ever blocks
-// behind the retry budget.
-func (b *Binding) dial(ctx context.Context, dst addr.UAdd) (*LVC, error) {
+// behind the retry budget. On success it returns the un-promoted
+// handshake conn; the caller promotes it once the LVC is in the table.
+func (b *Binding) dial(ctx context.Context, dst addr.UAdd) (*LVC, *hsConn, error) {
 	ep, ok := b.cfg.Cache.Find(dst, b.network)
 	if !ok {
 		b.mu.Lock()
 		r := b.resolver
 		b.mu.Unlock()
 		if r == nil {
-			return nil, &FaultError{Peer: dst, Err: ErrNoEndpoint}
+			return nil, nil, &FaultError{Peer: dst, Err: ErrNoEndpoint}
 		}
 		resolved, err := r.LookupEndpoint(dst, b.network)
 		if err != nil {
-			return nil, &FaultError{Peer: dst, Err: fmt.Errorf("resolve: %w", err)}
+			return nil, nil, &FaultError{Peer: dst, Err: fmt.Errorf("resolve: %w", err)}
 		}
 		ep = resolved
 		b.cfg.Cache.Put(dst, ep)
@@ -374,14 +520,15 @@ func (b *Binding) dial(ctx context.Context, dst addr.UAdd) (*LVC, error) {
 		if !dst.IsWellKnown() {
 			b.cfg.Cache.Delete(dst)
 		}
-		return nil, &FaultError{Peer: dst, Err: err}
+		return nil, nil, &FaultError{Peer: dst, Err: err}
 	}
 
+	hs := startHS(conn)
 	self := b.cfg.Identity
-	info, err := pack.Marshal(openInfo{Name: self.Name(), Endpoint: b.listener.Addr()})
+	info, err := pack.Marshal(openInfo{Name: self.Name(), Endpoint: b.listener.Addr(), Window: b.advertisedWindow()})
 	if err != nil {
 		_ = conn.Close()
-		return nil, fmt.Errorf("ndlayer: marshal open info: %w", err)
+		return nil, nil, fmt.Errorf("ndlayer: marshal open info: %w", err)
 	}
 	h := wire.Header{
 		Type:       wire.TOpen,
@@ -396,28 +543,28 @@ func (b *Binding) dial(ctx context.Context, dst addr.UAdd) (*LVC, error) {
 	frame, err := wire.Marshal(h, info)
 	if err != nil {
 		_ = conn.Close()
-		return nil, err
+		return nil, nil, err
 	}
 	if err := conn.Send(frame); err != nil {
 		_ = conn.Close()
-		return nil, &FaultError{Peer: dst, Err: err}
+		return nil, nil, &FaultError{Peer: dst, Err: err}
 	}
 
-	ackH, ackPayload, err := recvFrame(conn, b.cfg.OpenTimeout)
+	ackH, ackPayload, err := hs.waitFirst(b.cfg.OpenTimeout)
 	if err != nil {
 		_ = conn.Close()
-		return nil, &FaultError{Peer: dst, Err: fmt.Errorf("open handshake: %w", err)}
+		return nil, nil, &FaultError{Peer: dst, Err: fmt.Errorf("open handshake: %w", err)}
 	}
 	if ackH.Type != wire.TOpenAck {
 		_ = conn.Close()
-		return nil, &FaultError{Peer: dst, Err: fmt.Errorf("%w: got %v", ErrOpenRejected, ackH.Type)}
+		return nil, nil, &FaultError{Peer: dst, Err: fmt.Errorf("%w: got %v", ErrOpenRejected, ackH.Type)}
 	}
 	if ackH.Src != dst {
 		// The endpoint is occupied by a different module (the address was
 		// reused after a relocation): an address fault.
 		_ = conn.Close()
 		b.cfg.Cache.Delete(dst)
-		return nil, &FaultError{Peer: dst, Err: fmt.Errorf("%w: %v", ErrWrongModule, ackH.Src)}
+		return nil, nil, &FaultError{Peer: dst, Err: fmt.Errorf("%w: %v", ErrWrongModule, ackH.Src)}
 	}
 	var ackInfo openInfo
 	if err := pack.Unmarshal(ackPayload, &ackInfo); err == nil && ackInfo.Endpoint != "" {
@@ -428,35 +575,82 @@ func (b *Binding) dial(ctx context.Context, dst addr.UAdd) (*LVC, error) {
 		})
 	}
 
-	return newLVC(b, conn, dst, ackH.SrcMachine, ackInfo.Name, addr.Nil), nil
+	return newLVC(b, conn, dst, ackH.SrcMachine, ackInfo.Name, addr.Nil, ackInfo.Window), hs, nil
 }
 
-// recvFrame reads one frame with a deadline.
-func recvFrame(conn ipcs.Conn, timeout time.Duration) (wire.Header, []byte, error) {
-	type res struct {
-		h       wire.Header
-		payload []byte
-		err     error
+// hsMsg is one callback delivery buffered during the open handshake.
+type hsMsg struct {
+	data []byte
+	err  error
+}
+
+// hsConn owns a conn's receive callback from the moment the conn exists:
+// the substrate contract wants Start called exactly once, but the frames
+// arriving first belong to the open handshake while everything after
+// belongs to the circuit. hsConn routes the first delivery to the
+// handshake, buffers any that race ahead of promotion, and replays them
+// in order once promote installs the circuit's delivery function.
+type hsConn struct {
+	conn ipcs.Conn
+
+	mu      sync.Mutex
+	first   chan hsMsg // capacity 1: the handshake frame (or error)
+	gotOne  bool
+	early   []hsMsg
+	deliver func(data []byte, err error)
+}
+
+func startHS(conn ipcs.Conn) *hsConn {
+	h := &hsConn{conn: conn, first: make(chan hsMsg, 1)}
+	conn.Start(h.cb)
+	return h
+}
+
+func (h *hsConn) cb(data []byte, err error) {
+	h.mu.Lock()
+	if h.deliver != nil {
+		f := h.deliver
+		h.mu.Unlock()
+		f(data, err)
+		return
 	}
-	ch := make(chan res, 1)
-	go func() {
-		data, err := conn.Recv()
-		if err != nil {
-			ch <- res{err: err}
-			return
-		}
-		h, payload, err := wire.Unmarshal(data)
-		ch <- res{h: h, payload: payload, err: err}
-	}()
+	if !h.gotOne {
+		h.gotOne = true
+		h.mu.Unlock()
+		h.first <- hsMsg{data: data, err: err}
+		return
+	}
+	h.early = append(h.early, hsMsg{data: data, err: err})
+	h.mu.Unlock()
+}
+
+// waitFirst returns the handshake frame, closing the conn on timeout.
+func (h *hsConn) waitFirst(timeout time.Duration) (wire.Header, []byte, error) {
 	t := retry.GetTimer(timeout)
 	defer retry.PutTimer(t)
 	select {
-	case r := <-ch:
-		return r.h, r.payload, r.err
+	case m := <-h.first:
+		if m.err != nil {
+			return wire.Header{}, nil, m.err
+		}
+		return wire.Unmarshal(m.data)
 	case <-t.C:
-		_ = conn.Close()
+		_ = h.conn.Close()
 		return wire.Header{}, nil, errors.New("ndlayer: open handshake timed out")
 	}
+}
+
+// promote installs the circuit's delivery function. Early arrivals are
+// replayed under the lock: a concurrent substrate callback blocks on mu
+// until the replay finishes, which preserves serial FIFO delivery.
+func (h *hsConn) promote(f func(data []byte, err error)) {
+	h.mu.Lock()
+	for _, m := range h.early {
+		f(m.data, m.err)
+	}
+	h.early = nil
+	h.deliver = f
+	h.mu.Unlock()
 }
 
 // acceptLoop services inbound LVC opens.
@@ -475,7 +669,8 @@ func (b *Binding) acceptLoop() {
 // handleInbound runs the responder side of the open protocol.
 func (b *Binding) handleInbound(conn ipcs.Conn) {
 	defer b.wg.Done()
-	h, payload, err := recvFrame(conn, b.cfg.OpenTimeout)
+	hs := startHS(conn)
+	h, payload, err := hs.waitFirst(b.cfg.OpenTimeout)
 	if err != nil || h.Type != wire.TOpen {
 		_ = conn.Close()
 		return
@@ -510,10 +705,10 @@ func (b *Binding) handleInbound(conn ipcs.Conn) {
 		})
 	}
 
-	v := newLVC(b, conn, peer, h.SrcMachine, info.Name, remoteTAdd)
+	v := newLVC(b, conn, peer, h.SrcMachine, info.Name, remoteTAdd, info.Window)
 
 	self := b.cfg.Identity
-	ackInfo, err := pack.Marshal(openInfo{Name: self.Name(), Endpoint: b.listener.Addr()})
+	ackInfo, err := pack.Marshal(openInfo{Name: self.Name(), Endpoint: b.listener.Addr(), Window: b.advertisedWindow()})
 	if err != nil {
 		_ = conn.Close()
 		aerr = err
@@ -546,43 +741,57 @@ func (b *Binding) handleInbound(conn ipcs.Conn) {
 		return
 	}
 	// Swap, never Store: a dialed circuit to the same peer may already be
-	// in the table, and overwriting it would leak its conn and readLoop
-	// past Binding.Close (see open).
+	// in the table, and overwriting it would leak its conn past
+	// Binding.Close (see open).
 	var evicted *LVC
 	if prev, loaded := b.circuits.Swap(peer, v); loaded {
 		evicted = prev.(*LVC)
 	} else {
 		b.circuitsUp.Add(1)
 	}
-	b.wg.Add(1)
 	b.mu.Unlock()
 	if evicted != nil && evicted != v {
 		_ = evicted.Close()
 	}
-	go b.readLoop(v)
+	hs.promote(func(data []byte, rerr error) { b.onRaw(v, data, rerr) })
 }
 
-// readLoop pumps frames from an LVC upward until the circuit dies.
-func (b *Binding) readLoop(v *LVC) {
-	defer b.wg.Done()
-	for {
-		data, err := v.conn.Recv()
-		if err != nil {
-			b.circuitDown(v, err)
-			return
-		}
-		h, payload, err := wire.Unmarshal(data)
-		if err != nil {
-			b.cfg.Errors.Report(errlog.CodeUnknowncontrol, "nd", "bad frame from %v: %v", v.Peer(), err)
-			continue
-		}
-		b.framesIn.Inc()
-		b.bytesIn.Add(uint64(len(data)))
-		if b.cfg.Tracer.On() {
-			b.cfg.Tracer.Span(h.Span, trace.LayerND, "frame-in", b.network)
-		}
-		b.noteFrame(v, &h)
-		b.cfg.Deliver(Inbound{Header: h, Payload: payload, Raw: data, Via: v})
+// onRaw is the circuit's receive callback: it runs on the substrate's
+// shared dispatch workers, serially per connection, replacing the old
+// per-circuit readLoop goroutine.
+func (b *Binding) onRaw(v *LVC, data []byte, err error) {
+	if err != nil {
+		b.circuitDown(v, err)
+		return
+	}
+	h, payload, uerr := wire.Unmarshal(data)
+	if uerr != nil {
+		b.cfg.Errors.Report(errlog.CodeUnknowncontrol, "nd", "bad frame from %v: %v", v.Peer(), uerr)
+		return
+	}
+	b.framesIn.Inc()
+	b.bytesIn.Add(uint64(len(data)))
+	if b.cfg.Tracer.On() {
+		b.cfg.Tracer.Span(h.Span, trace.LayerND, "frame-in", b.network)
+	}
+	b.noteFrame(v, &h)
+	switch h.Type {
+	case wire.TCredit:
+		v.onCredit(h)
+		return
+	case wire.TNack:
+		v.onNack(h)
+		return
+	}
+	if b.closedFlag.Load() {
+		return
+	}
+	if h.Type == wire.TData && !v.noteData() {
+		return // overrun: dropped and NACKed, never delivered
+	}
+	b.cfg.Deliver(Inbound{Header: h, Payload: payload, Raw: data, Via: v})
+	if h.Type == wire.TData {
+		v.maybeGrant(false)
 	}
 }
 
@@ -703,6 +912,7 @@ func (b *Binding) Close() error {
 		return nil
 	}
 	b.closed = true
+	b.closedFlag.Store(true)
 	close(b.done)
 	var circuits []*LVC
 	b.circuits.Range(func(k, v any) bool {
@@ -744,13 +954,92 @@ type LVC struct {
 
 	// sq is the group-commit writer; nil unless Config.CoalesceWrites.
 	sq *sendQueue
+
+	// fc is the per-circuit credit flow-control state. Zero-valued (both
+	// windows 0) on directly constructed circuits: credits disabled.
+	fc flowState
+
+	// relayMu guards the parked cut-through frames. A relay worker must
+	// never block a shared dispatch worker waiting for downstream credit
+	// (on a small pool that starves every other circuit on the network),
+	// so SendRaw parks the frame here instead and grant arrival drains it
+	// on the flusher pool. relayDraining keeps the direct path closed
+	// while a drain pass holds popped-but-unsent frames, preserving FIFO.
+	relayMu       sync.Mutex
+	relayQ        []relayPending
+	relayDraining bool
 }
+
+// relayPending is one cut-through frame parked while the circuit waits
+// for downstream credit.
+type relayPending struct {
+	frame []byte
+	span  uint32
+}
+
+// flowState carries both directions of credit flow control for one LVC.
+//
+// The scheme is cumulative and loss-tolerant: the receiver grants its
+// total consumed-frame count (TCredit, Seq = count), so a lost grant is
+// subsumed by the next one; the sender bounds tx − lastGrant by the
+// peer's advertised window. A sender stuck waiting probes with
+// TCredit+FlagCall carrying its own tx count; because the substrate is
+// FIFO per connection, everything sent before the probe has either
+// arrived or is definitively lost by the time the receiver processes it,
+// so the receiver can resynchronize its consumed count to the probe's tx
+// — leaked credits from lost frames heal instead of accumulating.
+type flowState struct {
+	// Sender side. txWindow is the peer's advertised receive window
+	// (immutable after open; 0 = uncredited). eff is the AIMD effective
+	// window: halved on NACK, grown by one per grant, never above
+	// txWindow.
+	txWindow uint32
+	tx       atomic.Uint32
+	grant    atomic.Uint32
+	eff      atomic.Uint32
+
+	// gate wakes credit-blocked senders when a grant or NACK arrives.
+	gateMu sync.Mutex
+	gateCh chan struct{}
+
+	// Receiver side, guarded by rxMu (touched from the serial receive
+	// path and the grant-retry timer). rxWindow is our advertised window.
+	rxMu         sync.Mutex
+	rxWindow     uint32
+	rxCount      uint32
+	lastGrant    uint32
+	grantPending bool
+}
+
+// wake releases every sender parked on the credit gate.
+func (f *flowState) wake() {
+	f.gateMu.Lock()
+	if f.gateCh != nil {
+		close(f.gateCh)
+		f.gateCh = nil
+	}
+	f.gateMu.Unlock()
+}
+
+// waitCh returns a channel closed at the next wake.
+func (f *flowState) waitCh() <-chan struct{} {
+	f.gateMu.Lock()
+	if f.gateCh == nil {
+		f.gateCh = make(chan struct{})
+	}
+	ch := f.gateCh
+	f.gateMu.Unlock()
+	return ch
+}
+
+// cumGE reports a ≥ b under wraparound (cumulative counters).
+func cumGE(a, b uint32) bool { return int32(a-b) >= 0 }
 
 // lvcSeq hands every circuit a process-unique id, used by upper layers to
 // shard work by source circuit without holding any LVC state.
 var lvcSeq atomic.Uint64
 
-func newLVC(b *Binding, conn ipcs.Conn, peer addr.UAdd, m machine.Type, name string, remoteTAdd addr.UAdd) *LVC {
+func newLVC(b *Binding, conn ipcs.Conn, peer addr.UAdd, m machine.Type, name string, remoteTAdd addr.UAdd, peerWindow uint32) *LVC {
 	v := &LVC{
 		b:           b,
 		conn:        conn,
@@ -760,8 +1049,11 @@ func newLVC(b *Binding, conn ipcs.Conn, peer addr.UAdd, m machine.Type, name str
 	}
 	v.peer.Store(uint64(peer))
 	v.remoteTAdd.Store(uint64(remoteTAdd))
+	v.fc.txWindow = peerWindow
+	v.fc.eff.Store(peerWindow)
+	v.fc.rxWindow = b.advertisedWindow()
 	if b.cfg.CoalesceWrites {
-		v.sq = newSendQueue()
+		v.sq = newSendQueue(v)
 	}
 	return v
 }
@@ -784,8 +1076,17 @@ func (v *LVC) ID() uint64 { return v.id }
 func (v *LVC) Network() string { return v.b.network }
 
 // Send transmits one frame on the circuit. A failure closes the circuit
-// and surfaces as a FaultError.
+// and surfaces as a FaultError; exhausted send credit surfaces as a
+// BackpressureError (immediately under wire.FlagNoBlock, after
+// CreditWaitMax otherwise) and leaves the circuit up.
 func (v *LVC) Send(h wire.Header, payload []byte) error {
+	noBlock := h.Flags&wire.FlagNoBlock != 0
+	h.Flags &^= wire.FlagNoBlock // local-only, never marshalled
+	if h.Type == wire.TData && v.fc.txWindow != 0 {
+		if err := v.acquireCredit(noBlock, v.b.cfg.CreditWaitMax); err != nil {
+			return err
+		}
+	}
 	// The frame lives in a pooled buffer; on the direct path every
 	// ipcs.Conn.Send either copies it or writes it out synchronously, so
 	// it is released right after the write. On the coalescing path the
@@ -812,15 +1113,412 @@ func (v *LVC) Send(h wire.Header, payload []byte) error {
 // write may complete after SendRaw returns, so the caller must not touch
 // the buffer again. (Inbound frames satisfy this: each arrives in its own
 // freshly read buffer.)
+//
+// Data frames are credit-gated without ever blocking the caller — a
+// relay runs on a shared dispatch worker, and parking one on a slow
+// downstream would stall every circuit behind it. An exhausted window
+// instead parks the frame on the circuit's relay queue; grant arrival
+// drains the queue in order on the flusher pool, so ordinary bursts
+// relay losslessly across the grant round-trip. Only when the queue
+// itself fills (a full advertised window already parked — the downstream
+// is genuinely choked, not merely in flight) does SendRaw refuse with a
+// BackpressureError for the caller's drop-and-NACK policy.
 func (v *LVC) SendRaw(frame []byte, span uint32) error {
 	if v.closed.Load() {
 		return &FaultError{Peer: v.Peer(), Err: ipcs.ErrClosed}
+	}
+	if v.fc.txWindow != 0 && len(frame) >= wire.HeaderSize && wire.Type(frame[3]) == wire.TData {
+		v.relayMu.Lock()
+		if len(v.relayQ) > 0 || v.relayDraining || !v.tryCredit() {
+			if uint32(len(v.relayQ)) >= v.fc.txWindow {
+				v.relayMu.Unlock()
+				v.b.bpErrors.Inc()
+				return v.backpressureErr()
+			}
+			probe := len(v.relayQ) == 0
+			v.relayQ = append(v.relayQ, relayPending{frame: frame, span: span})
+			v.relayMu.Unlock()
+			if probe {
+				// Entering the parked state: if the grant that should
+				// reopen the window was lost, this resynchronizes the
+				// accounting (and a healthy peer answers with the grant
+				// that triggers the drain).
+				v.sendProbe()
+			}
+			return nil
+		}
+		v.relayMu.Unlock()
 	}
 	if v.sq != nil {
 		return v.sendCoalesced(frame, nil, span)
 	}
 	err := v.conn.Send(frame)
 	return v.finishSend(len(frame), span, err)
+}
+
+// tryCredit claims one unit of send credit if the window is open: the
+// lock-free fast path shared by blocking, no-block and relay senders.
+func (v *LVC) tryCredit() bool {
+	f := &v.fc
+	for {
+		tx := f.tx.Load()
+		if !f.inWindow(tx) {
+			return false
+		}
+		if f.tx.CompareAndSwap(tx, tx+1) {
+			return true
+		}
+	}
+}
+
+// scheduleRelayDrain starts a drain pass if frames are parked and none is
+// running. Called on every event that can reopen the window: a grant and
+// a NACK resync. The drain runs on a transient goroutine of its own, not
+// the flusher pool: on a coalescing circuit it feeds the group-commit
+// queue and may wait for queue space, and a flusher worker parked there
+// would deadlock against the flush pass it is waiting on when the pool
+// is one worker wide.
+func (v *LVC) scheduleRelayDrain() {
+	v.relayMu.Lock()
+	if len(v.relayQ) == 0 || v.relayDraining {
+		v.relayMu.Unlock()
+		return
+	}
+	v.relayDraining = true
+	v.relayMu.Unlock()
+	go v.drainRelay()
+}
+
+// drainRelay sends parked cut-through frames while credit lasts — at
+// most one pass per circuit at a time; when credit runs out it stops and
+// the next grant schedules the next pass.
+func (v *LVC) drainRelay() {
+	for {
+		v.relayMu.Lock()
+		if v.closed.Load() {
+			v.relayQ = nil
+			v.relayDraining = false
+			v.relayMu.Unlock()
+			return
+		}
+		if len(v.relayQ) == 0 || !v.tryCredit() {
+			if len(v.relayQ) == 0 {
+				v.relayQ = nil
+			}
+			v.relayDraining = false
+			v.relayMu.Unlock()
+			return
+		}
+		p := v.relayQ[0]
+		v.relayQ[0] = relayPending{}
+		v.relayQ = v.relayQ[1:]
+		v.relayMu.Unlock()
+
+		var err error
+		if v.sq != nil {
+			err = v.sendCoalesced(p.frame, nil, p.span)
+		} else {
+			err = v.conn.Send(p.frame)
+			err = v.finishSend(len(p.frame), p.span, err)
+		}
+		if err != nil {
+			// finishSend faulted and closed the circuit; the next
+			// iteration's closed check discards what remains.
+			continue
+		}
+	}
+}
+
+// acquireCredit claims one unit of the peer's receive window, waiting up
+// to budget unless noBlock. The fast path is a single CAS.
+func (v *LVC) acquireCredit(noBlock bool, budget time.Duration) error {
+	if v.tryCredit() {
+		return nil
+	}
+	if noBlock {
+		v.b.bpErrors.Inc()
+		return v.backpressureErr()
+	}
+	return v.awaitCredit(budget)
+}
+
+// inWindow reports whether one more frame at send count tx fits the
+// effective window.
+func (f *flowState) inWindow(tx uint32) bool {
+	return tx-f.grant.Load() < f.eff.Load()
+}
+
+// awaitCredit parks the sender until a grant admits it or the budget
+// expires. Midway through the wait it probes the peer (TCredit+FlagCall
+// with Seq = tx): grants lost with dropped frames are resynchronized by
+// the probe reply, so a healthy circuit never waits out the full budget
+// on stale accounting.
+func (v *LVC) awaitCredit(budget time.Duration) error {
+	f := &v.fc
+	v.b.bpWaits.Inc()
+	deadline := time.Now().Add(budget)
+	probed := false
+	for {
+		ch := f.waitCh()
+		// Re-check under the registered wait: a grant between the failed
+		// CAS and waitCh would otherwise be missed.
+		tx := f.tx.Load()
+		if f.inWindow(tx) {
+			if f.tx.CompareAndSwap(tx, tx+1) {
+				return nil
+			}
+			continue
+		}
+		if v.closed.Load() {
+			return &FaultError{Peer: v.Peer(), Err: ipcs.ErrClosed}
+		}
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			v.b.bpErrors.Inc()
+			return v.backpressureErr()
+		}
+		wait := remaining
+		if !probed && remaining > budget/2 {
+			wait = remaining - budget/2
+		}
+		t := retry.GetTimer(wait)
+		select {
+		case <-ch:
+			retry.PutTimer(t)
+		case <-t.C:
+			retry.PutTimer(t)
+			if !probed {
+				probed = true
+				v.sendProbe()
+			}
+		}
+	}
+}
+
+func (v *LVC) backpressureErr() error {
+	f := &v.fc
+	return &BackpressureError{
+		Peer:          v.Peer(),
+		Circuit:       v.id,
+		QueueDepth:    int(f.tx.Load() - f.grant.Load()),
+		SuggestedWait: grantRetryDelay,
+	}
+}
+
+// sendControl transmits a payload-free flow-control frame directly on
+// the conn (credits and NACKs are never themselves credit-gated or
+// coalesced; the substrate serializes concurrent writers).
+func (v *LVC) sendControl(t wire.Type, flags uint16, seq uint32) {
+	if v.closed.Load() {
+		return
+	}
+	h := wire.Header{
+		Type:       t,
+		Flags:      flags,
+		Src:        v.b.cfg.Identity.UAdd(),
+		Dst:        v.Peer(),
+		SrcMachine: v.b.cfg.Identity.Machine(),
+		Seq:        seq,
+	}
+	frame, err := wire.MarshalBuf(h, nil)
+	if err != nil {
+		return
+	}
+	n := len(frame.Bytes())
+	err = v.conn.Send(frame.Bytes())
+	frame.Release()
+	if err == nil {
+		v.b.framesOut.Inc()
+		v.b.bytesOut.Add(uint64(n))
+	}
+}
+
+// sendProbe asks the peer to resynchronize and re-grant: Seq carries our
+// cumulative sent count. The receiver trusts per-conn FIFO when it
+// resyncs ("everything sent before this probe has arrived or is lost"),
+// so on a coalescing circuit the probe must travel through the
+// group-commit queue behind the data frames it accounts for — written
+// directly it would overtake them and the resync would double-count.
+func (v *LVC) sendProbe() {
+	seq := v.fc.tx.Load()
+	if v.sq == nil {
+		v.sendControl(wire.TCredit, wire.FlagCall, seq)
+		return
+	}
+	h := wire.Header{
+		Type:       wire.TCredit,
+		Flags:      wire.FlagCall,
+		Src:        v.b.cfg.Identity.UAdd(),
+		Dst:        v.Peer(),
+		SrcMachine: v.b.cfg.Identity.Machine(),
+		Seq:        seq,
+	}
+	frame, err := wire.MarshalBuf(h, nil)
+	if err != nil {
+		return
+	}
+	_ = v.sendCoalesced(frame.Bytes(), frame, 0)
+}
+
+// NackBackpressure tells the peer a frame it delivered here could not
+// travel further — a gateway's downstream circuit refused it for want of
+// credit — and was dropped. Seq carries the receive-side consumed count
+// so the sender's watermark resyncs, and the NACK's multiplicative
+// decrease slows it down. Called by the IP-Layer relay; the circuit
+// itself stays up.
+func (v *LVC) NackBackpressure() {
+	f := &v.fc
+	var seq uint32
+	if f.rxWindow != 0 {
+		f.rxMu.Lock()
+		seq = f.rxCount
+		f.rxMu.Unlock()
+	}
+	v.b.nacksOut.Inc()
+	v.sendControl(wire.TNack, 0, seq)
+}
+
+// onCredit handles an inbound TCredit: either a peer's probe (FlagCall —
+// resync our consumed count to its sent count and answer with a grant)
+// or a grant (advance the cumulative consumed watermark and wake
+// senders).
+func (v *LVC) onCredit(h wire.Header) {
+	if h.Flags&wire.FlagCall != 0 {
+		f := &v.fc
+		if f.rxWindow != 0 {
+			f.rxMu.Lock()
+			// FIFO conns mean every frame sent before this probe has
+			// arrived or is lost for good: the probe's tx is the truth.
+			if !cumGE(f.rxCount, h.Seq) {
+				f.rxCount = h.Seq
+			}
+			f.rxMu.Unlock()
+			v.maybeGrant(true)
+		}
+		return
+	}
+	f := &v.fc
+	for {
+		old := f.grant.Load()
+		if cumGE(old, h.Seq) {
+			break
+		}
+		if f.grant.CompareAndSwap(old, h.Seq) {
+			break
+		}
+	}
+	// Additive increase back toward the full advertised window.
+	for {
+		eff := f.eff.Load()
+		if eff >= f.txWindow {
+			break
+		}
+		if f.eff.CompareAndSwap(eff, eff+1) {
+			break
+		}
+	}
+	f.wake()
+	v.scheduleRelayDrain()
+}
+
+// onNack handles an inbound TNack: the peer dropped a frame on overrun.
+// Seq resynchronizes the consumed watermark; the effective window halves
+// (the multiplicative decrease) so the sender backs off.
+func (v *LVC) onNack(h wire.Header) {
+	f := &v.fc
+	v.b.bpNacksIn.Inc()
+	for {
+		old := f.grant.Load()
+		if cumGE(old, h.Seq) {
+			break
+		}
+		if f.grant.CompareAndSwap(old, h.Seq) {
+			break
+		}
+	}
+	for {
+		eff := f.eff.Load()
+		next := eff / 2
+		if next < 1 {
+			next = 1
+		}
+		if eff <= next {
+			break
+		}
+		if f.eff.CompareAndSwap(eff, next) {
+			break
+		}
+	}
+	f.wake()
+	v.scheduleRelayDrain()
+}
+
+// noteData accounts one inbound data frame on the receiver side. It
+// reports false — drop, NACK — when the sender overran our advertised
+// window: rxCount can only exceed lastGrant+window if the peer ignored
+// its credit bound, because losses merely undercount rxCount.
+func (v *LVC) noteData() bool {
+	f := &v.fc
+	if f.rxWindow == 0 {
+		return true
+	}
+	f.rxMu.Lock()
+	if !cumGE(f.lastGrant+f.rxWindow, f.rxCount+1) {
+		consumed := f.rxCount
+		f.rxMu.Unlock()
+		v.b.nacksOut.Inc()
+		v.sendControl(wire.TNack, 0, consumed)
+		return false
+	}
+	f.rxCount++
+	f.rxMu.Unlock()
+	return true
+}
+
+// maybeGrant sends a cumulative credit grant when enough has been
+// consumed since the last one (half the window), subject to the
+// binding's admission rate. A denied grant is retried on a timer so a
+// throttled receiver keeps draining at the admitted rate instead of
+// wedging the circuit. force skips the half-window threshold (probe
+// replies and retry flushes).
+func (v *LVC) maybeGrant(force bool) {
+	f := &v.fc
+	if f.rxWindow == 0 {
+		return
+	}
+	f.rxMu.Lock()
+	owed := f.rxCount - f.lastGrant
+	if owed == 0 && !force {
+		f.rxMu.Unlock()
+		return
+	}
+	if !force && owed < f.rxWindow/2 {
+		f.rxMu.Unlock()
+		return
+	}
+	if !v.b.admit.allow() {
+		if !f.grantPending {
+			f.grantPending = true
+			time.AfterFunc(grantRetryDelay, v.grantFlush)
+		}
+		f.rxMu.Unlock()
+		return
+	}
+	seq := f.rxCount
+	f.lastGrant = seq
+	f.rxMu.Unlock()
+	v.sendControl(wire.TCredit, 0, seq)
+}
+
+// grantFlush is the deferred grant retry for admission-denied grants.
+func (v *LVC) grantFlush() {
+	v.fc.rxMu.Lock()
+	v.fc.grantPending = false
+	v.fc.rxMu.Unlock()
+	if v.closed.Load() {
+		return
+	}
+	v.maybeGrant(true)
 }
 
 // finishSend is the common tail of every direct write: fault handling,
@@ -844,13 +1542,23 @@ func (v *LVC) finishSend(n int, span uint32, err error) error {
 
 func (v *LVC) markClosed() {
 	v.closed.Store(true)
+	v.fc.wake() // credit waiters observe the close
+	// Parked relay frames die with the circuit (their upstream learns of
+	// the fault through the relay teardown, not a NACK).
+	v.relayMu.Lock()
+	v.relayQ = nil
+	v.relayMu.Unlock()
 	if v.sq != nil {
-		// Wake anyone parked on a full queue, and the flusher, so they
-		// observe the close.
-		v.sq.mu.Lock()
-		v.sq.space.Broadcast()
-		v.sq.kick.Broadcast()
-		v.sq.mu.Unlock()
+		// Wake anyone parked on a full queue, and schedule a final flush
+		// pass so queued buffers are released.
+		q := v.sq
+		q.mu.Lock()
+		q.space.Broadcast()
+		if !q.scheduled && len(q.entries) > 0 {
+			q.scheduled = true
+			v.b.flushers.Schedule(q)
+		}
+		q.mu.Unlock()
 	}
 }
 
@@ -865,29 +1573,31 @@ func (v *LVC) Close() error {
 }
 
 // sendQueue is the per-LVC group-commit writer. Senders only append
-// their frame to the queue and wake the flusher; a single flusher
-// goroutine (started lazily on the first coalesced send) swaps the queue
-// out under the lock and writes everything it found in one vectored
-// SendBatch. On an idle circuit the flusher is parked on the kick
-// condition and drains the lone frame as soon as it is scheduled — no
-// timer, no deliberate delay. Under load the flush pipeline runs one
-// batch deep behind the producers: every frame enqueued while the
-// flusher is inside a write goes out in the next batch, which is where
-// the syscall coalescing comes from.
+// their frame to the queue and schedule the circuit on the binding's
+// shared flusher pool; a pool worker swaps the queue out under the lock
+// and writes everything it found in one vectored SendBatch. An idle
+// circuit costs no flusher goroutine at all — workers exist only while
+// circuits have queued writes, and a circuit with more work after a pass
+// re-enters the pool's queue at the tail, round-robining the workers
+// across busy circuits. Under load the flush pipeline runs one batch
+// deep behind the producers: every frame enqueued while a worker is
+// inside a write goes out in the next batch, which is where the syscall
+// coalescing comes from.
 //
 // A coalesced send reports success at enqueue time; a transmission
-// failure surfaces on the flusher, which closes the circuit, so every
-// later send observes the FaultError. That is the same delivery contract
-// a direct Send already has — a frame accepted by the kernel's socket
-// buffer may still never arrive.
+// failure surfaces on the flusher pass, which closes the circuit, so
+// every later send observes the FaultError. That is the same delivery
+// contract a direct Send already has — a frame accepted by the kernel's
+// socket buffer may still never arrive.
 type sendQueue struct {
-	mu      sync.Mutex
-	space   *sync.Cond // waits for room when entries is at capacity
-	kick    *sync.Cond // wakes the flusher when entries becomes non-empty
-	started bool       // flusher goroutine is running
-	entries []sendEntry
-	drain   []sendEntry // double-buffer swapped with entries by the flusher
-	scratch [][]byte    // iovec list reused across batches
+	v *LVC
+
+	mu        sync.Mutex
+	space     *sync.Cond // waits for room when entries is at capacity
+	scheduled bool       // queued on (or being drained by) the flusher pool
+	entries   []sendEntry
+	drain     []sendEntry // double-buffer swapped with entries by the flusher
+	scratch   [][]byte    // iovec list reused across batches
 }
 
 // sendQueueCap bounds how many frames may wait ahead of the flusher;
@@ -895,10 +1605,9 @@ type sendQueue struct {
 // saturated direct Send would exert.
 const sendQueueCap = 256
 
-func newSendQueue() *sendQueue {
-	q := &sendQueue{}
+func newSendQueue(v *LVC) *sendQueue {
+	q := &sendQueue{v: v}
 	q.space = sync.NewCond(&q.mu)
-	q.kick = sync.NewCond(&q.mu)
 	return q
 }
 
@@ -926,86 +1635,94 @@ func (v *LVC) sendCoalesced(frame []byte, buf *wire.Buf, span uint32) error {
 		return &FaultError{Peer: v.Peer(), Err: ipcs.ErrClosed}
 	}
 	q.entries = append(q.entries, sendEntry{frame: frame, buf: buf, span: span})
-	if !q.started {
-		q.started = true
-		go v.flushLoop()
+	if !q.scheduled {
+		q.scheduled = true
+		v.b.flushers.Schedule(q)
 	}
-	q.kick.Signal()
 	q.mu.Unlock()
 	return nil
 }
 
-// flushLoop is the per-LVC flusher. It exits once the circuit is closed
-// and the queue has been emptied — every remaining buffer released — so
-// no frame is stranded. No lock is held across any write.
-func (v *LVC) flushLoop() {
-	q := v.sq
+// Run performs one flush pass (the queue's ipcs.Task, invoked by the
+// shared pool). No lock is held across any write.
+func (q *sendQueue) Run() {
+	v := q.v
 	q.mu.Lock()
-	for {
-		for len(q.entries) == 0 {
-			if v.closed.Load() {
-				q.mu.Unlock()
-				return
-			}
-			q.kick.Wait()
-		}
-		batch := q.entries
-		q.entries = q.drain[:0]
-		q.drain = batch
-		q.space.Broadcast()
+	if len(q.entries) == 0 {
+		q.scheduled = false
 		q.mu.Unlock()
+		return
+	}
+	batch := q.entries
+	q.entries = q.drain[:0]
+	q.drain = batch
+	q.space.Broadcast()
+	q.mu.Unlock()
 
-		if v.closed.Load() {
-			for i := range batch {
-				if batch[i].buf != nil {
-					batch[i].buf.Release()
-				}
-				batch[i].frame, batch[i].buf = nil, nil
-			}
-			q.mu.Lock()
-			continue
-		}
-		msgs := q.scratch[:0]
-		total := 0
+	if v.closed.Load() {
 		for i := range batch {
-			msgs = append(msgs, batch[i].frame)
-			total += len(batch[i].frame)
-		}
-		q.scratch = msgs
-		var err error
-		if len(msgs) == 1 {
-			err = v.conn.Send(msgs[0])
-		} else {
-			err = v.conn.SendBatch(msgs)
-		}
-		if err != nil {
-			peer := v.Peer()
-			_ = v.Close()
-			if v.b.circuits.CompareAndDelete(peer, v) {
-				v.b.circuitsUp.Add(-1)
+			if batch[i].buf != nil {
+				batch[i].buf.Release()
 			}
-		} else {
-			if len(msgs) > 1 {
-				v.b.batches.Inc()
-				v.b.batchFrames.Add(uint64(len(msgs)))
-			}
-			v.b.framesOut.Add(uint64(len(msgs)))
-			v.b.bytesOut.Add(uint64(total))
+			batch[i].frame, batch[i].buf = nil, nil
 		}
-		for i := range msgs {
-			msgs[i] = nil // drop frame refs from the reused iovec list
+	} else {
+		q.write(batch)
+	}
+
+	q.mu.Lock()
+	if len(q.entries) > 0 {
+		// More arrived during the write: rejoin the pool's queue at the
+		// tail so other busy circuits get a worker first.
+		v.b.flushers.Schedule(q)
+	} else {
+		q.scheduled = false
+	}
+	q.mu.Unlock()
+}
+
+// write transmits one swapped-out batch and releases its buffers.
+func (q *sendQueue) write(batch []sendEntry) {
+	v := q.v
+	msgs := q.scratch[:0]
+	total := 0
+	for i := range batch {
+		msgs = append(msgs, batch[i].frame)
+		total += len(batch[i].frame)
+	}
+	q.scratch = msgs
+	var err error
+	if len(msgs) == 1 {
+		err = v.conn.Send(msgs[0])
+	} else {
+		err = v.conn.SendBatch(msgs)
+	}
+	if err != nil {
+		peer := v.Peer()
+		_ = v.Close()
+		if v.b.circuits.CompareAndDelete(peer, v) {
+			v.b.circuitsUp.Add(-1)
 		}
-		traceOn := err == nil && v.b.cfg.Tracer.On()
-		for i := range batch {
-			e := &batch[i]
-			if traceOn {
-				v.b.cfg.Tracer.Span(e.span, trace.LayerND, "frame-out", v.b.network)
-			}
-			if e.buf != nil {
-				e.buf.Release()
-			}
-			e.frame, e.buf = nil, nil
+	} else {
+		if len(msgs) > 1 {
+			v.b.batches.Inc()
+			v.b.batchFrames.Add(uint64(len(msgs)))
 		}
-		q.mu.Lock()
+		v.b.framesOut.Add(uint64(len(msgs)))
+		v.b.bytesOut.Add(uint64(total))
+	}
+	for i := range msgs {
+		msgs[i] = nil // drop frame refs from the reused iovec list
+	}
+	traceOn := err == nil && v.b.cfg.Tracer.On()
+	for i := range batch {
+		e := &batch[i]
+		if traceOn {
+			v.b.cfg.Tracer.Span(e.span, trace.LayerND, "frame-out", v.b.network)
+		}
+		if e.buf != nil {
+			e.buf.Release()
+		}
+		e.frame, e.buf = nil, nil
 	}
 }

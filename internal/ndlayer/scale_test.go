@@ -1,0 +1,314 @@
+package ndlayer
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ntcs/internal/addr"
+	"ntcs/internal/ipcs/memnet"
+	"ntcs/internal/machine"
+)
+
+// scaleBinding is the stripped-down fixture for the scale tests: no
+// per-binding channels (a buffered chan per binding would itself distort
+// the memory numbers), deliveries go to the supplied callback or are
+// discarded, and all bindings share one endpoint cache.
+func scaleBinding(t testing.TB, net *memnet.Net, cache *addr.EndpointCache, name string, u addr.UAdd, deliver func(Inbound)) *Binding {
+	t.Helper()
+	if deliver == nil {
+		deliver = func(Inbound) {}
+	}
+	b, err := New(Config{
+		Network:       net,
+		EndpointHint:  name,
+		Identity:      &testIdentity{u: u, m: machine.VAX, name: name},
+		Cache:         cache,
+		Deliver:       deliver,
+		OnCircuitDown: func(addr.UAdd, *LVC, error) {},
+		OpenTimeout:   30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { b.Close() })
+	return b
+}
+
+// openMesh opens a circuit for every (i, j) pair with i < j, fanning the
+// dials out over a bounded worker pool, and fails the test on the first
+// open error.
+func openMesh(t testing.TB, bindings []*Binding, uadds []addr.UAdd, workers int) {
+	t.Helper()
+	type pair struct{ i, j int }
+	work := make(chan pair, workers)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for p := range work {
+				if _, err := bindings[p.i].Open(uadds[p.j]); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("open %d->%d: %w", p.i, p.j, err)
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := range bindings {
+		for j := i + 1; j < len(bindings); j++ {
+			work <- pair{i, j}
+		}
+	}
+	close(work)
+	wg.Wait()
+	if firstErr != nil {
+		t.Fatal(firstErr)
+	}
+}
+
+// TestIdleCircuitGoroutineBudget is the CI scale gate: a fully meshed
+// population of bindings holds thousands of established, idle circuits,
+// and the process goroutine count must reflect the event-driven substrate
+// — one accept loop per binding plus the shared pools, NOT a reader or
+// flusher goroutine per circuit. Before PR 6 each LVC cost at least one
+// parked goroutine and this budget was unreachable.
+func TestIdleCircuitGoroutineBudget(t *testing.T) {
+	const (
+		nBindings = 100
+		budget    = 600 // ~1/binding + shared pools + test runner slack
+	)
+	net := memnet.New("scale", memnet.Options{})
+	cache := addr.NewEndpointCache()
+	bindings := make([]*Binding, nBindings)
+	uadds := make([]addr.UAdd, nBindings)
+	for i := range bindings {
+		uadds[i] = addr.UAdd(10_000 + i)
+		bindings[i] = scaleBinding(t, net, cache, fmt.Sprintf("b-%03d", i), uadds[i], nil)
+	}
+	for i, b := range bindings {
+		cache.Put(uadds[i], b.Endpoint())
+	}
+
+	openMesh(t, bindings, uadds, 32)
+	circuits := nBindings * (nBindings - 1) / 2
+	t.Logf("%d bindings, %d circuits (%d LVC endpoints) established", nBindings, circuits, 2*circuits)
+
+	// Handshake goroutines are transient; give them a moment to drain,
+	// polling rather than sleeping a fixed worst case.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n < budget {
+			t.Logf("idle goroutines: %d (budget %d)", n, budget)
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine count %d never settled under budget %d: circuits are not event-driven", n, budget)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// TestHotSenderDoesNotStarveIdleCircuits extends the FIFO fairness suite
+// down to the ND-Layer: one circuit floods a receiver flat out while a
+// thousand circuits sit idle, then every idle circuit sends a single
+// frame. All thousand must land promptly — the shared dispatch and
+// flusher pools schedule per-circuit work FIFO, and a re-scheduling hot
+// task goes to the back of the queue, so cold circuits cannot be starved.
+func TestHotSenderDoesNotStarveIdleCircuits(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1k-binding fairness soak")
+	}
+	const nIdle = 1000
+	net := memnet.New("fair", memnet.Options{})
+	cache := addr.NewEndpointCache()
+
+	const (
+		recvU = addr.UAdd(500)
+		hotU  = addr.UAdd(501)
+	)
+	var mu sync.Mutex
+	seen := make(map[addr.UAdd]bool)
+	var idleSeen atomic.Int64
+	recv := scaleBinding(t, net, cache, "fair-recv", recvU, func(in Inbound) {
+		src := in.Header.Src
+		if src == hotU {
+			return
+		}
+		mu.Lock()
+		if !seen[src] {
+			seen[src] = true
+			idleSeen.Add(1)
+		}
+		mu.Unlock()
+	})
+	cache.Put(recvU, recv.Endpoint())
+
+	hot := scaleBinding(t, net, cache, "fair-hot", hotU, nil)
+	// The hot sender goes through the group-commit writer so the shared
+	// flusher pool is on the fairness path too, not just the dispatcher.
+	hot.cfg.CoalesceWrites = true
+
+	idle := make([]*LVC, nIdle)
+	idleU := make([]addr.UAdd, nIdle)
+	for i := range idle {
+		idleU[i] = addr.UAdd(1000 + i)
+		b := scaleBinding(t, net, cache, fmt.Sprintf("fair-%04d", i), idleU[i], nil)
+		v, err := b.Open(recvU)
+		if err != nil {
+			t.Fatal(err)
+		}
+		idle[i] = v
+	}
+
+	hotLVC, err := hot.Open(recvU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var flooded atomic.Int64
+	go func() {
+		h := dataHeader(hotU, recvU, machine.VAX)
+		body := []byte("hot")
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := hotLVC.Send(h, body); err == nil {
+				flooded.Add(1)
+			}
+		}
+	}()
+	defer close(stop)
+
+	// Let the flood saturate the receiver's pools before the idle
+	// circuits wake up.
+	floodDeadline := time.Now().Add(5 * time.Second)
+	for flooded.Load() < 1000 {
+		if time.Now().After(floodDeadline) {
+			t.Fatalf("hot sender only pushed %d frames", flooded.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, 64)
+	for i := range idle {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if err := idle[i].Send(dataHeader(idleU[i], recvU, machine.VAX), []byte("wake")); err != nil {
+				t.Errorf("idle sender %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	deadline := time.Now().Add(30 * time.Second)
+	for idleSeen.Load() < nIdle {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d idle circuits delivered under a hot sender (%d hot frames relayed): starvation",
+				idleSeen.Load(), nIdle, flooded.Load())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Logf("all %d idle frames delivered while the hot circuit pushed %d", nIdle, flooded.Load())
+}
+
+// TestScale100kCircuits is the C1M-direction headline number, gated
+// behind NTCS_SCALE=1 (run via `make bench-scale`): ~320 bindings fully
+// meshed hold >100k live LVC endpoints in one process, and the goroutine
+// count stays proportional to bindings, not circuits. Results feed
+// BENCH_PR6.json.
+func TestScale100kCircuits(t *testing.T) {
+	if os.Getenv("NTCS_SCALE") == "" {
+		t.Skip("set NTCS_SCALE=1 (or run `make bench-scale`) for the 100k-circuit benchmark")
+	}
+	const nBindings = 320
+	net := memnet.New("c100k", memnet.Options{})
+	cache := addr.NewEndpointCache()
+
+	var delivered atomic.Int64
+	g0 := runtime.NumGoroutine()
+	var m0 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+
+	bindings := make([]*Binding, nBindings)
+	uadds := make([]addr.UAdd, nBindings)
+	for i := range bindings {
+		uadds[i] = addr.UAdd(100_000 + i)
+		bindings[i] = scaleBinding(t, net, cache, fmt.Sprintf("c-%03d", i), uadds[i],
+			func(Inbound) { delivered.Add(1) })
+	}
+	for i, b := range bindings {
+		cache.Put(uadds[i], b.Endpoint())
+	}
+
+	start := time.Now()
+	openMesh(t, bindings, uadds, 128)
+	establish := time.Since(start)
+	circuits := nBindings * (nBindings - 1) / 2
+	endpoints := 2 * circuits
+
+	// Every circuit stays up and usable: sweep one data frame across a
+	// stride of them and watch the deliveries land.
+	const sample = 1000
+	sent := 0
+	for k := 0; k < sample; k++ {
+		i := k % nBindings
+		j := (i + 1 + k%(nBindings-1)) % nBindings
+		v, err := bindings[i].Open(uadds[j]) // warm path: existing LVC
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := v.Send(dataHeader(uadds[i], uadds[j], machine.VAX), []byte("ping")); err != nil {
+			t.Fatal(err)
+		}
+		sent++
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for delivered.Load() < int64(sent) {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d sample frames delivered", delivered.Load(), sent)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Let handshake transients exit before counting.
+	time.Sleep(500 * time.Millisecond)
+	gN := runtime.NumGoroutine()
+	runtime.GC()
+	var mN runtime.MemStats
+	runtime.ReadMemStats(&mN)
+
+	t.Logf("circuits=%d lvc_endpoints=%d establish=%v (%.0f/s)",
+		circuits, endpoints, establish, float64(circuits)/establish.Seconds())
+	t.Logf("goroutines=%d (baseline %d, %.4f per circuit) heap_alloc=%.1f MiB (%.0f B per LVC endpoint)",
+		gN, g0, float64(gN-g0)/float64(circuits),
+		float64(mN.HeapAlloc)/(1<<20), float64(mN.HeapAlloc-m0.HeapAlloc)/float64(endpoints))
+
+	if endpoints < 100_000 {
+		t.Fatalf("mesh holds %d LVC endpoints, want >= 100k", endpoints)
+	}
+	// Sublinearity assertion: a goroutine-per-circuit design would sit at
+	// ~50k+ goroutines here; the event-driven substrate needs roughly one
+	// per binding.
+	if gN > 4*nBindings {
+		t.Fatalf("%d goroutines for %d bindings / %d circuits: not sublinear in circuits", gN, nBindings, circuits)
+	}
+}

@@ -69,6 +69,14 @@ type Config struct {
 	// CoalesceWrites enables the ND-Layer group-commit writer on every
 	// binding (see ndlayer.Config.CoalesceWrites).
 	CoalesceWrites bool
+	// CreditWindow is the per-circuit receive window every binding
+	// advertises (see ndlayer.Config.CreditWindow): 0 selects the default,
+	// negative disables credit flow control.
+	CreditWindow int
+	// CreditWaitMax bounds how long a blocking send waits for circuit
+	// credit before failing with backpressure (see
+	// ndlayer.Config.CreditWaitMax).
+	CreditWaitMax time.Duration
 	// DispatchWorkers tunes LCM inbound parallelism (see
 	// lcm.Config.DispatchWorkers): 0 default, negative inline.
 	DispatchWorkers int
@@ -131,6 +139,8 @@ func New(cfg Config) (*Nucleus, error) {
 			Stats:          cfg.Stats,
 			OpenTimeout:    cfg.OpenTimeout,
 			CoalesceWrites: cfg.CoalesceWrites,
+			CreditWindow:   cfg.CreditWindow,
+			CreditWaitMax:  cfg.CreditWaitMax,
 		})
 		if err != nil {
 			n.closeBindings()
@@ -203,6 +213,17 @@ func (n *Nucleus) SetNaming(ns NamingService) {
 	}
 	n.IP.SetDirectory(ns)
 	n.LCM.SetResolver(ns)
+}
+
+// SetAdmissionRate bounds how fast every binding hands out circuit
+// credit, in grants per second across all of a binding's circuits
+// (0 removes the bound). The adaptive admission valve of the flow-control
+// design: lowering the rate slows every sender at the source instead of
+// queueing their frames here.
+func (n *Nucleus) SetAdmissionRate(perSec float64) {
+	for _, b := range n.Bindings {
+		b.SetAdmissionRate(perSec)
+	}
 }
 
 // Endpoints returns this module's physical address records, one per

@@ -451,4 +451,21 @@ const (
 	// CounterFunc so ntcsstat shows compilation and reuse rates)
 	PackCompiles = "pack.compiles"
 	PackPlanHits = "pack.plan_hits"
+
+	// ND-Layer flow control: credit-gated senders that had to wait, sends
+	// that failed with a BackpressureError, relayed frames a gateway
+	// dropped for want of downstream credit, and NACKs seen from the peer.
+	NDBackpressureWaits   = "nd.backpressure.waits"
+	NDBackpressureErrors  = "nd.backpressure.errors"
+	NDBackpressureDrops   = "nd.backpressure.drops"
+	NDBackpressureNacksIn = "nd.backpressure.nacks_in"
+	// NDNacks counts overrun NACKs this side sent (receiver role).
+	NDNacks = "nd.nacks"
+
+	// IPCS shared dispatcher (process-global; surfaced per module via
+	// CounterFunc): poller wakeups, callback tasks dispatched, and poll
+	// batches taken from the OS.
+	IPCSPollerWakeups    = "ipcs.poller.wakeups"
+	IPCSPollerDispatches = "ipcs.poller.dispatches"
+	IPCSPollerPolls      = "ipcs.poller.polls"
 )

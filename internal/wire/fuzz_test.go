@@ -37,9 +37,9 @@ func fuzzSeedFrame(tb testing.TB) []byte {
 func FuzzHeaderDecode(f *testing.F) {
 	valid := fuzzSeedFrame(f)
 	f.Add(valid)
-	f.Add(valid[:HeaderSize])      // payload truncated away (ErrTruncated path)
-	f.Add(valid[:HeaderSize-1])    // one byte short of a header
-	f.Add([]byte{})                // empty
+	f.Add(valid[:HeaderSize])                       // payload truncated away (ErrTruncated path)
+	f.Add(valid[:HeaderSize-1])                     // one byte short of a header
+	f.Add([]byte{})                                 // empty
 	f.Add(bytes.Repeat([]byte{0xFF}, HeaderSize+8)) // bad magic
 
 	corrupt := append([]byte(nil), valid...)

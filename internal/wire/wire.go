@@ -48,6 +48,8 @@ const (
 	TPing                       // liveness probe
 	TPong                       // liveness reply
 	TAddrUpdate                 // §3.4: source's TAdd has been replaced by a real UAdd
+	TCredit                     // ND-Layer flow control: cumulative receive credit grant (Seq = consumed count)
+	TNack                       // ND-Layer flow control: receiver overrun, frame dropped (Seq = last consumed)
 
 	numTypes
 )
@@ -72,6 +74,10 @@ func (t Type) String() string {
 		return "pong"
 	case TAddrUpdate:
 		return "addr-update"
+	case TCredit:
+		return "credit"
+	case TNack:
+		return "nack"
 	default:
 		return fmt.Sprintf("type(%d)", uint8(t))
 	}
@@ -114,6 +120,11 @@ const (
 	FlagConnless                    // LCM connectionless protocol: no recovery, no relocation
 	FlagService                     // internal NTCS/DRTS traffic: monitoring and time hooks stay off
 	FlagError                       // reply carries an error string instead of a result
+
+	// FlagNoBlock is local-only: it asks the ND-Layer send path to fail
+	// with a backpressure error instead of waiting for circuit credit. It
+	// is stripped before the header is marshalled and never travels.
+	FlagNoBlock uint16 = 1 << 6
 )
 
 // Header is the fixed-size shift-mode message header.

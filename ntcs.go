@@ -39,6 +39,7 @@ import (
 	"ntcs/internal/core"
 	"ntcs/internal/lcm"
 	"ntcs/internal/machine"
+	"ntcs/internal/ndlayer"
 	"ntcs/internal/nsp"
 )
 
@@ -95,16 +96,38 @@ const (
 
 // Errors surfaced at the application interface.
 var (
-	ErrRemote        = lcm.ErrRemote        // the callee replied with an error
-	ErrCallTimeout   = lcm.ErrCallTimeout   // no reply arrived in time; matches context.DeadlineExceeded
-	ErrNoReplacement = lcm.ErrNoReplacement // destination gone, no successor module
-	ErrNotFound      = nsp.ErrNotFound      // name or address unknown to the naming service
+	ErrRemote        = lcm.ErrRemote           // the callee replied with an error
+	ErrCallTimeout   = lcm.ErrCallTimeout      // no reply arrived in time; matches context.DeadlineExceeded
+	ErrNoReplacement = lcm.ErrNoReplacement    // destination gone, no successor module
+	ErrNotFound      = nsp.ErrNotFound         // name or address unknown to the naming service
+	ErrBackpressure  = ndlayer.ErrBackpressure // circuit out of send credit; the peer has not drained
 )
 
 // RemoteError is the structured form of an error reply: errors.As
 // exposes the failing callee's UAdd and its message. Every RemoteError
 // also matches ErrRemote under errors.Is.
 type RemoteError = lcm.RemoteError
+
+// BackpressureError is the structured form of a send refused (or timed
+// out) for want of circuit credit: the destination exists and the
+// circuit is healthy, but the receiver has not consumed enough of what
+// was already sent. errors.Is(err, ErrBackpressure) matches it;
+// errors.As exposes the peer, the circuit, the queue depth at the moment
+// the send gave up, and a suggested backoff. It is never a relocation
+// signal: the LCM address-fault handler ignores it and the IP-Layer
+// keeps the circuit. Callers choose the policy — retry after
+// SuggestedWait, shed load, or block without WithNoBlock.
+type BackpressureError = ndlayer.BackpressureError
+
+// SendOption tunes Module.SendMsg: WithNoCopy for opaque []byte bodies,
+// WithNoBlock for fail-fast backpressure.
+type SendOption = core.SendOption
+
+// Send options.
+const (
+	WithNoCopy  = core.WithNoCopy
+	WithNoBlock = core.WithNoBlock
+)
 
 // Attach binds a module to the NTCS (§3.2): it creates communication
 // resources, registers with the naming service, adopts the assigned UAdd

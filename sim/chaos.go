@@ -115,6 +115,18 @@ func (c *Chaos) KillModule(at time.Duration, name string, m *core.Module) *Chaos
 	return c.Schedule(at, "kill "+name, m.Kill)
 }
 
+// SlowLorisEpisode turns m into a slow-loris receiver from at until
+// at+dur: its credit admission rate drops to perSec grants per second,
+// so every peer sending to it exhausts its circuit window and feels
+// backpressure at the source — the congestion analogue of a cable pull,
+// where nothing breaks but nothing drains either. Healing removes the
+// bound.
+func (c *Chaos) SlowLorisEpisode(at, dur time.Duration, name string, m *core.Module, perSec float64) *Chaos {
+	c.Schedule(at, "slow-loris "+name, func() { m.SetAdmissionRate(perSec) })
+	c.Schedule(at+dur, "heal-slow-loris "+name, func() { m.SetAdmissionRate(0) })
+	return c
+}
+
 // Perturb shifts every scheduled offset by a seeded uniform amount in
 // [-maxSkew, +maxSkew] (clamped at zero): the same seed always produces
 // the same perturbation, so randomized schedules stay reproducible.
