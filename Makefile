@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet verify verify-race bench bench-thru bench-pack bench-scale scale-gate soak fuzz-smoke
+.PHONY: all build test race vet verify verify-race bench bench-thru bench-pack bench-scale bench-names scale-gate soak fuzz-smoke
 
 all: verify
 
@@ -50,11 +50,21 @@ bench-pack:
 bench-scale:
 	NTCS_SCALE=1 $(GO) test ./internal/ndlayer -run TestScale100kCircuits -count=1 -v
 
-# scale-gate is the cheap CI form of the same claim: thousands of idle
-# circuits must fit under a flat goroutine budget, and a hot circuit must
-# not starve a thousand cold ones.
+# bench-names runs the PR-7 million-name benchmark and rewrites
+# BENCH_PR7.json with the measured numbers: one million names
+# hash-partitioned across four shard groups, resolved through the full
+# NSP path (lease cache, shard routing, LCM call, server dispatch).
+# Gated behind NTCS_SCALE so `make test` stays fast.
+bench-names:
+	NTCS_SCALE=1 $(GO) test . -run TestScaleMillionNames -count=1 -v
+
+# scale-gate is the cheap CI form of the scale claims: thousands of idle
+# circuits must fit under a flat goroutine budget, a hot circuit must not
+# starve a thousand cold ones, and divergent name-server replicas must
+# reconverge through anti-entropy alone.
 scale-gate:
 	$(GO) test ./internal/ndlayer -run 'TestIdleCircuitGoroutineBudget|TestHotSenderDoesNotStarveIdleCircuits' -count=1 -v
+	NTCS_SCALE=1 $(GO) test . -run TestConvergenceSoak -count=1 -v
 
 # soak runs the chaos schedule under the race detector with a fixed seed
 # so a failure reproduces. Override the seed: make soak NTCS_CHAOS_SEED=7

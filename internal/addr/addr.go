@@ -36,6 +36,12 @@ const (
 	NameServerBackupA UAdd = 2 // first replica (replicated naming, §7)
 	NameServerBackupB UAdd = 3 // second replica
 
+	// NameServerLimit is the last well-known Name Server UAdd. The range
+	// 1..15 accommodates the sharded configuration: several shard groups,
+	// each internally replicated, every member preloaded like the single
+	// server of §3.4 was.
+	NameServerLimit UAdd = 15
+
 	PrimeGatewayBase  UAdd = 16 // first prime gateway
 	PrimeGatewayLimit UAdd = 31 // last prime gateway
 
@@ -47,8 +53,8 @@ const (
 func (u UAdd) IsTemp() bool { return u&taddBit != 0 }
 
 // IsNameServer reports whether u names the primary Name Server or one of
-// its replicas.
-func (u UAdd) IsNameServer() bool { return u >= NameServer && u <= NameServerBackupB }
+// its replicas (any member of any shard group).
+func (u UAdd) IsNameServer() bool { return u >= NameServer && u <= NameServerLimit }
 
 // IsPrimeGateway reports whether u is one of the preloaded prime gateways.
 func (u UAdd) IsPrimeGateway() bool { return u >= PrimeGatewayBase && u <= PrimeGatewayLimit }
@@ -405,11 +411,22 @@ type WellKnownEntry struct {
 	Name      string
 	UAdd      UAdd
 	Endpoints []Endpoint // one per network the module is attached to
+
+	// Shard is the namespace partition this Name Server belongs to (zero
+	// for the unsharded configuration and for gateways). Servers with the
+	// same Shard form one replica group; names hash-partition across
+	// groups.
+	Shard int
+	// ServerID is the Name Server's UAdd-generator identifier (§3.2): the
+	// stamp embedded in every UAdd the server assigns, which is how
+	// UAdd-keyed requests are routed back to the owning shard.
+	ServerID uint16
 }
 
 // WellKnown is the set of addresses "loaded into the ComMod address tables
 // when each module is initialized; those of the Name Server and of certain
-// 'prime' gateways".
+// 'prime' gateways". In the sharded configuration it doubles as the shard
+// map: every Name Server entry carries its shard and generator identifier.
 type WellKnown struct {
 	NameServers []WellKnownEntry
 	Gateways    []WellKnownEntry
@@ -449,6 +466,71 @@ func (w WellKnown) NameServerUAdds() []UAdd {
 		out[i] = e.UAdd
 	}
 	return out
+}
+
+// NumShards returns the number of namespace partitions the configured
+// Name Servers form: max(Shard)+1, or 1 when no servers are configured.
+func (w WellKnown) NumShards() int {
+	n := 1
+	for _, e := range w.NameServers {
+		if e.Shard+1 > n {
+			n = e.Shard + 1
+		}
+	}
+	return n
+}
+
+// ShardServers lists the Name Server UAdds of one shard group in
+// preference order. For the unsharded configuration (every entry shard 0)
+// this is NameServerUAdds.
+func (w WellKnown) ShardServers(shard int) []UAdd {
+	var out []UAdd
+	for _, e := range w.NameServers {
+		if e.Shard == shard {
+			out = append(out, e.UAdd)
+		}
+	}
+	if len(out) == 0 && shard == 0 {
+		return []UAdd{NameServer}
+	}
+	return out
+}
+
+// ShardForName maps a logical name to its owning shard: FNV-1a over the
+// name, mod the shard count. Every client computes the same partition, so
+// a name registers and resolves against the same group with no
+// coordination.
+func (w WellKnown) ShardForName(name string) int {
+	n := w.NumShards()
+	if n <= 1 {
+		return 0
+	}
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= prime64
+	}
+	return int(h % uint64(n))
+}
+
+// ShardForServerID maps a Name Server generator identifier back to its
+// shard, routing UAdd-keyed requests (Lookup, Forward, Deregister) to the
+// group that assigned the address. The second result is false when the
+// identifier belongs to no configured server.
+func (w WellKnown) ShardForServerID(id uint16) (int, bool) {
+	if id == 0 {
+		return 0, false
+	}
+	for _, e := range w.NameServers {
+		if e.ServerID == id {
+			return e.Shard, true
+		}
+	}
+	return 0, false
 }
 
 // GatewayUAdds lists the prime gateway UAdds, sorted.

@@ -90,6 +90,21 @@ type Config struct {
 	ServerID uint16
 	// Replicas lists peer name servers for write propagation (§7).
 	Replicas []addr.UAdd
+	// ResolveTTL leases resolved naming records in the NSP layer: within
+	// the lease, Locate/Lookup answer locally. Zero disables the cache
+	// (every resolution is a naming round trip).
+	ResolveTTL time.Duration
+	// ResolveCacheSize bounds the NSP record cache; 0 selects the default.
+	ResolveCacheSize int
+	// NSAntiEntropy, when positive, runs periodic digest reconciliation
+	// between name-server replicas (name servers only).
+	NSAntiEntropy time.Duration
+	// NSTombstoneTTL, when positive, garbage-collects dead naming records
+	// this long after death (name servers only).
+	NSTombstoneTTL time.Duration
+	// NSMaxHandlers bounds concurrent name-server request handlers; 0
+	// selects the default, negative disables the bound (name servers only).
+	NSMaxHandlers int
 	// TraceCapacity sizes the causal trace ring (0 = default).
 	TraceCapacity int
 	// Timeouts; zero selects defaults.
@@ -254,7 +269,14 @@ func Attach(cfg Config) (*Module, error) {
 
 	// §3.1: the naming service is consulted through the NSP-Layer over
 	// the Nucleus itself.
-	naming, err := nsp.New(nsp.Config{LCM: nuc.LCM, WellKnown: cfg.WellKnown, Tracer: m.tracer, Stats: m.stats})
+	naming, err := nsp.New(nsp.Config{
+		LCM:             nuc.LCM,
+		WellKnown:       cfg.WellKnown,
+		Tracer:          m.tracer,
+		Stats:           m.stats,
+		RecordTTL:       cfg.ResolveTTL,
+		RecordCacheSize: cfg.ResolveCacheSize,
+	})
 	if err != nil {
 		nuc.Close()
 		return nil, err
@@ -315,12 +337,15 @@ func (m *Module) attachNameServer() error {
 	m.db.RegisterFixed(m.cfg.Name, attrs, m.nuc.Endpoints(), m.id.UAdd())
 
 	server, err := nameserver.NewServer(nameserver.Config{
-		DB:       m.db,
-		LCM:      m.nuc.LCM,
-		Replicas: m.cfg.Replicas,
-		Tracer:   m.tracer,
-		Errors:   m.errs,
-		Stats:    m.stats,
+		DB:           m.db,
+		LCM:          m.nuc.LCM,
+		Replicas:     m.cfg.Replicas,
+		Tracer:       m.tracer,
+		Errors:       m.errs,
+		Stats:        m.stats,
+		MaxHandlers:  m.cfg.NSMaxHandlers,
+		AntiEntropy:  m.cfg.NSAntiEntropy,
+		TombstoneTTL: m.cfg.NSTombstoneTTL,
 	})
 	if err != nil {
 		return err

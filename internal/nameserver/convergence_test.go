@@ -1,0 +1,257 @@
+package nameserver
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"ntcs/internal/addr"
+)
+
+// TestInsertIncarnationMerge pins the merge rules replication and
+// anti-entropy rely on: older pushes are rejected, death wins an
+// incarnation tie, newer pushes replace. The pre-fix Insert (arrival
+// order wins) fails the stale-push case by resurrecting the record.
+func TestInsertIncarnationMerge(t *testing.T) {
+	origin := NewDB(1)
+	v1 := origin.Register("m", nil, []addr.Endpoint{ep("a", "1")})
+	origin.Deregister(v1.UAdd)
+	dead1, _ := origin.Lookup(v1.UAdd)
+	v2 := origin.Register("m", nil, []addr.Endpoint{ep("a", "2")})
+
+	replica := NewDB(2)
+	// Death notice applied first; the delayed original registration (same
+	// incarnation, alive) must NOT resurrect it.
+	if !replica.Insert(dead1) {
+		t.Fatal("first push rejected")
+	}
+	if replica.Insert(v1) {
+		t.Error("stale alive push at equal incarnation resurrected a dead record")
+	}
+	if got, _ := replica.Lookup(v1.UAdd); got.Alive {
+		t.Fatal("record resurrected")
+	}
+	// Newer registration replaces; a replayed older one is dropped.
+	if !replica.Insert(v2) {
+		t.Fatal("newer push rejected")
+	}
+	if replica.Insert(dead1) {
+		t.Error("replayed older death notice accepted over newer registration")
+	}
+	got, err := replica.Resolve("m")
+	if err != nil || got.UAdd != v2.UAdd {
+		t.Fatalf("Resolve = %+v, %v; want %v", got, err, v2.UAdd)
+	}
+	// Alive-over-alive at equal incarnation is a duplicate, not a change.
+	if replica.Insert(v2) {
+		t.Error("duplicate push reported as a change")
+	}
+}
+
+// TestInsertStaleIncarnationDropped covers the clobber direction: a
+// delayed push carrying an older incarnation for a UAdd must not replace
+// the newer record a replica already holds.
+func TestInsertStaleIncarnationDropped(t *testing.T) {
+	replica := NewDB(2)
+	newer := Record{Name: "m", UAdd: 500, Incarnation: 9, Alive: true,
+		Endpoints: []addr.Endpoint{ep("a", "new")}}
+	older := Record{Name: "m", UAdd: 500, Incarnation: 3, Alive: true,
+		Endpoints: []addr.Endpoint{ep("a", "old")}}
+	replica.Insert(newer)
+	if replica.Insert(older) {
+		t.Error("older incarnation accepted over newer")
+	}
+	got, _ := replica.Lookup(500)
+	if got.Endpoints[0].Addr != "new" {
+		t.Errorf("record clobbered by stale push: %+v", got)
+	}
+}
+
+// replicaStream builds a register/relocate/deregister history on an
+// origin server and returns the replication events it would push, plus
+// the origin database as ground truth.
+func replicaStream(rng *rand.Rand, names []string, ops int) (*DB, []Record) {
+	origin := NewDB(1)
+	var stream []Record
+	alive := make(map[string]Record)
+	for i := 0; i < ops; i++ {
+		name := names[rng.Intn(len(names))]
+		cur, isAlive := alive[name]
+		switch {
+		case isAlive && rng.Intn(3) == 0:
+			// Deregister: the death notice carries the same incarnation.
+			origin.Deregister(cur.UAdd)
+			dead, _ := origin.Lookup(cur.UAdd)
+			stream = append(stream, dead)
+			delete(alive, name)
+		case isAlive:
+			// Relocate: new module registers, old one dies.
+			rec := origin.Register(name, nil, nil)
+			stream = append(stream, rec)
+			origin.Deregister(cur.UAdd)
+			dead, _ := origin.Lookup(cur.UAdd)
+			stream = append(stream, dead)
+			alive[name] = rec
+		default:
+			rec := origin.Register(name, nil, nil)
+			stream = append(stream, rec)
+			alive[name] = rec
+		}
+	}
+	return origin, stream
+}
+
+// TestReplicaConvergenceProperty is the ISSUE's property test: ANY
+// interleaving and duplication of a register/relocate/deregister replica
+// stream yields identical Resolve/Lookup results on all replicas. The
+// pre-fix Insert (last push wins by arrival order) fails this whenever a
+// shuffle delivers a death notice before its registration, or an old
+// registration after its successor. Each replica additionally applies
+// its stream from two goroutines, so the merge path runs under -race.
+func TestReplicaConvergenceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	names := []string{"a", "b", "c", "d", "e"}
+	for iter := 0; iter < 40; iter++ {
+		origin, stream := replicaStream(rng, names, 30)
+
+		replicas := []*DB{NewDB(2), NewDB(3), NewDB(4)}
+		for _, db := range replicas {
+			// A fresh interleaving with ~25% duplicated events.
+			var events []Record
+			for _, idx := range rng.Perm(len(stream)) {
+				events = append(events, stream[idx])
+				if rng.Intn(4) == 0 {
+					events = append(events, stream[rng.Intn(len(stream))])
+				}
+			}
+			mid := len(events) / 2
+			var wg sync.WaitGroup
+			for _, half := range [][]Record{events[:mid], events[mid:]} {
+				wg.Add(1)
+				go func(recs []Record) {
+					defer wg.Done()
+					for _, rec := range recs {
+						db.Insert(rec)
+					}
+				}(half)
+			}
+			wg.Wait()
+		}
+
+		for _, name := range names {
+			want, werr := origin.Resolve(name)
+			for i, db := range replicas {
+				got, gerr := db.Resolve(name)
+				if werr != nil {
+					if !errors.Is(gerr, ErrNotFound) {
+						t.Fatalf("iter %d replica %d: Resolve(%q) = %+v, %v; origin says not-found",
+							iter, i, name, got, gerr)
+					}
+					continue
+				}
+				if gerr != nil || got.UAdd != want.UAdd {
+					t.Fatalf("iter %d replica %d: Resolve(%q) = %v, %v; want %v",
+						iter, i, name, got.UAdd, gerr, want.UAdd)
+				}
+			}
+		}
+		for _, want := range origin.Snapshot() {
+			for i, db := range replicas {
+				got, err := db.Lookup(want.UAdd)
+				if err != nil {
+					t.Fatalf("iter %d replica %d: Lookup(%v): %v", iter, i, want.UAdd, err)
+				}
+				if got.Alive != want.Alive || got.Incarnation != want.Incarnation {
+					t.Fatalf("iter %d replica %d: Lookup(%v) = alive=%v inc=%d; want alive=%v inc=%d",
+						iter, i, want.UAdd, got.Alive, got.Incarnation, want.Alive, want.Incarnation)
+				}
+			}
+		}
+	}
+}
+
+func TestTombstoneGC(t *testing.T) {
+	db := NewDB(1)
+	r1 := db.Register("gone", nil, nil)
+	r2 := db.Register("stays", nil, nil)
+	db.Deregister(r1.UAdd)
+	if db.TombstoneCount() != 1 {
+		t.Fatalf("tombstones = %d", db.TombstoneCount())
+	}
+	// Within the window nothing is collected: §3.5 forwarding still needs
+	// the record.
+	if n := db.GCTombstones(time.Hour); n != 0 {
+		t.Fatalf("GC inside window collected %d", n)
+	}
+	time.Sleep(5 * time.Millisecond)
+	if n := db.GCTombstones(time.Millisecond); n != 1 {
+		t.Fatalf("GC collected %d, want 1", n)
+	}
+	if db.TombstoneCount() != 0 {
+		t.Errorf("tombstones after GC = %d", db.TombstoneCount())
+	}
+	if _, err := db.Lookup(r1.UAdd); !errors.Is(err, ErrNotFound) {
+		t.Errorf("collected record still resolvable: %v", err)
+	}
+	if _, err := db.Resolve("stays"); err != nil {
+		t.Errorf("alive record collected: %v", err)
+	}
+	_ = r2
+	// Zero TTL means retain forever.
+	db.Deregister(r2.UAdd)
+	if n := db.GCTombstones(0); n != 0 {
+		t.Errorf("GC with zero TTL collected %d", n)
+	}
+}
+
+// TestTombstoneGCKeepsForwardingWindow exercises the lifecycle end to
+// end: inside the window a dead UAdd still forwards to its successor;
+// after GC the chain is gone.
+func TestTombstoneGCKeepsForwardingWindow(t *testing.T) {
+	db := NewDB(1)
+	old := db.Register("svc", nil, nil)
+	db.Deregister(old.UAdd)
+	repl := db.Register("svc", nil, nil)
+
+	if got, err := db.Forward(old.UAdd, nil); err != nil || got != repl.UAdd {
+		t.Fatalf("Forward inside window = %v, %v; want %v", got, err, repl.UAdd)
+	}
+	time.Sleep(5 * time.Millisecond)
+	if n := db.GCTombstones(time.Millisecond); n != 1 {
+		t.Fatalf("GC collected %d", n)
+	}
+	if _, err := db.Forward(old.UAdd, nil); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Forward after GC = %v, want ErrNotFound", err)
+	}
+}
+
+// TestInsertCarriesDeathStamp checks the tombstone window does not
+// restart on every replica a death notice reaches: the origin's stamp
+// rides along.
+func TestInsertCarriesDeathStamp(t *testing.T) {
+	origin := NewDB(1)
+	rec := origin.Register("m", nil, nil)
+	origin.Deregister(rec.UAdd)
+	dead, _ := origin.Lookup(rec.UAdd)
+	if dead.DiedAt.IsZero() {
+		t.Fatal("origin did not stamp DiedAt")
+	}
+
+	replica := NewDB(2)
+	replica.Insert(dead)
+	got, _ := replica.Lookup(rec.UAdd)
+	if !got.DiedAt.Equal(dead.DiedAt) {
+		t.Errorf("replica DiedAt = %v, want origin's %v", got.DiedAt, dead.DiedAt)
+	}
+	// Zero stamp (old peer): the replica stamps locally.
+	old := dead
+	old.UAdd = 999
+	old.DiedAt = time.Time{}
+	replica.Insert(old)
+	got, _ = replica.Lookup(999)
+	if got.DiedAt.IsZero() {
+		t.Error("zero-stamp death not stamped locally")
+	}
+}

@@ -36,6 +36,10 @@ type Record struct {
 	Incarnation uint64 // per-name birth order; newer replaces older
 	Alive       bool
 	Registered  time.Time
+	// DiedAt stamps the local transition to dead: the start of the
+	// record's tombstone window, after which GC may drop it and §3.5
+	// forwarding for its UAdd ends.
+	DiedAt time.Time
 }
 
 // clone returns a deep copy safe to hand out.
@@ -65,6 +69,7 @@ type DB struct {
 	byUAdd      map[addr.UAdd]*Record
 	byName      map[string][]*Record // registration order, oldest first
 	incarnation uint64
+	tombstones  int // dead records currently retained
 }
 
 // NewDB creates a database whose UAdds are stamped with serverID.
@@ -112,24 +117,69 @@ func (db *DB) RegisterFixed(name string, attrs map[string]string, endpoints []ad
 	}
 	if old, ok := db.byUAdd[u]; ok {
 		db.removeFromNameLocked(old)
+		if !old.Alive {
+			db.tombstones--
+		}
 	}
 	db.insertLocked(rec)
 	return rec.clone()
 }
 
-// Insert adds a fully formed record (replication path). Existing records
-// with the same UAdd are overwritten.
-func (db *DB) Insert(rec Record) {
+// Insert merges a fully formed record (replication and anti-entropy
+// path) by incarnation, so reordered and duplicated replica streams are
+// idempotent and commutative:
+//
+//   - a push older than the existing record for the UAdd is dropped (a
+//     delayed OpReplicate round must never resurrect a dead module or
+//     clobber a newer registration);
+//   - an equal-incarnation push is the same version; the only state it
+//     may change is aliveness, and death wins the tie (a death notice
+//     and its original registration carry the same incarnation, so any
+//     interleaving converges on dead);
+//   - a newer push replaces the record outright.
+//
+// It reports whether the push changed the database; false means the push
+// was stale (or a no-op duplicate) and was ignored.
+func (db *DB) Insert(rec Record) bool {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if rec.Incarnation > db.incarnation {
 		db.incarnation = rec.Incarnation
 	}
-	cp := rec.clone()
 	if old, ok := db.byUAdd[rec.UAdd]; ok {
+		if rec.Incarnation < old.Incarnation {
+			return false
+		}
+		if rec.Incarnation == old.Incarnation {
+			if old.Alive && !rec.Alive {
+				old.Alive = false
+				old.DiedAt = db.diedAt(rec)
+				db.tombstones++
+				return true
+			}
+			return false
+		}
 		db.removeFromNameLocked(old)
+		if !old.Alive {
+			db.tombstones--
+		}
+	}
+	cp := rec.clone()
+	if !cp.Alive {
+		cp.DiedAt = db.diedAt(rec)
+		db.tombstones++
 	}
 	db.insertLocked(&cp)
+	return true
+}
+
+// diedAt picks the death stamp for an incoming dead record: the origin's
+// stamp when it carries one, the local clock otherwise (old peers).
+func (db *DB) diedAt(rec Record) time.Time {
+	if !rec.DiedAt.IsZero() {
+		return rec.DiedAt
+	}
+	return time.Now()
 }
 
 func (db *DB) insertLocked(rec *Record) {
@@ -141,14 +191,19 @@ func (db *DB) removeFromNameLocked(rec *Record) {
 	list := db.byName[rec.Name]
 	for i, r := range list {
 		if r.UAdd == rec.UAdd {
-			db.byName[rec.Name] = append(list[:i], list[i+1:]...)
+			list = append(list[:i], list[i+1:]...)
 			break
 		}
 	}
+	if len(list) == 0 {
+		delete(db.byName, rec.Name)
+	} else {
+		db.byName[rec.Name] = list
+	}
 }
 
-// Deregister marks a record dead. The history is retained: forwarding
-// needs the old name (§3.5).
+// Deregister marks a record dead. The history is retained for the
+// tombstone window: forwarding needs the old name (§3.5).
 func (db *DB) Deregister(u addr.UAdd) bool {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -156,7 +211,11 @@ func (db *DB) Deregister(u addr.UAdd) bool {
 	if !ok {
 		return false
 	}
-	rec.Alive = false
+	if rec.Alive {
+		rec.Alive = false
+		rec.DiedAt = time.Now()
+		db.tombstones++
+	}
 	return true
 }
 
@@ -164,17 +223,23 @@ func (db *DB) Deregister(u addr.UAdd) bool {
 // a module is really inactive.
 func (db *DB) MarkDead(u addr.UAdd) bool { return db.Deregister(u) }
 
-// Resolve returns the newest alive record for a name.
+// Resolve returns the newest alive record for a name. "Newest" is by
+// incarnation, not by insertion order: replicas receive records in
+// whatever order the replication stream arrives, and resolution must
+// converge to the same answer on every replica regardless.
 func (db *DB) Resolve(name string) (Record, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	list := db.byName[name]
-	for i := len(list) - 1; i >= 0; i-- {
-		if list[i].Alive {
-			return list[i].clone(), nil
+	var best *Record
+	for _, rec := range db.byName[name] {
+		if rec.Alive && (best == nil || rec.Incarnation > best.Incarnation) {
+			best = rec
 		}
 	}
-	return Record{}, fmt.Errorf("%w: name %q", ErrNotFound, name)
+	if best == nil {
+		return Record{}, fmt.Errorf("%w: name %q", ErrNotFound, name)
+	}
+	return best.clone(), nil
 }
 
 // Lookup returns the record for a UAdd, alive or not.
@@ -281,11 +346,58 @@ func (db *DB) Snapshot() []Record {
 	return out
 }
 
+// SnapshotRange returns every record with UAdd in [from, to], sorted by
+// UAdd (anti-entropy digest pages).
+func (db *DB) SnapshotRange(from, to addr.UAdd) []Record {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	var out []Record
+	for u, rec := range db.byUAdd {
+		if u < from || u > to {
+			continue
+		}
+		out = append(out, rec.clone())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].UAdd < out[j].UAdd })
+	return out
+}
+
 // Len returns the number of records (alive and dead).
 func (db *DB) Len() int {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	return len(db.byUAdd)
+}
+
+// TombstoneCount returns how many dead records are currently retained.
+func (db *DB) TombstoneCount() int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.tombstones
+}
+
+// GCTombstones drops dead records whose tombstone window has expired:
+// records dead longer than ttl ago are removed from both indexes, ending
+// §3.5 forwarding for their UAdds. High-churn mobility would otherwise
+// grow byUAdd without bound. Returns the number of records collected.
+func (db *DB) GCTombstones(ttl time.Duration) int {
+	if ttl <= 0 {
+		return 0
+	}
+	cutoff := time.Now().Add(-ttl)
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	collected := 0
+	for u, rec := range db.byUAdd {
+		if rec.Alive || rec.DiedAt.IsZero() || rec.DiedAt.After(cutoff) {
+			continue
+		}
+		db.removeFromNameLocked(rec)
+		delete(db.byUAdd, u)
+		db.tombstones--
+		collected++
+	}
+	return collected
 }
 
 func copyAttrs(attrs map[string]string) map[string]string {

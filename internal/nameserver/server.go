@@ -1,6 +1,7 @@
 package nameserver
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -33,6 +34,22 @@ type Config struct {
 	// assumed dead, as the 1986 implementation did before the probe was
 	// added).
 	PingTimeout time.Duration
+	// MaxHandlers bounds concurrent request handlers. The server must stay
+	// multi-threaded (the §3.5 probes recurse through the system it
+	// serves), but an unbounded spawn lets a registration storm OOM it.
+	// Default 512 — well above the §6.3 recursion depth, so the bound
+	// never deadlocks the recursion it exists to protect. Negative
+	// disables the bound.
+	MaxHandlers int
+	// AntiEntropy, when positive, runs periodic digest reconciliation
+	// with one replica peer per interval: a partitioned replica converges
+	// after heal instead of diverging forever. Zero disables (writes still
+	// propagate through OpReplicate pushes).
+	AntiEntropy time.Duration
+	// TombstoneTTL, when positive, garbage-collects dead records this long
+	// after their death, ending §3.5 forwarding for them. Zero retains
+	// tombstones forever (the pre-GC behavior).
+	TombstoneTTL time.Duration
 	// Tracer and Errors receive diagnostics; both may be nil.
 	Tracer *trace.Tracer
 	Errors *errlog.Table
@@ -58,11 +75,20 @@ type Server struct {
 	replicas []addr.UAdd
 
 	replCh chan nsp.RecordRec
+	// sem bounds concurrent handlers (nil when MaxHandlers < 0).
+	sem chan struct{}
 
 	// Instruments, resolved once at construction; nil pointers no-op.
-	ops        *stats.Counter
-	replRounds *stats.Counter
-	replRecs   *stats.Counter
+	ops          *stats.Counter
+	replRounds   *stats.Counter
+	replRecs     *stats.Counter
+	replStale    *stats.Counter
+	aeRounds     *stats.Counter
+	aePulled     *stats.Counter
+	aePushed     *stats.Counter
+	handlerWaits *stats.Counter
+	tombGC       *stats.Counter
+	tombstones   *stats.Gauge
 }
 
 // NewServer assembles a server; call Run (usually in a goroutine) to
@@ -74,20 +100,34 @@ func NewServer(cfg Config) (*Server, error) {
 	if cfg.PingTimeout == 0 {
 		cfg.PingTimeout = 300 * time.Millisecond
 	}
+	if cfg.MaxHandlers == 0 {
+		cfg.MaxHandlers = 512
+	}
 	// Compile the name-protocol plans before the first request arrives.
-	if err := pack.Precompile(nsp.Request{}, nsp.Response{}, nsp.RecordRec{}, nsp.EndpointRec{}); err != nil {
+	if err := pack.Precompile(nsp.Request{}, nsp.Response{}, nsp.RecordRec{}, nsp.EndpointRec{}, nsp.DigestRec{}); err != nil {
 		return nil, fmt.Errorf("nameserver: precompile: %w", err)
 	}
-	return &Server{
+	s := &Server{
 		cfg:      cfg,
 		done:     make(chan struct{}),
 		replicas: cfg.Replicas,
 		replCh:   make(chan nsp.RecordRec, 4*replMaxBatch),
 
-		ops:        cfg.Stats.Counter(stats.NSOps),
-		replRounds: cfg.Stats.Counter(stats.NSReplRounds),
-		replRecs:   cfg.Stats.Counter(stats.NSReplRecs),
-	}, nil
+		ops:          cfg.Stats.Counter(stats.NSOps),
+		replRounds:   cfg.Stats.Counter(stats.NSReplRounds),
+		replRecs:     cfg.Stats.Counter(stats.NSReplRecs),
+		replStale:    cfg.Stats.Counter(stats.NSReplStale),
+		aeRounds:     cfg.Stats.Counter(stats.NSAERounds),
+		aePulled:     cfg.Stats.Counter(stats.NSAEPulled),
+		aePushed:     cfg.Stats.Counter(stats.NSAEPushed),
+		handlerWaits: cfg.Stats.Counter(stats.NSHandlerWaits),
+		tombGC:       cfg.Stats.Counter(stats.NSTombstonesGC),
+		tombstones:   cfg.Stats.Gauge(stats.NSTombstones),
+	}
+	if cfg.MaxHandlers > 0 {
+		s.sem = make(chan struct{}, cfg.MaxHandlers)
+	}
+	return s, nil
 }
 
 // SetReplicas changes the peer set writes propagate to (the replicated
@@ -113,15 +153,29 @@ func (s *Server) replicaPeers() []addr.UAdd {
 // its own recursion — the distributed flavour of the §6 problem.
 func (s *Server) Run() {
 	defer close(s.done)
-	stopFlush := make(chan struct{})
-	var flushWG sync.WaitGroup
-	flushWG.Add(1)
+	stopBG := make(chan struct{})
+	var bgWG sync.WaitGroup
+	bgWG.Add(1)
 	go func() {
-		defer flushWG.Done()
-		s.flushLoop(stopFlush)
+		defer bgWG.Done()
+		s.flushLoop(stopBG)
 	}()
-	defer flushWG.Wait()
-	defer close(stopFlush)
+	if s.cfg.AntiEntropy > 0 {
+		bgWG.Add(1)
+		go func() {
+			defer bgWG.Done()
+			s.antiEntropyLoop(stopBG)
+		}()
+	}
+	if s.cfg.TombstoneTTL > 0 {
+		bgWG.Add(1)
+		go func() {
+			defer bgWG.Done()
+			s.gcLoop(stopBG)
+		}()
+	}
+	defer bgWG.Wait()
+	defer close(stopBG)
 	var wg sync.WaitGroup
 	defer wg.Wait()
 	for {
@@ -132,9 +186,26 @@ func (s *Server) Run() {
 			}
 			continue
 		}
+		// The handler bound: a full semaphore means a storm is in
+		// progress — the accept loop waits (backpressure into the LCM
+		// queue) instead of letting the goroutine count grow without
+		// bound. The cap sits well above the §6.3 recursion depth, so the
+		// recursive probes a handler may trigger always find a free slot
+		// before the loop blocks.
+		if s.sem != nil {
+			select {
+			case s.sem <- struct{}{}:
+			default:
+				s.handlerWaits.Inc()
+				s.sem <- struct{}{}
+			}
+		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			if s.sem != nil {
+				defer func() { <-s.sem }()
+			}
 			s.handle(d)
 		}()
 	}
@@ -174,6 +245,7 @@ func (s *Server) dispatch(req nsp.Request) nsp.Response {
 		if !s.cfg.DB.Deregister(addr.UAdd(req.UAdd)) {
 			return nsp.Response{Code: nsp.CodeNotFound}
 		}
+		s.tombstones.Set(int64(s.cfg.DB.TombstoneCount()))
 		s.replicateDead(addr.UAdd(req.UAdd))
 		return nsp.Response{Code: nsp.CodeOK}
 	case nsp.OpResolve:
@@ -199,6 +271,8 @@ func (s *Server) dispatch(req nsp.Request) nsp.Response {
 		return s.forward(addr.UAdd(req.UAdd))
 	case nsp.OpReplicate:
 		return s.applyReplica(req)
+	case nsp.OpDigest:
+		return s.digest(req)
 	default:
 		return nsp.Response{Code: nsp.CodeBadRequest, Detail: "unknown op " + req.Op}
 	}
@@ -250,6 +324,7 @@ func (s *Server) forward(old addr.UAdd) nsp.Response {
 	switch {
 	case err == nil:
 		s.cfg.Errors.Report(errlog.CodeForwarded, "ns", "%v -> %v", old, newU)
+		s.tombstones.Set(int64(s.cfg.DB.TombstoneCount()))
 		s.replicateDead(old)
 		return nsp.Response{Code: nsp.CodeOK, UAdd: uint64(newU)}
 	case err == ErrStillAlive:
@@ -295,23 +370,214 @@ func (s *Server) applyReplica(req nsp.Request) nsp.Response {
 		if rr.UAdd == 0 {
 			continue
 		}
-		rec := Record{
-			Name:        rr.Name,
-			Attrs:       rr.Attrs,
-			UAdd:        addr.UAdd(rr.UAdd),
-			Incarnation: rr.Incarnation,
-			Alive:       rr.Alive,
-			Registered:  time.Now(),
+		if !s.cfg.DB.Insert(replicaRecord(rr)) {
+			s.replStale.Inc()
 		}
-		if rec.Attrs == nil {
-			rec.Attrs = map[string]string{}
-		}
-		for _, e := range rr.Endpoints {
-			rec.Endpoints = append(rec.Endpoints, e.ToEndpoint())
-		}
-		s.cfg.DB.Insert(rec)
 	}
+	s.tombstones.Set(int64(s.cfg.DB.TombstoneCount()))
 	return nsp.Response{Code: nsp.CodeOK}
+}
+
+// replicaRecord converts a wire record into a database record, carrying
+// the origin's registration and death stamps when the peer sent them
+// (zero means an old peer: stamp locally, the pre-PR-7 behavior).
+func replicaRecord(rr nsp.RecordRec) Record {
+	rec := Record{
+		Name:        rr.Name,
+		Attrs:       rr.Attrs,
+		UAdd:        addr.UAdd(rr.UAdd),
+		Incarnation: rr.Incarnation,
+		Alive:       rr.Alive,
+	}
+	if rr.Registered != 0 {
+		rec.Registered = time.Unix(0, rr.Registered)
+	} else {
+		rec.Registered = time.Now()
+	}
+	if rr.Died != 0 {
+		rec.DiedAt = time.Unix(0, rr.Died)
+	}
+	if rec.Attrs == nil {
+		rec.Attrs = map[string]string{}
+	}
+	for _, e := range rr.Endpoints {
+		rec.Endpoints = append(rec.Endpoints, e.ToEndpoint())
+	}
+	return rec
+}
+
+// digest answers one anti-entropy page (OpDigest): the requester sent
+// its record identities for UAdds in [From, To]; the reply carries the
+// records this server holds newer versions of (or the requester lacks
+// entirely), plus a Want list of UAdds the requester should push back.
+// Death wins incarnation ties, mirroring DB.Insert, so both directions
+// converge on the same verdict for every record.
+func (s *Server) digest(req nsp.Request) nsp.Response {
+	have := make(map[uint64]nsp.DigestRec, len(req.Digest))
+	for _, d := range req.Digest {
+		have[d.UAdd] = d
+	}
+	resp := nsp.Response{Code: nsp.CodeOK, To: req.To}
+	for _, rec := range s.cfg.DB.SnapshotRange(addr.UAdd(req.From), addr.UAdd(req.To)) {
+		d, ok := have[uint64(rec.UAdd)]
+		switch {
+		case !ok:
+			resp.Records = append(resp.Records, toRec(rec))
+		case rec.Incarnation > d.Incarnation:
+			resp.Records = append(resp.Records, toRec(rec))
+		case rec.Incarnation == d.Incarnation && d.Alive && !rec.Alive:
+			resp.Records = append(resp.Records, toRec(rec)) // we know the death
+		}
+	}
+	for _, d := range req.Digest {
+		rec, err := s.cfg.DB.Lookup(addr.UAdd(d.UAdd))
+		if err != nil {
+			resp.Want = append(resp.Want, d.UAdd)
+			continue
+		}
+		if rec.Incarnation < d.Incarnation ||
+			(rec.Incarnation == d.Incarnation && rec.Alive && !d.Alive) {
+			resp.Want = append(resp.Want, d.UAdd)
+		}
+	}
+	return resp
+}
+
+// aePageSize bounds one anti-entropy digest page.
+const aePageSize = 256
+
+// antiEntropyLoop reconciles with one replica peer per interval, round
+// robin, so a replica that missed OpReplicate pushes while partitioned
+// converges after heal.
+func (s *Server) antiEntropyLoop(stop <-chan struct{}) {
+	ticker := time.NewTicker(s.cfg.AntiEntropy)
+	defer ticker.Stop()
+	next := 0
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+		}
+		peers := s.replicaPeers()
+		if len(peers) == 0 {
+			continue
+		}
+		s.antiEntropyRound(peers[next%len(peers)], stop)
+		next++
+	}
+}
+
+// antiEntropyRound exchanges paged digests with one peer: for each page
+// of the local database, the peer returns records it holds newer (we
+// Insert them — "pulled") and lists UAdds it wants (we push them back in
+// one replication round — "pushed"). The first page opens at UAdd 0 and
+// the last closes at the maximum, so records only one side holds are
+// found regardless of which side holds them.
+func (s *Server) antiEntropyRound(peer addr.UAdd, stop <-chan struct{}) {
+	s.aeRounds.Inc()
+	snap := s.cfg.DB.Snapshot()
+	for i := 0; ; i += aePageSize {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		j := i + aePageSize
+		if j > len(snap) {
+			j = len(snap)
+		}
+		req := nsp.Request{Op: nsp.OpDigest}
+		if i > 0 {
+			req.From = uint64(snap[i].UAdd)
+		}
+		if j >= len(snap) {
+			req.To = ^uint64(0)
+		} else {
+			req.To = uint64(snap[j-1].UAdd)
+		}
+		for _, rec := range snap[i:j] {
+			req.Digest = append(req.Digest, nsp.DigestRec{
+				UAdd:        uint64(rec.UAdd),
+				Incarnation: rec.Incarnation,
+				Alive:       rec.Alive,
+			})
+		}
+		resp, err := s.callPeer(peer, req)
+		if err != nil || resp.Code != nsp.CodeOK {
+			return // partitioned again; the next interval retries
+		}
+		for _, rr := range resp.Records {
+			if rr.UAdd == 0 {
+				continue
+			}
+			if s.cfg.DB.Insert(replicaRecord(rr)) {
+				s.aePulled.Inc()
+			} else {
+				s.replStale.Inc()
+			}
+		}
+		if len(resp.Want) > 0 {
+			push := nsp.Request{Op: nsp.OpReplicate}
+			for _, u := range resp.Want {
+				if rec, err := s.cfg.DB.Lookup(addr.UAdd(u)); err == nil {
+					push.Records = append(push.Records, toRec(rec))
+				}
+			}
+			if len(push.Records) > 0 {
+				if _, err := s.callPeer(peer, push); err == nil {
+					s.aePushed.Add(uint64(len(push.Records)))
+				}
+			}
+		}
+		if j >= len(snap) {
+			break
+		}
+	}
+	s.tombstones.Set(int64(s.cfg.DB.TombstoneCount()))
+}
+
+// callPeer performs one server-to-server exchange (digest pages and
+// anti-entropy pushes want an answer, unlike the fire-and-forget
+// OpReplicate fan-out).
+func (s *Server) callPeer(peer addr.UAdd, req nsp.Request) (nsp.Response, error) {
+	payload, err := pack.Marshal(req)
+	if err != nil {
+		return nsp.Response{}, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	d, err := s.cfg.LCM.CallSpan(ctx, s.cfg.LCM.NewSpan(), peer, wire.ModePacked, wire.FlagService, payload)
+	if err != nil {
+		return nsp.Response{}, err
+	}
+	var resp nsp.Response
+	if err := pack.Unmarshal(d.Payload, &resp); err != nil {
+		return nsp.Response{}, err
+	}
+	return resp, nil
+}
+
+// gcLoop expires tombstones past their TTL, keeping the §3.5 forwarding
+// chain only for the configured window.
+func (s *Server) gcLoop(stop <-chan struct{}) {
+	interval := s.cfg.TombstoneTTL / 4
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+		}
+		if n := s.cfg.DB.GCTombstones(s.cfg.TombstoneTTL); n > 0 {
+			s.tombGC.Add(uint64(n))
+		}
+		s.tombstones.Set(int64(s.cfg.DB.TombstoneCount()))
+	}
 }
 
 // replicate queues a record for propagation to the peer servers. The
@@ -455,6 +721,12 @@ func toRec(r Record) nsp.RecordRec {
 		UAdd:        uint64(r.UAdd),
 		Incarnation: r.Incarnation,
 		Alive:       r.Alive,
+	}
+	if !r.Registered.IsZero() {
+		out.Registered = r.Registered.UnixNano()
+	}
+	if !r.DiedAt.IsZero() {
+		out.Died = r.DiedAt.UnixNano()
 	}
 	if out.Attrs == nil {
 		out.Attrs = map[string]string{}

@@ -19,6 +19,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -43,6 +44,7 @@ const (
 	OpForward    = "forward"
 	OpQuery      = "query"
 	OpReplicate  = "replicate" // server-to-server write propagation
+	OpDigest     = "digest"    // server-to-server anti-entropy exchange
 )
 
 // Result codes carried in responses.
@@ -70,6 +72,23 @@ type RecordRec struct {
 	Endpoints   []EndpointRec
 	Incarnation uint64
 	Alive       bool
+	// Registered carries the origin server's registration stamp (unix
+	// nanoseconds) so replicas agree on record age. Zero means "stamp
+	// locally" — the pre-PR-7 wire form, still accepted.
+	Registered int64
+	// Died carries the origin's death stamp (unix nanoseconds, zero when
+	// alive or from an old peer), so tombstone windows do not restart on
+	// every replica a death notice reaches.
+	Died int64
+}
+
+// DigestRec is one record's identity in an anti-entropy digest: enough
+// to decide which side holds the newer version without shipping the
+// record itself.
+type DigestRec struct {
+	UAdd        uint64
+	Incarnation uint64
+	Alive       bool
 }
 
 // Request is a naming service request.
@@ -81,6 +100,11 @@ type Request struct {
 	Endpoints []EndpointRec
 	Record    RecordRec   // replication payload (single record)
 	Records   []RecordRec // batched replication payload (coalesced writes)
+	// Anti-entropy page (OpDigest): the requester's records with UAdds in
+	// [From, To], identified by incarnation.
+	Digest []DigestRec
+	From   uint64
+	To     uint64
 }
 
 // Response is a naming service response.
@@ -89,6 +113,13 @@ type Response struct {
 	Detail  string
 	UAdd    uint64
 	Records []RecordRec
+	// Want lists UAdds the digest peer holds older versions of (or lacks
+	// entirely); the requester pushes them back in one replication round.
+	Want []uint64
+	// To is the UAdd bound the digest peer actually covered (it may stop
+	// short of the requested range to bound the response); the requester
+	// resumes its next page after it.
+	To uint64
 }
 
 // ToEndpoint converts the wire form back to an addr.Endpoint.
@@ -109,6 +140,7 @@ type Record struct {
 	Endpoints   []addr.Endpoint
 	Incarnation uint64
 	Alive       bool
+	Registered  time.Time
 }
 
 func fromRec(r RecordRec) Record {
@@ -118,6 +150,9 @@ func fromRec(r RecordRec) Record {
 		UAdd:        addr.UAdd(r.UAdd),
 		Incarnation: r.Incarnation,
 		Alive:       r.Alive,
+	}
+	if r.Registered != 0 {
+		out.Registered = time.Unix(0, r.Registered)
 	}
 	for _, e := range r.Endpoints {
 		out.Endpoints = append(out.Endpoints, e.ToEndpoint())
@@ -146,6 +181,15 @@ type Config struct {
 	// paper's argument: "locally cached values will likely be correct
 	// since reconfiguration is infrequent").
 	GatewayTTL time.Duration
+	// RecordTTL leases resolved naming records this long: within the
+	// lease, Resolve/Lookup answer from the local cache without a naming
+	// exchange. Zero disables the cache (the pre-lease behavior: every
+	// resolution is a round trip); stale leases self-heal through the
+	// §3.5 forwarding path and are explicitly invalidated on relocation
+	// and deregistration.
+	RecordTTL time.Duration
+	// RecordCacheSize bounds the lease cache (entries); default 4096.
+	RecordCacheSize int
 	// FailoverPolicy bounds the rounds of replica rotation when no
 	// configured Name Server answers: each round walks every replica
 	// starting from the last one that answered, then backs off. Zero
@@ -153,23 +197,48 @@ type Config struct {
 	FailoverPolicy retry.Policy
 }
 
+// recEntry is one leased naming record.
+type recEntry struct {
+	rec     Record
+	expires time.Time
+}
+
 // Layer is the NSP-Layer: one per ComMod.
 type Layer struct {
 	cfg Config
 
+	// Shard map, frozen at construction from the well-known preload: the
+	// server groups, the name→shard hash, and the generator-ID routing
+	// for UAdd-keyed requests.
+	numShards int
+	groups    [][]addr.UAdd
+
 	mu        sync.Mutex
 	gwCache   []iplayer.GatewayInfo
 	gwFetched time.Time
-	// preferred is the index (into WellKnown.NameServerUAdds) of the last
-	// replica that answered: rotation is sticky, so after the primary dies
-	// every later request goes straight to the live replica instead of
-	// re-paying the primary's timeout.
-	preferred int
+	// preferred is, per shard group, the index (into the group's server
+	// list) of the last replica that answered: rotation is sticky, so
+	// after a primary dies every later request goes straight to the live
+	// replica instead of re-paying the dead primary's timeout.
+	preferred []int
+
+	// Lease cache (RecordTTL > 0): one entry per record, indexed both
+	// ways. Guarded by recMu, off the gateway-cache lock.
+	recMu     sync.Mutex
+	recByName map[string]*recEntry
+	recByU    map[addr.UAdd]*recEntry
 
 	// Instruments, resolved once at construction; nil pointers no-op.
-	queries   *stats.Counter
-	rotations *stats.Counter
-	failures  *stats.Counter
+	queries         *stats.Counter
+	rotations       *stats.Counter
+	failures        *stats.Counter
+	cacheHits       *stats.Counter
+	cacheMisses     *stats.Counter
+	cacheEvictions  *stats.Counter
+	shardRouted     *stats.Counter
+	shardFanouts    *stats.Counter
+	shardBroadcasts *stats.Counter
+	shardPartials   *stats.Counter
 }
 
 // New assembles the layer.
@@ -179,6 +248,9 @@ func New(cfg Config) (*Layer, error) {
 	}
 	if cfg.GatewayTTL <= 0 {
 		cfg.GatewayTTL = 2 * time.Second
+	}
+	if cfg.RecordCacheSize <= 0 {
+		cfg.RecordCacheSize = 4096
 	}
 	if cfg.FailoverPolicy.IsZero() {
 		cfg.FailoverPolicy = retry.Policy{
@@ -193,15 +265,33 @@ func New(cfg Config) (*Layer, error) {
 	cfg.FailoverPolicy.GiveUps = cfg.Stats.Counter(stats.RetryGiveUps + ".nsp")
 	// Compile the name-protocol conversion plans up front: the first real
 	// lookup is often on a Send/Call critical path.
-	if err := pack.Precompile(Request{}, Response{}, RecordRec{}, EndpointRec{}); err != nil {
+	if err := pack.Precompile(Request{}, Response{}, RecordRec{}, EndpointRec{}, DigestRec{}); err != nil {
 		return nil, fmt.Errorf("nsp: precompile: %w", err)
 	}
-	return &Layer{
-		cfg:       cfg,
-		queries:   cfg.Stats.Counter(stats.NSPQueries),
-		rotations: cfg.Stats.Counter(stats.NSPRotations),
-		failures:  cfg.Stats.Counter(stats.NSPFailures),
-	}, nil
+	l := &Layer{
+		cfg:             cfg,
+		numShards:       cfg.WellKnown.NumShards(),
+		queries:         cfg.Stats.Counter(stats.NSPQueries),
+		rotations:       cfg.Stats.Counter(stats.NSPRotations),
+		failures:        cfg.Stats.Counter(stats.NSPFailures),
+		cacheHits:       cfg.Stats.Counter(stats.NSPCacheHits),
+		cacheMisses:     cfg.Stats.Counter(stats.NSPCacheMisses),
+		cacheEvictions:  cfg.Stats.Counter(stats.NSPCacheEvictions),
+		shardRouted:     cfg.Stats.Counter(stats.NSShardRouted),
+		shardFanouts:    cfg.Stats.Counter(stats.NSShardFanouts),
+		shardBroadcasts: cfg.Stats.Counter(stats.NSShardBroadcasts),
+		shardPartials:   cfg.Stats.Counter(stats.NSShardPartials),
+	}
+	l.groups = make([][]addr.UAdd, l.numShards)
+	for i := range l.groups {
+		l.groups[i] = cfg.WellKnown.ShardServers(i)
+	}
+	l.preferred = make([]int, l.numShards)
+	if cfg.RecordTTL > 0 {
+		l.recByName = make(map[string]*recEntry)
+		l.recByU = make(map[addr.UAdd]*recEntry)
+	}
+	return l, nil
 }
 
 // call performs one naming service exchange, failing over across the
@@ -228,20 +318,103 @@ func (l *Layer) callContext(ctx context.Context, req Request) (resp Response, er
 	return resp, err
 }
 
+// allShards marks a request no single shard owns: the legacy rotation
+// across every configured server.
+const allShards = -1
+
+// routeShard picks the shard group that owns a request. The second
+// result marks a broadcast write: a well-known module's registration or
+// death must land on every shard group, because every group preloads and
+// serves the well-known records (prime gateways, the servers themselves).
+func (l *Layer) routeShard(req Request) (shard int, broadcast bool) {
+	if l.numShards <= 1 {
+		return 0, false
+	}
+	u := addr.UAdd(req.UAdd)
+	switch req.Op {
+	case OpRegister:
+		if u.IsWellKnown() {
+			return l.cfg.WellKnown.ShardForName(req.Name), true
+		}
+		return l.cfg.WellKnown.ShardForName(req.Name), false
+	case OpResolve:
+		return l.cfg.WellKnown.ShardForName(req.Name), false
+	case OpDeregister:
+		if u.IsWellKnown() {
+			return int(uint64(u) % uint64(l.numShards)), true
+		}
+		return l.shardForUAdd(u), false
+	case OpLookup, OpForward, OpAnnounce:
+		return l.shardForUAdd(u), false
+	default:
+		// OpQuery fans out before reaching here; anything unknown walks
+		// every server, the pre-shard behavior.
+		return allShards, false
+	}
+}
+
+// shardForUAdd routes a UAdd-keyed request: dynamically assigned UAdds
+// carry their generator's identifier, which the shard map resolves to
+// the owning group. Well-known UAdds are broadcast-registered, so any
+// deterministic group holds them; unknown generators fall back to the
+// full rotation.
+func (l *Layer) shardForUAdd(u addr.UAdd) int {
+	if u.IsWellKnown() {
+		return int(uint64(u) % uint64(l.numShards))
+	}
+	if shard, ok := l.cfg.WellKnown.ShardForServerID(u.ServerID()); ok {
+		return shard
+	}
+	return allShards
+}
+
 func (l *Layer) callServers(ctx context.Context, span uint32, req Request) (Response, error) {
+	if l.numShards > 1 && req.Op == OpQuery {
+		return l.callFanout(ctx, span, req)
+	}
+	shard, broadcast := l.routeShard(req)
+	if broadcast {
+		return l.callBroadcast(ctx, span, req, shard)
+	}
+	if l.numShards > 1 && shard != allShards {
+		l.shardRouted.Inc()
+	}
+	return l.callGroup(ctx, span, req, shard)
+}
+
+// serversFor returns the candidate list and the preferred-slot index for
+// one shard (allShards = every configured server, preference order).
+func (l *Layer) serversFor(shard int) []addr.UAdd {
+	if shard == allShards || shard >= len(l.groups) {
+		return l.cfg.WellKnown.NameServerUAdds()
+	}
+	return l.groups[shard]
+}
+
+// callGroup performs one naming exchange against a shard group, rotating
+// through its replicas from the sticky preferred one.
+func (l *Layer) callGroup(ctx context.Context, span uint32, req Request, shard int) (Response, error) {
 	payload, err := pack.Marshal(req)
 	if err != nil {
 		return Response{}, fmt.Errorf("nsp: marshal request: %w", err)
 	}
-	servers := l.cfg.WellKnown.NameServerUAdds()
+	return l.callGroupPayload(ctx, span, payload, shard)
+}
+
+func (l *Layer) callGroupPayload(ctx context.Context, span uint32, payload []byte, shard int) (Response, error) {
+	servers := l.serversFor(shard)
 	if len(servers) == 0 {
 		return Response{}, fmt.Errorf("%w: no name servers configured", ErrUnavailable)
+	}
+	slot := 0
+	if shard != allShards && shard < len(l.preferred) {
+		slot = shard
 	}
 	var lastErr error
 	b := l.cfg.FailoverPolicy.Start()
 	for b.Next(ctx, nil) {
 		l.mu.Lock()
-		start := l.preferred
+		start := l.preferred[slot]
 		l.mu.Unlock()
 		if start >= len(servers) {
 			start = 0
@@ -269,7 +442,7 @@ func (l *Layer) callServers(ctx context.Context, span uint32, req Request) (Resp
 			if idx != start {
 				l.rotations.Inc()
 				l.mu.Lock()
-				l.preferred = idx
+				l.preferred[slot] = idx
 				l.mu.Unlock()
 			}
 			return resp, nil
@@ -279,6 +452,76 @@ func (l *Layer) callServers(ctx context.Context, span uint32, req Request) (Resp
 		lastErr = berr
 	}
 	return Response{}, fmt.Errorf("%w: %v", ErrUnavailable, lastErr)
+}
+
+// callFanout sends an attribute query to every shard group and merges
+// the answers: the namespace is partitioned, so only the union is the
+// real result. A dead shard degrades the result instead of failing it —
+// the chaos contract: losing one shard must not take down resolution
+// everywhere else.
+func (l *Layer) callFanout(ctx context.Context, span uint32, req Request) (Response, error) {
+	l.shardFanouts.Inc()
+	payload, err := pack.Marshal(req)
+	if err != nil {
+		return Response{}, fmt.Errorf("nsp: marshal request: %w", err)
+	}
+	merged := Response{Code: CodeOK}
+	seen := make(map[uint64]bool)
+	okCount := 0
+	var lastErr error
+	var lastResp Response
+	for shard := 0; shard < l.numShards; shard++ {
+		resp, err := l.callGroupPayload(ctx, span, payload, shard)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.Code != CodeOK {
+			lastResp = resp
+			continue
+		}
+		okCount++
+		for _, r := range resp.Records {
+			if seen[r.UAdd] {
+				continue // well-known records live on every shard
+			}
+			seen[r.UAdd] = true
+			merged.Records = append(merged.Records, r)
+		}
+	}
+	if okCount == 0 {
+		if lastErr != nil {
+			return Response{}, lastErr
+		}
+		return lastResp, nil
+	}
+	if okCount < l.numShards {
+		l.shardPartials.Inc()
+	}
+	sort.Slice(merged.Records, func(i, j int) bool { return merged.Records[i].UAdd < merged.Records[j].UAdd })
+	return merged, nil
+}
+
+// callBroadcast pushes a well-known write to every shard group. The
+// primary group's answer is the caller's answer; the other groups are
+// best-effort (an unreachable shard converges through anti-entropy and
+// the preload when it heals).
+func (l *Layer) callBroadcast(ctx context.Context, span uint32, req Request, primary int) (Response, error) {
+	l.shardBroadcasts.Inc()
+	payload, err := pack.Marshal(req)
+	if err != nil {
+		return Response{}, fmt.Errorf("nsp: marshal request: %w", err)
+	}
+	resp, perr := l.callGroupPayload(ctx, span, payload, primary)
+	for shard := 0; shard < l.numShards; shard++ {
+		if shard == primary {
+			continue
+		}
+		if _, err := l.callGroupPayload(ctx, span, payload, shard); err != nil {
+			l.shardPartials.Inc()
+		}
+	}
+	return resp, perr
 }
 
 // terminalCallError classifies failures no replica rotation can recover:
@@ -296,18 +539,125 @@ func terminalCallError(ctx context.Context, err error) bool {
 }
 
 // PreferredServer reports which Name Server replica the layer currently
-// favors (test instrumentation for the rotation).
+// favors in the first shard group (test instrumentation for the rotation).
 func (l *Layer) PreferredServer() addr.UAdd {
-	servers := l.cfg.WellKnown.NameServerUAdds()
+	servers := l.serversFor(0)
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if len(servers) == 0 {
 		return addr.Nil
 	}
-	if l.preferred >= len(servers) {
+	if l.preferred[0] >= len(servers) {
 		return servers[0]
 	}
-	return servers[l.preferred]
+	return servers[l.preferred[0]]
+}
+
+// cachedByName returns the leased record for a name, if the lease is
+// still valid.
+func (l *Layer) cachedByName(name string) (Record, bool) {
+	if l.recByName == nil {
+		return Record{}, false
+	}
+	l.recMu.Lock()
+	defer l.recMu.Unlock()
+	e, ok := l.recByName[name]
+	if !ok || time.Now().After(e.expires) {
+		l.cacheMisses.Inc()
+		return Record{}, false
+	}
+	l.cacheHits.Inc()
+	return e.rec, true
+}
+
+// cachedByUAdd returns the leased record for a UAdd, if still valid.
+func (l *Layer) cachedByUAdd(u addr.UAdd) (Record, bool) {
+	if l.recByU == nil {
+		return Record{}, false
+	}
+	l.recMu.Lock()
+	defer l.recMu.Unlock()
+	e, ok := l.recByU[u]
+	if !ok || time.Now().After(e.expires) {
+		l.cacheMisses.Inc()
+		return Record{}, false
+	}
+	l.cacheHits.Inc()
+	return e.rec, true
+}
+
+// cacheStore leases a freshly resolved record. Only alive records are
+// leased: a dead record's interesting state (its forwarding target)
+// changes out from under any lease.
+func (l *Layer) cacheStore(rec Record) {
+	if l.recByName == nil || !rec.Alive {
+		return
+	}
+	l.recMu.Lock()
+	defer l.recMu.Unlock()
+	if len(l.recByU) >= l.cfg.RecordCacheSize {
+		l.evictOneLocked()
+	}
+	e := &recEntry{rec: rec, expires: time.Now().Add(l.cfg.RecordTTL)}
+	if old, ok := l.recByName[rec.Name]; ok && old.rec.UAdd != rec.UAdd {
+		delete(l.recByU, old.rec.UAdd)
+	}
+	if old, ok := l.recByU[rec.UAdd]; ok && old.rec.Name != rec.Name {
+		delete(l.recByName, old.rec.Name)
+	}
+	l.recByName[rec.Name] = e
+	l.recByU[rec.UAdd] = e
+}
+
+// evictOneLocked drops one lease to make room: an expired one when any
+// exists, otherwise an arbitrary victim (the cache is a lease store, not
+// an LRU — correctness never depends on which entry goes).
+func (l *Layer) evictOneLocked() {
+	now := time.Now()
+	var victim *recEntry
+	for _, e := range l.recByU {
+		if now.After(e.expires) {
+			victim = e
+			break
+		}
+		if victim == nil {
+			victim = e
+		}
+	}
+	if victim == nil {
+		return
+	}
+	delete(l.recByName, victim.rec.Name)
+	delete(l.recByU, victim.rec.UAdd)
+	l.cacheEvictions.Inc()
+}
+
+// invalidateUAdd drops any lease touching a UAdd: the explicit
+// invalidation on relocation and death notices.
+func (l *Layer) invalidateUAdd(u addr.UAdd) {
+	if l.recByU == nil {
+		return
+	}
+	l.recMu.Lock()
+	defer l.recMu.Unlock()
+	if e, ok := l.recByU[u]; ok {
+		delete(l.recByName, e.rec.Name)
+		delete(l.recByU, u)
+	}
+}
+
+// invalidateName drops any lease for a name (a new registration under the
+// name shadows whatever the lease says).
+func (l *Layer) invalidateName(name string) {
+	if l.recByName == nil {
+		return
+	}
+	l.recMu.Lock()
+	defer l.recMu.Unlock()
+	if e, ok := l.recByName[name]; ok {
+		delete(l.recByU, e.rec.UAdd)
+		delete(l.recByName, name)
+	}
 }
 
 // Register records the module with the naming service and returns its
@@ -326,6 +676,9 @@ func (l *Layer) Register(name string, attrs map[string]string, endpoints []addr.
 	if resp.Code != CodeOK {
 		return addr.Nil, fmt.Errorf("nsp: register %q: %s (%s)", name, resp.Code, resp.Detail)
 	}
+	// A fresh registration shadows whatever lease we hold for the name
+	// (relocation: the new module is now the resolution target).
+	l.invalidateName(name)
 	return addr.UAdd(resp.UAdd), nil
 }
 
@@ -345,6 +698,7 @@ func (l *Layer) Announce(u addr.UAdd) error {
 
 // Deregister marks the module's record dead (clean shutdown).
 func (l *Layer) Deregister(u addr.UAdd) error {
+	l.invalidateUAdd(u) // death notice: the lease must not outlive the module
 	resp, err := l.call(Request{Op: OpDeregister, UAdd: uint64(u)})
 	if err != nil {
 		return err
@@ -357,6 +711,9 @@ func (l *Layer) Deregister(u addr.UAdd) error {
 
 // Resolve maps a logical name to the UAdd of its newest alive module.
 func (l *Layer) Resolve(name string) (addr.UAdd, error) {
+	if rec, ok := l.cachedByName(name); ok {
+		return rec.UAdd, nil
+	}
 	resp, err := l.call(Request{Op: OpResolve, Name: name})
 	if err != nil {
 		return addr.Nil, err
@@ -366,6 +723,9 @@ func (l *Layer) Resolve(name string) (addr.UAdd, error) {
 	}
 	if resp.Code != CodeOK {
 		return addr.Nil, fmt.Errorf("nsp: resolve %q: %s (%s)", name, resp.Code, resp.Detail)
+	}
+	if len(resp.Records) > 0 {
+		l.cacheStore(fromRec(resp.Records[0]))
 	}
 	return addr.UAdd(resp.UAdd), nil
 }
@@ -379,6 +739,9 @@ func (l *Layer) ResolveRecord(name string) (Record, error) {
 // ResolveRecordContext is ResolveRecord honoring ctx: the deadline or
 // cancellation bounds the naming exchange, including replica failover.
 func (l *Layer) ResolveRecordContext(ctx context.Context, name string) (Record, error) {
+	if rec, ok := l.cachedByName(name); ok {
+		return rec, nil
+	}
 	resp, err := l.callContext(ctx, Request{Op: OpResolve, Name: name})
 	if err != nil {
 		return Record{}, err
@@ -389,11 +752,16 @@ func (l *Layer) ResolveRecordContext(ctx context.Context, name string) (Record, 
 	if resp.Code != CodeOK {
 		return Record{}, fmt.Errorf("nsp: resolve %q: %s (%s)", name, resp.Code, resp.Detail)
 	}
-	return fromRec(resp.Records[0]), nil
+	rec := fromRec(resp.Records[0])
+	l.cacheStore(rec)
+	return rec, nil
 }
 
 // Lookup returns the full record for a UAdd.
 func (l *Layer) Lookup(u addr.UAdd) (Record, error) {
+	if rec, ok := l.cachedByUAdd(u); ok {
+		return rec, nil
+	}
 	resp, err := l.call(Request{Op: OpLookup, UAdd: uint64(u)})
 	if err != nil {
 		return Record{}, err
@@ -401,7 +769,9 @@ func (l *Layer) Lookup(u addr.UAdd) (Record, error) {
 	if resp.Code == CodeNotFound || len(resp.Records) == 0 {
 		return Record{}, fmt.Errorf("%w: %v", ErrNotFound, u)
 	}
-	return fromRec(resp.Records[0]), nil
+	rec := fromRec(resp.Records[0])
+	l.cacheStore(rec)
+	return rec, nil
 }
 
 // Query returns every alive record matching all given attributes.
@@ -425,6 +795,9 @@ func (l *Layer) Query(attrs map[string]string) ([]Record, error) {
 // old UAdd is really inactive, mapping the old UAdd to its name, and then
 // looking for a similar name in a newer module."
 func (l *Layer) Forward(old addr.UAdd) (addr.UAdd, error) {
+	// The fault path means the lease (if any) is wrong: drop it before
+	// asking, so the next resolution refetches whatever the server decides.
+	l.invalidateUAdd(old)
 	resp, err := l.call(Request{Op: OpForward, UAdd: uint64(old)})
 	if err != nil {
 		return addr.Nil, err

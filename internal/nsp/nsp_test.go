@@ -10,6 +10,7 @@ import (
 	"ntcs/internal/ipcs/memnet"
 	"ntcs/internal/machine"
 	"ntcs/internal/nsp"
+	"ntcs/internal/stats"
 	"ntcs/sim"
 )
 
@@ -191,6 +192,140 @@ func TestEndpointConversionRoundTrip(t *testing.T) {
 	out := nsp.FromEndpoint(in).ToEndpoint()
 	if out != in {
 		t.Errorf("round trip: %v", out)
+	}
+}
+
+// cacheFixture boots a world with one Name Server plus a watcher module
+// whose NSP layer leases records (ResolveTTL on).
+func cacheFixture(t *testing.T, ttl time.Duration, size int) (*sim.World, *core.Module) {
+	t.Helper()
+	w := sim.NewWorld()
+	w.AddNetwork("ring", memnet.Options{})
+	nsHost := w.MustHost("ns-host", machine.Apollo, "ring")
+	if _, err := w.StartNameServer(nsHost, "ns"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(w.Close)
+	host := w.MustHost("vax-1", machine.VAX, "ring")
+	m, err := w.AttachConfig(host, core.Config{
+		Name: "watcher", ResolveTTL: ttl, ResolveCacheSize: size,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, m
+}
+
+// TestLeaseCacheHitAndExpiry covers the lease lifecycle: the first
+// resolution is a miss that queries the server and leases the record, a
+// repeat within the TTL is served locally (no naming exchange at all),
+// and the same lease answers UAdd-keyed Lookups. Past the TTL the lease
+// lapses and the next resolution goes back to the server.
+func TestLeaseCacheHitAndExpiry(t *testing.T) {
+	w, m := cacheFixture(t, 250*time.Millisecond, 0)
+	host := w.MustHost("vax-2", machine.VAX, "ring")
+	target, err := w.Attach(host, "target", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layer := m.NSP()
+
+	before := m.Stats().Snapshot().Counters
+	u, err := layer.Resolve("target")
+	if err != nil || u != target.UAdd() {
+		t.Fatalf("Resolve = %v, %v", u, err)
+	}
+	after := m.Stats().Snapshot().Counters
+	if miss := after[stats.NSPCacheMisses] - before[stats.NSPCacheMisses]; miss != 1 {
+		t.Errorf("cold resolve: misses moved %d, want 1", miss)
+	}
+	if q := after[stats.NSPQueries] - before[stats.NSPQueries]; q != 1 {
+		t.Errorf("cold resolve: queries moved %d, want 1", q)
+	}
+
+	// Warm: Resolve and Lookup both ride the lease, no server exchange.
+	before = after
+	if u, err = layer.Resolve("target"); err != nil || u != target.UAdd() {
+		t.Fatalf("warm Resolve = %v, %v", u, err)
+	}
+	rec, err := layer.Lookup(target.UAdd())
+	if err != nil || rec.Name != "target" {
+		t.Fatalf("warm Lookup = %+v, %v", rec, err)
+	}
+	after = m.Stats().Snapshot().Counters
+	if hits := after[stats.NSPCacheHits] - before[stats.NSPCacheHits]; hits != 2 {
+		t.Errorf("warm resolve+lookup: hits moved %d, want 2", hits)
+	}
+	if q := after[stats.NSPQueries] - before[stats.NSPQueries]; q != 0 {
+		t.Errorf("warm resolve+lookup still queried the server %d times", q)
+	}
+
+	// Expired: the lease lapses and the server answers again.
+	time.Sleep(300 * time.Millisecond)
+	before = m.Stats().Snapshot().Counters
+	if u, err = layer.Resolve("target"); err != nil || u != target.UAdd() {
+		t.Fatalf("post-TTL Resolve = %v, %v", u, err)
+	}
+	after = m.Stats().Snapshot().Counters
+	if miss := after[stats.NSPCacheMisses] - before[stats.NSPCacheMisses]; miss != 1 {
+		t.Errorf("post-TTL resolve: misses moved %d, want 1", miss)
+	}
+	if q := after[stats.NSPQueries] - before[stats.NSPQueries]; q != 1 {
+		t.Errorf("post-TTL resolve: queries moved %d, want 1", q)
+	}
+}
+
+// TestLeaseCacheInvalidation pins the explicit invalidations: a
+// deregistration through the layer drops the dead module's lease
+// immediately (no TTL wait), and a fresh registration under a leased
+// name shadows the stale lease.
+func TestLeaseCacheInvalidation(t *testing.T) {
+	w, m := cacheFixture(t, time.Hour, 0)
+	host := w.MustHost("vax-2", machine.VAX, "ring")
+	target, err := w.Attach(host, "target", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layer := m.NSP()
+	if _, err := layer.Resolve("target"); err != nil {
+		t.Fatal(err)
+	}
+	// Deregister through the watcher's own layer: the lease must die with
+	// the record even though the TTL is an hour.
+	if err := layer.Deregister(target.UAdd()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := layer.Resolve("target"); !errors.Is(err, nsp.ErrNotFound) {
+		t.Errorf("Resolve after deregister = %v, want ErrNotFound (stale lease served?)", err)
+	}
+}
+
+// TestLeaseCacheEviction fills a two-entry cache with three live leases
+// and checks one was evicted to make room.
+func TestLeaseCacheEviction(t *testing.T) {
+	w, m := cacheFixture(t, time.Hour, 2)
+	host := w.MustHost("vax-2", machine.VAX, "ring")
+	layer := m.NSP()
+	for _, name := range []string{"t1", "t2", "t3"} {
+		if _, err := w.Attach(host, name, nil); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := layer.Resolve(name); err != nil {
+			t.Fatalf("Resolve(%q): %v", name, err)
+		}
+	}
+	c := m.Stats().Snapshot().Counters
+	if c[stats.NSPCacheEvictions] == 0 {
+		t.Errorf("three leases in a two-entry cache evicted nothing")
+	}
+	// The newest lease survived.
+	before := m.Stats().Snapshot().Counters
+	if _, err := layer.Resolve("t3"); err != nil {
+		t.Fatal(err)
+	}
+	after := m.Stats().Snapshot().Counters
+	if hits := after[stats.NSPCacheHits] - before[stats.NSPCacheHits]; hits != 1 {
+		t.Errorf("newest lease gone after eviction (hits moved %d)", hits)
 	}
 }
 

@@ -431,14 +431,30 @@ const (
 	LCMCallLatency   = "lcm.call_latency" // histogram
 
 	// NSP-Layer
-	NSPQueries   = "nsp.queries"
-	NSPRotations = "nsp.replica_rotations"
-	NSPFailures  = "nsp.query_failures"
+	NSPQueries        = "nsp.queries"
+	NSPRotations      = "nsp.replica_rotations"
+	NSPFailures       = "nsp.query_failures"
+	NSPCacheHits      = "nsp.cache.hits"
+	NSPCacheMisses    = "nsp.cache.misses"
+	NSPCacheEvictions = "nsp.cache.evictions"
+
+	// Shard routing (metered at the NSP client, where routing happens)
+	NSShardRouted     = "ns.shard.routed"     // requests routed to a single owning shard
+	NSShardFanouts    = "ns.shard.fanouts"    // attribute queries fanned out to every shard
+	NSShardBroadcasts = "ns.shard.broadcasts" // well-known writes pushed to every shard
+	NSShardPartials   = "ns.shard.partials"   // fan-outs that lost at least one shard
 
 	// Name Server module
-	NSOps        = "ns.ops"
-	NSReplRounds = "ns.replication_rounds"
-	NSReplRecs   = "ns.replicated_records"
+	NSOps          = "ns.ops"
+	NSReplRounds   = "ns.replication_rounds"
+	NSReplRecs     = "ns.replicated_records"
+	NSReplStale    = "ns.replication_stale" // pushes dropped by the incarnation merge
+	NSAERounds     = "ns.antientropy.rounds"
+	NSAEPulled     = "ns.antientropy.pulled"
+	NSAEPushed     = "ns.antientropy.pushed"
+	NSHandlerWaits = "ns.handler_waits" // requests that waited for a handler slot
+	NSTombstones   = "ns.tombstones"   // gauge: dead records retained
+	NSTombstonesGC = "ns.tombstones_gc"
 
 	// retry budgets (suffixed with the budget name by the retry package)
 	RetryAttempts = "retry.attempts"

@@ -1,0 +1,287 @@
+package ntcs_test
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ntcs"
+	"ntcs/internal/addr"
+	"ntcs/internal/ipcs/memnet"
+	"ntcs/internal/machine"
+	"ntcs/internal/nameserver"
+	"ntcs/sim"
+)
+
+// TestScaleMillionNames is the PR-7 headline number, gated behind
+// NTCS_SCALE=1 (run via `make bench-names`): a namespace of one million
+// names hash-partitioned across four shard groups, resolved through the
+// full NSP path by a leasing client. It writes the measured series to
+// BENCH_PR7.json.
+//
+// The census is bulk-loaded into each shard's database directly (the
+// registration protocol is exercised elsewhere; re-running a million LCM
+// calls per bench run would measure the transport, not the name
+// service), then every resolution rides the real client path: lease
+// cache, shard routing, LCM call, server dispatch.
+func TestScaleMillionNames(t *testing.T) {
+	if os.Getenv("NTCS_SCALE") == "" {
+		t.Skip("set NTCS_SCALE=1 (or run `make bench-names`) for the million-name benchmark")
+	}
+	const (
+		nShards   = 4
+		nNames    = 1_000_000
+		hotSet    = 1024 // the working set the lease cache should absorb
+		nWorkers  = 8
+		perWorker = 25_000
+	)
+	w := sim.NewWorld()
+	w.AddNetwork("ring", memnet.Options{})
+	groups := startShardedNS(t, w, nShards, 1)
+	t.Cleanup(w.Close)
+	wk := w.WellKnown()
+
+	// Bulk-load the census into the owning shards.
+	loadStart := time.Now()
+	names := make([]string, nNames)
+	uadds := make([]addr.UAdd, nNames)
+	perShard := make([]int, nShards)
+	for i := range names {
+		names[i] = fmt.Sprintf("svc-%07d", i)
+		s := wk.ShardForName(names[i])
+		perShard[s]++
+		uadds[i] = groups[s][0].DB().Register(names[i], nil, nil).UAdd
+	}
+	loadRate := float64(nNames) / time.Since(loadStart).Seconds()
+	t.Logf("census: %d names across %d shards %v in %v (%.0f/s)",
+		nNames, nShards, perShard, time.Since(loadStart).Round(time.Millisecond), loadRate)
+
+	client, err := w.AttachConfig(w.MustHost("client-host", machine.VAX, "ring"), ntcs.Config{
+		Name:             "bench-client",
+		ResolveTTL:       30 * time.Second,
+		ResolveCacheSize: 4 * hotSet,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Spot-check correctness before timing anything.
+	for _, i := range []int{0, nNames / 2, nNames - 1} {
+		u, err := client.Locate(names[i])
+		if err != nil || u != uadds[i] {
+			t.Fatalf("Locate(%q) = %v, %v; want %v", names[i], u, err, uadds[i])
+		}
+	}
+
+	// Mixed workload: 90% of resolutions hit a hot working set (the lease
+	// cache's job), 10% sample the full million uniformly (the shard
+	// routing's job).
+	base := client.Stats().Snapshot().Counters
+	var wrong atomic.Int64
+	start := time.Now()
+	var wg sync.WaitGroup
+	for g := 0; g < nWorkers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g + 1)))
+			layer := client.NSP()
+			for k := 0; k < perWorker; k++ {
+				i := rng.Intn(hotSet)
+				if rng.Intn(10) == 0 {
+					i = rng.Intn(nNames)
+				}
+				u, err := layer.Resolve(names[i])
+				if err != nil || u != uadds[i] {
+					wrong.Add(1)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if n := wrong.Load(); n > 0 {
+		t.Fatalf("%d resolutions returned the wrong UAdd or failed", n)
+	}
+	after := client.Stats().Snapshot().Counters
+	hits := after["nsp.cache.hits"] - base["nsp.cache.hits"]
+	misses := after["nsp.cache.misses"] - base["nsp.cache.misses"]
+	hitRate := float64(hits) / float64(hits+misses)
+	mixedRate := float64(nWorkers*perWorker) / elapsed.Seconds()
+	t.Logf("mixed workload: %d resolutions in %v (%.0f/s), cache hit rate %.1f%%",
+		nWorkers*perWorker, elapsed.Round(time.Millisecond), mixedRate, 100*hitRate)
+
+	// Cold series: a cacheless client, every resolution a full naming
+	// exchange — the server-path floor under the same million names.
+	cold, err := w.Attach(w.MustHost("cold-host", machine.VAX, "ring"), "cold-client", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nCold = 20_000
+	rng := rand.New(rand.NewSource(99))
+	start = time.Now()
+	for k := 0; k < nCold; k++ {
+		i := rng.Intn(nNames)
+		if u, err := cold.NSP().Resolve(names[i]); err != nil || u != uadds[i] {
+			t.Fatalf("cold Resolve(%q) = %v, %v", names[i], u, err)
+		}
+	}
+	coldRate := float64(nCold) / time.Since(start).Seconds()
+	t.Logf("cold path: %d resolutions (%.0f/s)", nCold, coldRate)
+
+	if hitRate < 0.5 {
+		t.Errorf("cache hit rate %.2f; the hot set did not stay leased", hitRate)
+	}
+
+	out := map[string]any{
+		"description": fmt.Sprintf("PR-7 million-name series: %d names hash-partitioned across %d shard groups, resolved through the full NSP path (lease cache, shard routing, LCM call, server dispatch). Run via `make bench-names` (NTCS_SCALE=1 go test . -run TestScaleMillionNames); this file is rewritten with the measured numbers each run.", nNames, nShards),
+		"benchmarks": map[string]any{
+			"census_load": map[string]any{
+				"names":           nNames,
+				"shards":          nShards,
+				"names_per_shard": perShard,
+				"load_per_sec":    int(loadRate),
+				"note":            "bulk insert into the owning shard databases; the registration protocol itself is benched separately",
+			},
+			"mixed_resolution": map[string]any{
+				"resolutions":         nWorkers * perWorker,
+				"workers":             nWorkers,
+				"hot_set":             hotSet,
+				"resolutions_per_sec": int(mixedRate),
+				"cache_hit_rate":      float64(int(10000*hitRate)) / 10000,
+				"note":                "90% of resolutions draw from the hot set, 10% sample the full namespace uniformly; the lease cache absorbs the hot set and the misses exercise the shard routing",
+			},
+			"cold_resolution": map[string]any{
+				"resolutions":         nCold,
+				"resolutions_per_sec": int(coldRate),
+				"note":                "cacheless client, uniform sampling: every resolution is a complete naming exchange with the owning shard",
+			},
+		},
+		"methodology": "Single NTCS_SCALE=1 run on the CI-class box over the in-memory network; rates swing with CPU frequency, the cache hit rate is stable. Correctness is asserted, not sampled: every resolution in every series must return the registered UAdd.",
+	}
+	blob, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_PR7.json", append(blob, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Log("wrote BENCH_PR7.json")
+}
+
+// TestConvergenceSoak is the NTCS_SCALE-gated replica-divergence soak
+// (wired into `make scale-gate`): two replicas of a three-way group are
+// seeded with divergent register/relocate/deregister histories behind
+// the replication protocol's back — the state of replicas restored from
+// stale checkpoints, which the write-path push can never repair. The
+// periodic digest exchange alone must drive all three replicas to the
+// exact merged state (the end-to-end form of the
+// TestReplicaConvergenceProperty merge rules), including the death
+// notices and their origin stamps.
+func TestConvergenceSoak(t *testing.T) {
+	if os.Getenv("NTCS_SCALE") == "" {
+		t.Skip("set NTCS_SCALE=1 (or run `make scale-gate`) for the convergence soak")
+	}
+	w := sim.NewWorld()
+	w.AddNetwork("ring", memnet.Options{})
+	w.SetNameServerTuning(50*time.Millisecond, 0)
+	groups := startShardedNS(t, w, 1, 3)
+	t.Cleanup(w.Close)
+	replicas := groups[0]
+
+	// Divergent histories: replica 0 and replica 1 each hold a slice of
+	// the namespace the other two have never seen; the model database
+	// (the Insert merge is order-independent, proven by the property
+	// test) is the ground truth every replica must reach.
+	model := nameserver.NewDB(9)
+	churn := func(db *nameserver.DB, prefix string, rng *rand.Rand, ops int) {
+		alive := make(map[string]nameserver.Record)
+		for i := 0; i < ops; i++ {
+			name := fmt.Sprintf("%s-%d", prefix, rng.Intn(40))
+			cur, ok := alive[name]
+			switch {
+			case ok && rng.Intn(3) == 0:
+				db.Deregister(cur.UAdd)
+				dead, _ := db.Lookup(cur.UAdd)
+				model.Insert(dead)
+				delete(alive, name)
+			default:
+				rec := db.Register(name, nil, nil)
+				model.Insert(rec)
+				if ok {
+					db.Deregister(cur.UAdd)
+					dead, _ := db.Lookup(cur.UAdd)
+					model.Insert(dead)
+				}
+				alive[name] = rec
+			}
+		}
+	}
+	rng := rand.New(rand.NewSource(7))
+	churn(replicas[0].DB(), "soak-a", rng, 150)
+	churn(replicas[1].DB(), "soak-b", rng, 150)
+
+	// Anti-entropy must now move soak-a records to replicas 1 and 2,
+	// soak-b records to replicas 0 and 2 — pulls and pushes in every
+	// pairing — until every replica answers exactly like the model.
+	match := func() error {
+		for i, m := range replicas {
+			db := m.DB()
+			for _, want := range model.Snapshot() {
+				got, err := db.Lookup(want.UAdd)
+				if err != nil {
+					return fmt.Errorf("replica %d: Lookup(%v): %w", i, want.UAdd, err)
+				}
+				if got.Alive != want.Alive || got.Incarnation != want.Incarnation {
+					return fmt.Errorf("replica %d: Lookup(%v) = alive=%v inc=%d; want alive=%v inc=%d",
+						i, want.UAdd, got.Alive, got.Incarnation, want.Alive, want.Incarnation)
+				}
+				if !want.Alive && !got.DiedAt.Equal(want.DiedAt) {
+					return fmt.Errorf("replica %d: %v DiedAt = %v, want origin stamp %v",
+						i, want.UAdd, got.DiedAt, want.DiedAt)
+				}
+				wantRec, werr := model.Resolve(got.Name)
+				gotRec, gerr := db.Resolve(got.Name)
+				if werr != nil {
+					if !errors.Is(gerr, nameserver.ErrNotFound) {
+						return fmt.Errorf("replica %d: Resolve(%q) = %v, want not-found", i, got.Name, gerr)
+					}
+				} else if gerr != nil || gotRec.UAdd != wantRec.UAdd {
+					return fmt.Errorf("replica %d: Resolve(%q) = %v, %v; want %v",
+						i, got.Name, gotRec.UAdd, gerr, wantRec.UAdd)
+				}
+			}
+		}
+		return nil
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	var lastErr error
+	for {
+		if lastErr = match(); lastErr == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replicas never converged: %v", lastErr)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	totals := w.StatsTotals()
+	if totals.Counters["ns.antientropy.rounds"] == 0 {
+		t.Error("convergence without a single metered anti-entropy round")
+	}
+	if totals.Counters["ns.antientropy.pulled"]+totals.Counters["ns.antientropy.pushed"] == 0 {
+		t.Error("anti-entropy moved no records yet the straggler converged")
+	}
+	t.Logf("converged; ae rounds=%d pulled=%d pushed=%d stale=%d",
+		totals.Counters["ns.antientropy.rounds"],
+		totals.Counters["ns.antientropy.pulled"],
+		totals.Counters["ns.antientropy.pushed"],
+		totals.Counters["ns.replication_stale"])
+}

@@ -115,6 +115,18 @@ func (c *Chaos) KillModule(at time.Duration, name string, m *core.Module) *Chaos
 	return c.Schedule(at, "kill "+name, m.Kill)
 }
 
+// KillShard crashes an entire name-server shard group at the given
+// offset: every replica dies at once, so resolution of names owned by
+// the shard fails while names on other shards keep resolving — the
+// graceful-degradation contract of the partitioned namespace.
+func (c *Chaos) KillShard(at time.Duration, name string, servers ...*core.Module) *Chaos {
+	return c.Schedule(at, "kill-shard "+name, func() {
+		for _, m := range servers {
+			m.Kill()
+		}
+	})
+}
+
 // SlowLorisEpisode turns m into a slow-loris receiver from at until
 // at+dur: its credit admission rate drops to perSec grants per second,
 // so every peer sending to it exhausts its circuit window and feels

@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"ntcs/internal/addr"
 	"ntcs/internal/core"
@@ -49,10 +50,15 @@ type World struct {
 	wellKnown   addr.WellKnown
 	modules     []*core.Module
 	nameServers []*core.Module
+	nsShards    []int // shard group per nameServers entry
 	nextGW      addr.UAdd
 	nextNS      int
 	hintSeq     int
 	coalesce    bool
+
+	// Name-server tuning applied to servers started afterwards.
+	nsAntiEntropy  time.Duration
+	nsTombstoneTTL time.Duration
 }
 
 // NewWorld creates an empty testbed.
@@ -215,18 +221,51 @@ func (w *World) StatsTotals() stats.Snapshot {
 	return total
 }
 
-// StartNameServer boots the Name Server module on a host and adds its
-// endpoints to the well-known preload.
-func (w *World) StartNameServer(h *Host, name string) (*core.Module, error) {
+// SetNameServerTuning configures anti-entropy and tombstone GC for name
+// servers started afterwards (zero leaves each loop off).
+func (w *World) SetNameServerTuning(antiEntropy, tombstoneTTL time.Duration) {
 	w.mu.Lock()
-	if w.nextNS >= 3 {
+	defer w.mu.Unlock()
+	w.nsAntiEntropy = antiEntropy
+	w.nsTombstoneTTL = tombstoneTTL
+}
+
+// StartNameServer boots a Name Server replica in shard group 0: the
+// unsharded configuration every pre-shard test uses.
+func (w *World) StartNameServer(h *Host, name string) (*core.Module, error) {
+	return w.StartNameServerShard(h, name, 0)
+}
+
+// StartNameServerShard boots a Name Server replica in the given shard
+// group and adds it to the well-known preload. The namespace is
+// hash-partitioned across shard groups; each group is internally
+// replicated (at most three replicas: primary + two). Modules attached
+// after all servers are up see the full shard map.
+func (w *World) StartNameServerShard(h *Host, name string, shard int) (*core.Module, error) {
+	w.mu.Lock()
+	if shard < 0 {
 		w.mu.Unlock()
-		return nil, errors.New("sim: at most three name servers (primary + two replicas)")
+		return nil, fmt.Errorf("sim: negative shard %d", shard)
+	}
+	if w.nextNS > int(addr.NameServerLimit-addr.NameServer) {
+		w.mu.Unlock()
+		return nil, errors.New("sim: well-known name server addresses exhausted")
+	}
+	inGroup := 0
+	for _, e := range w.wellKnown.NameServers {
+		if e.Shard == shard {
+			inGroup++
+		}
+	}
+	if inGroup >= 3 {
+		w.mu.Unlock()
+		return nil, fmt.Errorf("sim: shard %d already has three replicas (primary + two)", shard)
 	}
 	uadd := addr.NameServer + addr.UAdd(w.nextNS)
 	serverID := uint16(w.nextNS + 1)
 	w.nextNS++
 	wk := w.wellKnown
+	antiEntropy, tombTTL := w.nsAntiEntropy, w.nsTombstoneTTL
 	w.mu.Unlock()
 
 	m, err := core.Attach(core.Config{
@@ -239,36 +278,43 @@ func (w *World) StartNameServer(h *Host, name string) (*core.Module, error) {
 		FixedUAdd:      uadd,
 		ServerID:       serverID,
 		CoalesceWrites: w.coalesceWrites(),
+		NSAntiEntropy:  antiEntropy,
+		NSTombstoneTTL: tombTTL,
 	})
 	if err != nil {
 		return nil, err
 	}
 	w.mu.Lock()
 	w.wellKnown.NameServers = append(w.wellKnown.NameServers, addr.WellKnownEntry{
-		Name: name, UAdd: uadd, Endpoints: m.Endpoints(),
+		Name: name, UAdd: uadd, Endpoints: m.Endpoints(), Shard: shard, ServerID: serverID,
 	})
 	w.nameServers = append(w.nameServers, m)
+	w.nsShards = append(w.nsShards, shard)
 	servers := append([]*core.Module(nil), w.nameServers...)
+	shards := append([]int(nil), w.nsShards...)
 	w.mu.Unlock()
 	w.track(m)
 
 	// Wire the replicated configuration (§7: "the latter will be
 	// replicated for failure resiliency"): every server knows every
-	// peer's record (so its own Nucleus can reach the peer to push
-	// writes) and propagates each write to all of them, so a client
-	// rotating to a replica after the primary dies sees the records
-	// registered through the primary.
-	for _, s := range servers {
-		peers := make([]addr.UAdd, 0, len(servers)-1)
-		for _, o := range servers {
+	// other server's record (so its Nucleus can reach any peer), but
+	// writes propagate only within the shard group — the namespace
+	// partition is the point, and cross-shard replication would undo it.
+	// A client rotating to a replica after its group's primary dies sees
+	// the records registered through the primary.
+	for i, s := range servers {
+		var peers []addr.UAdd
+		for j, o := range servers {
 			if o == s {
 				continue
 			}
-			peers = append(peers, o.UAdd())
 			s.DB().Insert(nameserver.Record{
 				Name: o.Name(), UAdd: o.UAdd(), Endpoints: o.Endpoints(),
 				Attrs: map[string]string{"type": "nameserver"}, Alive: true,
 			})
+			if shards[i] == shards[j] {
+				peers = append(peers, o.UAdd())
+			}
 		}
 		s.SetNameServerReplicas(peers)
 	}
