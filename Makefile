@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet verify verify-race bench bench-thru bench-pack bench-scale bench-names scale-gate soak fuzz-smoke
+.PHONY: all build test race vet verify verify-race bench bench-thru bench-pack bench-scale bench-names scale-gate soak soak-proc proc-gate fuzz-smoke
 
 all: verify
 
@@ -71,6 +71,21 @@ scale-gate:
 NTCS_CHAOS_SEED ?= 42
 soak:
 	NTCS_CHAOS_SEED=$(NTCS_CHAOS_SEED) $(GO) test . -run TestChaosSoak -race -count=1 -v
+
+# soak-proc runs the real multi-process kill -9 gauntlet (ROADMAP item
+# 3): separate OS processes over real TCP, SIGKILL of the prime gateway,
+# a name-server replica and the worker, a rolling relocation and a
+# SIGTERM drain — all under load, all under the race detector, recovery
+# asserted from each process's scraped /stats.json. Stretch the waits on
+# a slow machine: make soak-proc NTCS_PROC_WAIT_MS=60000
+soak-proc:
+	NTCS_PROC_SOAK=1 NTCS_PROC_RACE=1 $(GO) test ./internal/proctest -run TestProcSoak -race -count=1 -v
+
+# proc-gate is the CI slice of the multi-process harness: the real-process
+# smoke boot, the SIGTERM drain contract for every binary kind, and one
+# kill -9 episode, under the race detector.
+proc-gate:
+	NTCS_PROC_RACE=1 $(GO) test ./internal/proctest -race -count=1 -v
 
 # fuzz-smoke runs each wire-facing fuzz target briefly — CI's crash
 # detector, not a coverage hunt. Override: make fuzz-smoke FUZZTIME=2m

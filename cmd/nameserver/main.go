@@ -23,7 +23,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"strconv"
 	"strings"
 	"syscall"
@@ -47,12 +46,17 @@ func main() {
 		antiEntropy = flag.Duration("anti-entropy", 0, "digest reconciliation interval with one peer per tick (0 = off)")
 		tombTTL     = flag.Duration("tombstone-ttl", 0, "retain dead records (and their forwarding) this long (0 = forever)")
 		maxHandlers = flag.Int("max-handlers", 0, "bound on concurrent request handlers (0 = default, negative = unbounded)")
+		topoPath    = flag.String("topo", "", "topology file; boots this process's entry instead of the hand flags")
+		proc        = flag.String("proc", "", "process name within -topo (defaults to -name)")
+		httpAddr    = flag.String("http", "", "serve /stats, /stats.json, expvar and pprof on this address (off when empty)")
+		drainT      = flag.Duration("drain-timeout", 5*time.Second, "bound on the SIGTERM graceful drain")
 	)
 	flag.Parse()
 	if err := run(config{
 		bind: *bind, name: *name, machName: *machName, slot: *slot,
 		peers: *peers, peerMach: *peerMach,
 		antiEntropy: *antiEntropy, tombTTL: *tombTTL, maxHandlers: *maxHandlers,
+		topoPath: *topoPath, proc: *proc, httpAddr: *httpAddr, drainT: *drainT,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "nameserver:", err)
 		os.Exit(1)
@@ -65,6 +69,9 @@ type config struct {
 	peers, peerMach      string
 	antiEntropy, tombTTL time.Duration
 	maxHandlers          int
+	topoPath, proc       string
+	httpAddr             string
+	drainT               time.Duration
 }
 
 type peer struct {
@@ -104,7 +111,38 @@ func parsePeers(spec string, m machine.Type) ([]peer, error) {
 	return out, nil
 }
 
+// serve prints the ready line, waits for a signal, and shuts down:
+// SIGTERM drains gracefully (deregister, quiesce, flush — the record's
+// tombstone keeps §3.5 forwarding intact), SIGINT detaches directly.
+func serve(rt *cli.ProcRuntime, drainT time.Duration) error {
+	fmt.Println(rt.ReadyLine())
+	if cli.WaitSignals() == syscall.SIGTERM {
+		if err := rt.Drain(drainT); err != nil {
+			fmt.Fprintln(os.Stderr, "nameserver: drain:", err)
+		}
+		fmt.Println(rt.DrainedLine())
+		return nil
+	}
+	rt.Close()
+	fmt.Println("shutting down")
+	return nil
+}
+
 func run(cfg config) error {
+	if cfg.topoPath != "" {
+		proc := cfg.proc
+		if proc == "" {
+			proc = cfg.name
+		}
+		rt, err := cli.StartProc(cli.ProcOptions{
+			TopoPath: cfg.topoPath, Proc: proc,
+			HTTPAddr: cfg.httpAddr, DrainTimeout: cfg.drainT,
+		})
+		if err != nil {
+			return err
+		}
+		return serve(rt, cfg.drainT)
+	}
 	m, err := machine.ParseType(cfg.machName)
 	if err != nil {
 		return err
@@ -143,7 +181,6 @@ func run(cfg config) error {
 	if err != nil {
 		return err
 	}
-	defer mod.Detach()
 
 	// Seed the peer records (so this server's own Nucleus can reach them)
 	// and enable write propagation; anti-entropy reconciles the rest.
@@ -167,11 +204,11 @@ func run(cfg config) error {
 	}
 	fmt.Println("pass to other modules:  -ns", nsFlagValue(mod))
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
-	fmt.Println("shutting down")
-	return nil
+	rt, err := cli.NewRuntime(mod, cfg.httpAddr)
+	if err != nil {
+		return err
+	}
+	return serve(rt, cfg.drainT)
 }
 
 func nsFlagValue(mod *core.Module) string {

@@ -4,18 +4,29 @@
 // figure populated with the real module names, UAdds, networks and
 // endpoints — the figures as facts, not pictures.
 //
+// It is also the topology-file tool of the deployment mode: -emit writes
+// a declarative topology file (the site configuration of §3.4, one
+// process per line) that the cmd binaries consume with -topo/-proc, and
+// -topo FILE validates an existing file and renders the deployment it
+// describes — processes, shard groups, and the derived well-known
+// preload.
+//
 // Usage:
 //
-//	ntcstopo            # all figures plus the live topology
-//	ntcstopo -fig 2-2   # one figure
+//	ntcstopo                 # all figures plus the live topology
+//	ntcstopo -fig 2-2        # one figure
+//	ntcstopo -emit site.topo # write the reference deployment file
+//	ntcstopo -topo site.topo # validate + render a topology file
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
+	"ntcs/internal/cli"
 	"ntcs/internal/core"
 	"ntcs/internal/ipcs/memnet"
 	"ntcs/internal/machine"
@@ -24,12 +35,103 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "", "figure to render: 2-1, 2-2, 2-3, 2-4, topo (default: all)")
+	var (
+		fig      = flag.String("fig", "", "figure to render: 2-1, 2-2, 2-3, 2-4, topo (default: all)")
+		emit     = flag.String("emit", "", "write the reference deployment topology to this file ('-' for stdout)")
+		topoPath = flag.String("topo", "", "validate and render an existing topology file")
+	)
 	flag.Parse()
-	if err := run(*fig); err != nil {
+	var err error
+	switch {
+	case *emit != "":
+		err = emitTopology(*emit)
+	case *topoPath != "":
+		err = renderTopology(*topoPath)
+	default:
+		err = run(*fig)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "ntcstopo:", err)
 		os.Exit(1)
 	}
+}
+
+// referenceTopology is the deployment the emitted file describes: a
+// two-replica naming tier on the backbone, a prime gateway joining the
+// branch network, and an echo worker — the real-process analogue of the
+// figure testbed above.
+const referenceTopology = `# NTCS reference deployment — consumed by:
+#   nameserver -topo site.topo -proc ns0
+#   nameserver -topo site.topo -proc ns1
+#   gateway    -topo site.topo -proc gw1
+#   ursad      -topo site.topo -proc echo-1
+nameserver ns0 machine=apollo slot=0 shard=0 anti-entropy=2s bind=backbone=127.0.0.1:4001
+nameserver ns1 machine=apollo slot=1 shard=0 anti-entropy=2s bind=backbone=127.0.0.1:4002
+gateway    gw1 machine=apollo prime=true bind=backbone=127.0.0.1:4101,branch=127.0.0.1:4102
+worker     echo-1 machine=vax role=echo networks=backbone
+`
+
+func emitTopology(path string) error {
+	// Round-trip through the parser so the emitted file is, by
+	// construction, a file the binaries will accept.
+	if _, err := cli.ParseTopology(strings.NewReader(referenceTopology)); err != nil {
+		return fmt.Errorf("reference topology invalid: %w", err)
+	}
+	var err error
+	if path == "-" {
+		_, err = os.Stdout.WriteString(referenceTopology)
+		return err
+	}
+	return os.WriteFile(path, []byte(referenceTopology), 0o644)
+}
+
+func renderTopology(path string) error {
+	topo, err := cli.ParseTopologyFile(path)
+	if err != nil {
+		return err
+	}
+	wk, err := topo.WellKnown()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("topology %s: %d processes\n", path, len(topo.Procs))
+	for i := range topo.Procs {
+		p := &topo.Procs[i]
+		fmt.Printf("  %-10s %-12s machine=%-7s", p.Kind, p.Name, p.Machine)
+		if u := p.UAdd(); u != 0 {
+			fmt.Printf(" uadd=%v", u)
+		}
+		if p.Kind == cli.ProcNameServer {
+			fmt.Printf(" shard=%d", p.Shard)
+			if peers := topo.NSPeers(p.Name); len(peers) > 0 {
+				names := make([]string, 0, len(peers))
+				for _, q := range peers {
+					names = append(names, q.Name)
+				}
+				fmt.Printf(" replicas=%s", strings.Join(names, ","))
+			}
+		}
+		if p.Role != "" {
+			fmt.Printf(" role=%s", p.Role)
+		}
+		for _, b := range p.Bindings {
+			if b.Addr != "" {
+				fmt.Printf("  %s!%s", b.Network, b.Addr)
+			} else {
+				fmt.Printf("  %s!(ephemeral)", b.Network)
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Printf("well-known preload: %d name servers, %d prime gateways\n",
+		len(wk.NameServers), len(wk.Gateways))
+	for _, e := range wk.NameServers {
+		fmt.Printf("  NS %-12s %v shard=%d serverID=%d\n", e.Name, e.UAdd, e.Shard, e.ServerID)
+	}
+	for _, e := range wk.Gateways {
+		fmt.Printf("  GW %-12s %v\n", e.Name, e.UAdd)
+	}
+	return nil
 }
 
 type world struct {

@@ -13,6 +13,12 @@
 // JSON at /stats.json for ntcsstat, expvar at /debug/vars) and the pprof
 // profile endpoints; -hist additionally turns on the latency-histogram
 // tier for every module.
+//
+// With -topo FILE -proc NAME the daemon instead becomes one worker
+// process of a real multi-process deployment: it boots that topology
+// entry over real TCP sockets, bootstraps against the remote Name
+// Server, serves its role (role=echo answers calls with "echo:"+body),
+// and drains gracefully on SIGTERM.
 package main
 
 import (
@@ -21,8 +27,11 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"syscall"
+	"time"
 
 	"ntcs"
+	"ntcs/internal/cli"
 	"ntcs/internal/drts/monitor"
 	"ntcs/internal/ipcs/memnet"
 	"ntcs/internal/stats/statshttp"
@@ -36,11 +45,68 @@ func main() {
 		seed     = flag.Int64("seed", 1, "corpus generator seed")
 		httpAddr = flag.String("http", "", "serve /stats, expvar and pprof on this address (off when empty)")
 		hist     = flag.Bool("hist", false, "enable the latency-histogram tier on every module")
+		topoPath = flag.String("topo", "", "topology file; run as one worker process of a real deployment instead of the in-process demo")
+		proc     = flag.String("proc", "", "process name within -topo")
+		drainT   = flag.Duration("drain-timeout", 5*time.Second, "bound on the SIGTERM graceful drain")
 	)
 	flag.Parse()
-	if err := run(*docs, *seed, *httpAddr, *hist); err != nil {
+	var err error
+	if *topoPath != "" {
+		err = runWorker(*topoPath, *proc, *httpAddr, *drainT)
+	} else {
+		err = run(*docs, *seed, *httpAddr, *hist)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "ursad:", err)
 		os.Exit(1)
+	}
+}
+
+// runWorker boots one worker entry of a topology file as this OS
+// process: TAdd bootstrap against the remote Name Server over real TCP,
+// then serve by role until a signal arrives. SIGTERM drains gracefully
+// (deregister — the tombstone keeps §3.5 forwarding intact — quiesce,
+// flush, close); SIGINT exits directly.
+func runWorker(topoPath, proc, httpAddr string, drainT time.Duration) error {
+	rt, err := cli.StartProc(cli.ProcOptions{
+		TopoPath: topoPath, Proc: proc, HTTPAddr: httpAddr, DrainTimeout: drainT,
+	})
+	if err != nil {
+		return err
+	}
+	if rt.Entry.Role == "echo" {
+		go echoServe(rt.Mod)
+	}
+	fmt.Println(rt.ReadyLine())
+	if cli.WaitSignals() == syscall.SIGTERM {
+		if err := rt.Drain(drainT); err != nil {
+			fmt.Fprintln(os.Stderr, "ursad: drain:", err)
+		}
+		fmt.Println(rt.DrainedLine())
+		return nil
+	}
+	rt.Close()
+	fmt.Println("shutting down")
+	return nil
+}
+
+// echoServe answers every Call with "echo:"+body — the workload module
+// the process harness measures recovery against.
+func echoServe(m *ntcs.Module) {
+	for {
+		d, err := m.Recv(time.Hour)
+		if err != nil {
+			return
+		}
+		if !d.IsCall() {
+			continue
+		}
+		var s string
+		if err := d.Decode(&s); err != nil {
+			_ = m.ReplyError(d, "decode: "+err.Error())
+			continue
+		}
+		_ = m.Reply(d, "echo", "echo:"+s)
 	}
 }
 

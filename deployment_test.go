@@ -6,90 +6,19 @@ import (
 	"testing/quick"
 	"time"
 
-	"ntcs/internal/addr"
-	"ntcs/internal/cli"
-	"ntcs/internal/core"
-	"ntcs/internal/ipcs"
-	"ntcs/internal/ipcs/tcpnet"
 	"ntcs/internal/machine"
+	"ntcs/internal/proctest"
 )
 
 // TestMultiProcessStyleDeployment wires modules the way the cmd binaries
 // do: each "process" holds its own open tcpnet instance and learns the
-// Name Server only from the -ns style well-known configuration. Nothing
-// is shared in memory except the loopback interface.
+// Name Server only from the topology's well-known preload. Nothing is
+// shared in memory except the loopback interface. The wiring lives in
+// the proctest fixture, which realizes the same topology here in-process
+// and as real OS processes in internal/proctest's smoke test.
 func TestMultiProcessStyleDeployment(t *testing.T) {
-	// Process 1: the Name Server.
-	nsNet := tcpnet.NewOpen("backbone")
-	nsMod, err := core.Attach(core.Config{
-		Name:          "ns",
-		Machine:       machine.Apollo,
-		Networks:      []ipcs.Network{nsNet},
-		EndpointHints: map[string]string{"backbone": "127.0.0.1:0"},
-		Kind:          core.KindNameServer,
-		FixedUAdd:     addr.NameServer,
-		ServerID:      1,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer nsMod.Detach()
-	nsAddr := nsMod.Endpoints()[0].Addr
-
-	// Everyone else gets the NS address as flag-style configuration.
-	wk, err := cli.ParseWellKnown("backbone="+nsAddr, "apollo")
-	if err != nil {
-		t.Fatal(err)
-	}
-
-	// Process 2: the server module, with its own tcpnet instance.
-	attach := func(name string, m machine.Type) *core.Module {
-		t.Helper()
-		mod, err := core.Attach(core.Config{
-			Name:          name,
-			Machine:       m,
-			Networks:      []ipcs.Network{tcpnet.NewOpen("backbone")},
-			EndpointHints: map[string]string{"backbone": "127.0.0.1:0"},
-			WellKnown:     wk,
-		})
-		if err != nil {
-			t.Fatalf("attach %s: %v", name, err)
-		}
-		t.Cleanup(func() { mod.Detach() })
-		return mod
-	}
-
-	server := attach("tcp-server", machine.Sun68K)
-	go func() {
-		for {
-			d, err := server.Recv(time.Hour)
-			if err != nil {
-				return
-			}
-			if d.IsCall() {
-				var s string
-				if err := d.Decode(&s); err != nil {
-					_ = server.ReplyError(d, err.Error())
-					continue
-				}
-				_ = server.Reply(d, "r", "srv:"+s)
-			}
-		}
-	}()
-
-	// Process 3: the client.
-	client := attach("tcp-client", machine.VAX)
-	u, err := client.Locate("tcp-server")
-	if err != nil {
-		t.Fatal(err)
-	}
-	var reply string
-	if err := client.Call(u, "q", "over real sockets", &reply); err != nil {
-		t.Fatal(err)
-	}
-	if reply != "srv:over real sockets" {
-		t.Errorf("reply = %q", reply)
-	}
+	d := proctest.BootInProcess(t, proctest.SmokeTopology())
+	proctest.VerifyEcho(t, d, "tcp-server")
 }
 
 // fuzzBody is a representative message shape for the end-to-end property

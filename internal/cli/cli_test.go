@@ -62,6 +62,13 @@ func TestParseWellKnown(t *testing.T) {
 	if entry.Endpoints[0].Machine != machine.Apollo {
 		t.Errorf("machine = %v", entry.Endpoints[0].Machine)
 	}
+	if entry.Endpoints[0].Network != "backbone" || entry.Endpoints[0].Addr != "127.0.0.1:4001" ||
+		entry.Endpoints[1].Network != "branch" || entry.Endpoints[1].Addr != "127.0.0.1:4002" {
+		t.Errorf("endpoints = %+v", entry.Endpoints)
+	}
+	if entry.Name != "ns" {
+		t.Errorf("name = %q, want the conventional single-NS name", entry.Name)
+	}
 
 	// Empty spec: no preload (the nameserver binary itself).
 	wk, err = ParseWellKnown("", "apollo")

@@ -186,6 +186,7 @@ type Module struct {
 	server *nameserver.Server
 
 	detachOnce sync.Once
+	drainOnce  sync.Once
 	detached   chan struct{}
 }
 
@@ -1015,6 +1016,64 @@ func (m *Module) Detach() error {
 		if m.server != nil {
 			m.server.Wait()
 		}
+	})
+	return err
+}
+
+// Drain is the graceful shutdown of the deployment mode: the module
+// leaves the system without losing acknowledged work. The sequence is
+// deregister-first — the tombstone appears in the naming service (with
+// §3.5 forwarding intact) so new callers stop routing here — then
+// quiesce (already-delivered calls keep being served until the LCM inbox
+// stays empty), then flush the coalesced write queues so every frame a
+// sender was told "sent" reaches the wire, and only then tear the
+// Nucleus down. ctx bounds the quiesce and flush phases; on expiry the
+// teardown proceeds anyway. Drain returns the deregistration error, if
+// any — a failed quiesce is not an error, just a less graceful exit.
+//
+// A Name Server module retires its own record from its own shard
+// (Server.Retire), pushing the death notice to its replica peers inline;
+// other modules deregister through the naming service as usual. Safe to
+// call concurrently with Detach/Kill and with a running serve loop: the
+// serve loop's Recv fails with ErrClosed once the teardown starts.
+func (m *Module) Drain(ctx context.Context) error {
+	var err error
+	m.drainOnce.Do(func() {
+		if !m.cfg.NoRegister && !m.UAdd().IsTemp() {
+			if m.server != nil {
+				m.server.Retire(m.UAdd())
+			} else if m.naming != nil {
+				err = m.naming.Deregister(m.UAdd())
+			}
+		}
+
+		// Quiesce: two consecutive empty inbox observations, so a burst
+		// that momentarily empties the channel doesn't end the grace
+		// period while a sender is mid-stream.
+		empty := 0
+		for empty < 2 && ctx.Err() == nil {
+			if m.nuc.LCM.InboxDepth() == 0 {
+				empty++
+			} else {
+				empty = 0
+			}
+			if empty < 2 {
+				select {
+				case <-ctx.Done():
+				case <-time.After(10 * time.Millisecond):
+				}
+			}
+		}
+
+		_ = m.nuc.Flush(ctx)
+
+		m.detachOnce.Do(func() {
+			close(m.detached)
+			m.nuc.Close()
+			if m.server != nil {
+				m.server.Wait()
+			}
+		})
 	})
 	return err
 }

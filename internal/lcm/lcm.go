@@ -313,6 +313,10 @@ func (l *Layer) getHooks() Hooks {
 // the TAdd purge assertions.
 func (l *Layer) ForwardTable() *addr.ForwardTable { return l.fwd }
 
+// InboxDepth reports how many deliveries are queued but not yet received
+// by the module — the quiesce condition of a graceful drain.
+func (l *Layer) InboxDepth() int { return len(l.inbox) }
+
 // DestCache exposes the per-destination fast-path cache. The ALI layer
 // memoizes resolved destination facts here; this layer owns it so the
 // §3.5 relocation handler can invalidate stale entries.

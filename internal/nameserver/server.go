@@ -687,6 +687,29 @@ func (s *Server) sendReplicaBatch(batch []nsp.RecordRec) {
 	}
 }
 
+// Retire deregisters a record held by this server on behalf of a locally
+// draining module (typically the server's own well-known UAdd during a
+// graceful shutdown). Unlike the OpDeregister path this is called from
+// outside the dispatch loop, and the death notice is pushed to the
+// replica peers inline — the process is about to exit, so the batching
+// flushLoop may never get another turn. The tombstone keeps forwarding
+// (§3.5) intact until NSTombstoneTTL.
+func (s *Server) Retire(u addr.UAdd) bool {
+	if !s.cfg.DB.Deregister(u) {
+		return false
+	}
+	s.tombstones.Set(int64(s.cfg.DB.TombstoneCount()))
+	if len(s.replicaPeers()) > 0 {
+		// Lookup after Deregister so the pushed record carries the death
+		// stamp the peers' tombstone GC keys on.
+		if rec, err := s.cfg.DB.Lookup(u); err == nil {
+			rec.Alive = false
+			s.sendReplicaBatch([]nsp.RecordRec{toRec(rec)})
+		}
+	}
+	return true
+}
+
 // replicateDead propagates a death notice.
 func (s *Server) replicateDead(u addr.UAdd) {
 	if len(s.replicaPeers()) == 0 {

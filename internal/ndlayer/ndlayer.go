@@ -904,6 +904,40 @@ func (b *Binding) TAddAliasCount() int {
 	return n
 }
 
+// Flush waits until every circuit's coalesced send queue has drained to
+// the substrate (or ctx expires). Close drops queued frames; a graceful
+// drain calls Flush first so acknowledged work already handed to the
+// group-commit writer reaches the wire before the binding comes down.
+func (b *Binding) Flush(ctx context.Context) error {
+	for {
+		pending := false
+		b.circuits.Range(func(_, val any) bool {
+			v := val.(*LVC)
+			if v.sq != nil && v.sq.pending() {
+				pending = true
+				return false
+			}
+			return true
+		})
+		if !pending || b.closedFlag.Load() {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+}
+
+// pending reports whether the queue still holds frames or a flusher pass
+// is in flight.
+func (q *sendQueue) pending() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.entries) > 0 || q.scheduled
+}
+
 // Close shuts the binding down: the endpoint closes and every LVC breaks.
 func (b *Binding) Close() error {
 	b.mu.Lock()

@@ -11,6 +11,7 @@
 package nucleus
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -250,6 +251,18 @@ func (n *Nucleus) closeBindings() {
 	for _, b := range n.Bindings {
 		_ = b.Close()
 	}
+}
+
+// Flush drains the coalesced write queues of every binding (bounded by
+// ctx). Part of the graceful-drain sequence: frames already accepted by
+// SendMsg reach the wire before Close tears the circuits down.
+func (n *Nucleus) Flush(ctx context.Context) error {
+	for _, b := range n.Bindings {
+		if err := b.Flush(ctx); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Close shuts the Nucleus down: LCM first (unblocking receivers), then IP,

@@ -1,0 +1,110 @@
+package proctest
+
+import (
+	"time"
+)
+
+// EpisodeRecord is one fault episode's measured outcome, the
+// multi-process mirror of sim.ChaosRecord: Delta holds, per scrape
+// target, the nonzero counter movements between the episode's start and
+// end snapshots — which retries, failovers and rotations the fault
+// bought, read over HTTP instead of shared memory.
+type EpisodeRecord struct {
+	Name  string
+	Fired time.Duration // offset from the Observer's construction
+	// Delta maps a target name ("driver", "gw2", ...) to its nonzero
+	// counter deltas across the episode.
+	Delta map[string]map[string]uint64
+}
+
+// Target is one scrapeable stats source.
+type Target struct {
+	Name string
+	Addr string // statshttp host:port
+}
+
+// Observer runs per-episode metric-delta accounting across processes.
+// Register the targets (cluster processes and the in-test driver), then
+// bracket each fault with Begin/End; the returned record carries the
+// deltas the assertions read.
+type Observer struct {
+	start   time.Time
+	targets []Target
+	log     []EpisodeRecord
+}
+
+// NewObserver starts the episode clock over the given targets.
+func NewObserver(targets ...Target) *Observer {
+	return &Observer{start: time.Now(), targets: targets}
+}
+
+// AddTarget registers another scrape target (a restarted process gets a
+// fresh stats address).
+func (o *Observer) AddTarget(t Target) { o.targets = append(o.targets, t) }
+
+// ReplaceTarget swaps the named target's address (same logical name,
+// relocated process).
+func (o *Observer) ReplaceTarget(name, addr string) {
+	for i := range o.targets {
+		if o.targets[i].Name == name {
+			o.targets[i].Addr = addr
+			return
+		}
+	}
+	o.AddTarget(Target{Name: name, Addr: addr})
+}
+
+// Episode is an in-progress fault bracket.
+type Episode struct {
+	o      *Observer
+	name   string
+	before map[string]map[string]uint64
+}
+
+// Begin snapshots every reachable target. Unreachable targets (already
+// killed) simply have no "before" and contribute no delta.
+func (o *Observer) Begin(name string) *Episode {
+	ep := &Episode{o: o, name: name, before: map[string]map[string]uint64{}}
+	for _, t := range o.targets {
+		if snaps, err := ScrapeAddr(t.Addr); err == nil {
+			ep.before[t.Name] = Totals(snaps)
+		}
+	}
+	return ep
+}
+
+// End re-scrapes, records the per-target nonzero deltas, and returns the
+// episode record. A target that died during the episode (kill -9) has no
+// "after" and is recorded absent — death is asserted by the caller
+// through WaitExit, not through a stale scrape.
+func (e *Episode) End() EpisodeRecord {
+	rec := EpisodeRecord{
+		Name:  e.name,
+		Fired: time.Since(e.o.start),
+		Delta: map[string]map[string]uint64{},
+	}
+	for _, t := range e.o.targets {
+		before, ok := e.before[t.Name]
+		if !ok {
+			continue
+		}
+		snaps, err := ScrapeAddr(t.Addr)
+		if err != nil {
+			continue
+		}
+		delta := map[string]uint64{}
+		for k, v := range Totals(snaps) {
+			if d := v - before[k]; d > 0 && v >= before[k] {
+				delta[k] = d
+			}
+		}
+		if len(delta) > 0 {
+			rec.Delta[t.Name] = delta
+		}
+	}
+	e.o.log = append(e.o.log, rec)
+	return rec
+}
+
+// Log returns every recorded episode in order.
+func (o *Observer) Log() []EpisodeRecord { return o.log }

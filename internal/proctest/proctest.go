@@ -1,0 +1,494 @@
+// Package proctest is the real multi-process deployment harness: it
+// builds the cmd binaries once, boots a declarative topology
+// (internal/cli.Topology) as genuinely separate OS processes over real
+// TCP sockets, and drives fault episodes against them — kill -9, SIGTERM
+// graceful drain, rolling relocation — asserting recovery from each
+// process's /stats.json scraped over statshttp. ROADMAP item 3: the
+// paper's "two years of production use" (§8) reproduced as a harness, with
+// no shared memory between the players.
+//
+// Every wait is a progress poll with a hard wall-clock budget
+// (NTCS_PROC_WAIT_MS stretches them on slow machines), never a fixed
+// sleep — the PR 3 deflaking conventions.
+package proctest
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"ntcs/internal/cli"
+	"ntcs/internal/stats"
+)
+
+// --- Deflake knobs ------------------------------------------------------
+
+// WaitBudget returns the wall-clock budget for one harness wait,
+// honoring NTCS_PROC_WAIT_MS (the NTCS_SOAK_MS convention: CI machines
+// under -race can be an order of magnitude slower than a dev box).
+func WaitBudget(def time.Duration) time.Duration {
+	if ms := os.Getenv("NTCS_PROC_WAIT_MS"); ms != "" {
+		if n, err := strconv.Atoi(ms); err == nil && n > 0 {
+			return time.Duration(n) * time.Millisecond
+		}
+	}
+	return def
+}
+
+// PollUntil polls cond every 10ms until it holds or the budget expires.
+func PollUntil(budget time.Duration, cond func() bool) bool {
+	deadline := time.Now().Add(budget)
+	for {
+		if cond() {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// --- Binary building ----------------------------------------------------
+
+var (
+	binOnce sync.Once
+	binDir  string
+	binErr  error
+)
+
+// binNames are the deployment binaries, keyed by topology process kind.
+var binNames = map[string]string{
+	cli.ProcNameServer: "nameserver",
+	cli.ProcGateway:    "gateway",
+	cli.ProcWorker:     "ursad",
+}
+
+// repoRoot locates the module root from this source file's position —
+// tests run from arbitrary package directories.
+func repoRoot() string {
+	_, file, _, _ := runtime.Caller(0)
+	return filepath.Dir(filepath.Dir(filepath.Dir(file)))
+}
+
+// Binaries builds cmd/nameserver, cmd/gateway and cmd/ursad once per
+// test process and returns the directory holding them. NTCS_PROC_BIN_DIR
+// reuses prebuilt binaries (CI builds once, every test binary reuses);
+// NTCS_PROC_RACE=1 builds them under the race detector. Tests are
+// skipped — not failed — when the environment cannot build or exec.
+func Binaries(tb testing.TB) string {
+	tb.Helper()
+	binOnce.Do(func() {
+		dir := os.Getenv("NTCS_PROC_BIN_DIR")
+		if dir != "" {
+			if haveAll(dir) {
+				binDir = dir
+				return
+			}
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				binErr = err
+				return
+			}
+		} else {
+			dir, binErr = os.MkdirTemp("", "ntcs-proc-bin-")
+			if binErr != nil {
+				return
+			}
+		}
+		args := []string{"build"}
+		if os.Getenv("NTCS_PROC_RACE") == "1" {
+			args = append(args, "-race")
+		}
+		args = append(args, "-o", dir+string(filepath.Separator),
+			"./cmd/nameserver", "./cmd/gateway", "./cmd/ursad")
+		cmd := exec.Command("go", args...)
+		cmd.Dir = repoRoot()
+		if out, err := cmd.CombinedOutput(); err != nil {
+			binErr = fmt.Errorf("go build: %v\n%s", err, out)
+			return
+		}
+		binDir = dir
+	})
+	if binErr != nil {
+		tb.Skipf("proctest: cannot build deployment binaries: %v", binErr)
+	}
+	return binDir
+}
+
+func haveAll(dir string) bool {
+	for _, n := range binNames {
+		if _, err := os.Stat(filepath.Join(dir, n)); err != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// --- Port assignment ----------------------------------------------------
+
+// AssignPorts fills every empty binding address of the preloaded
+// processes (name servers and prime gateways must appear with concrete
+// addresses in everyone's well-known tables) with a freshly probed free
+// loopback port. Worker and standby-gateway bindings stay ephemeral —
+// the naming service carries their real endpoints. The usual
+// listen-then-close race is accepted: the port is re-bound milliseconds
+// later by the child, and a clash just fails the boot loudly.
+func AssignPorts(topo *cli.Topology) error {
+	for i := range topo.Procs {
+		p := &topo.Procs[i]
+		preloaded := p.Kind == cli.ProcNameServer || (p.Kind == cli.ProcGateway && p.Prime)
+		if !preloaded {
+			continue
+		}
+		for j := range p.Bindings {
+			if p.Bindings[j].Addr != "" {
+				continue
+			}
+			l, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				return err
+			}
+			p.Bindings[j].Addr = l.Addr().String()
+			l.Close()
+		}
+	}
+	return topo.Validate()
+}
+
+// --- Cluster ------------------------------------------------------------
+
+// Proc is one running deployment process.
+type Proc struct {
+	Name      string
+	Kind      string
+	StatsAddr string // the bound statshttp listener, scraped for /stats.json
+	UAdd      uint64
+
+	cmd    *exec.Cmd
+	waitCh chan error // closed result of cmd.Wait
+	stdout *lineScanner
+}
+
+// Cluster is a booted topology: every entry a real OS process.
+type Cluster struct {
+	TB       testing.TB
+	Topo     *cli.Topology
+	TopoPath string
+	BinDir   string
+
+	mu    sync.Mutex
+	procs map[string]*Proc
+}
+
+// lineScanner tails a child's stdout, remembering the protocol lines.
+// It is installed as cmd.Stdout (an io.Writer, not a StdoutPipe) so
+// exec.Cmd.Wait itself guarantees every line — including the final
+// drained announcement — has been delivered before the process is
+// considered reaped.
+type lineScanner struct {
+	echo func(string)
+
+	mu      sync.Mutex
+	buf     []byte
+	ready   chan struct{} // closed when the ready line arrived
+	drained chan struct{} // closed when the drained line arrived
+	stats   string
+	uadd    uint64
+}
+
+func newLineScanner(echo func(string)) *lineScanner {
+	return &lineScanner{echo: echo, ready: make(chan struct{}), drained: make(chan struct{})}
+}
+
+func (ls *lineScanner) Write(p []byte) (int, error) {
+	ls.mu.Lock()
+	ls.buf = append(ls.buf, p...)
+	for {
+		nl := strings.IndexByte(string(ls.buf), '\n')
+		if nl < 0 {
+			break
+		}
+		line := strings.TrimRight(string(ls.buf[:nl]), "\r")
+		ls.buf = ls.buf[nl+1:]
+		ls.lineLocked(line)
+	}
+	ls.mu.Unlock()
+	return len(p), nil
+}
+
+func (ls *lineScanner) lineLocked(line string) {
+	if ls.echo != nil {
+		ls.echo(line)
+	}
+	switch {
+	case strings.HasPrefix(line, "ntcs-proc ready "):
+		for _, f := range strings.Fields(line) {
+			if v, ok := strings.CutPrefix(f, "stats="); ok && v != "-" {
+				ls.stats = v
+			}
+			if v, ok := strings.CutPrefix(f, "uadd="); ok {
+				ls.uadd, _ = strconv.ParseUint(v, 10, 64)
+			}
+		}
+		select {
+		case <-ls.ready:
+		default:
+			close(ls.ready)
+		}
+	case strings.HasPrefix(line, "ntcs-proc drained "):
+		select {
+		case <-ls.drained:
+		default:
+			close(ls.drained)
+		}
+	}
+}
+
+// Boot writes the topology to disk, assigns ports, and starts every
+// process — name servers first, then gateways, then workers, each waited
+// to its ready line so the bootstrap dependencies hold. The cluster is
+// torn down (SIGKILL any survivors) at test cleanup.
+func Boot(tb testing.TB, topo *cli.Topology) *Cluster {
+	tb.Helper()
+	binDir := Binaries(tb)
+	if err := AssignPorts(topo); err != nil {
+		tb.Fatalf("proctest: assign ports: %v", err)
+	}
+	path := filepath.Join(tb.TempDir(), "site.topo")
+	if err := os.WriteFile(path, []byte(topo.Format()), 0o644); err != nil {
+		tb.Fatal(err)
+	}
+	c := &Cluster{TB: tb, Topo: topo, TopoPath: path, BinDir: binDir, procs: map[string]*Proc{}}
+	tb.Cleanup(c.Shutdown)
+
+	for _, kind := range []string{cli.ProcNameServer, cli.ProcGateway, cli.ProcWorker} {
+		for i := range topo.Procs {
+			if topo.Procs[i].Kind != kind {
+				continue
+			}
+			if _, err := c.StartProc(topo.Procs[i].Name); err != nil {
+				tb.Fatalf("proctest: start %s: %v", topo.Procs[i].Name, err)
+			}
+		}
+	}
+	return c
+}
+
+// StartProc launches (or relaunches — §3.5 relocation under the same
+// logical name) one topology entry and waits for its ready line.
+func (c *Cluster) StartProc(name string) (*Proc, error) {
+	entry, ok := c.Topo.Proc(name)
+	if !ok {
+		return nil, fmt.Errorf("no topology entry %q", name)
+	}
+	bin, ok := binNames[entry.Kind]
+	if !ok {
+		return nil, fmt.Errorf("no binary for kind %q", entry.Kind)
+	}
+	cmd := exec.Command(filepath.Join(c.BinDir, bin),
+		"-topo", c.TopoPath, "-proc", name, "-http", "127.0.0.1:0")
+	cmd.Stderr = os.Stderr
+	p := &Proc{Name: name, Kind: entry.Kind, cmd: cmd, waitCh: make(chan error, 1)}
+	p.stdout = newLineScanner(func(line string) {
+		c.TB.Logf("[%s] %s", name, line)
+	})
+	cmd.Stdout = p.stdout
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	go func() { p.waitCh <- cmd.Wait() }()
+
+	budget := WaitBudget(15 * time.Second)
+	select {
+	case <-p.stdout.ready:
+	case err := <-p.waitCh:
+		return nil, fmt.Errorf("%s exited before ready: %v", name, err)
+	case <-time.After(budget):
+		_ = cmd.Process.Kill()
+		return nil, fmt.Errorf("%s not ready within %v", name, budget)
+	}
+	p.stdout.mu.Lock()
+	p.StatsAddr, p.UAdd = p.stdout.stats, p.stdout.uadd
+	p.stdout.mu.Unlock()
+
+	c.mu.Lock()
+	c.procs[name] = p
+	c.mu.Unlock()
+	return p, nil
+}
+
+// Proc returns the named running process.
+func (c *Cluster) Proc(name string) *Proc {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.procs[name]
+}
+
+// Procs returns every currently tracked process.
+func (c *Cluster) Procs() []*Proc {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*Proc, 0, len(c.procs))
+	for _, p := range c.procs {
+		out = append(out, p)
+	}
+	return out
+}
+
+// Kill delivers SIGKILL — the §4.3 machine crash — and reaps the child.
+func (c *Cluster) Kill(name string) error {
+	p := c.take(name)
+	if p == nil {
+		return fmt.Errorf("no running process %q", name)
+	}
+	if err := p.cmd.Process.Kill(); err != nil {
+		return err
+	}
+	<-p.waitCh
+	return nil
+}
+
+// Signal delivers sig (typically SIGTERM for a graceful drain) without
+// waiting. Pair with WaitExit.
+func (c *Cluster) Signal(name string, sig os.Signal) error {
+	c.mu.Lock()
+	p := c.procs[name]
+	c.mu.Unlock()
+	if p == nil {
+		return fmt.Errorf("no running process %q", name)
+	}
+	return p.cmd.Process.Signal(sig)
+}
+
+// WaitExit reaps the named process and returns its exit code (0 for a
+// clean exit). The process stops being tracked.
+func (c *Cluster) WaitExit(name string, budget time.Duration) (int, error) {
+	p := c.take(name)
+	if p == nil {
+		return -1, fmt.Errorf("no running process %q", name)
+	}
+	return waitProc(p, budget)
+}
+
+func waitProc(p *Proc, budget time.Duration) (int, error) {
+	select {
+	case err := <-p.waitCh:
+		if err == nil {
+			return 0, nil
+		}
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode(), nil
+		}
+		return -1, err
+	case <-time.After(budget):
+		_ = p.cmd.Process.Kill()
+		<-p.waitCh
+		return -1, fmt.Errorf("%s did not exit within %v", p.Name, budget)
+	}
+}
+
+// Relocate performs the §3.5 rolling relocation under load: it boots a
+// replacement process for the same topology entry while the incumbent
+// still serves (the re-registration under the same name supersedes the
+// old incarnation in the naming service), then SIGTERM-drains the
+// incumbent. Returns the replacement, the incumbent's exit code, and
+// whether the incumbent printed its drained line.
+func (c *Cluster) Relocate(name string, drainBudget time.Duration) (*Proc, int, error) {
+	old := c.take(name)
+	if old == nil {
+		return nil, -1, fmt.Errorf("no running process %q", name)
+	}
+	repl, err := c.StartProc(name)
+	if err != nil {
+		_ = old.cmd.Process.Kill()
+		<-old.waitCh
+		return nil, -1, fmt.Errorf("start replacement %s: %w", name, err)
+	}
+	if err := old.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return repl, -1, err
+	}
+	code, err := waitProc(old, drainBudget)
+	return repl, code, err
+}
+
+// Drained reports whether the process printed its drained line.
+func (p *Proc) Drained() bool {
+	select {
+	case <-p.stdout.drained:
+		return true
+	default:
+		return false
+	}
+}
+
+func (c *Cluster) take(name string) *Proc {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p := c.procs[name]
+	delete(c.procs, name)
+	return p
+}
+
+// Shutdown SIGKILLs every surviving process (cleanup path; individual
+// tests exercise the graceful exits explicitly).
+func (c *Cluster) Shutdown() {
+	c.mu.Lock()
+	procs := c.procs
+	c.procs = map[string]*Proc{}
+	c.mu.Unlock()
+	for _, p := range procs {
+		_ = p.cmd.Process.Signal(syscall.SIGKILL)
+	}
+	for _, p := range procs {
+		<-p.waitCh
+	}
+}
+
+// --- Stats scraping -----------------------------------------------------
+
+// Scrape fetches one process's /stats.json — the per-module snapshots of
+// its statshttp listener.
+func (p *Proc) Scrape() ([]stats.Snapshot, error) {
+	if p.StatsAddr == "" {
+		return nil, fmt.Errorf("%s has no stats listener", p.Name)
+	}
+	return ScrapeAddr(p.StatsAddr)
+}
+
+// ScrapeAddr fetches host:port's /stats.json.
+func ScrapeAddr(addr string) ([]stats.Snapshot, error) {
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get("http://" + addr + "/stats.json")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var snaps []stats.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snaps); err != nil {
+		return nil, err
+	}
+	return snaps, nil
+}
+
+// Totals merges per-module snapshots into one counter map — the same
+// world-wide totaling sim.World.StatsTotals applies in-process.
+func Totals(snaps []stats.Snapshot) map[string]uint64 {
+	out := make(map[string]uint64)
+	for _, s := range snaps {
+		for k, v := range s.Counters {
+			out[k] += v
+		}
+	}
+	return out
+}
