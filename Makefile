@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet verify verify-race bench bench-thru bench-pack bench-scale bench-names scale-gate soak soak-proc proc-gate fuzz-smoke
+.PHONY: all build test race vet verify verify-race bench bench-thru bench-pack bench-scale bench-names scale-gate memprofile soak soak-proc proc-gate fuzz-smoke
 
 all: verify
 
@@ -43,12 +43,14 @@ bench-pack:
 	$(GO) test ./internal/pack -run XXX -bench 'PackedConvert' -benchmem
 	$(GO) test . -run XXX -bench 'CrossMachineCall' -benchmem
 
-# bench-scale runs the PR-6 circuit-scale benchmark recorded in
-# BENCH_PR6.json: ~320 fully meshed ND bindings holding >100k live LVC
-# endpoints in one process, reporting goroutine count and heap per
-# circuit. Gated behind NTCS_SCALE so `make test` stays fast.
+# bench-scale runs the circuit-scale series: the PR-6 100k-endpoint
+# benchmark (BENCH_PR6.json) and the PR-9 C1M benchmark — 1001 fully
+# meshed ND bindings holding 1,001,000 live LVC endpoints in one
+# process under a 400 B/endpoint heap gate, rewriting BENCH_PR9.json
+# with before/after bytes-per-endpoint from the same run. Gated behind
+# NTCS_SCALE so `make test` stays fast.
 bench-scale:
-	NTCS_SCALE=1 $(GO) test ./internal/ndlayer -run TestScale100kCircuits -count=1 -v
+	NTCS_SCALE=1 $(GO) test ./internal/ndlayer -run 'TestScale100kCircuits|TestScale1MEndpoints' -count=1 -v -timeout 30m
 
 # bench-names runs the PR-7 million-name benchmark and rewrites
 # BENCH_PR7.json with the measured numbers: one million names
@@ -59,12 +61,23 @@ bench-names:
 	NTCS_SCALE=1 $(GO) test . -run TestScaleMillionNames -count=1 -v
 
 # scale-gate is the cheap CI form of the scale claims: thousands of idle
-# circuits must fit under a flat goroutine budget, a hot circuit must not
-# starve a thousand cold ones, and divergent name-server replicas must
-# reconverge through anti-entropy alone.
+# circuits must fit under a flat goroutine budget AND a flat per-endpoint
+# heap budget, a hot circuit must not starve a thousand cold ones, and
+# divergent name-server replicas must reconverge through anti-entropy
+# alone. The heap gate must run without -race (shadow memory distorts
+# heap accounting; the test skips itself under the race detector).
 scale-gate:
-	$(GO) test ./internal/ndlayer -run 'TestIdleCircuitGoroutineBudget|TestHotSenderDoesNotStarveIdleCircuits' -count=1 -v
+	$(GO) test ./internal/ndlayer -run 'TestIdleCircuitGoroutineBudget|TestEndpointHeapBudget|TestHotSenderDoesNotStarveIdleCircuits' -count=1 -v
 	NTCS_SCALE=1 $(GO) test . -run TestConvergenceSoak -count=1 -v
+
+# memprofile captures a heap profile of the live 100k-endpoint mesh and
+# prints the top inuse_space sites — the tool that keeps the per-endpoint
+# byte ledger in DESIGN.md §14 honest. The profile is dumped mid-test via
+# NTCS_MEMPROFILE (the -memprofile flag would write after test cleanup
+# has torn the mesh down, capturing an empty heap).
+memprofile:
+	NTCS_SCALE=1 NTCS_MEMPROFILE=$(CURDIR)/mem.out $(GO) test ./internal/ndlayer -run TestScale100kCircuits -count=1 -v -timeout 30m
+	$(GO) tool pprof -top -nodecount=10 -sample_index=inuse_space mem.out
 
 # soak runs the chaos schedule under the race detector with a fixed seed
 # so a failure reproduces. Override the seed: make soak NTCS_CHAOS_SEED=7

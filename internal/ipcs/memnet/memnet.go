@@ -284,15 +284,19 @@ type pipe struct {
 	rng           *rand.Rand // guarded by mu; lazily built
 	items         []item
 	closed        bool
-	lastAt        time.Time
+	lastAtNs      int64 // latest queued delivery time, unix nanos
 	cb            ipcs.RecvFunc
 	dispatching   bool // a drain is queued or running (or a timer is armed)
 	termDelivered bool
 }
 
+// item timestamps are unix nanos rather than time.Time: an idle mesh
+// holds two pipes per circuit, and the monotonic-clock word plus wall
+// fields of a time.Time cost 16 B more per item and per pipe than the
+// comparison they exist for needs.
 type item struct {
 	data []byte
-	at   time.Time // earliest delivery time
+	at   int64 // earliest delivery time, unix nanos
 }
 
 func newPipe(n *Net) *pipe {
@@ -373,7 +377,7 @@ func (p *pipe) Run() {
 			return
 		}
 		it := p.items[0]
-		if wait := time.Until(it.at); wait > 0 {
+		if wait := time.Duration(it.at - time.Now().UnixNano()); wait > 0 {
 			// Keep dispatching set: the timer owns the next drain.
 			p.mu.Unlock()
 			time.AfterFunc(wait, func() {
@@ -402,14 +406,14 @@ func (p *pipe) write(data []byte) error {
 	if p.dropLocked() {
 		return nil // silent loss
 	}
-	at := time.Now().Add(p.delayLocked())
+	at := time.Now().UnixNano() + int64(p.delayLocked())
 	if len(p.items) >= p.net.opts.QueueLen {
 		return fmt.Errorf("memnet %s: send: %w", p.net.id, ipcs.ErrMailboxFull)
 	}
-	if at.Before(p.lastAt) {
-		at = p.lastAt // jitter must not reorder
+	if at < p.lastAtNs {
+		at = p.lastAtNs // jitter must not reorder
 	}
-	p.lastAt = at
+	p.lastAtNs = at
 	msg := make([]byte, len(data))
 	copy(msg, data)
 	p.items = append(p.items, item{data: msg, at: at})
@@ -440,14 +444,14 @@ func (p *pipe) writeBatch(msgs [][]byte) error {
 		if p.dropLocked() {
 			continue // silent loss
 		}
-		at := time.Now().Add(p.delayLocked())
+		at := time.Now().UnixNano() + int64(p.delayLocked())
 		if len(p.items) >= p.net.opts.QueueLen {
 			return fmt.Errorf("memnet %s: send: %w", p.net.id, ipcs.ErrMailboxFull)
 		}
-		if at.Before(p.lastAt) {
-			at = p.lastAt // jitter must not reorder
+		if at < p.lastAtNs {
+			at = p.lastAtNs // jitter must not reorder
 		}
-		p.lastAt = at
+		p.lastAtNs = at
 		msg := make([]byte, len(data))
 		copy(msg, data)
 		p.items = append(p.items, item{data: msg, at: at})
@@ -468,18 +472,17 @@ type conn struct {
 	send   *pipe
 	recv   *pipe
 	remote string
-
-	closeOnce sync.Once
 }
 
 func (c *conn) Send(msg []byte) error         { return c.send.write(msg) }
 func (c *conn) SendBatch(msgs [][]byte) error { return c.send.writeBatch(msgs) }
 func (c *conn) Start(cb ipcs.RecvFunc)        { c.recv.start(cb) }
 
+// Close is idempotent without a sync.Once: pipe.close already tolerates
+// repeated calls under its own lock, and the Once word would cost 12 B on
+// every conn of a million-circuit mesh for no added guarantee.
 func (c *conn) Close() error {
-	c.closeOnce.Do(func() {
-		c.send.close()
-		c.recv.close()
-	})
+	c.send.close()
+	c.recv.close()
 	return nil
 }

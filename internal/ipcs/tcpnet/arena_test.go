@@ -1,0 +1,99 @@
+package tcpnet
+
+import (
+	"testing"
+
+	"ntcs/internal/ipcs"
+	"ntcs/internal/ipcs/ipcstest"
+)
+
+// TestCarveBoundary pins the large-message cutoff: a message of exactly
+// arenaSize/4 bytes must get its own allocation, not a carve, so one big
+// frame cannot burn a quarter of a fresh arena.
+func TestCarveBoundary(t *testing.T) {
+	a := &recvArena{buf: make([]byte, arenaSize)}
+	backing := &a.buf[0]
+
+	big := a.carve(arenaSize / 4)
+	if len(big) != arenaSize/4 {
+		t.Fatalf("carve(%d) returned %d bytes", arenaSize/4, len(big))
+	}
+	if &big[0] == backing {
+		t.Error("message of exactly arenaSize/4 was carved from the arena; want own allocation")
+	}
+	if len(a.buf) != arenaSize {
+		t.Errorf("arena consumed %d bytes by a boundary-size message", arenaSize-len(a.buf))
+	}
+
+	small := a.carve(arenaSize/4 - 1)
+	if &small[0] != backing {
+		t.Error("message one byte under the boundary was not carved from the arena")
+	}
+}
+
+// TestCarveRefill drives an arena to exhaustion and checks the refill:
+// the next carve must succeed with the full requested length and come
+// from a fresh backing array.
+func TestCarveRefill(t *testing.T) {
+	var a recvArena
+	const n = 1000
+	first := a.carve(n) // nil-buf arena refills on first carve
+	if len(first) != n {
+		t.Fatalf("carve(%d) from empty arena returned %d bytes", n, len(first))
+	}
+	for len(a.buf) >= n {
+		a.carve(n)
+	}
+	got := a.carve(n)
+	if len(got) != n {
+		t.Fatalf("carve(%d) after exhaustion returned %d bytes", n, len(got))
+	}
+	if len(a.buf) != arenaSize-n {
+		t.Errorf("refilled arena has %d bytes left, want %d", len(a.buf), arenaSize-n)
+	}
+}
+
+// TestCarveExclusiveOwnership checks the aliasing contract across a
+// refill: slices carved before the arena ran dry must not share bytes
+// with slices carved after, and appending to a carved slice must
+// reallocate (capacity clamp) rather than scribble on its neighbor.
+func TestCarveExclusiveOwnership(t *testing.T) {
+	var a recvArena
+	var msgs [][]byte
+	const n = 4096
+	for i := 0; i < 2*arenaSize/n; i++ { // spans at least one refill
+		m := a.carve(n)
+		for j := range m {
+			m[j] = byte(i)
+		}
+		msgs = append(msgs, m)
+	}
+	for i, m := range msgs {
+		if cap(m) != n {
+			t.Fatalf("msg %d: cap = %d, want clamped to %d", i, cap(m), n)
+		}
+		for j, b := range m {
+			if b != byte(i) {
+				t.Fatalf("msg %d byte %d = %d: carved slices alias", i, j, b)
+			}
+		}
+	}
+	// Appending must not touch the next carve's bytes.
+	grown := append(msgs[0], 0xFF)
+	if &grown[0] == &msgs[0][0] {
+		t.Error("append grew in place past the capacity clamp")
+	}
+	if msgs[1][0] != 1 {
+		t.Error("append to msg 0 corrupted msg 1")
+	}
+}
+
+// TestConformanceNoEpoll runs the full IPCS contract suite with
+// NTCS_NO_EPOLL forcing the portable blocking-reader receive path, so
+// the non-Linux fallback is exercised in CI on Linux.
+func TestConformanceNoEpoll(t *testing.T) {
+	t.Setenv("NTCS_NO_EPOLL", "1")
+	ipcstest.Run(t, func(t *testing.T) ipcs.Network {
+		return New("tcp-noepoll")
+	})
+}

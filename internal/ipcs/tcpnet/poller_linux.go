@@ -5,6 +5,7 @@ package tcpnet
 import (
 	"errors"
 	"fmt"
+	"os"
 	"sync"
 	"syscall"
 
@@ -119,8 +120,15 @@ func (p *poller) remove(fd int) {
 }
 
 // startRecv joins the shared poller, falling back to a blocking reader
-// goroutine if epoll or the raw fd is unavailable.
+// goroutine if epoll or the raw fd is unavailable. Setting NTCS_NO_EPOLL
+// forces the fallback so the portable path can be exercised on Linux; the
+// variable is read per Start (not cached) so tests can flip it with
+// t.Setenv.
 func (c *conn) startRecv() {
+	if os.Getenv("NTCS_NO_EPOLL") != "" {
+		c.startBlockingReader()
+		return
+	}
 	p, err := getPoller()
 	if err == nil {
 		if sc, ok := c.c.(syscall.Conn); ok {
@@ -192,15 +200,28 @@ func (c *conn) Run() {
 	}
 }
 
+// scratchPool holds the 64 KiB drain read buffers. They are borrowed per
+// drain rather than retained per conn: only conns actively inside a drain
+// hold one, so the cost scales with dispatch-pool width, not conn count.
+var scratchPool = sync.Pool{
+	New: func() any {
+		s := make([]byte, 64<<10)
+		return &s
+	},
+}
+
 func (c *conn) drain() {
 	if c.term {
 		return
 	}
-	if c.scratch == nil {
-		c.scratch = make([]byte, 64<<10)
-	}
+	sp := scratchPool.Get().(*[]byte)
+	a := arenaPool.Get().(*recvArena)
+	defer func() {
+		arenaPool.Put(a)
+		scratchPool.Put(sp)
+	}()
 	for {
-		n, err := c.readOnce(c.scratch)
+		n, err := c.readOnce(*sp)
 		if err == errAgain {
 			return
 		}
@@ -212,7 +233,7 @@ func (c *conn) drain() {
 			c.deliverTerminal(fmt.Errorf("tcpnet: recv: %w (%v)", ipcs.ErrClosed, err))
 			return
 		}
-		c.feed(c.scratch[:n])
+		c.feed((*sp)[:n], a)
 		if c.term {
 			return
 		}
@@ -221,8 +242,8 @@ func (c *conn) drain() {
 
 // feed runs the incremental frame parser over one read's bytes,
 // delivering every complete frame and carrying a partial tail to the
-// next drain.
-func (c *conn) feed(data []byte) {
+// next drain. a is the drain's borrowed arena.
+func (c *conn) feed(data []byte, a *recvArena) {
 	if len(c.pend) > 0 {
 		c.pend = append(c.pend, data...)
 		data = c.pend
@@ -237,7 +258,7 @@ func (c *conn) feed(data []byte) {
 		if len(data) < 4+int(n) {
 			break
 		}
-		msg := c.carve(int(n))
+		msg := a.carve(int(n))
 		copy(msg, data[4:4+n])
 		data = data[4+n:]
 		c.cb(msg, nil)

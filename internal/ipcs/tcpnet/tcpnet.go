@@ -131,11 +131,13 @@ type conn struct {
 	c      net.Conn
 	closed atomic.Bool
 
-	sendMu sync.Mutex
-	w      *bufio.Writer
-	// Scratch for SendBatch, guarded by sendMu: one run of coalesced
-	// length prefixes and the iovec list handed to writev. Retained
-	// across calls so a steady batching sender stops allocating.
+	// Send side, guarded by sendMu. There is deliberately no bufio.Writer:
+	// every Send flushed it immediately, so its 4 KiB buffer was pure
+	// per-conn overhead on an idle mesh. Sends instead hand a prefix+payload
+	// iovec list straight to writev. prefixes and vecs are retained across
+	// calls so a steady sender stops allocating; entries are nilled after
+	// each write so the retained array never pins caller buffers.
+	sendMu   sync.Mutex
 	prefixes []byte
 	vecs     net.Buffers
 
@@ -143,25 +145,21 @@ type conn struct {
 	// receive path: either the shared epoll poller's drain task (Run,
 	// at most one in flight — see the pending counter) or the fallback
 	// blocking-reader goroutine. cb is written once in Start, before any
-	// delivery can happen.
+	// delivery can happen. Message buffers are carved from pooled arenas
+	// (see recvArena) shared across connections, not per-conn state.
 	cb       ipcs.RecvFunc
 	termOnce sync.Once
 	term     bool // terminal delivered; stop parsing (receive path only)
-	// arena carves per-message buffers out of one large allocation.
-	// Each message owns its slice exclusively (capacity-clamped), so
-	// this only amortizes allocator and GC work — it never aliases.
-	arena []byte
 
-	// Shared-poller state (linux): the raw fd registered with epoll, a
-	// scratch read buffer, and the partial-frame carry between drains.
-	// pending counts poll events not yet drained; the 0→1 transition
-	// schedules exactly one drain task, which is what keeps callback
-	// delivery serial and FIFO per connection.
+	// Shared-poller state (linux): the raw fd registered with epoll and
+	// the partial-frame carry between drains. pending counts poll events
+	// not yet drained; the 0→1 transition schedules exactly one drain
+	// task, which is what keeps callback delivery serial and FIFO per
+	// connection.
 	rc      syscall.RawConn
 	fd      int
 	onEpoll bool
 	pending atomic.Int32
-	scratch []byte
 	pend    []byte
 }
 
@@ -171,7 +169,7 @@ type conn struct {
 const recvBufSize = 128 << 10
 
 func newConn(c net.Conn) *conn {
-	return &conn{c: c, w: bufio.NewWriter(c)}
+	return &conn{c: c}
 }
 
 // Start registers the receive callback. On Linux the connection joins the
@@ -190,7 +188,8 @@ func (c *conn) deliverTerminal(err error) {
 }
 
 // startBlockingReader is the portable receive path: one goroutine doing
-// framed blocking reads. Used off-Linux and as the epoll fallback.
+// framed blocking reads. Used off-Linux, as the epoll fallback, and when
+// NTCS_NO_EPOLL forces it for testing.
 func (c *conn) startBlockingReader() {
 	r := bufio.NewReaderSize(c.c, recvBufSize)
 	go func() {
@@ -205,7 +204,12 @@ func (c *conn) startBlockingReader() {
 				c.deliverTerminal(fmt.Errorf("tcpnet: recv: frame of %d bytes exceeds limit", n))
 				return
 			}
-			msg := c.carve(int(n))
+			// Borrow an arena only for the carve: the ReadFull below can
+			// block indefinitely, and carved slices are exclusively owned,
+			// so the remainder may serve other connections meanwhile.
+			a := arenaPool.Get().(*recvArena)
+			msg := a.carve(int(n))
+			arenaPool.Put(a)
 			if _, err := io.ReadFull(r, msg); err != nil {
 				c.deliverTerminal(fmt.Errorf("tcpnet: recv: %w (%v)", ipcs.ErrClosed, err))
 				return
@@ -228,6 +232,9 @@ func getLen(b []byte) uint32 {
 	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
 }
 
+// Send frames msg with its length prefix and hands both to one writev.
+// There is no intermediate copy: the Go runtime caches the iovec array on
+// the poll descriptor, so a steady sender performs zero allocations here.
 func (c *conn) Send(msg []byte) error {
 	if len(msg) > MaxMessage {
 		return fmt.Errorf("tcpnet: message of %d bytes exceeds limit", len(msg))
@@ -236,13 +243,15 @@ func (c *conn) Send(msg []byte) error {
 	defer c.sendMu.Unlock()
 	var hdr [4]byte
 	putLen(hdr[:], uint32(len(msg)))
-	if _, err := c.w.Write(hdr[:]); err != nil {
-		return fmt.Errorf("tcpnet: send: %w (%v)", ipcs.ErrClosed, err)
-	}
-	if _, err := c.w.Write(msg); err != nil {
-		return fmt.Errorf("tcpnet: send: %w (%v)", ipcs.ErrClosed, err)
-	}
-	if err := c.w.Flush(); err != nil {
+	vecs := append(c.vecs[:0], hdr[:], msg)
+	c.vecs = vecs
+	// WriteTo consumes the slice header as it drains; give it a copy so
+	// the backing array stays reusable. hdr outlives the call: WriteTo is
+	// synchronous.
+	nb := vecs
+	_, err := nb.WriteTo(c.c)
+	c.vecs[0], c.vecs[1] = nil, nil // don't pin msg in the retained array
+	if err != nil {
 		return fmt.Errorf("tcpnet: send: %w (%v)", ipcs.ErrClosed, err)
 	}
 	return nil
@@ -250,8 +259,8 @@ func (c *conn) Send(msg []byte) error {
 
 // SendBatch frames every message and hands the whole run to one writev
 // via net.Buffers: a batch of N messages costs one syscall instead of the
-// 2·N buffered writes Send performs. Oversize elements fail the batch
-// before any byte reaches the stream.
+// N writev calls Send performs. Oversize elements fail the batch before
+// any byte reaches the stream.
 func (c *conn) SendBatch(msgs [][]byte) error {
 	for _, m := range msgs {
 		if len(m) > MaxMessage {
@@ -266,10 +275,6 @@ func (c *conn) SendBatch(msgs [][]byte) error {
 	}
 	c.sendMu.Lock()
 	defer c.sendMu.Unlock()
-	// Anything buffered by an earlier Send must precede the batch.
-	if err := c.w.Flush(); err != nil {
-		return fmt.Errorf("tcpnet: send: %w (%v)", ipcs.ErrClosed, err)
-	}
 	prefixes := c.prefixes[:0]
 	vecs := c.vecs[:0]
 	for _, m := range msgs {
@@ -286,25 +291,46 @@ func (c *conn) SendBatch(msgs [][]byte) error {
 	// WriteTo consumes the slice header as it drains; give it a copy so
 	// the backing array stays reusable.
 	nb := vecs
-	if _, err := nb.WriteTo(c.c); err != nil {
+	_, err := nb.WriteTo(c.c)
+	for i := range vecs {
+		vecs[i] = nil // don't pin caller buffers in the retained array
+	}
+	if err != nil {
 		return fmt.Errorf("tcpnet: send: %w (%v)", ipcs.ErrClosed, err)
 	}
 	return nil
 }
 
+// arenaSize is one receive arena: large enough that a drain of small
+// frames carves dozens of messages from a single allocation.
+const arenaSize = 64 << 10
+
+// recvArena carves per-message buffers out of one large allocation.
+// Each carved message owns its slice exclusively (capacity-clamped), so
+// arenas only amortize allocator and GC work — they never alias. Arenas
+// live in a process-wide pool shared by every connection's receive path:
+// a drain borrows one, carves from it, and returns the remainder, so a
+// million idle connections hold no arena bytes at all. Returning a
+// partially carved arena is safe precisely because carved slices are
+// capacity-clamped — the next borrower can only touch bytes after them.
+type recvArena struct {
+	buf []byte
+}
+
+var arenaPool = sync.Pool{New: func() any { return new(recvArena) }}
+
 // carve returns an exclusively owned n-byte slice, refilling the arena
 // when it runs dry. Messages near the arena size get their own
 // allocation rather than a fresh arena.
-func (c *conn) carve(n int) []byte {
-	const arenaSize = 64 << 10
+func (a *recvArena) carve(n int) []byte {
 	if n >= arenaSize/4 {
 		return make([]byte, n)
 	}
-	if len(c.arena) < n {
-		c.arena = make([]byte, arenaSize)
+	if len(a.buf) < n {
+		a.buf = make([]byte, arenaSize)
 	}
-	msg := c.arena[:n:n]
-	c.arena = c.arena[n:]
+	msg := a.buf[:n:n]
+	a.buf = a.buf[n:]
 	return msg
 }
 

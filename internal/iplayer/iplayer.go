@@ -32,6 +32,7 @@ import (
 	"ntcs/internal/stats"
 	"ntcs/internal/trace"
 	"ntcs/internal/wire"
+	"ntcs/internal/wordmap"
 )
 
 // GatewayInfo describes one gateway: its UAdd and the networks it joins.
@@ -122,11 +123,12 @@ type relayDest struct {
 	cid uint32
 }
 
-// relayKey identifies one direction of a relay entry: the LVC a frame
-// arrived on and the circuit id it carried.
-type relayKey struct {
-	via *ndlayer.LVC
-	cid uint32
+// relayWord packs one direction of a relay entry — the LVC a frame
+// arrived on and the circuit id it carried — into a single uint64 key.
+// LVC ids are process-unique 32-bit words, so the pair is collision-free
+// and the mirror table needs no boxed key struct.
+func relayWord(via *ndlayer.LVC, cid uint32) uint64 {
+	return via.ID()<<32 | uint64(cid)
 }
 
 // pendingOpen tracks an unacknowledged TIVCOpen this node forwarded.
@@ -143,20 +145,21 @@ type Layer struct {
 	cfg      Config
 	bindings map[string]*ndlayer.Binding
 
-	// ivcs maps destination → established circuit. It is consulted on
-	// every send, so it is a sync.Map: the warm path pays one lock-free
-	// Load instead of the layer mutex. nextCID and closed are atomic for
-	// the same reason.
-	ivcs    sync.Map // addr.UAdd → *IVC
+	// ivcs maps destination UAdd word → established circuit. It is
+	// consulted on every send, so it is a compact sharded wordmap: the
+	// warm path pays one short read-locked probe instead of the layer
+	// mutex, and an entry costs ~17 B instead of sync.Map's ~100 B.
+	// nextCID and closed are atomic for the same reason.
+	ivcs    wordmap.Map[*IVC]
 	nextCID atomic.Uint32
 	closed  atomic.Bool
 
-	// relayTab mirrors the relay table for the data path: relayKey →
-	// relayDest, consulted lock-free on every relayed frame so the hot
-	// forwarding loop never touches (or holds) the layer mutex. The map
-	// under mu below stays authoritative for installs and sweeps; every
-	// mutation updates both.
-	relayTab sync.Map
+	// relayTab mirrors the relay table for the data path: relayWord →
+	// relayDest, consulted on every relayed frame so the hot forwarding
+	// loop never touches (or holds) the layer mutex. The map under mu
+	// below stays authoritative for installs and sweeps; every mutation
+	// updates both.
+	relayTab wordmap.Map[relayDest]
 
 	mu         sync.Mutex
 	dir        Directory
@@ -300,8 +303,8 @@ func (l *Layer) OpenContext(ctx context.Context, dst addr.UAdd) (*IVC, error) {
 	if l.closed.Load() {
 		return nil, ErrClosed
 	}
-	if v, ok := l.ivcs.Load(dst); ok {
-		return v.(*IVC), nil
+	if v, ok := l.ivcs.Load(uint64(dst)); ok {
+		return v, nil
 	}
 
 	ivc, err := func() (ivc *IVC, err error) {
@@ -312,8 +315,8 @@ func (l *Layer) OpenContext(ctx context.Context, dst addr.UAdd) (*IVC, error) {
 	if err != nil {
 		return nil, err
 	}
-	if existing, loaded := l.ivcs.LoadOrStore(dst, ivc); loaded {
-		return existing.(*IVC), nil
+	if existing, loaded := l.ivcs.LoadOrStore(uint64(dst), ivc); loaded {
+		return existing, nil
 	}
 	l.ivcsOpen.Add(1)
 	return ivc, nil
@@ -656,7 +659,7 @@ func (l *Layer) forgetPending(cid uint32) {
 
 // dropIVC forgets a failed circuit so the next send re-establishes.
 func (l *Layer) dropIVC(dst addr.UAdd, ivc *IVC) {
-	if l.ivcs.CompareAndDelete(dst, ivc) {
+	if l.ivcs.CompareAndDelete(uint64(dst), ivc) {
 		l.ivcsOpen.Add(-1)
 	}
 }
@@ -665,8 +668,8 @@ func (l *Layer) dropIVC(dst addr.UAdd, ivc *IVC) {
 // address fault the stale circuit must not be reused).
 func (l *Layer) DropCircuits(dst addr.UAdd) {
 	var ivc *IVC
-	if v, ok := l.ivcs.LoadAndDelete(dst); ok {
-		ivc = v.(*IVC)
+	if v, ok := l.ivcs.LoadAndDelete(uint64(dst)); ok {
+		ivc = v
 		l.ivcsOpen.Add(-1)
 	}
 	if ivc != nil && ivc.direct {
@@ -704,7 +707,7 @@ func (l *Layer) HandleInbound(in ndlayer.Inbound) {
 // relayFrame forwards a data frame across a gateway, if a relay entry
 // exists. Returns false when the frame is for the local module.
 //
-// The lookup is a single lock-free sync.Map load, and the forward is
+// The lookup is a single short wordmap probe, and the forward is
 // cut-through: the circuit and hop words are patched in place in the
 // frame exactly as it arrived and the raw bytes go out with no header
 // re-marshal and no payload copy. §4.2's "no inter-gateway communication"
@@ -713,11 +716,10 @@ func (l *Layer) HandleInbound(in ndlayer.Inbound) {
 // here, so a slow downstream Send cannot stall opens, closes, or other
 // relays.
 func (l *Layer) relayFrame(in ndlayer.Inbound) bool {
-	d, ok := l.relayTab.Load(relayKey{via: in.Via, cid: in.Header.Circuit})
+	dest, ok := l.relayTab.Load(relayWord(in.Via, in.Header.Circuit))
 	if !ok {
 		return false
 	}
-	dest := d.(relayDest)
 	err := func() (err error) {
 		exit := l.cfg.Tracer.Enter(trace.LayerGateway, "relay", "forward data frame", "ip")
 		defer func() { exit(err) }() // deferred so a panicking LVC still closes the span
@@ -926,12 +928,11 @@ func (l *Layer) handleIVCClose(in ndlayer.Inbound) {
 	// Originator: the circuit is gone; the next send re-establishes (or
 	// faults up to the LCM-Layer).
 	closedAsOriginator := false
-	l.ivcs.Range(func(k, v any) bool {
-		ivc := v.(*IVC)
+	l.ivcs.Range(func(k uint64, ivc *IVC) bool {
 		if ivc.id == cid && ivc.first == in.Via {
 			l.ivcs.Delete(k)
 			l.ivcsOpen.Add(-1)
-			l.cfg.Errors.Report(errlog.CodeIVCTorn, "ip", "circuit %d to %v closed by network", cid, k.(addr.UAdd))
+			l.cfg.Errors.Report(errlog.CodeIVCTorn, "ip", "circuit %d to %v closed by network", cid, addr.UAdd(k))
 			closedAsOriginator = true
 			return false
 		}
@@ -958,8 +959,8 @@ func (l *Layer) handleIVCClose(in ndlayer.Inbound) {
 func (l *Layer) HandleCircuitDown(peer addr.UAdd, v *ndlayer.LVC, cause error) {
 	// Any IVC using this LVC as first hop is gone.
 	chained := false
-	l.ivcs.Range(func(k, val any) bool {
-		if ivc := val.(*IVC); ivc.first == v {
+	l.ivcs.Range(func(k uint64, ivc *IVC) bool {
+		if ivc.first == v {
 			l.ivcs.Delete(k)
 			l.ivcsOpen.Add(-1)
 			if !ivc.direct {
@@ -977,7 +978,7 @@ func (l *Layer) HandleCircuitDown(peer addr.UAdd, v *ndlayer.LVC, cause error) {
 	entries := l.relay[v]
 	delete(l.relay, v)
 	for cid := range entries {
-		l.relayTab.Delete(relayKey{via: v, cid: cid})
+		l.relayTab.Delete(relayWord(v, cid))
 	}
 	l.mu.Unlock()
 
@@ -1008,8 +1009,8 @@ func (l *Layer) installRelayLocked(inLVC *ndlayer.LVC, inCID uint32, outLVC *ndl
 	}
 	l.relay[inLVC][inCID] = relayDest{lvc: outLVC, cid: outCID}
 	l.relay[outLVC][outCID] = relayDest{lvc: inLVC, cid: inCID}
-	l.relayTab.Store(relayKey{via: inLVC, cid: inCID}, relayDest{lvc: outLVC, cid: outCID})
-	l.relayTab.Store(relayKey{via: outLVC, cid: outCID}, relayDest{lvc: inLVC, cid: inCID})
+	l.relayTab.Store(relayWord(inLVC, inCID), relayDest{lvc: outLVC, cid: outCID})
+	l.relayTab.Store(relayWord(outLVC, outCID), relayDest{lvc: inLVC, cid: inCID})
 }
 
 // removeRelay deletes one direction pair of relay state, from both the
@@ -1020,13 +1021,13 @@ func (l *Layer) removeRelay(via *ndlayer.LVC, cid uint32) {
 	// The mirror entry goes even when the map side was already swept (a
 	// HandleCircuitDown bulk delete reaches here with only the reverse
 	// direction still in the map).
-	l.relayTab.Delete(relayKey{via: via, cid: cid})
+	l.relayTab.Delete(relayWord(via, cid))
 	dest, ok := l.relay[via][cid]
 	if !ok {
 		return
 	}
 	delete(l.relay[via], cid)
-	l.relayTab.Delete(relayKey{via: dest.lvc, cid: dest.cid})
+	l.relayTab.Delete(relayWord(dest.lvc, dest.cid))
 	if m := l.relay[dest.lvc]; m != nil {
 		delete(m, dest.cid)
 	}
@@ -1053,8 +1054,8 @@ func (l *Layer) RelayCount() int {
 // OpenCircuits reports the destinations with established IVCs.
 func (l *Layer) OpenCircuits() []addr.UAdd {
 	var out []addr.UAdd
-	l.ivcs.Range(func(k, _ any) bool {
-		out = append(out, k.(addr.UAdd))
+	l.ivcs.Range(func(k uint64, _ *IVC) bool {
+		out = append(out, addr.UAdd(k))
 		return true
 	})
 	return out
@@ -1071,7 +1072,7 @@ func (l *Layer) InvalidateRoutes() {
 // closed separately.
 func (l *Layer) Close() {
 	l.closed.Store(true)
-	l.ivcs.Range(func(k, _ any) bool {
+	l.ivcs.Range(func(k uint64, _ *IVC) bool {
 		l.ivcs.Delete(k)
 		l.ivcsOpen.Add(-1)
 		return true
@@ -1079,7 +1080,7 @@ func (l *Layer) Close() {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.relay = make(map[*ndlayer.LVC]map[uint32]relayDest)
-	l.relayTab.Range(func(k, _ any) bool {
+	l.relayTab.Range(func(k uint64, _ relayDest) bool {
 		l.relayTab.Delete(k)
 		return true
 	})

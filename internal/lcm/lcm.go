@@ -35,6 +35,7 @@ import (
 	"ntcs/internal/stats"
 	"ntcs/internal/trace"
 	"ntcs/internal/wire"
+	"ntcs/internal/wordmap"
 )
 
 // Resolver is the slice of the NSP-Layer the address-fault handler needs:
@@ -163,14 +164,9 @@ func (d *Delivery) IsCall() bool { return d.Header.Flags&wire.FlagCall != 0 }
 // IsService reports whether this is internal NTCS/DRTS traffic.
 func (d *Delivery) IsService() bool { return d.Header.Flags&wire.FlagService != 0 }
 
-// waiterShards stripes the reply-waiter table so concurrent calls on
-// different sequence numbers never contend on one mutex.
-const waiterShards = 16
-
-type waiterShard struct {
-	mu sync.Mutex
-	m  map[uint32]chan *Delivery
-}
+// The reply-waiter table is a sharded wordmap keyed by sequence number:
+// concurrent calls on different sequence numbers land on different
+// shards, and an entry costs ~25 B instead of a boxed map entry.
 
 // Layer is one module's LCM-Layer.
 type Layer struct {
@@ -189,7 +185,7 @@ type Layer struct {
 	mu       sync.Mutex // guards resolver (cold: fault handling only)
 	resolver Resolver
 
-	waiters [waiterShards]waiterShard
+	waiters wordmap.Map[chan *Delivery]
 	fwd     *addr.ForwardTable
 	dest    *DestCache
 
@@ -264,9 +260,6 @@ func New(cfg Config) (*Layer, error) {
 		hSend:        cfg.Stats.Histogram(stats.LCMSendLatency),
 		hCall:        cfg.Stats.Histogram(stats.LCMCallLatency),
 	}
-	for i := range l.waiters {
-		l.waiters[i].m = make(map[uint32]chan *Delivery)
-	}
 	n := cfg.DispatchWorkers
 	if n == 0 {
 		// Default: one worker per CPU up to 4. On a single-CPU host the
@@ -331,25 +324,14 @@ func (l *Layer) ReplaceAddr(old, real addr.UAdd) {
 	l.dest.InvalidateTarget(old)
 }
 
-// waiterFor returns the shard holding seq's reply waiter.
-func (l *Layer) waiterFor(seq uint32) *waiterShard {
-	return &l.waiters[seq%waiterShards]
-}
-
 // addWaiter registers a reply channel for seq.
 func (l *Layer) addWaiter(seq uint32, ch chan *Delivery) {
-	sh := l.waiterFor(seq)
-	sh.mu.Lock()
-	sh.m[seq] = ch
-	sh.mu.Unlock()
+	l.waiters.Store(uint64(seq), ch)
 }
 
 // dropWaiter forgets the reply channel for seq.
 func (l *Layer) dropWaiter(seq uint32) {
-	sh := l.waiterFor(seq)
-	sh.mu.Lock()
-	delete(sh.m, seq)
-	sh.mu.Unlock()
+	l.waiters.Delete(uint64(seq))
 }
 
 // nextSeq allocates a message sequence number.
@@ -800,10 +782,7 @@ func (l *Layer) deliverReply(d *Delivery) {
 	if l.cfg.Tracer.On() {
 		l.cfg.Tracer.Span(d.Header.Span, trace.LayerLCM, "reply-recv", d.Header.Src.String())
 	}
-	sh := l.waiterFor(d.Header.Seq)
-	sh.mu.Lock()
-	ch, ok := sh.m[d.Header.Seq]
-	sh.mu.Unlock()
+	ch, ok := l.waiters.Load(uint64(d.Header.Seq))
 	if !ok {
 		// A reply for a call that timed out or was forgotten: absorbed,
 		// but visible in the error table (§6.3's point about relentless

@@ -33,6 +33,7 @@ import (
 	"ntcs/internal/stats"
 	"ntcs/internal/trace"
 	"ntcs/internal/wire"
+	"ntcs/internal/wordmap"
 )
 
 // Resolver resolves a UAdd to its physical endpoint on a given network —
@@ -178,11 +179,14 @@ type Binding struct {
 	listener ipcs.Listener
 	resolver Resolver // settable post-construction (bootstrap order)
 
-	// circuits maps peer UAdd → *LVC. It is read on every send, so it is
-	// a sync.Map: the warm path does one lock-free Load instead of taking
-	// the binding mutex. Mutations still happen under mu so the closed
-	// flag and the open/close sweeps stay coherent.
-	circuits sync.Map
+	// circuits maps peer UAdd (as its uint64 word) → *LVC. It is read on
+	// every send, so it is a sharded open-addressing wordmap: the warm
+	// path does one short read-locked probe instead of taking the binding
+	// mutex, and an entry costs ~17 B instead of sync.Map's ~100 B — at a
+	// million circuits the table itself is part of the memory budget
+	// (DESIGN.md §14). Mutations still happen under mu so the closed flag
+	// and the open/close sweeps stay coherent.
+	circuits wordmap.Map[*LVC]
 
 	mu      sync.Mutex
 	opening map[addr.UAdd]chan struct{}
@@ -407,9 +411,9 @@ func (b *Binding) OpenContext(ctx context.Context, dst addr.UAdd) (v *LVC, err e
 }
 
 func (b *Binding) open(ctx context.Context, dst addr.UAdd) (*LVC, error) {
-	// Warm path: the circuit already exists — one lock-free map load.
-	if v, ok := b.circuits.Load(dst); ok {
-		return v.(*LVC), nil
+	// Warm path: the circuit already exists — one short map probe.
+	if v, ok := b.circuits.Load(uint64(dst)); ok {
+		return v, nil
 	}
 	for {
 		b.mu.Lock()
@@ -417,9 +421,9 @@ func (b *Binding) open(ctx context.Context, dst addr.UAdd) (*LVC, error) {
 			b.mu.Unlock()
 			return nil, ErrClosed
 		}
-		if v, ok := b.circuits.Load(dst); ok {
+		if v, ok := b.circuits.Load(uint64(dst)); ok {
 			b.mu.Unlock()
-			return v.(*LVC), nil
+			return v, nil
 		}
 		if wait, inFlight := b.opening[dst]; inFlight {
 			b.mu.Unlock()
@@ -447,8 +451,8 @@ func (b *Binding) open(ctx context.Context, dst addr.UAdd) (*LVC, error) {
 			// while we were dialing. Swap, never Store: an LVC silently
 			// overwritten in the table would keep its conn alive with
 			// nothing left to close it.
-			if prev, loaded := b.circuits.Swap(dst, v); loaded {
-				evicted = prev.(*LVC)
+			if prev, loaded := b.circuits.Swap(uint64(dst), v); loaded {
+				evicted = prev
 			} else {
 				b.circuitsUp.Add(1)
 			}
@@ -457,7 +461,7 @@ func (b *Binding) open(ctx context.Context, dst addr.UAdd) (*LVC, error) {
 		if err == nil {
 			// Frames that raced the handshake replay in order before any
 			// new delivery.
-			hs.promote(func(data []byte, rerr error) { b.onRaw(v, data, rerr) })
+			hs.promote(v)
 		}
 		if evicted != nil && evicted != v {
 			_ = evicted.Close()
@@ -468,11 +472,7 @@ func (b *Binding) open(ctx context.Context, dst addr.UAdd) (*LVC, error) {
 
 // Lookup returns an existing LVC without opening one.
 func (b *Binding) Lookup(dst addr.UAdd) (*LVC, bool) {
-	v, ok := b.circuits.Load(dst)
-	if !ok {
-		return nil, false
-	}
-	return v.(*LVC), true
+	return b.circuits.Load(uint64(dst))
 }
 
 // dial resolves, connects (with retry on open), and runs the open
@@ -589,67 +589,84 @@ type hsMsg struct {
 // arriving first belong to the open handshake while everything after
 // belongs to the circuit. hsConn routes the first delivery to the
 // handshake, buffers any that race ahead of promotion, and replays them
-// in order once promote installs the circuit's delivery function.
+// in order once promote installs the circuit.
+//
+// hsConn lives as long as the conn (the substrate holds its callback), so
+// all state the handshake alone needs sits behind one pointer dropped at
+// promotion: the steady state keeps only the mutex and the circuit
+// pointer resident per circuit (24 B, against ~72 with the handshake
+// fields inline — per-conn residue is on the C1M budget, DESIGN.md §14).
 type hsConn struct {
-	conn ipcs.Conn
+	mu sync.Mutex
+	v  *LVC       // non-nil once promoted; deliveries route to v.b.onRaw
+	p  *hsPending // handshake state; nil once promoted
+}
 
-	mu      sync.Mutex
-	first   chan hsMsg // capacity 1: the handshake frame (or error)
-	gotOne  bool
-	early   []hsMsg
-	deliver func(data []byte, err error)
+// hsPending is the handshake-lifetime half of hsConn. conn and first are
+// written once before the callback is registered and never mutated;
+// gotOne and early are guarded by hsConn.mu.
+type hsPending struct {
+	conn   ipcs.Conn
+	first  chan hsMsg // capacity 1: the handshake frame (or error)
+	gotOne bool
+	early  []hsMsg
 }
 
 func startHS(conn ipcs.Conn) *hsConn {
-	h := &hsConn{conn: conn, first: make(chan hsMsg, 1)}
+	h := &hsConn{p: &hsPending{conn: conn, first: make(chan hsMsg, 1)}}
 	conn.Start(h.cb)
 	return h
 }
 
 func (h *hsConn) cb(data []byte, err error) {
 	h.mu.Lock()
-	if h.deliver != nil {
-		f := h.deliver
+	if v := h.v; v != nil {
 		h.mu.Unlock()
-		f(data, err)
+		v.b.onRaw(v, data, err)
 		return
 	}
-	if !h.gotOne {
-		h.gotOne = true
+	p := h.p // non-nil: promote installs v before clearing p, under mu
+	if !p.gotOne {
+		p.gotOne = true
 		h.mu.Unlock()
-		h.first <- hsMsg{data: data, err: err}
+		p.first <- hsMsg{data: data, err: err}
 		return
 	}
-	h.early = append(h.early, hsMsg{data: data, err: err})
+	p.early = append(p.early, hsMsg{data: data, err: err})
 	h.mu.Unlock()
 }
 
 // waitFirst returns the handshake frame, closing the conn on timeout.
+// Only the handshake goroutine calls it, strictly before promote, so
+// reading h.p without the lock is safe (and it touches only the
+// write-once fields).
 func (h *hsConn) waitFirst(timeout time.Duration) (wire.Header, []byte, error) {
 	t := retry.GetTimer(timeout)
 	defer retry.PutTimer(t)
 	select {
-	case m := <-h.first:
+	case m := <-h.p.first:
 		if m.err != nil {
 			return wire.Header{}, nil, m.err
 		}
 		return wire.Unmarshal(m.data)
 	case <-t.C:
-		_ = h.conn.Close()
+		_ = h.p.conn.Close()
 		return wire.Header{}, nil, errors.New("ndlayer: open handshake timed out")
 	}
 }
 
-// promote installs the circuit's delivery function. Early arrivals are
-// replayed under the lock: a concurrent substrate callback blocks on mu
-// until the replay finishes, which preserves serial FIFO delivery.
-func (h *hsConn) promote(f func(data []byte, err error)) {
+// promote installs the circuit. Early arrivals are replayed under the
+// lock: a concurrent substrate callback blocks on mu until the replay
+// finishes, which preserves serial FIFO delivery. promote is called only
+// after waitFirst has returned, so dropping the pending state here cannot
+// race the handshake reader.
+func (h *hsConn) promote(v *LVC) {
 	h.mu.Lock()
-	for _, m := range h.early {
-		f(m.data, m.err)
+	for _, m := range h.p.early {
+		v.b.onRaw(v, m.data, m.err)
 	}
-	h.early = nil
-	h.deliver = f
+	h.v = v
+	h.p = nil
 	h.mu.Unlock()
 }
 
@@ -744,8 +761,8 @@ func (b *Binding) handleInbound(conn ipcs.Conn) {
 	// in the table, and overwriting it would leak its conn past
 	// Binding.Close (see open).
 	var evicted *LVC
-	if prev, loaded := b.circuits.Swap(peer, v); loaded {
-		evicted = prev.(*LVC)
+	if prev, loaded := b.circuits.Swap(uint64(peer), v); loaded {
+		evicted = prev
 	} else {
 		b.circuitsUp.Add(1)
 	}
@@ -753,7 +770,7 @@ func (b *Binding) handleInbound(conn ipcs.Conn) {
 	if evicted != nil && evicted != v {
 		_ = evicted.Close()
 	}
-	hs.promote(func(data []byte, rerr error) { b.onRaw(v, data, rerr) })
+	hs.promote(v)
 }
 
 // onRaw is the circuit's receive callback: it runs on the substrate's
@@ -826,13 +843,13 @@ func (b *Binding) noteFrame(v *LVC, h *wire.Header) {
 	}
 	v.peer.Store(uint64(real))
 
-	if b.circuits.CompareAndDelete(alias, v) {
+	if b.circuits.CompareAndDelete(uint64(alias), v) {
 		// Rekey, not a new circuit: the gauge is unchanged unless the real
 		// UAdd already had a circuit, which the swap supersedes.
-		if prev, loaded := b.circuits.Swap(real, v); loaded {
+		if prev, loaded := b.circuits.Swap(uint64(real), v); loaded {
 			b.circuitsUp.Add(-1)
-			if old := prev.(*LVC); old != v {
-				_ = old.Close()
+			if prev != v {
+				_ = prev.Close()
 			}
 		}
 	}
@@ -847,7 +864,7 @@ func (b *Binding) noteFrame(v *LVC, h *wire.Header) {
 func (b *Binding) circuitDown(v *LVC, err error) {
 	v.markClosed()
 	peer := v.Peer()
-	if b.circuits.CompareAndDelete(peer, v) {
+	if b.circuits.CompareAndDelete(uint64(peer), v) {
 		b.circuitsUp.Add(-1)
 	}
 	b.mu.Lock()
@@ -875,17 +892,17 @@ func (b *Binding) Send(dst addr.UAdd, h wire.Header, payload []byte) error {
 // Drop closes and forgets the LVC to dst, if any (used when upper layers
 // decide an address is stale).
 func (b *Binding) Drop(dst addr.UAdd) {
-	if v, ok := b.circuits.LoadAndDelete(dst); ok {
+	if v, ok := b.circuits.LoadAndDelete(uint64(dst)); ok {
 		b.circuitsUp.Add(-1)
-		_ = v.(*LVC).Close()
+		_ = v.Close()
 	}
 }
 
 // Circuits returns the peers with live LVCs.
 func (b *Binding) Circuits() []addr.UAdd {
 	var out []addr.UAdd
-	b.circuits.Range(func(k, _ any) bool {
-		out = append(out, k.(addr.UAdd))
+	b.circuits.Range(func(k uint64, _ *LVC) bool {
+		out = append(out, addr.UAdd(k))
 		return true
 	})
 	return out
@@ -895,8 +912,8 @@ func (b *Binding) Circuits() []addr.UAdd {
 // aliases — the §3.4 purge assertion.
 func (b *Binding) TAddAliasCount() int {
 	n := 0
-	b.circuits.Range(func(k, _ any) bool {
-		if k.(addr.UAdd).IsTemp() {
+	b.circuits.Range(func(k uint64, _ *LVC) bool {
+		if addr.UAdd(k).IsTemp() {
 			n++
 		}
 		return true
@@ -911,9 +928,8 @@ func (b *Binding) TAddAliasCount() int {
 func (b *Binding) Flush(ctx context.Context) error {
 	for {
 		pending := false
-		b.circuits.Range(func(_, val any) bool {
-			v := val.(*LVC)
-			if v.sq != nil && v.sq.pending() {
+		b.circuits.Range(func(_ uint64, v *LVC) bool {
+			if v.queuePending() {
 				pending = true
 				return false
 			}
@@ -949,8 +965,8 @@ func (b *Binding) Close() error {
 	b.closedFlag.Store(true)
 	close(b.done)
 	var circuits []*LVC
-	b.circuits.Range(func(k, v any) bool {
-		circuits = append(circuits, v.(*LVC))
+	b.circuits.Range(func(k uint64, v *LVC) bool {
+		circuits = append(circuits, v)
 		b.circuits.Delete(k)
 		b.circuitsUp.Add(-1)
 		return true
@@ -967,10 +983,16 @@ func (b *Binding) Close() error {
 
 // LVC is one local virtual circuit.
 //
-// The send path holds no mutex: peer identity and the closed flag are
-// atomics, and everything else is immutable after open. The only writer
-// of peer after construction is the single §3.4 TAdd replacement in
-// noteFrame, elected by CAS.
+// The send path holds no mutex: peer identity, the closed flag and the
+// sender-side credit words are atomics, and everything else is immutable
+// after open. The only writer of peer after construction is the single
+// §3.4 TAdd replacement in noteFrame, elected by CAS.
+//
+// The struct is deliberately small (~96 B): a million idle circuits must
+// fit in one process (DESIGN.md §14). Everything an idle circuit never
+// touches — the credit gate, receiver-side grant accounting, the relay
+// parking queue and the group-commit queue — lives in the lazily
+// allocated cold block, installed by coldState on first use.
 type LVC struct {
 	b    *Binding
 	conn ipcs.Conn
@@ -979,29 +1001,112 @@ type LVC struct {
 	// addr.UAdd bits. Rewritten at most once, read on every frame.
 	peer       atomic.Uint64
 	remoteTAdd atomic.Uint64
-	closed     atomic.Bool
 
-	// Immutable after open.
+	// Sender-side credit words. The scheme is cumulative and
+	// loss-tolerant: the receiver grants its total consumed-frame count
+	// (TCredit, Seq = count), so a lost grant is subsumed by the next
+	// one; the sender bounds tx − grant by the peer's advertised window.
+	// A sender stuck waiting probes with TCredit+FlagCall carrying its
+	// own tx count; because the substrate is FIFO per connection,
+	// everything sent before the probe has either arrived or is
+	// definitively lost by the time the receiver processes it, so the
+	// receiver can resynchronize its consumed count to the probe's tx —
+	// leaked credits from lost frames heal instead of accumulating.
+	//
+	// eff is the AIMD effective window: halved on NACK, grown by one per
+	// grant, never above txWindow.
+	tx    atomic.Uint32
+	grant atomic.Uint32
+	eff   atomic.Uint32
+
+	// Immutable after open. txWindow is the peer's advertised receive
+	// window (0 = uncredited); rxWindow is ours. id is process-unique,
+	// used by upper layers to shard work and key relay tables by source
+	// circuit without holding any LVC state. peerName is interned: every
+	// circuit to the same module shares one string backing.
+	txWindow    uint32
+	rxWindow    uint32
+	id          uint32
 	peerMachine machine.Type
+	closed      atomic.Bool
 	peerName    string
-	id          uint64
 
-	// sq is the group-commit writer; nil unless Config.CoalesceWrites.
-	sq *sendQueue
+	// cold holds the rarely touched state, nil until first use.
+	cold atomic.Pointer[lvcCold]
+}
 
-	// fc is the per-circuit credit flow-control state. Zero-valued (both
-	// windows 0) on directly constructed circuits: credits disabled.
-	fc flowState
+// lvcCold is the lazily allocated cold half of an LVC: state only
+// circuits with blocked senders, inbound data, parked relays or a
+// group-commit queue ever need. An idle mesh endpoint never allocates
+// one.
+//
+// Lazy installation is race-safe without extra ordering because every
+// access goes through atomics with sequentially consistent semantics: a
+// writer that publishes an event (grant store, closed store) and then
+// loads cold == nil is ordered before the waiter's cold install, so the
+// waiter's post-install re-check of the event word must observe it.
+type lvcCold struct {
+	// gate wakes credit-blocked senders when a grant or NACK arrives.
+	gateMu sync.Mutex
+	gateCh chan struct{}
+
+	// Receiver side, guarded by rxMu (touched from the serial receive
+	// path and the grant-retry timer).
+	rxMu         sync.Mutex
+	rxCount      uint32
+	lastGrant    uint32
+	grantPending bool
 
 	// relayMu guards the parked cut-through frames. A relay worker must
 	// never block a shared dispatch worker waiting for downstream credit
 	// (on a small pool that starves every other circuit on the network),
 	// so SendRaw parks the frame here instead and grant arrival drains it
-	// on the flusher pool. relayDraining keeps the direct path closed
-	// while a drain pass holds popped-but-unsent frames, preserving FIFO.
+	// on a transient goroutine. relayDraining keeps the direct path
+	// closed while a drain pass holds popped-but-unsent frames,
+	// preserving FIFO.
 	relayMu       sync.Mutex
 	relayQ        []relayPending
 	relayDraining bool
+
+	// sq is the group-commit writer, installed by sendQ on the first
+	// coalesced send (Config.CoalesceWrites circuits only).
+	sq atomic.Pointer[sendQueue]
+}
+
+// coldState returns the circuit's cold block, installing it on first use.
+func (v *LVC) coldState() *lvcCold {
+	if c := v.cold.Load(); c != nil {
+		return c
+	}
+	c := new(lvcCold)
+	if v.cold.CompareAndSwap(nil, c) {
+		return c
+	}
+	return v.cold.Load()
+}
+
+// sendQ returns the group-commit queue, installing it on first use.
+func (v *LVC) sendQ() *sendQueue {
+	c := v.coldState()
+	if q := c.sq.Load(); q != nil {
+		return q
+	}
+	q := newSendQueue(v)
+	if c.sq.CompareAndSwap(nil, q) {
+		return q
+	}
+	return c.sq.Load()
+}
+
+// queuePending reports whether the group-commit queue holds frames or a
+// flusher pass is in flight — false for circuits that never coalesced.
+func (v *LVC) queuePending() bool {
+	c := v.cold.Load()
+	if c == nil {
+		return false
+	}
+	q := c.sq.Load()
+	return q != nil && q.pending()
 }
 
 // relayPending is one cut-through frame parked while the circuit waits
@@ -1011,85 +1116,94 @@ type relayPending struct {
 	span  uint32
 }
 
-// flowState carries both directions of credit flow control for one LVC.
-//
-// The scheme is cumulative and loss-tolerant: the receiver grants its
-// total consumed-frame count (TCredit, Seq = count), so a lost grant is
-// subsumed by the next one; the sender bounds tx − lastGrant by the
-// peer's advertised window. A sender stuck waiting probes with
-// TCredit+FlagCall carrying its own tx count; because the substrate is
-// FIFO per connection, everything sent before the probe has either
-// arrived or is definitively lost by the time the receiver processes it,
-// so the receiver can resynchronize its consumed count to the probe's tx
-// — leaked credits from lost frames heal instead of accumulating.
-type flowState struct {
-	// Sender side. txWindow is the peer's advertised receive window
-	// (immutable after open; 0 = uncredited). eff is the AIMD effective
-	// window: halved on NACK, grown by one per grant, never above
-	// txWindow.
-	txWindow uint32
-	tx       atomic.Uint32
-	grant    atomic.Uint32
-	eff      atomic.Uint32
-
-	// gate wakes credit-blocked senders when a grant or NACK arrives.
-	gateMu sync.Mutex
-	gateCh chan struct{}
-
-	// Receiver side, guarded by rxMu (touched from the serial receive
-	// path and the grant-retry timer). rxWindow is our advertised window.
-	rxMu         sync.Mutex
-	rxWindow     uint32
-	rxCount      uint32
-	lastGrant    uint32
-	grantPending bool
-}
-
-// wake releases every sender parked on the credit gate.
-func (f *flowState) wake() {
-	f.gateMu.Lock()
-	if f.gateCh != nil {
-		close(f.gateCh)
-		f.gateCh = nil
+// wake releases every sender parked on the credit gate. A nil cold block
+// means no sender ever parked: nothing to wake (see lvcCold for why the
+// nil check cannot miss a racing waiter).
+func (v *LVC) wake() {
+	c := v.cold.Load()
+	if c == nil {
+		return
 	}
-	f.gateMu.Unlock()
+	c.gateMu.Lock()
+	if c.gateCh != nil {
+		close(c.gateCh)
+		c.gateCh = nil
+	}
+	c.gateMu.Unlock()
 }
 
 // waitCh returns a channel closed at the next wake.
-func (f *flowState) waitCh() <-chan struct{} {
-	f.gateMu.Lock()
-	if f.gateCh == nil {
-		f.gateCh = make(chan struct{})
+func (v *LVC) waitCh() <-chan struct{} {
+	c := v.coldState()
+	c.gateMu.Lock()
+	if c.gateCh == nil {
+		c.gateCh = make(chan struct{})
 	}
-	ch := f.gateCh
-	f.gateMu.Unlock()
+	ch := c.gateCh
+	c.gateMu.Unlock()
 	return ch
 }
 
 // cumGE reports a ≥ b under wraparound (cumulative counters).
 func cumGE(a, b uint32) bool { return int32(a-b) >= 0 }
 
-// lvcSeq hands every circuit a process-unique id, used by upper layers to
-// shard work by source circuit without holding any LVC state.
-var lvcSeq atomic.Uint64
+// lvcSeq hands every circuit a process-unique id. 32 bits keeps the LVC
+// small and lets relay tables pack (circuit id, wire circuit) into one
+// uint64 key; 4 billion opens outlive any process this serves.
+var lvcSeq atomic.Uint32
+
+// forceEagerCold is a test hook: when set, newLVC materializes the cold
+// block (and the group-commit queue on coalescing bindings) up front, so
+// the scale tests can measure the lazy layout against the eager one in
+// the same process.
+var forceEagerCold bool
 
 func newLVC(b *Binding, conn ipcs.Conn, peer addr.UAdd, m machine.Type, name string, remoteTAdd addr.UAdd, peerWindow uint32) *LVC {
 	v := &LVC{
 		b:           b,
 		conn:        conn,
 		peerMachine: m,
-		peerName:    name,
+		peerName:    intern(name),
 		id:          lvcSeq.Add(1),
+		txWindow:    peerWindow,
+		rxWindow:    b.advertisedWindow(),
 	}
 	v.peer.Store(uint64(peer))
 	v.remoteTAdd.Store(uint64(remoteTAdd))
-	v.fc.txWindow = peerWindow
-	v.fc.eff.Store(peerWindow)
-	v.fc.rxWindow = b.advertisedWindow()
-	if b.cfg.CoalesceWrites {
-		v.sq = newSendQueue(v)
+	v.eff.Store(peerWindow)
+	if forceEagerCold {
+		c := v.coldState()
+		if b.cfg.CoalesceWrites {
+			c.sq.Store(newSendQueue(v))
+		}
 	}
 	return v
+}
+
+// intern collapses duplicate strings onto one backing allocation. Peer
+// names repeat across circuits (every circuit to the same module carries
+// the same name), so a meshed process holds O(modules) name strings
+// instead of O(circuits). The table grows with the set of distinct names
+// ever seen — module names, bounded by configuration, not by traffic.
+var (
+	internMu  sync.Mutex
+	internTab map[string]string
+)
+
+func intern(s string) string {
+	if s == "" {
+		return ""
+	}
+	internMu.Lock()
+	defer internMu.Unlock()
+	if t, ok := internTab[s]; ok {
+		return t
+	}
+	if internTab == nil {
+		internTab = make(map[string]string)
+	}
+	internTab[s] = s
+	return s
 }
 
 // Peer returns the circuit's current peer UAdd (a local alias while the
@@ -1104,7 +1218,7 @@ func (v *LVC) PeerName() string { return v.peerName }
 
 // ID returns a process-unique circuit identifier, stable for the
 // circuit's lifetime (survives the §3.4 peer rekey).
-func (v *LVC) ID() uint64 { return v.id }
+func (v *LVC) ID() uint64 { return uint64(v.id) }
 
 // Network returns the network this circuit runs over.
 func (v *LVC) Network() string { return v.b.network }
@@ -1116,7 +1230,7 @@ func (v *LVC) Network() string { return v.b.network }
 func (v *LVC) Send(h wire.Header, payload []byte) error {
 	noBlock := h.Flags&wire.FlagNoBlock != 0
 	h.Flags &^= wire.FlagNoBlock // local-only, never marshalled
-	if h.Type == wire.TData && v.fc.txWindow != 0 {
+	if h.Type == wire.TData && v.txWindow != 0 {
 		if err := v.acquireCredit(noBlock, v.b.cfg.CreditWaitMax); err != nil {
 			return err
 		}
@@ -1133,7 +1247,7 @@ func (v *LVC) Send(h wire.Header, payload []byte) error {
 		frame.Release()
 		return &FaultError{Peer: v.Peer(), Err: ipcs.ErrClosed}
 	}
-	if v.sq != nil {
+	if v.b.cfg.CoalesceWrites {
 		return v.sendCoalesced(frame.Bytes(), frame, h.Span)
 	}
 	n := len(frame.Bytes())
@@ -1161,17 +1275,18 @@ func (v *LVC) SendRaw(frame []byte, span uint32) error {
 	if v.closed.Load() {
 		return &FaultError{Peer: v.Peer(), Err: ipcs.ErrClosed}
 	}
-	if v.fc.txWindow != 0 && len(frame) >= wire.HeaderSize && wire.Type(frame[3]) == wire.TData {
-		v.relayMu.Lock()
-		if len(v.relayQ) > 0 || v.relayDraining || !v.tryCredit() {
-			if uint32(len(v.relayQ)) >= v.fc.txWindow {
-				v.relayMu.Unlock()
+	if v.txWindow != 0 && len(frame) >= wire.HeaderSize && wire.Type(frame[3]) == wire.TData {
+		c := v.coldState()
+		c.relayMu.Lock()
+		if len(c.relayQ) > 0 || c.relayDraining || !v.tryCredit() {
+			if uint32(len(c.relayQ)) >= v.txWindow {
+				c.relayMu.Unlock()
 				v.b.bpErrors.Inc()
 				return v.backpressureErr()
 			}
-			probe := len(v.relayQ) == 0
-			v.relayQ = append(v.relayQ, relayPending{frame: frame, span: span})
-			v.relayMu.Unlock()
+			probe := len(c.relayQ) == 0
+			c.relayQ = append(c.relayQ, relayPending{frame: frame, span: span})
+			c.relayMu.Unlock()
 			if probe {
 				// Entering the parked state: if the grant that should
 				// reopen the window was lost, this resynchronizes the
@@ -1181,9 +1296,9 @@ func (v *LVC) SendRaw(frame []byte, span uint32) error {
 			}
 			return nil
 		}
-		v.relayMu.Unlock()
+		c.relayMu.Unlock()
 	}
-	if v.sq != nil {
+	if v.b.cfg.CoalesceWrites {
 		return v.sendCoalesced(frame, nil, span)
 	}
 	err := v.conn.Send(frame)
@@ -1193,13 +1308,12 @@ func (v *LVC) SendRaw(frame []byte, span uint32) error {
 // tryCredit claims one unit of send credit if the window is open: the
 // lock-free fast path shared by blocking, no-block and relay senders.
 func (v *LVC) tryCredit() bool {
-	f := &v.fc
 	for {
-		tx := f.tx.Load()
-		if !f.inWindow(tx) {
+		tx := v.tx.Load()
+		if !v.inWindow(tx) {
 			return false
 		}
-		if f.tx.CompareAndSwap(tx, tx+1) {
+		if v.tx.CompareAndSwap(tx, tx+1) {
 			return true
 		}
 	}
@@ -1213,13 +1327,17 @@ func (v *LVC) tryCredit() bool {
 // would deadlock against the flush pass it is waiting on when the pool
 // is one worker wide.
 func (v *LVC) scheduleRelayDrain() {
-	v.relayMu.Lock()
-	if len(v.relayQ) == 0 || v.relayDraining {
-		v.relayMu.Unlock()
+	c := v.cold.Load()
+	if c == nil {
+		return // nothing was ever parked
+	}
+	c.relayMu.Lock()
+	if len(c.relayQ) == 0 || c.relayDraining {
+		c.relayMu.Unlock()
 		return
 	}
-	v.relayDraining = true
-	v.relayMu.Unlock()
+	c.relayDraining = true
+	c.relayMu.Unlock()
 	go v.drainRelay()
 }
 
@@ -1227,29 +1345,30 @@ func (v *LVC) scheduleRelayDrain() {
 // most one pass per circuit at a time; when credit runs out it stops and
 // the next grant schedules the next pass.
 func (v *LVC) drainRelay() {
+	c := v.coldState()
 	for {
-		v.relayMu.Lock()
+		c.relayMu.Lock()
 		if v.closed.Load() {
-			v.relayQ = nil
-			v.relayDraining = false
-			v.relayMu.Unlock()
+			c.relayQ = nil
+			c.relayDraining = false
+			c.relayMu.Unlock()
 			return
 		}
-		if len(v.relayQ) == 0 || !v.tryCredit() {
-			if len(v.relayQ) == 0 {
-				v.relayQ = nil
+		if len(c.relayQ) == 0 || !v.tryCredit() {
+			if len(c.relayQ) == 0 {
+				c.relayQ = nil
 			}
-			v.relayDraining = false
-			v.relayMu.Unlock()
+			c.relayDraining = false
+			c.relayMu.Unlock()
 			return
 		}
-		p := v.relayQ[0]
-		v.relayQ[0] = relayPending{}
-		v.relayQ = v.relayQ[1:]
-		v.relayMu.Unlock()
+		p := c.relayQ[0]
+		c.relayQ[0] = relayPending{}
+		c.relayQ = c.relayQ[1:]
+		c.relayMu.Unlock()
 
 		var err error
-		if v.sq != nil {
+		if v.b.cfg.CoalesceWrites {
 			err = v.sendCoalesced(p.frame, nil, p.span)
 		} else {
 			err = v.conn.Send(p.frame)
@@ -1278,8 +1397,8 @@ func (v *LVC) acquireCredit(noBlock bool, budget time.Duration) error {
 
 // inWindow reports whether one more frame at send count tx fits the
 // effective window.
-func (f *flowState) inWindow(tx uint32) bool {
-	return tx-f.grant.Load() < f.eff.Load()
+func (v *LVC) inWindow(tx uint32) bool {
+	return tx-v.grant.Load() < v.eff.Load()
 }
 
 // awaitCredit parks the sender until a grant admits it or the budget
@@ -1288,17 +1407,16 @@ func (f *flowState) inWindow(tx uint32) bool {
 // the probe reply, so a healthy circuit never waits out the full budget
 // on stale accounting.
 func (v *LVC) awaitCredit(budget time.Duration) error {
-	f := &v.fc
 	v.b.bpWaits.Inc()
 	deadline := time.Now().Add(budget)
 	probed := false
 	for {
-		ch := f.waitCh()
+		ch := v.waitCh()
 		// Re-check under the registered wait: a grant between the failed
 		// CAS and waitCh would otherwise be missed.
-		tx := f.tx.Load()
-		if f.inWindow(tx) {
-			if f.tx.CompareAndSwap(tx, tx+1) {
+		tx := v.tx.Load()
+		if v.inWindow(tx) {
+			if v.tx.CompareAndSwap(tx, tx+1) {
 				return nil
 			}
 			continue
@@ -1330,11 +1448,10 @@ func (v *LVC) awaitCredit(budget time.Duration) error {
 }
 
 func (v *LVC) backpressureErr() error {
-	f := &v.fc
 	return &BackpressureError{
 		Peer:          v.Peer(),
-		Circuit:       v.id,
-		QueueDepth:    int(f.tx.Load() - f.grant.Load()),
+		Circuit:       uint64(v.id),
+		QueueDepth:    int(v.tx.Load() - v.grant.Load()),
 		SuggestedWait: grantRetryDelay,
 	}
 }
@@ -1374,8 +1491,8 @@ func (v *LVC) sendControl(t wire.Type, flags uint16, seq uint32) {
 // group-commit queue behind the data frames it accounts for — written
 // directly it would overtake them and the resync would double-count.
 func (v *LVC) sendProbe() {
-	seq := v.fc.tx.Load()
-	if v.sq == nil {
+	seq := v.tx.Load()
+	if !v.b.cfg.CoalesceWrites {
 		v.sendControl(wire.TCredit, wire.FlagCall, seq)
 		return
 	}
@@ -1401,12 +1518,12 @@ func (v *LVC) sendProbe() {
 // decrease slows it down. Called by the IP-Layer relay; the circuit
 // itself stays up.
 func (v *LVC) NackBackpressure() {
-	f := &v.fc
 	var seq uint32
-	if f.rxWindow != 0 {
-		f.rxMu.Lock()
-		seq = f.rxCount
-		f.rxMu.Unlock()
+	if v.rxWindow != 0 {
+		c := v.coldState()
+		c.rxMu.Lock()
+		seq = c.rxCount
+		c.rxMu.Unlock()
 	}
 	v.b.nacksOut.Inc()
 	v.sendControl(wire.TNack, 0, seq)
@@ -1418,40 +1535,39 @@ func (v *LVC) NackBackpressure() {
 // senders).
 func (v *LVC) onCredit(h wire.Header) {
 	if h.Flags&wire.FlagCall != 0 {
-		f := &v.fc
-		if f.rxWindow != 0 {
-			f.rxMu.Lock()
+		if v.rxWindow != 0 {
+			c := v.coldState()
+			c.rxMu.Lock()
 			// FIFO conns mean every frame sent before this probe has
 			// arrived or is lost for good: the probe's tx is the truth.
-			if !cumGE(f.rxCount, h.Seq) {
-				f.rxCount = h.Seq
+			if !cumGE(c.rxCount, h.Seq) {
+				c.rxCount = h.Seq
 			}
-			f.rxMu.Unlock()
+			c.rxMu.Unlock()
 			v.maybeGrant(true)
 		}
 		return
 	}
-	f := &v.fc
 	for {
-		old := f.grant.Load()
+		old := v.grant.Load()
 		if cumGE(old, h.Seq) {
 			break
 		}
-		if f.grant.CompareAndSwap(old, h.Seq) {
+		if v.grant.CompareAndSwap(old, h.Seq) {
 			break
 		}
 	}
 	// Additive increase back toward the full advertised window.
 	for {
-		eff := f.eff.Load()
-		if eff >= f.txWindow {
+		eff := v.eff.Load()
+		if eff >= v.txWindow {
 			break
 		}
-		if f.eff.CompareAndSwap(eff, eff+1) {
+		if v.eff.CompareAndSwap(eff, eff+1) {
 			break
 		}
 	}
-	f.wake()
+	v.wake()
 	v.scheduleRelayDrain()
 }
 
@@ -1459,19 +1575,18 @@ func (v *LVC) onCredit(h wire.Header) {
 // Seq resynchronizes the consumed watermark; the effective window halves
 // (the multiplicative decrease) so the sender backs off.
 func (v *LVC) onNack(h wire.Header) {
-	f := &v.fc
 	v.b.bpNacksIn.Inc()
 	for {
-		old := f.grant.Load()
+		old := v.grant.Load()
 		if cumGE(old, h.Seq) {
 			break
 		}
-		if f.grant.CompareAndSwap(old, h.Seq) {
+		if v.grant.CompareAndSwap(old, h.Seq) {
 			break
 		}
 	}
 	for {
-		eff := f.eff.Load()
+		eff := v.eff.Load()
 		next := eff / 2
 		if next < 1 {
 			next = 1
@@ -1479,11 +1594,11 @@ func (v *LVC) onNack(h wire.Header) {
 		if eff <= next {
 			break
 		}
-		if f.eff.CompareAndSwap(eff, next) {
+		if v.eff.CompareAndSwap(eff, next) {
 			break
 		}
 	}
-	f.wake()
+	v.wake()
 	v.scheduleRelayDrain()
 }
 
@@ -1492,20 +1607,20 @@ func (v *LVC) onNack(h wire.Header) {
 // window: rxCount can only exceed lastGrant+window if the peer ignored
 // its credit bound, because losses merely undercount rxCount.
 func (v *LVC) noteData() bool {
-	f := &v.fc
-	if f.rxWindow == 0 {
+	if v.rxWindow == 0 {
 		return true
 	}
-	f.rxMu.Lock()
-	if !cumGE(f.lastGrant+f.rxWindow, f.rxCount+1) {
-		consumed := f.rxCount
-		f.rxMu.Unlock()
+	c := v.coldState()
+	c.rxMu.Lock()
+	if !cumGE(c.lastGrant+v.rxWindow, c.rxCount+1) {
+		consumed := c.rxCount
+		c.rxMu.Unlock()
 		v.b.nacksOut.Inc()
 		v.sendControl(wire.TNack, 0, consumed)
 		return false
 	}
-	f.rxCount++
-	f.rxMu.Unlock()
+	c.rxCount++
+	c.rxMu.Unlock()
 	return true
 }
 
@@ -1516,39 +1631,40 @@ func (v *LVC) noteData() bool {
 // wedging the circuit. force skips the half-window threshold (probe
 // replies and retry flushes).
 func (v *LVC) maybeGrant(force bool) {
-	f := &v.fc
-	if f.rxWindow == 0 {
+	if v.rxWindow == 0 {
 		return
 	}
-	f.rxMu.Lock()
-	owed := f.rxCount - f.lastGrant
+	c := v.coldState()
+	c.rxMu.Lock()
+	owed := c.rxCount - c.lastGrant
 	if owed == 0 && !force {
-		f.rxMu.Unlock()
+		c.rxMu.Unlock()
 		return
 	}
-	if !force && owed < f.rxWindow/2 {
-		f.rxMu.Unlock()
+	if !force && owed < v.rxWindow/2 {
+		c.rxMu.Unlock()
 		return
 	}
 	if !v.b.admit.allow() {
-		if !f.grantPending {
-			f.grantPending = true
+		if !c.grantPending {
+			c.grantPending = true
 			time.AfterFunc(grantRetryDelay, v.grantFlush)
 		}
-		f.rxMu.Unlock()
+		c.rxMu.Unlock()
 		return
 	}
-	seq := f.rxCount
-	f.lastGrant = seq
-	f.rxMu.Unlock()
+	seq := c.rxCount
+	c.lastGrant = seq
+	c.rxMu.Unlock()
 	v.sendControl(wire.TCredit, 0, seq)
 }
 
 // grantFlush is the deferred grant retry for admission-denied grants.
 func (v *LVC) grantFlush() {
-	v.fc.rxMu.Lock()
-	v.fc.grantPending = false
-	v.fc.rxMu.Unlock()
+	c := v.coldState()
+	c.rxMu.Lock()
+	c.grantPending = false
+	c.rxMu.Unlock()
 	if v.closed.Load() {
 		return
 	}
@@ -1561,7 +1677,7 @@ func (v *LVC) finishSend(n int, span uint32, err error) error {
 	if err != nil {
 		peer := v.Peer()
 		_ = v.Close()
-		if v.b.circuits.CompareAndDelete(peer, v) {
+		if v.b.circuits.CompareAndDelete(uint64(peer), v) {
 			v.b.circuitsUp.Add(-1)
 		}
 		return &FaultError{Peer: peer, Err: err}
@@ -1576,16 +1692,23 @@ func (v *LVC) finishSend(n int, span uint32, err error) error {
 
 func (v *LVC) markClosed() {
 	v.closed.Store(true)
-	v.fc.wake() // credit waiters observe the close
+	v.wake() // credit waiters observe the close
+	c := v.cold.Load()
+	if c == nil {
+		// No cold block means nothing parked and nothing queued. A sender
+		// installing one concurrently re-checks closed after the install
+		// (sendCoalesced under q.mu, awaitCredit after waitCh), so it
+		// cannot strand work behind this load.
+		return
+	}
 	// Parked relay frames die with the circuit (their upstream learns of
 	// the fault through the relay teardown, not a NACK).
-	v.relayMu.Lock()
-	v.relayQ = nil
-	v.relayMu.Unlock()
-	if v.sq != nil {
+	c.relayMu.Lock()
+	c.relayQ = nil
+	c.relayMu.Unlock()
+	if q := c.sq.Load(); q != nil {
 		// Wake anyone parked on a full queue, and schedule a final flush
 		// pass so queued buffers are released.
-		q := v.sq
 		q.mu.Lock()
 		q.space.Broadcast()
 		if !q.scheduled && len(q.entries) > 0 {
@@ -1600,7 +1723,7 @@ func (v *LVC) markClosed() {
 // subsequent Open dials afresh rather than finding the corpse.
 func (v *LVC) Close() error {
 	v.markClosed()
-	if v.b.circuits.CompareAndDelete(v.Peer(), v) {
+	if v.b.circuits.CompareAndDelete(uint64(v.Peer()), v) {
 		v.b.circuitsUp.Add(-1)
 	}
 	return v.conn.Close()
@@ -1656,7 +1779,7 @@ type sendEntry struct {
 // when non-nil, is the pooled backing of frame and is released once the
 // frame has been written. The queue takes ownership of frame either way.
 func (v *LVC) sendCoalesced(frame []byte, buf *wire.Buf, span uint32) error {
-	q := v.sq
+	q := v.sendQ()
 	q.mu.Lock()
 	for len(q.entries) >= sendQueueCap && !v.closed.Load() {
 		q.space.Wait()
@@ -1734,7 +1857,7 @@ func (q *sendQueue) write(batch []sendEntry) {
 	if err != nil {
 		peer := v.Peer()
 		_ = v.Close()
-		if v.b.circuits.CompareAndDelete(peer, v) {
+		if v.b.circuits.CompareAndDelete(uint64(peer), v) {
 			v.b.circuitsUp.Add(-1)
 		}
 	} else {

@@ -1,0 +1,5 @@
+//go:build !race
+
+package ndlayer
+
+const raceEnabled = false

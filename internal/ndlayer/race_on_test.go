@@ -1,0 +1,7 @@
+//go:build race
+
+package ndlayer
+
+// raceEnabled lets memory-budget tests skip under the race detector,
+// whose shadow memory inflates per-object heap cost several-fold.
+const raceEnabled = true

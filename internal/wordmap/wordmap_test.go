@@ -1,0 +1,194 @@
+package wordmap
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestBasicOps(t *testing.T) {
+	var m Map[string]
+	if _, ok := m.Load(1); ok {
+		t.Fatal("empty map claims to hold key 1")
+	}
+	m.Store(1, "a")
+	m.Store(2, "b")
+	if v, ok := m.Load(1); !ok || v != "a" {
+		t.Fatalf("Load(1) = %q, %v", v, ok)
+	}
+	m.Store(1, "a2")
+	if v, _ := m.Load(1); v != "a2" {
+		t.Fatalf("overwrite lost: %q", v)
+	}
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", m.Len())
+	}
+	m.Delete(1)
+	if _, ok := m.Load(1); ok {
+		t.Fatal("Load(1) after Delete succeeded")
+	}
+	if m.Len() != 1 {
+		t.Fatalf("Len after delete = %d, want 1", m.Len())
+	}
+	m.Delete(99) // absent: no-op
+}
+
+func TestSwap(t *testing.T) {
+	var m Map[int]
+	if prev, loaded := m.Swap(7, 70); loaded {
+		t.Fatalf("Swap on empty loaded %d", prev)
+	}
+	if prev, loaded := m.Swap(7, 71); !loaded || prev != 70 {
+		t.Fatalf("Swap = %d, %v; want 70, true", prev, loaded)
+	}
+	if v, _ := m.Load(7); v != 71 {
+		t.Fatalf("after Swap Load = %d", v)
+	}
+}
+
+func TestLoadOrStore(t *testing.T) {
+	var m Map[int]
+	if actual, loaded := m.LoadOrStore(3, 30); loaded || actual != 30 {
+		t.Fatalf("first LoadOrStore = %d, %v", actual, loaded)
+	}
+	if actual, loaded := m.LoadOrStore(3, 31); !loaded || actual != 30 {
+		t.Fatalf("second LoadOrStore = %d, %v; want 30, true", actual, loaded)
+	}
+}
+
+func TestLoadAndDelete(t *testing.T) {
+	var m Map[int]
+	m.Store(5, 50)
+	if v, ok := m.LoadAndDelete(5); !ok || v != 50 {
+		t.Fatalf("LoadAndDelete = %d, %v", v, ok)
+	}
+	if _, ok := m.LoadAndDelete(5); ok {
+		t.Fatal("second LoadAndDelete succeeded")
+	}
+}
+
+func TestCompareAndDelete(t *testing.T) {
+	var m Map[int]
+	m.Store(9, 90)
+	if m.CompareAndDelete(9, 91) {
+		t.Fatal("CompareAndDelete with wrong value deleted")
+	}
+	if !m.CompareAndDelete(9, 90) {
+		t.Fatal("CompareAndDelete with right value refused")
+	}
+	if _, ok := m.Load(9); ok {
+		t.Fatal("key survived CompareAndDelete")
+	}
+}
+
+func TestRangeSnapshotAllowsMutation(t *testing.T) {
+	var m Map[int]
+	for i := uint64(0); i < 100; i++ {
+		m.Store(i, int(i))
+	}
+	seen := 0
+	m.Range(func(k uint64, v int) bool {
+		seen++
+		m.Delete(k) // must not deadlock
+		return true
+	})
+	if seen != 100 {
+		t.Fatalf("Range visited %d entries, want 100", seen)
+	}
+	if m.Len() != 0 {
+		t.Fatalf("Len after Range-delete = %d, want 0", m.Len())
+	}
+}
+
+func TestRangeEarlyStop(t *testing.T) {
+	var m Map[int]
+	for i := uint64(0); i < 50; i++ {
+		m.Store(i, 1)
+	}
+	seen := 0
+	m.Range(func(uint64, int) bool {
+		seen++
+		return seen < 10
+	})
+	if seen != 10 {
+		t.Fatalf("Range visited %d entries after early stop, want 10", seen)
+	}
+}
+
+// TestChurn drives inserts and deletes through many rehash cycles and
+// checks the table against a reference map, including tombstone reuse.
+func TestChurn(t *testing.T) {
+	var m Map[uint64]
+	ref := map[uint64]uint64{}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200000; i++ {
+		k := uint64(rng.Intn(5000))
+		if rng.Intn(3) == 0 {
+			m.Delete(k)
+			delete(ref, k)
+		} else {
+			m.Store(k, k*3)
+			ref[k] = k * 3
+		}
+	}
+	if m.Len() != len(ref) {
+		t.Fatalf("Len = %d, reference = %d", m.Len(), len(ref))
+	}
+	for k, want := range ref {
+		if v, ok := m.Load(k); !ok || v != want {
+			t.Fatalf("Load(%d) = %d, %v; want %d", k, v, ok, want)
+		}
+	}
+	got := 0
+	m.Range(func(k uint64, v uint64) bool {
+		if want, ok := ref[k]; !ok || v != want {
+			t.Fatalf("Range surfaced %d=%d not in reference", k, v)
+		}
+		got++
+		return true
+	})
+	if got != len(ref) {
+		t.Fatalf("Range visited %d, want %d", got, len(ref))
+	}
+}
+
+// TestConcurrent hammers disjoint and overlapping key ranges from many
+// goroutines; run under -race this is the data-race gate.
+func TestConcurrent(t *testing.T) {
+	var m Map[int]
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 20000; i++ {
+				k := uint64(rng.Intn(512))
+				switch rng.Intn(6) {
+				case 0:
+					m.Store(k, g)
+				case 1:
+					m.Delete(k)
+				case 2:
+					m.Load(k)
+				case 3:
+					m.LoadOrStore(k, g)
+				case 4:
+					m.LoadAndDelete(k)
+				case 5:
+					m.Range(func(uint64, int) bool { return false })
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func BenchmarkStoreLoad(b *testing.B) {
+	var m Map[uint64]
+	for i := 0; i < b.N; i++ {
+		k := uint64(i) & 0xffff
+		m.Store(k, k)
+		m.Load(k)
+	}
+}
