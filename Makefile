@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet verify verify-race bench bench-thru bench-pack bench-scale bench-names scale-gate memprofile soak soak-proc proc-gate fuzz-smoke
+.PHONY: all build test race vet verify verify-race bench bench-thru bench-pack bench-scale bench-names bench-serve serve-gate scale-gate memprofile soak soak-proc proc-gate fuzz-smoke
 
 all: verify
 
@@ -59,6 +59,24 @@ bench-scale:
 # Gated behind NTCS_SCALE so `make test` stays fast.
 bench-names:
 	NTCS_SCALE=1 $(GO) test . -run TestScaleMillionNames -count=1 -v
+
+# bench-serve runs the PR-10 open-loop serving benchmark and rewrites
+# BENCH_PR10.json: Poisson users query sharded URSA backends behind a
+# gateway over real tcpnet, swept to saturation twice in the same
+# process — once with the poller pinned to a single shard, once with
+# the default fd-hashed shards — plus coordinated-omission-free
+# p50/p99/p999 at a fixed sub-saturation load. Gated behind NTCS_SCALE
+# so `make test` stays fast. The sharded/single ratio only exceeds 1 on
+# a multi-core machine (shards share one core otherwise).
+bench-serve:
+	NTCS_SCALE=1 $(GO) test ./internal/experiments -run TestBenchServe -count=1 -v -timeout 30m
+
+# serve-gate is the CI slice of the serving bench: a short open-loop
+# window with the poller pinned to 2 shards must complete queries with
+# zero corrupted replies and every poller shard dispatching, under the
+# race detector.
+serve-gate:
+	$(GO) test ./internal/experiments -run TestServeGate -race -count=1 -v
 
 # scale-gate is the cheap CI form of the scale claims: thousands of idle
 # circuits must fit under a flat goroutine budget AND a flat per-endpoint

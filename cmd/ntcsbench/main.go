@@ -30,6 +30,7 @@ var registry = map[string]func(io.Writer) error{
 	"port":        experiments.PortabilityMatrix,
 	"route":       experiments.RouteComputation,
 	"ursa":        experiments.URSAThroughput,
+	"serve":       experiments.URSAServe,
 }
 
 func main() {

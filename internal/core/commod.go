@@ -27,6 +27,7 @@ import (
 	"ntcs/internal/addr"
 	"ntcs/internal/drts/errlog"
 	"ntcs/internal/ipcs"
+	"ntcs/internal/ipcs/tcpnet"
 	"ntcs/internal/lcm"
 	"ntcs/internal/machine"
 	"ntcs/internal/nameserver"
@@ -227,6 +228,15 @@ func Attach(cfg Config) (*Module, error) {
 	m.stats.CounterFunc(stats.IPCSPollerWakeups, ipcs.PollerWakeups)
 	m.stats.CounterFunc(stats.IPCSPollerDispatches, ipcs.PollerDispatches)
 	m.stats.CounterFunc(stats.IPCSPollerPolls, ipcs.PollerPolls)
+	m.stats.CounterFunc(stats.IPCSPollerFullBatches, ipcs.PollerFullBatches)
+	// The tcpnet poller is sharded (one epoll loop per shard); per-shard
+	// counters make the fd-hash balance visible in ntcsstat.
+	for i := 0; i < tcpnet.ConfiguredShards(); i++ {
+		i := i
+		m.stats.CounterFunc(stats.IPCSPollerShard(i, "polls"), func() uint64 { return tcpnet.ShardPolls(i) })
+		m.stats.CounterFunc(stats.IPCSPollerShard(i, "dispatches"), func() uint64 { return tcpnet.ShardDispatches(i) })
+		m.stats.CounterFunc(stats.IPCSPollerShard(i, "wakeups"), func() uint64 { return tcpnet.ShardWakeups(i) })
+	}
 
 	// §3.4: a module assigns itself a TAdd initially; well-known modules
 	// carry their preassigned UAdd from birth.

@@ -621,6 +621,7 @@ func RunAll(w io.Writer) error {
 		PortabilityMatrix,
 		RouteComputation,
 		URSAThroughput,
+		URSAServe,
 	} {
 		if err := exp(w); err != nil {
 			return err

@@ -28,6 +28,8 @@ type Pool struct {
 	queue      []Task
 	workers    int
 	maxWorkers int
+
+	wakeups atomic.Uint64 // workers spawned by this pool
 }
 
 // NewPool creates a dispatcher. maxWorkers caps concurrent workers;
@@ -51,11 +53,17 @@ func (p *Pool) Schedule(t Task) {
 		p.workers++
 		p.mu.Unlock()
 		pollerWakeups.Add(1)
+		p.wakeups.Add(1)
 		go p.work()
 		return
 	}
 	p.mu.Unlock()
 }
+
+// Wakeups returns how many workers this pool has spawned — the per-pool
+// slice of the process-wide PollerWakeups, used by sharded substrates to
+// expose per-shard dispatch economics.
+func (p *Pool) Wakeups() uint64 { return p.wakeups.Load() }
 
 // work drains the queue and exits when it runs dry.
 func (p *Pool) work() {
@@ -87,6 +95,7 @@ var (
 	pollerDispatches atomic.Uint64 // tasks scheduled onto a pool
 	pollerWakeups    atomic.Uint64 // workers spawned (queue went non-empty)
 	pollerPolls      atomic.Uint64 // poll rounds (epoll_wait returns, timer fires)
+	pollerFullBatch  atomic.Uint64 // poll rounds that filled the event buffer
 )
 
 // PollerDispatches returns the process-wide count of scheduled tasks.
@@ -101,3 +110,11 @@ func PollerPolls() uint64 { return pollerPolls.Load() }
 // CountPoll records one poll round; substrates with a real poller (tcpnet's
 // epoll loop, memnet's deferred-delivery timers) call it per wakeup.
 func CountPoll() { pollerPolls.Add(1) }
+
+// PollerFullBatches returns how many poll rounds came back with a full
+// event buffer — the signal that the buffer was undersized for the load
+// and has been (or is about to be) grown.
+func PollerFullBatches() uint64 { return pollerFullBatch.Load() }
+
+// CountFullBatch records one saturated poll round.
+func CountFullBatch() { pollerFullBatch.Add(1) }

@@ -6,16 +6,33 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"runtime"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"syscall"
 
 	"ntcs/internal/ipcs"
 )
 
-// The shared reader: one process-wide epoll instance and one goroutine
-// blocked in epoll_wait, multiplexing every tcpnet connection in the
-// process. Readiness events are fanned out to the shared dispatch pool;
-// a connection with no traffic costs no goroutine and no poller work.
+// The sharded reader: min(GOMAXPROCS, 8) independent epoll instances,
+// each with one goroutine blocked in epoll_wait and its own drain pool,
+// multiplexing the process's tcpnet connections by fd hash. A connection
+// with no traffic costs no goroutine and no poller work; a busy process
+// spreads event handling across cores instead of funneling every byte
+// through one epoll loop and one mutex.
+//
+// Connection identity travels in epoll_data itself: each registration
+// claims a slot in the owning shard's table and the slot index is what
+// the kernel hands back, so dispatching an event is an atomic pointer
+// load — no map, no lock, nothing shared between shards. The table is
+// published copy-on-grow through an atomic pointer; the event loop
+// snapshots it once per batch. (A dense slice beats a hash table here:
+// slot indices are small, reused via a free list, and the loop's read
+// needs no hashing at all.) A slot freed while its last events are still
+// in a returned batch reads as nil and is skipped; if the slot was
+// already reused, the new conn absorbs at worst one spurious drain,
+// serialized by its pending counter.
 //
 // Registration uses edge-triggered epoll. The classic missed-event race
 // (an edge firing between "drain hit EAGAIN" and "drain task exits") is
@@ -23,38 +40,250 @@ import (
 // event and schedules a drain only on the 0→1 transition; the drain
 // re-runs until it can CAS the counter back to zero.
 type poller struct {
-	epfd int
-	pool *ipcs.Pool
+	epfd  int
+	pool  *ipcs.Pool
+	wakeR int // pipe read end registered as wakeSentinel
+	wakeW int
+	dying atomic.Bool
 
+	// Per-shard event-loop counters (exposed via ShardPolls et al).
+	polls       atomic.Uint64
+	dispatches  atomic.Uint64
+	fullBatches atomic.Uint64
+
+	// table is the published slot array read lock-free by the event loop.
+	// mu guards only registration bookkeeping (slot allocation), never
+	// the event path.
+	table atomic.Pointer[[]*pollSlot]
 	mu    sync.Mutex
-	conns map[int32]*conn
+	slots []*pollSlot
+	free  []uint32
+}
+
+// pollSlot is one table entry; nil c marks a free (or just-freed) slot.
+type pollSlot struct {
+	c atomic.Pointer[conn]
+}
+
+// connOS is the linux slice of conn: the epoll registration state and the
+// partial-frame carry between drains. poller is set exactly once when the
+// conn joins a shard and never cleared while the conn lives — an atomic
+// load is the registration check (the old onEpoll bool was written in add
+// and read unsynchronized from detachRecv/wakeRecv). detached makes the
+// epoll deregistration idempotent across Close and the terminal drain.
+type connOS struct {
+	rc       syscall.RawConn
+	fd       int
+	slot     uint32
+	poller   atomic.Pointer[poller]
+	detached atomic.Bool
+	pending  atomic.Int32
+	pend     []byte
+}
+
+// pollerSet is one generation of shards. It is replaced wholesale only by
+// SetPollerShards (a bench/test hook); steady-state processes build it
+// once on first Start.
+type pollerSet struct {
+	shards []*poller
 }
 
 var (
-	pollerOnce sync.Once
-	gPoller    *poller
-	gPollerErr error
+	pollerMu sync.Mutex // guards gPollers replacement
+	gPollers atomic.Pointer[pollerSet]
 )
 
 // epollET is the edge-trigger flag; spelled as a uint32 because the
 // syscall constant is a negative int on some arches.
 const epollET = uint32(1) << 31
 
-func getPoller() (*poller, error) {
-	pollerOnce.Do(func() {
-		epfd, err := syscall.EpollCreate1(syscall.EPOLL_CLOEXEC)
-		if err != nil {
-			gPollerErr = fmt.Errorf("tcpnet: epoll_create: %w", err)
-			return
+// wakeSentinel is the epoll_data value of each shard's wake pipe: closing
+// an epoll fd does not unblock a thread parked in epoll_wait, so teardown
+// writes a byte here instead.
+const wakeSentinel = int32(-1)
+
+const (
+	initialEventBuf = 128
+	maxEventBuf     = 4096
+)
+
+// maxPollerShards caps the default shard count; NTCS_POLLER_SHARDS may
+// push past it up to hardMaxShards for experiments.
+const (
+	maxPollerShards = 8
+	hardMaxShards   = 64
+)
+
+// configuredShards is the shard count a fresh poller set would use:
+// NTCS_POLLER_SHARDS when set (clamped to [1, hardMaxShards]), else
+// min(GOMAXPROCS, maxPollerShards). Read per call, not cached, so tests
+// can flip it with t.Setenv before their first connection.
+func configuredShards() int {
+	if s := os.Getenv("NTCS_POLLER_SHARDS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			if n > hardMaxShards {
+				n = hardMaxShards
+			}
+			return n
 		}
-		gPoller = &poller{epfd: epfd, pool: ipcs.NewPool(0), conns: make(map[int32]*conn)}
-		go gPoller.loop()
-	})
-	return gPoller, gPollerErr
+	}
+	n := runtime.GOMAXPROCS(0)
+	if n > maxPollerShards {
+		n = maxPollerShards
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// ConfiguredShards reports the poller shard count this process would use
+// (0 on platforms without the epoll path) — the bound for registering
+// per-shard ipcs.poller.* counters.
+func ConfiguredShards() int { return configuredShards() }
+
+// PollerShards reports the live shard count: 0 until the first epoll
+// registration creates the set.
+func PollerShards() int {
+	if ps := gPollers.Load(); ps != nil {
+		return len(ps.shards)
+	}
+	return 0
+}
+
+func shardAt(i int) *poller {
+	ps := gPollers.Load()
+	if ps == nil || i < 0 || i >= len(ps.shards) {
+		return nil
+	}
+	return ps.shards[i]
+}
+
+// ShardPolls returns shard i's epoll_wait round count.
+func ShardPolls(i int) uint64 {
+	if p := shardAt(i); p != nil {
+		return p.polls.Load()
+	}
+	return 0
+}
+
+// ShardDispatches returns how many drain tasks shard i has scheduled.
+func ShardDispatches(i int) uint64 {
+	if p := shardAt(i); p != nil {
+		return p.dispatches.Load()
+	}
+	return 0
+}
+
+// ShardWakeups returns how many drain workers shard i's pool has spawned.
+func ShardWakeups(i int) uint64 {
+	if p := shardAt(i); p != nil {
+		return p.pool.Wakeups()
+	}
+	return 0
+}
+
+func getPollerSet() (*pollerSet, error) {
+	if ps := gPollers.Load(); ps != nil {
+		return ps, nil
+	}
+	pollerMu.Lock()
+	defer pollerMu.Unlock()
+	if ps := gPollers.Load(); ps != nil {
+		return ps, nil
+	}
+	ps, err := newPollerSet(configuredShards())
+	if err != nil {
+		return nil, err
+	}
+	gPollers.Store(ps)
+	return ps, nil
+}
+
+// SetPollerShards replaces the process poller set with a fresh one of n
+// shards (n <= 0 selects the configured default). Bench/test hook only:
+// it must run with every tcpnet connection closed — connections
+// registered with the old set stop receiving events when its epoll fds
+// are torn down. Mirrors the E-MEM same-run methodology: one process can
+// measure shards=1 against shards=N back to back.
+func SetPollerShards(n int) error {
+	pollerMu.Lock()
+	defer pollerMu.Unlock()
+	if n <= 0 {
+		n = configuredShards()
+	}
+	ps, err := newPollerSet(n)
+	if err != nil {
+		return err
+	}
+	old := gPollers.Swap(ps)
+	if old != nil {
+		for _, p := range old.shards {
+			p.shutdown()
+		}
+	}
+	return nil
+}
+
+func newPollerSet(n int) (*pollerSet, error) {
+	ps := &pollerSet{shards: make([]*poller, n)}
+	for i := range ps.shards {
+		p, err := newPoller()
+		if err != nil {
+			for _, q := range ps.shards[:i] {
+				q.shutdown()
+			}
+			return nil, err
+		}
+		ps.shards[i] = p
+	}
+	return ps, nil
+}
+
+// shardFor hashes an fd onto a shard. fds are dense small integers, so a
+// multiplicative hash (Knuth's 2654435761) spreads consecutive fds
+// instead of clustering even/odd.
+func (ps *pollerSet) shardFor(fd int) *poller {
+	if len(ps.shards) == 1 {
+		return ps.shards[0]
+	}
+	h := uint32(fd) * 2654435761
+	return ps.shards[h%uint32(len(ps.shards))]
+}
+
+func newPoller() (*poller, error) {
+	epfd, err := syscall.EpollCreate1(syscall.EPOLL_CLOEXEC)
+	if err != nil {
+		return nil, fmt.Errorf("tcpnet: epoll_create: %w", err)
+	}
+	var pfd [2]int
+	if err := syscall.Pipe2(pfd[:], syscall.O_NONBLOCK|syscall.O_CLOEXEC); err != nil {
+		syscall.Close(epfd)
+		return nil, fmt.Errorf("tcpnet: wake pipe: %w", err)
+	}
+	p := &poller{epfd: epfd, pool: ipcs.NewPool(0), wakeR: pfd[0], wakeW: pfd[1]}
+	ev := syscall.EpollEvent{Events: uint32(syscall.EPOLLIN), Fd: wakeSentinel}
+	if err := syscall.EpollCtl(epfd, syscall.EPOLL_CTL_ADD, pfd[0], &ev); err != nil {
+		syscall.Close(epfd)
+		syscall.Close(pfd[0])
+		syscall.Close(pfd[1])
+		return nil, fmt.Errorf("tcpnet: register wake pipe: %w", err)
+	}
+	go p.loop()
+	return p, nil
+}
+
+// shutdown asks the loop to exit and close the shard's fds. Safe while
+// the loop is parked in epoll_wait (the wake byte unblocks it); a full
+// pipe means a wake is already pending, so EAGAIN is fine.
+func (p *poller) shutdown() {
+	p.dying.Store(true)
+	var b [1]byte
+	_, _ = syscall.Write(p.wakeW, b[:])
 }
 
 func (p *poller) loop() {
-	events := make([]syscall.EpollEvent, 128)
+	events := make([]syscall.EpollEvent, initialEventBuf)
 	for {
 		n, err := syscall.EpollWait(p.epfd, events, -1)
 		if err == syscall.EINTR {
@@ -63,79 +292,136 @@ func (p *poller) loop() {
 		if err != nil {
 			return
 		}
+		p.polls.Add(1)
 		ipcs.CountPoll()
-		p.mu.Lock()
+		var tbl []*pollSlot
+		if t := p.table.Load(); t != nil {
+			tbl = *t
+		}
 		for i := 0; i < n; i++ {
-			c := p.conns[events[i].Fd]
-			if c == nil {
+			idx := events[i].Fd
+			if idx == wakeSentinel {
+				if p.drainWake() {
+					return
+				}
 				continue
 			}
+			if uint32(idx) >= uint32(len(tbl)) {
+				continue
+			}
+			c := tbl[idx].c.Load()
+			if c == nil {
+				continue // freed while this batch was in flight
+			}
 			if c.pending.Add(1) == 1 {
+				p.dispatches.Add(1)
 				p.pool.Schedule(c)
 			}
 		}
-		p.mu.Unlock()
+		if n == len(events) {
+			// The kernel had at least a full buffer's worth ready: the
+			// buffer is undersized for this load. Double it (bounded) so
+			// a hot shard drains more readiness per syscall.
+			p.fullBatches.Add(1)
+			ipcs.CountFullBatch()
+			if len(events) < maxEventBuf {
+				events = make([]syscall.EpollEvent, 2*len(events))
+			}
+		}
 	}
 }
 
-// add registers c's socket with the poller. c.fd and c.onEpoll are set
-// before the map insert: the poller loop reads the map under p.mu before
-// scheduling a drain, so the mutex orders these writes ahead of any
-// drain-task read.
-func (p *poller) add(c *conn) error {
-	var fd int
-	if err := c.rc.Control(func(f uintptr) { fd = int(f) }); err != nil {
-		return err
+// drainWake empties the wake pipe; returns true when the shard is dying,
+// after closing its fds (the loop is the last user of epfd, so closing
+// here cannot race a concurrent epoll_wait).
+func (p *poller) drainWake() bool {
+	var buf [64]byte
+	for {
+		n, err := syscall.Read(p.wakeR, buf[:])
+		if err != nil || n < len(buf) {
+			break
+		}
 	}
-	c.fd = fd
-	c.onEpoll = true
+	if !p.dying.Load() {
+		return false
+	}
+	syscall.Close(p.epfd)
+	syscall.Close(p.wakeR)
+	syscall.Close(p.wakeW)
+	return true
+}
+
+// add registers c with this shard: claim a slot, publish the conn
+// pointer, then hand the slot index to the kernel. The atomic stores
+// (slot's conn pointer, then c.poller) happen before EpollCtl, so by the
+// time the loop can see an event for the slot, both are visible.
+func (p *poller) add(c *conn) error {
 	p.mu.Lock()
-	p.conns[int32(fd)] = c
+	var idx uint32
+	if n := len(p.free); n > 0 {
+		idx = p.free[n-1]
+		p.free = p.free[:n-1]
+	} else {
+		idx = uint32(len(p.slots))
+		p.slots = append(p.slots, &pollSlot{})
+		tbl := make([]*pollSlot, len(p.slots))
+		copy(tbl, p.slots)
+		p.table.Store(&tbl)
+	}
+	slot := p.slots[idx]
 	p.mu.Unlock()
+	c.slot = idx
+	slot.c.Store(c)
+	c.poller.Store(p)
 	ev := syscall.EpollEvent{
 		Events: uint32(syscall.EPOLLIN|syscall.EPOLLRDHUP) | epollET,
-		Fd:     int32(fd),
+		Fd:     int32(idx),
 	}
-	if err := syscall.EpollCtl(p.epfd, syscall.EPOLL_CTL_ADD, fd, &ev); err != nil {
+	if err := syscall.EpollCtl(p.epfd, syscall.EPOLL_CTL_ADD, c.fd, &ev); err != nil {
+		c.poller.Store(nil)
+		slot.c.Store(nil)
 		p.mu.Lock()
-		delete(p.conns, int32(fd))
+		p.free = append(p.free, idx)
 		p.mu.Unlock()
-		c.onEpoll = false
 		return err
 	}
 	return nil
 }
 
-// remove deregisters; idempotent, and safe against fd reuse because it
-// runs before the fd is closed.
-func (p *poller) remove(fd int) {
+// remove deregisters c; safe against fd reuse because it runs before the
+// fd is closed. The slot is freed after the kernel stops generating
+// events for it; a stale event already in a returned batch sees nil (or
+// the slot's next tenant, which absorbs one spurious no-op drain).
+func (p *poller) remove(c *conn) {
+	_ = syscall.EpollCtl(p.epfd, syscall.EPOLL_CTL_DEL, c.fd, nil)
 	p.mu.Lock()
-	if _, ok := p.conns[int32(fd)]; !ok {
-		p.mu.Unlock()
-		return
+	if c.slot < uint32(len(p.slots)) && p.slots[c.slot].c.Load() == c {
+		p.slots[c.slot].c.Store(nil)
+		p.free = append(p.free, c.slot)
 	}
-	delete(p.conns, int32(fd))
 	p.mu.Unlock()
-	_ = syscall.EpollCtl(p.epfd, syscall.EPOLL_CTL_DEL, fd, nil)
 }
 
-// startRecv joins the shared poller, falling back to a blocking reader
-// goroutine if epoll or the raw fd is unavailable. Setting NTCS_NO_EPOLL
-// forces the fallback so the portable path can be exercised on Linux; the
-// variable is read per Start (not cached) so tests can flip it with
-// t.Setenv.
+// startRecv joins the conn's fd-hashed poller shard, falling back to a
+// blocking reader goroutine if epoll or the raw fd is unavailable.
+// Setting NTCS_NO_EPOLL forces the fallback so the portable path can be
+// exercised on Linux; the variable is read per Start (not cached) so
+// tests can flip it with t.Setenv.
 func (c *conn) startRecv() {
 	if os.Getenv("NTCS_NO_EPOLL") != "" {
 		c.startBlockingReader()
 		return
 	}
-	p, err := getPoller()
-	if err == nil {
-		if sc, ok := c.c.(syscall.Conn); ok {
-			if rc, rerr := sc.SyscallConn(); rerr == nil {
-				c.rc = rc
-				if p.add(c) == nil {
-					return
+	if sc, ok := c.c.(syscall.Conn); ok {
+		if rc, rerr := sc.SyscallConn(); rerr == nil {
+			c.rc = rc
+			var fd int
+			if cerr := rc.Control(func(f uintptr) { fd = int(f) }); cerr == nil {
+				c.fd = fd
+				if ps, err := getPollerSet(); err == nil {
+					if ps.shardFor(fd).add(c) == nil {
+						return
+					}
 				}
 			}
 		}
@@ -143,20 +429,30 @@ func (c *conn) startRecv() {
 	c.startBlockingReader()
 }
 
+// detachRecv deregisters from the owning shard exactly once. c.poller
+// stays set so a post-detach wakeRecv can still schedule the terminal
+// drain on the shard's pool.
 func (c *conn) detachRecv() {
-	if c.onEpoll {
-		gPoller.remove(c.fd)
+	p := c.poller.Load()
+	if p == nil {
+		return
 	}
+	if !c.detached.CompareAndSwap(false, true) {
+		return
+	}
+	p.remove(c)
 }
 
 // wakeRecv schedules a drain so the receive path notices the close and
 // delivers its terminal error (the fallback reader wakes itself via the
 // failing read).
 func (c *conn) wakeRecv() {
-	if c.onEpoll {
-		if c.pending.Add(1) == 1 {
-			gPoller.pool.Schedule(c)
-		}
+	p := c.poller.Load()
+	if p == nil {
+		return
+	}
+	if c.pending.Add(1) == 1 {
+		p.pool.Schedule(c)
 	}
 }
 
@@ -240,6 +536,11 @@ func (c *conn) drain() {
 	}
 }
 
+// pendShrinkCap bounds the partial-frame carry buffer a conn may retain
+// between drains: one oversize frame (up to MaxMessage, 17 MiB) must not
+// pin its capacity on the conn forever after the tail is consumed.
+const pendShrinkCap = 64 << 10
+
 // feed runs the incremental frame parser over one read's bytes,
 // delivering every complete frame and carrying a partial tail to the
 // next drain. a is the drain's borrowed arena.
@@ -266,9 +567,12 @@ func (c *conn) feed(data []byte, a *recvArena) {
 			return
 		}
 	}
-	if len(data) == 0 {
+	switch {
+	case len(data) == 0 && cap(c.pend) > pendShrinkCap:
+		c.pend = nil // release a large frame's carry capacity
+	case len(data) == 0:
 		c.pend = c.pend[:0]
-	} else {
+	default:
 		// data may alias c.pend's tail; append-to-front copies forward,
 		// which is overlap-safe.
 		c.pend = append(c.pend[:0], data...)

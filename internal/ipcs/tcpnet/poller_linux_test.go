@@ -1,0 +1,260 @@
+//go:build linux
+
+package tcpnet
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ntcs/internal/ipcs"
+	"ntcs/internal/ipcs/ipcstest"
+)
+
+// TestPollerShardConformance runs the full ipcs contract suite (including
+// the per-conn callback FIFO and serial-callback tests) against poller
+// shard counts 1, 2 and GOMAXPROCS: the receive contract must not depend
+// on how many epoll loops the process runs.
+func TestPollerShardConformance(t *testing.T) {
+	counts := []int{1, 2, runtime.GOMAXPROCS(0)}
+	seen := map[int]bool{}
+	for _, n := range counts {
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		t.Run(fmt.Sprintf("shards=%d", n), func(t *testing.T) {
+			if err := SetPollerShards(n); err != nil {
+				t.Fatalf("SetPollerShards(%d): %v", n, err)
+			}
+			if got := PollerShards(); got != n {
+				t.Fatalf("PollerShards = %d, want %d", got, n)
+			}
+			ipcstest.Run(t, func(t *testing.T) ipcs.Network {
+				return New("tcp-shard-test")
+			})
+		})
+	}
+	if err := SetPollerShards(0); err != nil {
+		t.Fatalf("restore default shards: %v", err)
+	}
+}
+
+// TestShardCountersAdvance drives traffic through enough connections to
+// touch every shard and asserts each shard's poll/dispatch counters move
+// — the observability the per-shard ipcs.poller.* counters promise.
+func TestShardCountersAdvance(t *testing.T) {
+	if os.Getenv("NTCS_NO_EPOLL") != "" {
+		t.Skip("NTCS_NO_EPOLL: conns use the blocking reader, pollers see no traffic")
+	}
+	const shards = 2
+	if err := SetPollerShards(shards); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := SetPollerShards(0); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	var before [shards]uint64
+	for i := range before {
+		before[i] = ShardDispatches(i)
+	}
+
+	n := New("tcp-counters")
+	l, err := n.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	var accepted []ipcs.Conn
+	var amu sync.Mutex
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			c.Start(func([]byte, error) {})
+			amu.Lock()
+			accepted = append(accepted, c)
+			amu.Unlock()
+		}
+	}()
+
+	// 32 connections: the odds that a 2-way fd hash leaves a shard empty
+	// are ~2^-31.
+	var got atomic.Int64
+	const conns, msgs = 32, 20
+	var cs []ipcs.Conn
+	for i := 0; i < conns; i++ {
+		c, err := n.Dial(l.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs = append(cs, c)
+		c.Start(func(msg []byte, err error) {
+			if err == nil {
+				got.Add(1)
+			}
+		})
+	}
+	defer func() {
+		for _, c := range cs {
+			c.Close()
+		}
+		amu.Lock()
+		for _, c := range accepted {
+			c.Close()
+		}
+		amu.Unlock()
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for range [msgs]struct{}{} {
+		amu.Lock()
+		for _, c := range accepted {
+			if err := c.Send([]byte("ping")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		amu.Unlock()
+	}
+	for got.Load() < int64(conns*msgs)/2 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	for i := 0; i < shards; i++ {
+		if ShardDispatches(i) == before[i] {
+			t.Errorf("shard %d dispatches did not advance (still %d)", i, before[i])
+		}
+		if ShardPolls(i) == 0 {
+			t.Errorf("shard %d polls = 0", i)
+		}
+		if ShardWakeups(i) == 0 {
+			t.Errorf("shard %d wakeups = 0", i)
+		}
+	}
+}
+
+// TestPendShrinkAfterLargeFrame is the satellite regression test for the
+// carry-buffer pinning bug: one multi-megabyte frame fed in pieces grew
+// conn.pend to frame size, and the old `pend = pend[:0]` kept that
+// capacity on the conn forever. After the tail is consumed the capacity
+// must be released.
+func TestPendShrinkAfterLargeFrame(t *testing.T) {
+	c := &conn{}
+	var frames int
+	c.cb = func(msg []byte, err error) {
+		if err == nil {
+			frames++
+		}
+	}
+	big := int(1 << 20)
+	buf := make([]byte, 4+big)
+	putLen(buf, uint32(big))
+	a := &recvArena{}
+	// Feed all but the last byte: the parser must carry ~1 MiB of partial
+	// frame in c.pend.
+	c.feed(buf[:len(buf)-1], a)
+	if frames != 0 {
+		t.Fatalf("frame delivered early")
+	}
+	if cap(c.pend) < big/2 {
+		t.Fatalf("carry buffer did not grow: cap=%d", cap(c.pend))
+	}
+	// Complete the frame, then push one small frame through.
+	c.feed(buf[len(buf)-1:], a)
+	if frames != 1 {
+		t.Fatalf("frames = %d, want 1", frames)
+	}
+	if cap(c.pend) > pendShrinkCap {
+		t.Fatalf("carry capacity pinned after large frame: cap=%d > %d", cap(c.pend), pendShrinkCap)
+	}
+	small := make([]byte, 4+8)
+	putLen(small, 8)
+	c.feed(small, a)
+	if frames != 2 {
+		t.Fatalf("frames = %d, want 2", frames)
+	}
+	if cap(c.pend) > pendShrinkCap {
+		t.Fatalf("carry capacity regrew: cap=%d", cap(c.pend))
+	}
+}
+
+// TestStartCloseChurnUnderTraffic churns connection Start/Close while
+// peers are mid-send — the race-test companion to replacing the
+// unsynchronized onEpoll bool with the atomic shard registration. Run
+// under -race this exercises add/detachRecv/wakeRecv interleavings; the
+// assertion is simply that every callback terminates with the terminal
+// error exactly once.
+func TestStartCloseChurnUnderTraffic(t *testing.T) {
+	n := New("tcp-churn")
+	l, err := n.Listen("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func(c ipcs.Conn) {
+				c.Start(func([]byte, error) {})
+				for i := 0; i < 50; i++ {
+					if c.Send([]byte("traffic")) != nil {
+						break
+					}
+				}
+				c.Close()
+			}(c)
+		}
+	}()
+
+	const iters = 60
+	var wg sync.WaitGroup
+	var terminals atomic.Int64
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				c, err := n.Dial(l.Addr())
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				done := make(chan struct{})
+				var once sync.Once
+				c.Start(func(msg []byte, err error) {
+					if err != nil {
+						terminals.Add(1)
+						once.Do(func() { close(done) })
+					}
+				})
+				// Close concurrently with the peer's sends: sometimes
+				// instantly, sometimes after a few frames have flowed.
+				if i%3 == 0 {
+					c.Close()
+				} else {
+					time.Sleep(time.Duration(i%5) * 100 * time.Microsecond)
+					c.Close()
+				}
+				select {
+				case <-done:
+				case <-time.After(10 * time.Second):
+					t.Error("terminal error never delivered after Close")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := terminals.Load(); got != 4*iters {
+		t.Fatalf("terminal deliveries = %d, want %d (exactly once per conn)", got, 4*iters)
+	}
+}

@@ -13,7 +13,6 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
-	"syscall"
 
 	"ntcs/internal/ipcs"
 )
@@ -141,26 +140,20 @@ type conn struct {
 	prefixes []byte
 	vecs     net.Buffers
 
-	// Receive side. All fields below are touched only by the serialized
-	// receive path: either the shared epoll poller's drain task (Run,
-	// at most one in flight — see the pending counter) or the fallback
-	// blocking-reader goroutine. cb is written once in Start, before any
-	// delivery can happen. Message buffers are carved from pooled arenas
-	// (see recvArena) shared across connections, not per-conn state.
+	// Receive side. cb and term are touched only by the serialized
+	// receive path: either a poller shard's drain task (Run, at most one
+	// in flight — see connOS.pending) or the fallback blocking-reader
+	// goroutine. cb is written once in Start, before any delivery can
+	// happen. Message buffers are carved from pooled arenas (see
+	// recvArena) shared across connections, not per-conn state.
 	cb       ipcs.RecvFunc
 	termOnce sync.Once
 	term     bool // terminal delivered; stop parsing (receive path only)
 
-	// Shared-poller state (linux): the raw fd registered with epoll and
-	// the partial-frame carry between drains. pending counts poll events
-	// not yet drained; the 0→1 transition schedules exactly one drain
-	// task, which is what keeps callback delivery serial and FIFO per
-	// connection.
-	rc      syscall.RawConn
-	fd      int
-	onEpoll bool
-	pending atomic.Int32
-	pend    []byte
+	// Platform receive state: on linux, the epoll shard registration and
+	// the partial-frame carry between drains (see poller_linux.go);
+	// empty elsewhere.
+	connOS
 }
 
 // recvBufSize sizes the fallback reader's buffer to swallow a full

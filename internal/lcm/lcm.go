@@ -185,7 +185,7 @@ type Layer struct {
 	mu       sync.Mutex // guards resolver (cold: fault handling only)
 	resolver Resolver
 
-	waiters wordmap.Map[chan *Delivery]
+	waiters wordmap.Map[*callWaiter]
 	fwd     *addr.ForwardTable
 	dest    *DestCache
 
@@ -324,14 +324,43 @@ func (l *Layer) ReplaceAddr(old, real addr.UAdd) {
 	l.dest.InvalidateTarget(old)
 }
 
-// addWaiter registers a reply channel for seq.
-func (l *Layer) addWaiter(seq uint32, ch chan *Delivery) {
-	l.waiters.Store(uint64(seq), ch)
+// callWaiter is one in-flight call's parked receiver. Waiters are pooled:
+// a serving-path client makes millions of calls, and the per-call channel
+// allocation was measurable in the call tail. Ownership is handed off
+// through the waiters map itself — whichever side LoadAndDeletes the seq
+// (the reply deliverer or the timed-out caller) owns the waiter, so at
+// most one send ever targets ch per incarnation and a drained waiter can
+// be recycled without a stale reply leaking into its next call.
+type callWaiter struct {
+	ch chan *Delivery // cap 1
 }
 
-// dropWaiter forgets the reply channel for seq.
-func (l *Layer) dropWaiter(seq uint32) {
-	l.waiters.Delete(uint64(seq))
+var waiterPool = sync.Pool{
+	New: func() any { return &callWaiter{ch: make(chan *Delivery, 1)} },
+}
+
+// addWaiter registers a pooled waiter for seq.
+func (l *Layer) addWaiter(seq uint32) *callWaiter {
+	w := waiterPool.Get().(*callWaiter)
+	l.waiters.Store(uint64(seq), w)
+	return w
+}
+
+// abandonWaiter is the caller's give-up path (timeout, cancellation, send
+// failure). If the caller wins the map claim no reply can ever land in w,
+// so it recycles; if a deliverer already claimed it, the send may still
+// be in flight — recycle only if it has already landed, else leave the
+// waiter to the GC rather than gamble on the race.
+func (l *Layer) abandonWaiter(seq uint32, w *callWaiter) {
+	if _, ok := l.waiters.LoadAndDelete(uint64(seq)); ok {
+		waiterPool.Put(w)
+		return
+	}
+	select {
+	case <-w.ch:
+		waiterPool.Put(w)
+	default:
+	}
 }
 
 // nextSeq allocates a message sequence number.
@@ -587,27 +616,31 @@ func (l *Layer) call(ctx context.Context, span uint32, dst addr.UAdd, mode wire.
 		return nil, err
 	}
 	seq := l.nextSeq()
-	ch := make(chan *Delivery, 1)
 	if l.closed.Load() {
 		return nil, ErrClosed
 	}
-	l.addWaiter(seq, ch)
-	defer l.dropWaiter(seq)
+	w := l.addWaiter(seq)
 
 	if err := l.sendInternal(ctx, dst, mode, flags|wire.FlagCall, seq, span, payload); err != nil {
+		l.abandonWaiter(seq, w)
 		return nil, err
 	}
 	timer := retry.GetTimer(l.cfg.CallTimeout)
 	defer retry.PutTimer(timer)
 	select {
-	case d := <-ch:
+	case d := <-w.ch:
+		// The deliverer claimed the map entry before sending; the waiter
+		// is exclusively ours again and empty.
+		waiterPool.Put(w)
 		if d.Header.Flags&wire.FlagError != 0 {
 			return d, &RemoteError{Src: d.Header.Src, Msg: string(d.Payload)}
 		}
 		return d, nil
 	case <-ctx.Done():
+		l.abandonWaiter(seq, w)
 		return nil, ctx.Err()
 	case <-timer.C:
+		l.abandonWaiter(seq, w)
 		return nil, fmt.Errorf("%w: %v seq %d", ErrCallTimeout, dst, seq)
 	}
 }
@@ -665,26 +698,28 @@ func (l *Layer) PingContext(ctx context.Context, dst addr.UAdd, timeout time.Dur
 		return err
 	}
 	seq := l.nextSeq()
-	ch := make(chan *Delivery, 1)
 	if l.closed.Load() {
 		return ErrClosed
 	}
-	l.addWaiter(seq, ch)
-	defer l.dropWaiter(seq)
+	w := l.addWaiter(seq)
 
 	h := l.header(dst, wire.ModeNone, wire.FlagService, seq, 0)
 	h.Type = wire.TPing
 	if err := l.cfg.IP.SendContext(ctx, dst, h, nil); err != nil {
+		l.abandonWaiter(seq, w)
 		return err
 	}
 	timer := retry.GetTimer(timeout)
 	defer retry.PutTimer(timer)
 	select {
-	case <-ch:
+	case <-w.ch:
+		waiterPool.Put(w)
 		return nil
 	case <-ctx.Done():
+		l.abandonWaiter(seq, w)
 		return ctx.Err()
 	case <-timer.C:
+		l.abandonWaiter(seq, w)
 		return fmt.Errorf("%w: ping %v", ErrCallTimeout, dst)
 	}
 }
@@ -721,6 +756,17 @@ func (l *Layer) Recv(timeout time.Duration) (*Delivery, error) {
 // backpressure a blocking Deliver exerted before sharding, just N-wide.
 func (l *Layer) HandleInbound(in ndlayer.Inbound) {
 	if l.dispatch == nil {
+		l.process(in)
+		return
+	}
+	// Reply fast path: a reply's only consumer is the caller goroutine
+	// parked on its seq — it never enters the inbox, so it has no FIFO
+	// relationship with inbox deliveries to preserve. Routing it through
+	// a shard queue made every call tail pay that queue's depth (up to
+	// 128 data frames) just to flip a channel; deliver it inline on the
+	// ND worker instead. Pongs are the same shape.
+	if (in.Header.Type == wire.TData && in.Header.Flags&wire.FlagReply != 0) ||
+		in.Header.Type == wire.TPong {
 		l.process(in)
 		return
 	}
@@ -782,7 +828,10 @@ func (l *Layer) deliverReply(d *Delivery) {
 	if l.cfg.Tracer.On() {
 		l.cfg.Tracer.Span(d.Header.Span, trace.LayerLCM, "reply-recv", d.Header.Src.String())
 	}
-	ch, ok := l.waiters.Load(uint64(d.Header.Seq))
+	// LoadAndDelete is the ownership claim: exactly one deliverer can win
+	// the map entry, so the buffered send below can never block or double
+	// up, and a duplicate reply falls through to the late-reply report.
+	w, ok := l.waiters.LoadAndDelete(uint64(d.Header.Seq))
 	if !ok {
 		// A reply for a call that timed out or was forgotten: absorbed,
 		// but visible in the error table (§6.3's point about relentless
@@ -790,10 +839,7 @@ func (l *Layer) deliverReply(d *Delivery) {
 		l.cfg.Errors.Report(errlog.CodeDroppedMsg, "lcm", "late reply seq %d from %v", d.Header.Seq, d.Header.Src)
 		return
 	}
-	select {
-	case ch <- d:
-	default:
-	}
+	w.ch <- d
 }
 
 func (l *Layer) deliverInbox(d *Delivery) {

@@ -1248,7 +1248,8 @@ func (v *LVC) Send(h wire.Header, payload []byte) error {
 		return &FaultError{Peer: v.Peer(), Err: ipcs.ErrClosed}
 	}
 	if v.b.cfg.CoalesceWrites {
-		return v.sendCoalesced(frame.Bytes(), frame, h.Span)
+		inline := h.Flags&(wire.FlagCall|wire.FlagReply) != 0
+		return v.sendCoalesced(frame.Bytes(), frame, h.Span, inline)
 	}
 	n := len(frame.Bytes())
 	err = v.conn.Send(frame.Bytes())
@@ -1299,7 +1300,8 @@ func (v *LVC) SendRaw(frame []byte, span uint32) error {
 		c.relayMu.Unlock()
 	}
 	if v.b.cfg.CoalesceWrites {
-		return v.sendCoalesced(frame, nil, span)
+		inline := wire.RawFlags(frame)&(wire.FlagCall|wire.FlagReply) != 0
+		return v.sendCoalesced(frame, nil, span, inline)
 	}
 	err := v.conn.Send(frame)
 	return v.finishSend(len(frame), span, err)
@@ -1369,7 +1371,9 @@ func (v *LVC) drainRelay() {
 
 		var err error
 		if v.b.cfg.CoalesceWrites {
-			err = v.sendCoalesced(p.frame, nil, p.span)
+			// Never inline: a drain pass wants the whole parked run in
+			// one vectored batch.
+			err = v.sendCoalesced(p.frame, nil, p.span, false)
 		} else {
 			err = v.conn.Send(p.frame)
 			err = v.finishSend(len(p.frame), p.span, err)
@@ -1410,6 +1414,12 @@ func (v *LVC) awaitCredit(budget time.Duration) error {
 	v.b.bpWaits.Inc()
 	deadline := time.Now().Add(budget)
 	probed := false
+	var t *time.Timer
+	defer func() {
+		if t != nil {
+			retry.PutTimer(t)
+		}
+	}()
 	for {
 		ch := v.waitCh()
 		// Re-check under the registered wait: a grant between the failed
@@ -1433,12 +1443,22 @@ func (v *LVC) awaitCredit(budget time.Duration) error {
 		if !probed && remaining > budget/2 {
 			wait = remaining - budget/2
 		}
-		t := retry.GetTimer(wait)
+		// One pooled timer for the whole wait, re-armed per round: under
+		// credit famine a sender loops here once per grant, and the
+		// get/put pair per round was pure timer churn.
+		if t == nil {
+			t = retry.GetTimer(wait)
+		} else {
+			t.Reset(wait)
+		}
 		select {
 		case <-ch:
-			retry.PutTimer(t)
+			if !t.Stop() {
+				// Consume the raced fire so the reused timer cannot
+				// deliver a stale tick on the next round.
+				<-t.C
+			}
 		case <-t.C:
-			retry.PutTimer(t)
 			if !probed {
 				probed = true
 				v.sendProbe()
@@ -1508,7 +1528,9 @@ func (v *LVC) sendProbe() {
 	if err != nil {
 		return
 	}
-	_ = v.sendCoalesced(frame.Bytes(), frame, 0)
+	// Not inline: the probe must queue behind the data frames it accounts
+	// for (see the function comment).
+	_ = v.sendCoalesced(frame.Bytes(), frame, 0, false)
 }
 
 // NackBackpressure tells the peer a frame it delivered here could not
@@ -1778,9 +1800,38 @@ type sendEntry struct {
 // sendCoalesced routes one frame through the group-commit writer. buf,
 // when non-nil, is the pooled backing of frame and is released once the
 // frame has been written. The queue takes ownership of frame either way.
-func (v *LVC) sendCoalesced(frame []byte, buf *wire.Buf, span uint32) error {
+//
+// inline marks latency-sensitive frames (calls and replies): when the
+// queue is idle — empty and no flusher pass in flight — the frame is
+// written synchronously on the caller's goroutine instead of paying the
+// enqueue→pool→worker hop, which put a scheduling round trip under every
+// RPC on a coalescing circuit. The scheduled flag doubles as the writer
+// exclusion: senders arriving during the inline write enqueue behind it
+// and are flushed right after, so per-circuit FIFO holds, and a
+// pipelined producer (queue non-empty) still batches exactly as before.
+func (v *LVC) sendCoalesced(frame []byte, buf *wire.Buf, span uint32, inline bool) error {
 	q := v.sendQ()
 	q.mu.Lock()
+	if inline && !q.scheduled && len(q.entries) == 0 {
+		q.scheduled = true
+		q.mu.Unlock()
+		err := v.conn.Send(frame)
+		if buf != nil {
+			buf.Release()
+		}
+		err = v.finishSend(len(frame), span, err)
+		q.mu.Lock()
+		if len(q.entries) > 0 {
+			// Senders queued behind the inline write (markClosed skips
+			// scheduling while scheduled is set, so a close here still
+			// needs this pass to release their buffers).
+			v.b.flushers.Schedule(q)
+		} else {
+			q.scheduled = false
+		}
+		q.mu.Unlock()
+		return err
+	}
 	for len(q.entries) >= sendQueueCap && !v.closed.Load() {
 		q.space.Wait()
 	}

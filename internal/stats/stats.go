@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -262,6 +263,47 @@ type HistogramView struct {
 	Buckets  []uint64 `json:"buckets"` // cumulative-free per-bucket counts
 }
 
+// BucketBound returns the inclusive upper bound of bucket i — exported so
+// quantile consumers (the serving bench, ntcsstat) can label buckets.
+func BucketBound(i int) time.Duration { return bucketBound(i) }
+
+// Quantile estimates the latency at quantile q (0 < q ≤ 1) by linear
+// interpolation within the bucket holding the q-th observation. The
+// power-of-two geometry bounds the estimate to within its bucket (≤2x);
+// good enough to rank p50/p99/p999 and spot tail regressions.
+func (v HistogramView) Quantile(q float64) time.Duration {
+	if v.Count == 0 || len(v.Buckets) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := q * float64(v.Count)
+	var cum float64
+	for i, n := range v.Buckets {
+		if n == 0 {
+			continue
+		}
+		next := cum + float64(n)
+		if rank <= next {
+			lo := time.Duration(0)
+			if i > 0 {
+				lo = bucketBound(i - 1)
+			}
+			hi := bucketBound(i)
+			if i == len(v.Buckets)-1 {
+				hi = 2 * lo // overflow bucket: pretend one more doubling
+			}
+			frac := (rank - cum) / float64(n)
+			return lo + time.Duration(frac*float64(hi-lo))
+		}
+		cum = next
+	}
+	return bucketBound(len(v.Buckets) - 1)
+}
+
 // Snapshot is a point-in-time copy of every instrument. Individual
 // values are each read atomically; the set is not a single consistent
 // cut — fine for monitoring, as in the original DRTS monitor.
@@ -484,4 +526,15 @@ const (
 	IPCSPollerWakeups    = "ipcs.poller.wakeups"
 	IPCSPollerDispatches = "ipcs.poller.dispatches"
 	IPCSPollerPolls      = "ipcs.poller.polls"
+	// Poll rounds whose event buffer came back full (the buffer then
+	// grows adaptively; a climbing counter means sustained saturation).
+	IPCSPollerFullBatches = "ipcs.poller.full_batches"
 )
+
+// IPCSPollerShard names one shard's counter, e.g.
+// ipcs.poller.shard0.dispatches — kind is "polls", "dispatches" or
+// "wakeups". Sharded substrates (tcpnet's epoll loops) register one set
+// per shard so load balance is visible in ntcsstat.
+func IPCSPollerShard(i int, kind string) string {
+	return "ipcs.poller.shard" + strconv.Itoa(i) + "." + kind
+}

@@ -23,9 +23,22 @@ type Deployment struct {
 // gateways for any network crossings. Every backend uses the
 // ntcsgen-generated converters — no reflection on the message path.
 func Deploy(w *sim.World, indexHost, docHost, searchHost *sim.Host) (*Deployment, error) {
-	dep := &Deployment{}
+	return DeployShard(w, indexHost, docHost, searchHost, -1)
+}
 
-	m, err := w.Attach(indexHost, IndexServerName, map[string]string{"role": "index"})
+// DeployShard starts one shard group of backends: index/docs/search
+// registered under ShardName(..., shard), with the shard's search server
+// bound to the shard's own index and doc servers. Shard -1 is the classic
+// unsharded deployment. A serving fleet deploys N shard groups and routes
+// each query to one of them by hash — the URSA-at-scale topology the
+// serving bench drives.
+func DeployShard(w *sim.World, indexHost, docHost, searchHost *sim.Host, shard int) (*Deployment, error) {
+	dep := &Deployment{}
+	indexName := ShardName(IndexServerName, shard)
+	docName := ShardName(DocServerName, shard)
+	searchName := ShardName(SearchServerName, shard)
+
+	m, err := w.Attach(indexHost, indexName, map[string]string{"role": "index"})
 	if err != nil {
 		return nil, fmt.Errorf("deploy index server: %w", err)
 	}
@@ -35,7 +48,7 @@ func Deploy(w *sim.World, indexHost, docHost, searchHost *sim.Host) (*Deployment
 	dep.IndexModule = m
 	dep.Index = NewIndexServer(m)
 
-	m, err = w.Attach(docHost, DocServerName, map[string]string{"role": "docs"})
+	m, err = w.Attach(docHost, docName, map[string]string{"role": "docs"})
 	if err != nil {
 		return nil, fmt.Errorf("deploy document server: %w", err)
 	}
@@ -45,7 +58,7 @@ func Deploy(w *sim.World, indexHost, docHost, searchHost *sim.Host) (*Deployment
 	dep.DocsModule = m
 	dep.Docs = NewDocServer(m)
 
-	m, err = w.Attach(searchHost, SearchServerName, map[string]string{"role": "search"})
+	m, err = w.Attach(searchHost, searchName, map[string]string{"role": "search"})
 	if err != nil {
 		return nil, fmt.Errorf("deploy search server: %w", err)
 	}
@@ -53,6 +66,6 @@ func Deploy(w *sim.World, indexHost, docHost, searchHost *sim.Host) (*Deployment
 		return nil, err
 	}
 	dep.SearchModule = m
-	dep.Search = NewSearchServer(m)
+	dep.Search = NewSearchServerFor(m, indexName, docName)
 	return dep, nil
 }

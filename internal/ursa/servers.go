@@ -158,6 +158,11 @@ func (s *DocServer) handle(d *core.Delivery) {
 type SearchServer struct {
 	m *core.Module
 
+	// The backends this search instance consults — shard-local names in
+	// a sharded deployment, the classic singletons otherwise.
+	indexName string
+	docName   string
+
 	mu     sync.Mutex
 	indexU addr.UAdd
 	docsU  addr.UAdd
@@ -166,9 +171,15 @@ type SearchServer struct {
 }
 
 // NewSearchServer wraps an attached module as the search backend and
-// starts serving.
+// starts serving against the classic singleton backends.
 func NewSearchServer(m *core.Module) *SearchServer {
-	s := &SearchServer{m: m}
+	return NewSearchServerFor(m, IndexServerName, DocServerName)
+}
+
+// NewSearchServerFor is NewSearchServer bound to explicit backend names —
+// one search shard talking to its own index/doc shard.
+func NewSearchServerFor(m *core.Module, indexName, docName string) *SearchServer {
+	s := &SearchServer{m: m, indexName: indexName, docName: docName}
 	go recvLoop(m, s.handle)
 	return s
 }
@@ -220,7 +231,7 @@ func (s *SearchServer) search(req SearchRequest) (SearchReply, error) {
 	if len(terms) == 0 {
 		return SearchReply{}, nil
 	}
-	indexU, err := s.locate(IndexServerName, &s.indexU)
+	indexU, err := s.locate(s.indexName, &s.indexU)
 	if err != nil {
 		return SearchReply{}, fmt.Errorf("search: %w", err)
 	}
@@ -246,7 +257,7 @@ func (s *SearchServer) search(req SearchRequest) (SearchReply, error) {
 	}
 	hits = rankHits(hits, limit)
 
-	docsU, err := s.locate(DocServerName, &s.docsU)
+	docsU, err := s.locate(s.docName, &s.docsU)
 	if err != nil {
 		return SearchReply{}, fmt.Errorf("search: %w", err)
 	}

@@ -44,6 +44,16 @@ const (
 	SearchServerName = "ursa-search"
 )
 
+// ShardName derives the logical name of one backend shard, e.g.
+// "ursa-search.3". Shard < 0 is the unsharded singleton name, so callers
+// can treat the classic deployment as shard -1.
+func ShardName(base string, shard int) string {
+	if shard < 0 {
+		return base
+	}
+	return fmt.Sprintf("%s.%d", base, shard)
+}
+
 // Document is one retrievable item.
 type Document struct {
 	ID    int64

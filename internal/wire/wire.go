@@ -178,6 +178,16 @@ func Word(b []byte) uint32 {
 	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
 }
 
+// RawFlags reads the Flags field straight out of an encoded frame
+// (header word 1, top half) without decoding the header — the relay
+// paths' cheap peek, companion to reading Type at frame[3].
+func RawFlags(frame []byte) uint16 {
+	if len(frame) < 6 {
+		return 0
+	}
+	return uint16(frame[4])<<8 | uint16(frame[5])
+}
+
 // EncodeHeader shift-encodes h into dst, which must hold at least
 // HeaderSize bytes. Callers that already own a pooled buffer encode in
 // place instead of paying a fresh allocation per header.
